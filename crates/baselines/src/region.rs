@@ -1,0 +1,170 @@
+//! Capacity regions over route rates.
+//!
+//! Both centralized baselines maximize utility over a polytope
+//! `{x ≥ 0 : A x ≤ (1 − δ)·1}` expressed in route-rate variables:
+//!
+//! * [`RegionKind::Conservative`] — one row per link `l`, encoding EMPoWER's
+//!   constraint (2): `Σ_{l'∈I_l} d_{l'} x_{l'} ≤ 1` (with `x_{l'}` the sum of
+//!   route rates crossing `l'`). This is what `conservative opt` uses.
+//! * [`RegionKind::Cliques`] — one row per maximal clique `C` of the
+//!   conflict graph: `Σ_{l∈C} d_l x_l ≤ 1`. Since every clique containing a
+//!   link lies inside that link's closed neighbourhood `I_l`, this region
+//!   *contains* the conservative one; it equals the true scheduling region
+//!   exactly when the conflict graph is perfect and upper-bounds it
+//!   otherwise. This is the `optimal` baseline's region (see DESIGN.md for
+//!   the substitution note).
+
+use empower_cc::CcProblem;
+use empower_model::{InterferenceMap, LinkId};
+use serde::{Deserialize, Serialize};
+
+use crate::conflict::{maximal_cliques, ConflictGraph};
+
+/// Which constraint family to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    Conservative,
+    Cliques,
+}
+
+/// A capacity region in route-rate variables: rows of `A x ≤ budget`.
+#[derive(Debug, Clone)]
+pub struct CapacityRegion {
+    /// Row-major constraint matrix over route indexes.
+    pub rows: Vec<Vec<f64>>,
+    /// Common right-hand side (1 − δ).
+    pub budget: f64,
+    pub kind: RegionKind,
+}
+
+impl CapacityRegion {
+    /// Builds the region for `problem`'s routes.
+    pub fn build(
+        problem: &CcProblem,
+        imap: &InterferenceMap,
+        kind: RegionKind,
+        delta: f64,
+    ) -> Self {
+        let link_sets: Vec<Vec<usize>> = match kind {
+            RegionKind::Conservative => (0..problem.link_costs.len())
+                .map(|i| imap.domain(LinkId(i as u32)).iter().map(|l| l.index()).collect())
+                .collect(),
+            RegionKind::Cliques => {
+                let g = ConflictGraph::from_interference(imap);
+                maximal_cliques(&g)
+            }
+        };
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for set in link_sets {
+            let row: Vec<f64> = (0..problem.route_count())
+                .map(|r| {
+                    problem.routes[r]
+                        .links()
+                        .iter()
+                        .filter(|l| set.contains(&l.index()))
+                        .map(|l| problem.link_costs[l.index()])
+                        .sum()
+                })
+                .collect();
+            if row.iter().all(|&v| v == 0.0) {
+                continue; // no candidate route touches this set
+            }
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+        }
+        CapacityRegion { rows, budget: 1.0 - delta, kind }
+    }
+
+    /// True if route rates `x` lie in the region (within tolerance).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.rows.iter().all(|row| {
+            row.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= self.budget + 1e-9
+        })
+    }
+
+    /// Number of constraint rows after deduplication.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, Path, SharedMedium};
+
+    fn fig1_problem() -> (CcProblem, InterferenceMap) {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        (CcProblem::new(&s.net, &imap, vec![vec![route1, route2]]), imap)
+    }
+
+    #[test]
+    fn fig1_regions_coincide_for_shared_mediums() {
+        // Under the shared-medium model, each I_l is itself a clique, so
+        // conservative and clique regions are identical polytopes.
+        let (p, imap) = fig1_problem();
+        let cons = CapacityRegion::build(&p, &imap, RegionKind::Conservative, 0.0);
+        let cliq = CapacityRegion::build(&p, &imap, RegionKind::Cliques, 0.0);
+        for x in [[10.0, 20.0 / 3.0], [10.0, 7.0], [0.0, 10.0], [5.0, 5.0]] {
+            assert_eq!(cons.contains(&x), cliq.contains(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn paper_optimum_is_on_the_boundary() {
+        let (p, imap) = fig1_problem();
+        let region = CapacityRegion::build(&p, &imap, RegionKind::Conservative, 0.0);
+        assert!(region.contains(&[10.0, 20.0 / 3.0]));
+        assert!(!region.contains(&[10.0, 20.0 / 3.0 + 0.01]));
+        assert!(!region.contains(&[10.1, 20.0 / 3.0]));
+    }
+
+    #[test]
+    fn margin_shrinks_the_region() {
+        let (p, imap) = fig1_problem();
+        let region = CapacityRegion::build(&p, &imap, RegionKind::Conservative, 0.2);
+        assert!(!region.contains(&[10.0, 20.0 / 3.0]));
+        assert!(region.contains(&[8.0, 16.0 / 3.0 - 0.01]));
+    }
+
+    #[test]
+    fn rows_are_deduplicated() {
+        let (p, imap) = fig1_problem();
+        let region = CapacityRegion::build(&p, &imap, RegionKind::Conservative, 0.0);
+        // 6 links but only 2 distinct constraint rows (one per medium).
+        assert_eq!(region.row_count(), 2);
+    }
+
+    #[test]
+    fn clique_region_contains_conservative_region() {
+        // General inclusion: any point feasible under (2) satisfies every
+        // clique inequality. Spot-check on a partial-interference chain
+        // where the regions genuinely differ.
+        use empower_model::{CarrierSense, Medium, NetworkBuilder, Point};
+        let mut b = NetworkBuilder::new();
+        let m = vec![Medium::WIFI1];
+        let n: Vec<_> = (0..4)
+            .map(|i| b.add_node(Point::new(30.0 * i as f64, 0.0), m.clone(), None))
+            .collect();
+        let (l0, _) = b.add_duplex(n[0], n[1], Medium::WIFI1, 30.0);
+        let (l1, _) = b.add_duplex(n[1], n[2], Medium::WIFI1, 30.0);
+        let (l2, _) = b.add_duplex(n[2], n[3], Medium::WIFI1, 30.0);
+        let net = b.build();
+        // 25 m sensing: only adjacent links conflict — a path conflict
+        // graph, where links 0 and 2 can transmit together.
+        let imap = CarrierSense { wifi_sense_range_m: 25.0 }.build_map(&net);
+        let path = Path::new(&net, vec![l0, l1, l2]).unwrap();
+        let p = CcProblem::new(&net, &imap, vec![vec![path]]);
+        let cons = CapacityRegion::build(&p, &imap, RegionKind::Conservative, 0.0);
+        let cliq = CapacityRegion::build(&p, &imap, RegionKind::Cliques, 0.0);
+        // Conservative: the middle link sees all three: x·3/30 ≤ 1 → x ≤ 10.
+        // Cliques: {0,1} and {1,2}: x·2/30 ≤ 1 → x ≤ 15.
+        assert!(cons.contains(&[10.0]) && !cons.contains(&[10.1]));
+        assert!(cliq.contains(&[15.0]) && !cliq.contains(&[15.1]));
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation of the utility family (§4: "a chosen performance/fairness
+//! tradeoff").
+//!
+//! The paper fixes proportional fairness `U = log(1 + x)`; the controller
+//! and the centralized solvers accept any α-fair utility. This binary
+//! sweeps α on three competing flows of a residential topology: α → 0
+//! approaches throughput maximization (starving unlucky flows), α = 1 is
+//! the paper's choice, larger α approaches max-min fairness (sacrificing
+//! total throughput for the weakest flow).
+
+use empower_baselines::{maximize_utility, CapacityRegion, RegionKind};
+use empower_bench::sweep::make_instance;
+use empower_bench::{mean, BenchArgs};
+use empower_cc::{AlphaFair, CcProblem, ProportionalFair, Utility};
+use empower_core::Scheme;
+use empower_model::topology::random::TopologyClass;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    alpha: f64,
+    total_mbps: f64,
+    min_flow_mbps: f64,
+    jain_index: f64,
+}
+
+fn jain(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    let q: f64 = xs.iter().map(|x| x * x).sum();
+    if q <= 0.0 {
+        0.0
+    } else {
+        s * s / (xs.len() as f64 * q)
+    }
+}
+
+fn solve<U: Utility>(problem: &CcProblem, region: &CapacityRegion, u: &U) -> Vec<f64> {
+    maximize_utility(problem, region, u, 300).flow_rates
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(60, 10);
+    println!("== Ablation: α-fair utility family (3 flows, residential) ==");
+    println!("{:>8} {:>12} {:>12} {:>12}", "α", "total Mbps", "min flow", "Jain index");
+    let mut rows = Vec::new();
+    for &alpha in &[0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut totals = Vec::new();
+        let mut mins = Vec::new();
+        let mut jains = Vec::new();
+        for i in 0..runs {
+            let (net, imap, flows) =
+                make_instance(TopologyClass::Residential, args.seed + i as u64, 3);
+            // Shared route set across α so only the objective varies.
+            let mut flow_routes = Vec::new();
+            let mut ok = true;
+            for &(s, d) in &flows {
+                let r = Scheme::Empower.compute_routes(&net, &imap, s, d, 5);
+                if r.is_empty() {
+                    ok = false;
+                    break;
+                }
+                flow_routes.push(r.paths());
+            }
+            if !ok {
+                continue;
+            }
+            let problem = CcProblem::new(&net, &imap, flow_routes);
+            let region = CapacityRegion::build(&problem, &imap, RegionKind::Conservative, 0.0);
+            let rates = if (alpha - 1.0).abs() < 1e-9 {
+                solve(&problem, &region, &ProportionalFair)
+            } else {
+                solve(&problem, &region, &AlphaFair::new(alpha))
+            };
+            totals.push(rates.iter().sum());
+            mins.push(rates.iter().cloned().fold(f64::INFINITY, f64::min));
+            jains.push(jain(&rates));
+        }
+        println!(
+            "{:>8.2} {:>12.1} {:>12.1} {:>12.3}",
+            alpha,
+            mean(&totals),
+            mean(&mins),
+            mean(&jains)
+        );
+        rows.push(Row {
+            alpha,
+            total_mbps: mean(&totals),
+            min_flow_mbps: mean(&mins),
+            jain_index: mean(&jains),
+        });
+    }
+    println!("\n(total throughput falls and the worst flow + Jain index rise with α —");
+    println!(" the §4 fairness knob; the paper's log(1+x) is the α = 1 row.)");
+    args.maybe_dump(&rows);
+}

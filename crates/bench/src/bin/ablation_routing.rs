@@ -1,0 +1,101 @@
+//! Ablations of the routing design choices called out in DESIGN.md:
+//!
+//! * `n-shortest` width `n` (the paper picks 5): total nominal capacity of
+//!   the selected combination, averaged over random topologies;
+//! * channel-switching cost on/off: how often the CSC changes the selected
+//!   single path, and the resulting capacity delta;
+//! * link metric: ETT (the paper's `W = d_l`) vs IRU, CATT and hop count
+//!   (the paper's footnote 7 reports all alternatives did worse).
+
+use empower_bench::{mean, BenchArgs};
+use empower_core::Scheme;
+use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
+use empower_model::{CarrierSense, InterferenceModel};
+use empower_routing::{
+    best_combination, shortest_path, CscMode, LinkMetric, MetricKind, MultipathConfig,
+    RouteQuery,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize, Default)]
+struct Output {
+    n_sweep: Vec<(usize, f64)>,
+    csc_change_fraction: f64,
+    csc_capacity_gain: f64,
+    metric_capacity: Vec<(String, f64)>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(200, 20);
+    let mut out = Output::default();
+
+    // Instances: residential topologies with one random hybrid flow.
+    let instances: Vec<_> = (0..runs)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(args.seed + i as u64);
+            let topo =
+                generate(&mut rng, &RandomTopologyConfig::new(TopologyClass::Residential));
+            let imap = CarrierSense::default().build_map(&topo.net);
+            let (s, d) = topo.sample_flow(&mut rng);
+            (topo.net, imap, s, d)
+        })
+        .collect();
+
+    println!("== Ablation: n-shortest width (mean combination capacity, Mbps) ==");
+    for n in [1usize, 2, 3, 5, 8] {
+        let caps: Vec<f64> = instances
+            .iter()
+            .map(|(net, imap, s, d)| {
+                let q = RouteQuery::new(*s, *d).with_mediums(&Scheme::Empower.mediums());
+                let config = MultipathConfig { n_shortest: n, ..Default::default() };
+                best_combination(net, imap, &q, &config).total_rate()
+            })
+            .collect();
+        println!("  n = {n}: {:.2}", mean(&caps));
+        out.n_sweep.push((n, mean(&caps)));
+    }
+
+    println!("\n== Ablation: channel-switching cost ==");
+    let mut changed = 0usize;
+    let mut with_csc = Vec::new();
+    let mut without = Vec::new();
+    for (net, imap, s, d) in &instances {
+        let q = RouteQuery::new(*s, *d).with_mediums(&Scheme::Empower.mediums());
+        let metric = LinkMetric::ett(net);
+        let a = shortest_path(net, &metric, CscMode::Paper, &q);
+        let b = shortest_path(net, &metric, CscMode::Zero, &q);
+        if let (Some(a), Some(b)) = (a, b) {
+            if a.path.links() != b.path.links() {
+                changed += 1;
+            }
+            with_csc.push(a.path.capacity(net, imap));
+            without.push(b.path.capacity(net, imap));
+        }
+    }
+    out.csc_change_fraction = changed as f64 / instances.len() as f64;
+    out.csc_capacity_gain = mean(&with_csc) / mean(&without).max(1e-9) - 1.0;
+    println!(
+        "  CSC changes the single path in {:.0}% of instances; capacity delta {:+.1}%",
+        100.0 * out.csc_change_fraction,
+        100.0 * out.csc_capacity_gain
+    );
+
+    println!("\n== Ablation: link metric (mean single-path capacity, Mbps) ==");
+    for kind in [MetricKind::Ett, MetricKind::Iru, MetricKind::Catt, MetricKind::HopCount] {
+        let caps: Vec<f64> = instances
+            .iter()
+            .map(|(net, imap, s, d)| {
+                let q = RouteQuery::new(*s, *d).with_mediums(&Scheme::Empower.mediums());
+                let metric = LinkMetric::new(kind, net, imap);
+                shortest_path(net, &metric, CscMode::Paper, &q)
+                    .map_or(0.0, |o| o.path.capacity(net, imap))
+            })
+            .collect();
+        println!("  {kind:?}: {:.2}", mean(&caps));
+        out.metric_capacity.push((format!("{kind:?}"), mean(&caps)));
+    }
+    args.maybe_dump(&out);
+}

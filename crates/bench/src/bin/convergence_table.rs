@@ -1,0 +1,81 @@
+//! §5.2.2 convergence comparison: slots to reach steady state (throughput
+//! within 1 % of final) for EMPoWER's distributed controller vs the
+//! backpressure scheme.
+//!
+//! Paper's numbers: EMPoWER ≈ 90 slots (residential) / 77 (enterprise);
+//! backpressure ≥ 3 000 / 10 000 slots — throughput-optimal at steady
+//! state, but "good routes are employed only after the queues on the bad
+//! routes start to fill up".
+
+use empower_baselines::{Backpressure, BackpressureConfig};
+use empower_bench::sweep::make_instance;
+use empower_bench::{cdf_line, BenchArgs};
+use empower_cc::{self, slots_to_converge, ConvergenceCriterion, ProportionalFair};
+use empower_core::{evaluate_fluid, FluidEval, Scheme};
+use empower_model::topology::random::TopologyClass;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    class: String,
+    empower_slots: Vec<f64>,
+    backpressure_slots: Vec<f64>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(100, 8);
+    let bp_slots_budget = if args.quick { 4000 } else { 20_000 };
+    let mut all = Vec::new();
+
+    for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
+        let label = format!("{class:?}");
+        println!("== Convergence (slots to within 1% of final), {label}, {runs} runs ==");
+        let mut emp = Vec::new();
+        let mut bp = Vec::new();
+        for i in 0..runs {
+            let (net, imap, flows) = make_instance(class, args.seed + i as u64, 1, );
+            // EMPoWER: the actual slotted controller.
+            // The fluid loop has no measurement noise or feedback delay,
+            // so the controller can run the full rate-proportional boost
+            // (the packet simulator's conservative cap exists to tame its
+            // noisy, delayed price loop).
+            let cc = empower_cc::CcConfig { boost_cap: 64.0, ..Default::default() };
+            let out = evaluate_fluid(
+                &net,
+                &imap,
+                &flows,
+                Scheme::Empower,
+                &FluidEval { slots: 4000, cc, ..Default::default() },
+            );
+            if out.flow_rates[0] <= 1e-9 {
+                continue; // disconnected
+            }
+            if let Some(s) = out.convergence_slots[0] {
+                emp.push(s as f64);
+            }
+            // Backpressure with exact max-weight scheduling.
+            let mut scheme = Backpressure::new(
+                &net,
+                &imap,
+                flows.clone(),
+                BackpressureConfig::default(),
+            );
+            let result = scheme.run(&net, &ProportionalFair, bp_slots_budget);
+            let traj: Vec<f64> = result.trajectory.iter().map(|t| t[0]).collect();
+            let slots = slots_to_converge(&traj, ConvergenceCriterion::default())
+                .unwrap_or(bp_slots_budget);
+            bp.push(slots as f64);
+        }
+        cdf_line("EMPoWER", &emp);
+        cdf_line("backpressure", &bp);
+        println!(
+            "mean: EMPoWER {:.0} slots vs backpressure {:.0} slots ({:.0}x slower)\n",
+            empower_bench::mean(&emp),
+            empower_bench::mean(&bp),
+            empower_bench::mean(&bp) / empower_bench::mean(&emp).max(1.0),
+        );
+        all.push(Output { class: label, empower_slots: emp, backpressure_slots: bp });
+    }
+    args.maybe_dump(&all);
+}

@@ -1,0 +1,78 @@
+//! Fig. 10: testbed-wide evaluation over random station pairs.
+//!
+//! Left plot: CDF of `T_X / T_EMPoWER` for MP-2bp, SP, SP-bf, SP-WiFi,
+//! SP-WiFi-bf and MP-mWiFi. Right plot: EMPoWER's throughput after 10–20 s
+//! and 190–200 s as a fraction of its final value.
+//!
+//! Paper's claims: hybrid beats single-channel WiFi everywhere; EMPoWER
+//! beats MP-mWiFi in ≈ 75 % of pairs (with gains up to 10×, losses never
+//! worse than 2.5×); EMPoWER beats even the brute-force single path in
+//! ≈ 60 % of pairs; 80 % of pairs are within 80 % of the final rate after
+//! 10 s.
+
+use empower_bench::{cdf_line, fraction, BenchArgs};
+use empower_model::topology::testbed22;
+use empower_model::{CarrierSense, InterferenceModel};
+use empower_testbed::fig10::{run, Fig10Config, SIM_SCHEMES};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let config = Fig10Config {
+        pairs: args.sweep(50, 6),
+        duration: if args.quick { 120.0 } else { 300.0 },
+        seed: args.seed,
+        ..Default::default()
+    };
+    let t = testbed22(args.seed);
+    let imap = CarrierSense::default().build_map(&t.net);
+    println!("== Fig. 10 — {} random pairs on the 22-node testbed ==", config.pairs);
+    let rows = run(&t.net, &imap, &config);
+
+    // Left: ratios vs EMPoWER.
+    let ratio = |f: &dyn Fn(&empower_testbed::fig10::Fig10Row) -> f64| -> Vec<f64> {
+        rows.iter()
+            .filter(|r| r.empower_final > 1e-9)
+            .map(|r| f(r) / r.empower_final)
+            .collect()
+    };
+    for (si, scheme) in SIM_SCHEMES.iter().enumerate().skip(1) {
+        cdf_line(scheme.label(), &ratio(&|r| r.throughput[si]));
+    }
+    cdf_line("SP-bf", &ratio(&|r| r.sp_bf));
+    cdf_line("SP-WiFi-bf", &ratio(&|r| r.sp_wifi_bf));
+
+    let vs_mwifi = ratio(&|r| r.throughput[3]);
+    let vs_spbf = ratio(&|r| r.sp_bf);
+    println!(
+        "\nEMPoWER beats MP-mWiFi in {:.0}% of pairs (max EMPoWER gain {:.1}x, max mWiFi gain {:.1}x)",
+        100.0 * fraction(&vs_mwifi, |x| x < 1.0),
+        vs_mwifi.iter().cloned().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min).recip(),
+        vs_mwifi.iter().cloned().fold(0.0, f64::max),
+    );
+    println!(
+        "EMPoWER beats brute-force SP in {:.0}% of pairs",
+        100.0 * fraction(&vs_spbf, |x| x < 1.0)
+    );
+    let multi = rows.iter().filter(|r| r.empower_routes >= 2).count();
+    println!("EMPoWER used ≥2 routes for {multi}/{} pairs", rows.len());
+
+    // Right: convergence snapshot.
+    let early: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.empower_final > 1e-9)
+        .map(|r| r.empower_10_20 / r.empower_final)
+        .collect();
+    let late: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.empower_final > 1e-9)
+        .map(|r| r.empower_190_200 / r.empower_final)
+        .collect();
+    println!("\nconvergence (fraction of final throughput):");
+    cdf_line("after 10-20 s", &early);
+    cdf_line("after 190-200 s", &late);
+    println!(
+        "within 80% of final after 10 s: {:.0}% of pairs",
+        100.0 * fraction(&early, |x| x >= 0.8)
+    );
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,43 @@
+//! Fig. 13: average TCP rate (± std over the last 100 s) for ten flows,
+//! EMPoWER (δ = 0.3) vs plain single-path TCP.
+//!
+//! Paper's claim: with δ = 0.3, EMPoWER improves TCP performance on every
+//! one of the ten flows, generally without increasing variance.
+
+use empower_bench::BenchArgs;
+use empower_model::topology::testbed22;
+use empower_model::{CarrierSense, InterferenceModel};
+use empower_testbed::fig13::{run, run_flows, Fig13Config, FLOWS};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = testbed22(args.seed);
+    let imap = CarrierSense::default().build_map(&t.net);
+    let config = Fig13Config {
+        duration: if args.quick { 150.0 } else { 300.0 },
+        seed: args.seed,
+    };
+    println!("== Fig. 13 — TCP rate, mean ± std (Mbps), δ = 0.3 ==");
+    let rows = if args.quick {
+        run_flows(&t.net, &imap, &config, &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())])
+    } else {
+        run(&t.net, &imap, &config)
+    };
+    println!("{:<8}{:>20}{:>20}", "flow", "EMPoWER", "SP-w/o-CC");
+    let mut wins = 0;
+    for r in &rows {
+        println!(
+            "{:<8}{:>13.1} ± {:>4.1}{:>13.1} ± {:>4.1}",
+            format!("{}-{}", r.src, r.dst),
+            r.empower_mean,
+            r.empower_std,
+            r.sp_wo_cc_mean,
+            r.sp_wo_cc_std
+        );
+        if r.empower_mean >= r.sp_wo_cc_mean {
+            wins += 1;
+        }
+    }
+    println!("\nEMPoWER ≥ single-path TCP on {wins}/{} flows", rows.len());
+    args.maybe_dump(&rows);
+}

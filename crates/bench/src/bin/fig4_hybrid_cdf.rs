@@ -1,0 +1,68 @@
+//! Fig. 4: CDF of flow throughput `T_X` for EMPoWER, SP, SP-WiFi and
+//! MP-mWiFi on the residential and enterprise topologies (one saturated
+//! flow per run). MP-WiFi is omitted from the figure because it coincides
+//! with SP-WiFi (§5.2.1); the binary verifies that instead.
+//!
+//! Paper's headline numbers: average EMPoWER gain ≈ +59 % (residential) /
+//! +68 % (enterprise) over WiFi alone, and ≈ +39 % / +31 % over
+//! single-path hybrid.
+
+use empower_bench::sweep::{run_one, SweepRun};
+use empower_bench::{cdf_line, mean, BenchArgs};
+use empower_core::{FluidEval, Scheme};
+use empower_model::topology::random::TopologyClass;
+use serde::Serialize;
+
+const SCHEMES: [Scheme; 5] =
+    [Scheme::Empower, Scheme::Sp, Scheme::SpWifi, Scheme::MpWifi, Scheme::MpMwifi];
+
+#[derive(Serialize)]
+struct Output {
+    class: String,
+    runs: Vec<SweepRun>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(1000, 40);
+    let params = FluidEval::default();
+    let mut all = Vec::new();
+
+    for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
+        let label = format!("{class:?}");
+        println!("== Fig. 4 — {label} topology, {runs} runs ==");
+        let data: Vec<SweepRun> = (0..runs)
+            .map(|i| run_one(class, args.seed + i as u64, 1, &SCHEMES, &params))
+            .collect();
+
+        let rates = |si: usize| -> Vec<f64> {
+            data.iter().map(|r| r.scheme_rates[si][0]).collect()
+        };
+        for (si, scheme) in SCHEMES.iter().enumerate() {
+            cdf_line(scheme.label(), &rates(si));
+        }
+        let emp = rates(0);
+        let sp = rates(1);
+        let spw = rates(2);
+        let mpw = rates(3);
+        let mwifi = rates(4);
+        println!(
+            "avg gain EMPoWER vs SP-WiFi: {:+.0}%   vs SP: {:+.0}%   vs MP-mWiFi: {:+.0}%",
+            100.0 * (mean(&emp) / mean(&spw) - 1.0),
+            100.0 * (mean(&emp) / mean(&sp) - 1.0),
+            100.0 * (mean(&emp) / mean(&mwifi) - 1.0),
+        );
+        let coincide = spw
+            .iter()
+            .zip(&mpw)
+            .filter(|(a, b)| (*a - *b).abs() < 0.05 * a.abs().max(1.0))
+            .count();
+        println!(
+            "MP-WiFi coincides with SP-WiFi in {}/{} runs (§5.2.1 claim)\n",
+            coincide,
+            data.len()
+        );
+        all.push(Output { class: label, runs: data });
+    }
+    args.maybe_dump(&all);
+}

@@ -1,0 +1,69 @@
+//! Fig. 6: CDF of `T_X / T_optimal` for conservative opt, EMPoWER, MP-2bp,
+//! MP-w/o-CC and SP (one saturated flow per run).
+//!
+//! Paper's claims: EMPoWER is within 10 % of *conservative opt* in 98 %
+//! (residential) / 85 % (enterprise) of runs; within 15 % of *optimal* in
+//! 99 % / 83 % of runs; and it clearly dominates SP, MP-2bp and MP-w/o-CC.
+
+use empower_bench::sweep::run_one;
+use empower_bench::{cdf_line, fraction, BenchArgs};
+use empower_core::{FluidEval, Scheme};
+use empower_model::topology::random::TopologyClass;
+use serde::Serialize;
+
+const SCHEMES: [Scheme; 4] = [Scheme::Empower, Scheme::Mp2bp, Scheme::MpWoCc, Scheme::Sp];
+
+#[derive(Serialize)]
+struct Output {
+    class: String,
+    /// Per run: [conservative, EMPoWER, MP-2bp, MP-w/o-CC, SP] over optimal.
+    ratios: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(500, 25);
+    let params = FluidEval::default();
+    let mut all = Vec::new();
+
+    for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
+        let label = format!("{class:?}");
+        println!("== Fig. 6 — T_X / T_optimal, {label} topology, {runs} runs ==");
+        let mut ratios: Vec<Vec<f64>> = Vec::new();
+        for i in 0..runs {
+            let r = run_one(class, args.seed + i as u64, 1, &SCHEMES, &params);
+            let opt = r.optimal.flow_rates[0];
+            if opt <= 1e-9 {
+                continue; // disconnected pair: no reference
+            }
+            let row = vec![
+                r.conservative.flow_rates[0] / opt,
+                r.scheme_rates[0][0] / opt,
+                r.scheme_rates[1][0] / opt,
+                r.scheme_rates[2][0] / opt,
+                r.scheme_rates[3][0] / opt,
+            ];
+            ratios.push(row);
+        }
+        let col = |j: usize| ratios.iter().map(|r| r[j]).collect::<Vec<f64>>();
+        cdf_line("conservative opt", &col(0));
+        cdf_line("EMPoWER", &col(1));
+        cdf_line("MP-2bp", &col(2));
+        cdf_line("MP-w/o-CC", &col(3));
+        cdf_line("SP", &col(4));
+        let emp = col(1);
+        let cons = col(0);
+        let within = |xs: &[f64], base: &[f64], tol: f64| {
+            let v: Vec<f64> = xs.iter().zip(base).map(|(x, b)| x / b.max(1e-12)).collect();
+            100.0 * fraction(&v, |r| r >= 1.0 - tol)
+        };
+        println!(
+            "EMPoWER within 10% of conservative opt: {:.0}% of runs;  within 15% of optimal: {:.0}%;  T=optimal (±1%): {:.0}%\n",
+            within(&emp, &cons, 0.10),
+            100.0 * fraction(&emp, |r| r >= 0.85),
+            100.0 * fraction(&emp, |r| r >= 0.99),
+        );
+        all.push(Output { class: label, ratios });
+    }
+    args.maybe_dump(&all);
+}

@@ -1,0 +1,58 @@
+//! Fig. 7: CDF of `U_X / U_optimal` with three competing saturated flows
+//! between random pairs, `U_X = Σ_f log(1 + x_f)`.
+//!
+//! Paper's claims: EMPoWER tracks conservative opt closely; the multipath
+//! gains require congestion control (MP-w/o-CC falls far behind); EMPoWER
+//! beats MP-2bp even though its route selection optimizes a single flow's
+//! throughput.
+
+use empower_bench::sweep::run_one;
+use empower_bench::{cdf_line, BenchArgs};
+use empower_core::{FluidEval, Scheme};
+use empower_model::topology::random::TopologyClass;
+use serde::Serialize;
+
+const SCHEMES: [Scheme; 4] = [Scheme::Empower, Scheme::Mp2bp, Scheme::MpWoCc, Scheme::Sp];
+
+#[derive(Serialize)]
+struct Output {
+    class: String,
+    /// Per run: [conservative, EMPoWER, MP-2bp, MP-w/o-CC, SP] over optimal.
+    utility_ratios: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = args.sweep(500, 20);
+    let params = FluidEval::default();
+    let mut all = Vec::new();
+
+    for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
+        let label = format!("{class:?}");
+        println!("== Fig. 7 — U_X / U_optimal, 3 flows, {label} topology, {runs} runs ==");
+        let mut ratios: Vec<Vec<f64>> = Vec::new();
+        for i in 0..runs {
+            let r = run_one(class, args.seed + i as u64, 3, &SCHEMES, &params);
+            let opt = r.optimal.utility;
+            if opt <= 1e-9 {
+                continue;
+            }
+            ratios.push(vec![
+                r.conservative.utility / opt,
+                r.scheme_utility[0] / opt,
+                r.scheme_utility[1] / opt,
+                r.scheme_utility[2] / opt,
+                r.scheme_utility[3] / opt,
+            ]);
+        }
+        let col = |j: usize| ratios.iter().map(|r| r[j]).collect::<Vec<f64>>();
+        cdf_line("conservative opt", &col(0));
+        cdf_line("EMPoWER", &col(1));
+        cdf_line("MP-2bp", &col(2));
+        cdf_line("MP-w/o-CC", &col(3));
+        cdf_line("SP", &col(4));
+        println!();
+        all.push(Output { class: label, utility_ratios: ratios });
+    }
+    args.maybe_dump(&all);
+}

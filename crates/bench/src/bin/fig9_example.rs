@@ -1,0 +1,48 @@
+//! Fig. 9: the §6.2 worked example — time evolution of the rates injected
+//! on both routes of Flow 1-13 and of its received throughput, while
+//! Flow 4-7 switches on (t = 1950 s) and off (t = 3950 s).
+
+use empower_bench::BenchArgs;
+use empower_testbed::fig9;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let data = fig9::run(args.seed);
+    println!("== Fig. 9 — Flow 1-13 over two routes, contending Flow 4-7 ==");
+    println!("best single-path capacity: {:.1} Mbps", data.best_single_path);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "t[s]", "route1", "route2", "sent", "received", "flow4-7"
+    );
+    let step = if args.quick { 250 } else { 100 };
+    for t in (0..data.total_sent.len()).step_by(step) {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            t,
+            data.route1_rate.get(t).copied().unwrap_or(0.0),
+            data.route2_rate.get(t).copied().unwrap_or(0.0),
+            data.total_sent.get(t).copied().unwrap_or(0.0),
+            data.received.get(t).copied().unwrap_or(0.0),
+            data.flow47_received.get(t).copied().unwrap_or(0.0),
+        );
+    }
+    // The three phases, summarized.
+    let mean = |xs: &[f64], lo: usize, hi: usize| -> f64 {
+        let hi = hi.min(xs.len());
+        let lo = lo.min(hi);
+        if hi == lo {
+            0.0
+        } else {
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        }
+    };
+    println!("\nphase means (received, Mbps):");
+    println!("  alone   (600–1900 s): {:.1}", mean(&data.received, 600, 1900));
+    println!("  contend (2200–3900 s): {:.1}", mean(&data.received, 2200, 3900));
+    println!("  alone   (4200–5000 s): {:.1}", mean(&data.received, 4200, 5000));
+    println!(
+        "  route-1 rate while contending: {:.2} (WiFi vacated for Flow 4-7)",
+        mean(&data.route1_rate, 2200, 3900)
+    );
+    args.maybe_dump(&data);
+}

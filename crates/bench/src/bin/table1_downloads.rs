@@ -1,0 +1,52 @@
+//! Table 1: download times for the Tiny / Short / Long / Conc experiments,
+//! EMPoWER vs MP-w/o-CC.
+//!
+//! Paper's numbers (mean ± std, seconds):
+//!
+//! |                        | EMPoWER      | MP-w/o-CC     |
+//! |------------------------|--------------|---------------|
+//! | Tiny, F. 6-13 (100 kB) | 0.128 ± 0.03 | 0.159 ± 0.09  |
+//! | Short, F. 6-13 (5 MB)  | 9.9 ± 2.1    | 13.3 ± 1.9    |
+//! | Long, F. 6-13 (2 GB)   | 333.2 ± 27.7 | 534.5 ± 12.6  |
+//! | Conc, F. 6-13 (2 GB)   | 416.8 ± 30.3 | 581.0 ± 61.4  |
+//! | Conc, F. 12-8 (25 MB)  | 64.9 ± 6.5   | 155.2 ± 24.3  |
+//!
+//! Absolute values depend on the (simulated) link capacities; the shape to
+//! reproduce is EMPoWER ≤ MP-w/o-CC on every row, with the gap widening
+//! for long flows and under concurrency.
+
+use empower_bench::BenchArgs;
+use empower_model::topology::testbed22;
+use empower_model::{CarrierSense, InterferenceModel};
+use empower_testbed::table1::{run_experiment, Experiment};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let t = testbed22(args.seed);
+    let imap = CarrierSense::default().build_map(&t.net);
+    println!("== Table 1 — download times (mean ± std, seconds) ==");
+    println!("{:<26}{:>18}{:>18}", "", "EMPoWER", "MP-w/o-CC");
+    let mut rows = Vec::new();
+    for exp in Experiment::ALL {
+        let reps = args
+            .runs
+            .unwrap_or(if args.quick { 2 } else { exp.paper_repetitions() });
+        let row = run_experiment(&t.net, &imap, exp, reps, args.seed);
+        println!(
+            "{:<26}{:>11.1} ± {:>4.1}{:>11.1} ± {:>4.1}",
+            exp.label(),
+            row.empower.mean_secs,
+            row.empower.std_secs,
+            row.mp_wo_cc.mean_secs,
+            row.mp_wo_cc.std_secs
+        );
+        if let (Some(e), Some(w)) = (row.conc_flow_empower, row.conc_flow_wo_cc) {
+            println!(
+                "{:<26}{:>11.1} ± {:>4.1}{:>11.1} ± {:>4.1}",
+                "Conc, F. 12-8 (25 MB)", e.mean_secs, e.std_secs, w.mean_secs, w.std_secs
+            );
+        }
+        rows.push(row);
+    }
+    args.maybe_dump(&rows);
+}

@@ -1,0 +1,393 @@
+//! The distributed embodiment of the controller (§4.2, last paragraph).
+//!
+//! Each node monitors the traffic it forwards and measures the airtime
+//! demand `d_l · Σ_{r: l∈r} x_r` of each of its egress links. Per technology
+//! `k` it periodically broadcasts **(i)** the aggregate airtime demand over
+//! its egress links on `k` and **(ii)** the sum of the dual variables `γ_l`
+//! of those links. Overhearing nodes combine the broadcasts with their own
+//! measurements to evaluate `y_l` (Eq. (7)) for their own egress links and
+//! update `γ_l` (Eq. (8)). When forwarding a packet on `l`, a node adds
+//! `d_l Σ_{i∈I_l} γ_i` to a header field, so the destination reads `q_r`
+//! (Eq. (9)) and echoes it to the source in an acknowledgement.
+//!
+//! The per-(node, technology) aggregation is *exact* when, for every link
+//! `l` and every other node `u`, either all or none of `u`'s egress links on
+//! `k` belong to `I_l` — true under the shared-medium model used in the
+//! simulations, and the approximation the real system makes under partial
+//! (carrier-sense) interference.
+
+use empower_model::{InterferenceMap, LinkId, Medium, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One periodic per-technology broadcast from a node (§4.2 items (i)–(ii),
+/// plus the §6.4 TCP piggyback).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBroadcast {
+    pub from: NodeId,
+    pub medium: Medium,
+    /// Aggregate airtime demand `Σ d_l x_l` over the sender's egress links
+    /// on `medium`.
+    pub airtime_demand: f64,
+    /// `Σ γ_l` over the same links.
+    pub gamma_sum: f64,
+    /// §6.4: "if a node receives TCP messages, it informs its neighbors by
+    /// piggybacking this information in the broadcasted price messages" —
+    /// everyone in its contention domain then applies the TCP-friendly
+    /// constraint margin (δ = 0.3) instead of the default.
+    pub tcp_receiver: bool,
+}
+
+/// Per-node price state: dual variables and measured demands for the node's
+/// egress links.
+#[derive(Debug, Clone)]
+pub struct LinkPriceState {
+    node: NodeId,
+    /// True while this node receives TCP traffic (piggybacked, §6.4).
+    tcp_receiver: bool,
+    /// Egress links of this node.
+    egress: Vec<LinkId>,
+    /// γ_l per egress link (indexed like `egress`).
+    gamma: Vec<f64>,
+    /// Measured airtime demand `d_l x_l` per egress link.
+    demand: Vec<f64>,
+    /// For each egress link: which *other* nodes' broadcasts on which medium
+    /// count toward its `y_l` (the overhearing set), plus whether each of
+    /// this node's own egress links is in its domain.
+    ///
+    /// `overheard[i]` = (relevant (node, medium) pairs, own egress indexes in
+    /// `I_l`).
+    overheard: Vec<OverhearSet>,
+}
+
+/// For one egress link: the (node, medium) broadcasts to accumulate, plus
+/// this node's own egress indexes inside the link's domain.
+type OverhearSet = (Vec<(NodeId, Medium)>, Vec<usize>);
+
+impl LinkPriceState {
+    /// Builds the state for `node`, deriving the overhearing sets from the
+    /// interference map.
+    pub fn new(net: &Network, imap: &InterferenceMap, node: NodeId) -> Self {
+        let egress: Vec<LinkId> = net.out_links(node).map(|l| l.id).collect();
+        let overheard = egress
+            .iter()
+            .map(|&l| {
+                let mut nodes: Vec<(NodeId, Medium)> = Vec::new();
+                let mut own = Vec::new();
+                for &i in imap.domain(l) {
+                    let owner = net.link(i).from;
+                    let medium = net.link(i).medium;
+                    if owner == node {
+                        if let Some(pos) = egress.iter().position(|&e| e == i) {
+                            own.push(pos);
+                        }
+                    } else if !nodes.contains(&(owner, medium)) {
+                        nodes.push((owner, medium));
+                    }
+                }
+                (nodes, own)
+            })
+            .collect();
+        LinkPriceState {
+            node,
+            tcp_receiver: false,
+            gamma: vec![0.0; egress.len()],
+            demand: vec![0.0; egress.len()],
+            egress,
+            overheard,
+        }
+    }
+
+    /// Marks whether this node currently receives TCP traffic (§6.4). The
+    /// flag rides on every outgoing price broadcast.
+    pub fn set_tcp_receiver(&mut self, receiving: bool) {
+        self.tcp_receiver = receiving;
+    }
+
+    /// The node this state belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Records the measured airtime demand of an egress link for the current
+    /// slot (`d_l` times the traffic rate the node forwards on `l`).
+    pub fn set_demand(&mut self, link: LinkId, airtime_demand: f64) {
+        let i = self.index_of(link);
+        self.demand[i] = airtime_demand;
+    }
+
+    /// The γ of an egress link.
+    pub fn gamma(&self, link: LinkId) -> f64 {
+        self.gamma[self.index_of(link)]
+    }
+
+    /// Produces this node's per-technology broadcasts for the current slot.
+    pub fn make_broadcasts(&self, net: &Network) -> Vec<PriceBroadcast> {
+        let mut out: Vec<PriceBroadcast> = Vec::new();
+        for (i, &l) in self.egress.iter().enumerate() {
+            let medium = net.link(l).medium;
+            match out.iter_mut().find(|b| b.medium == medium) {
+                Some(b) => {
+                    b.airtime_demand += self.demand[i];
+                    b.gamma_sum += self.gamma[i];
+                }
+                None => out.push(PriceBroadcast {
+                    from: self.node,
+                    medium,
+                    airtime_demand: self.demand[i],
+                    gamma_sum: self.gamma[i],
+                    tcp_receiver: self.tcp_receiver,
+                }),
+            }
+        }
+        out
+    }
+
+    /// One slot of Eq. (7)+(8): combines own demands with overheard
+    /// broadcasts to get `y_l` for every egress link, then updates γ.
+    ///
+    /// `broadcasts` is everything this node overheard this slot (broadcasts
+    /// from irrelevant nodes are ignored via the overhearing sets).
+    pub fn update_gammas(&mut self, broadcasts: &[PriceBroadcast], alpha: f64, delta: f64) {
+        self.update_gammas_with_tcp_margin(broadcasts, alpha, delta, delta);
+    }
+
+    /// Like [`LinkPriceState::update_gammas`], applying `delta_tcp` instead
+    /// of `delta` on every egress link whose contention domain contains a
+    /// TCP receiver (this node or an overheard broadcaster) — the §6.4
+    /// coexistence rule ("only the nodes in the contention domain of a TCP
+    /// flow should use this value of δ").
+    pub fn update_gammas_with_tcp_margin(
+        &mut self,
+        broadcasts: &[PriceBroadcast],
+        alpha: f64,
+        delta: f64,
+        delta_tcp: f64,
+    ) {
+        let per_link: Vec<(f64, f64)> = self
+            .overheard
+            .iter()
+            .map(|(nodes, own)| {
+                let mut external = 0.0;
+                let mut tcp = self.tcp_receiver;
+                for b in broadcasts {
+                    if nodes.contains(&(b.from, b.medium)) {
+                        external += b.airtime_demand;
+                        tcp |= b.tcp_receiver;
+                    }
+                }
+                let internal: f64 = own.iter().map(|&i| self.demand[i]).sum();
+                (external + internal, if tcp { delta_tcp } else { delta })
+            })
+            .collect();
+        for (g, (yl, d)) in self.gamma.iter_mut().zip(per_link) {
+            *g = (*g + alpha * (yl - (1.0 - d))).max(0.0);
+        }
+    }
+
+    /// The per-hop price contribution `d_l Σ_{i∈I_l} γ_i` a node adds to the
+    /// layer-2.5 header when forwarding on `link` (Eq. (9) summand).
+    pub fn price_contribution(
+        &self,
+        net: &Network,
+        broadcasts: &[PriceBroadcast],
+        link: LinkId,
+    ) -> f64 {
+        let i = self.index_of(link);
+        let (nodes, own) = &self.overheard[i];
+        let external: f64 = broadcasts
+            .iter()
+            .filter(|b| nodes.contains(&(b.from, b.medium)))
+            .map(|b| b.gamma_sum)
+            .sum();
+        let internal: f64 = own.iter().map(|&j| self.gamma[j]).sum();
+        net.link(link).cost() * (external + internal)
+    }
+
+    fn index_of(&self, link: LinkId) -> usize {
+        self.egress.iter().position(|&e| e == link).expect("link is an egress of this node")
+    }
+}
+
+/// Accumulates the route price `q_r` hop by hop, as the dedicated header
+/// field does on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutePriceAccumulator {
+    q: f64,
+}
+
+impl RoutePriceAccumulator {
+    /// Fresh accumulator for a new packet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one hop's contribution (called by each forwarding node).
+    pub fn add_hop(&mut self, contribution: f64) {
+        self.q += contribution;
+    }
+
+    /// The accumulated `q_r` the destination echoes back.
+    pub fn total(&self) -> f64 {
+        self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{CcConfig, MultipathController};
+    use crate::problem::CcProblem;
+    use crate::utility::ProportionalFair;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, Path, SharedMedium};
+
+    /// Runs the distributed machinery one slot for all nodes and returns the
+    /// per-route q_r, mirroring what the packet datapath would compute.
+    fn distributed_slot(
+        net: &Network,
+        imap: &InterferenceMap,
+        states: &mut [LinkPriceState],
+        problem: &CcProblem,
+        x: &[f64],
+        alpha: f64,
+    ) -> Vec<f64> {
+        // 1. Each node measures egress demands from the current rates.
+        let link_rates = problem.link_rates(x);
+        for s in states.iter_mut() {
+            let node = s.node();
+            let egress: Vec<LinkId> = net.out_links(node).map(|l| l.id).collect();
+            for l in egress {
+                s.set_demand(l, net.link(l).cost() * link_rates[l.index()]);
+            }
+        }
+        // 2. Broadcast and overhear (perfect control channel).
+        let broadcasts: Vec<PriceBroadcast> =
+            states.iter().flat_map(|s| s.make_broadcasts(net)).collect();
+        // 3. Dual updates.
+        for s in states.iter_mut() {
+            s.update_gammas(&broadcasts, alpha, 0.0);
+        }
+        // 4. Fresh broadcasts carry the updated γ sums; data packets
+        //    forwarded during the slot accumulate prices from these.
+        let broadcasts: Vec<PriceBroadcast> =
+            states.iter().flat_map(|s| s.make_broadcasts(net)).collect();
+        // 5. Header accumulation along each route.
+        problem
+            .routes
+            .iter()
+            .map(|path| {
+                let mut acc = RoutePriceAccumulator::new();
+                for &l in path.links() {
+                    let owner = net.link(l).from;
+                    let state = states.iter().find(|s| s.node() == owner).unwrap();
+                    acc.add_hop(state.price_contribution(net, &broadcasts, l));
+                }
+                acc.total()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_prices_match_the_paper_formulas() {
+        // Drive the distributed machinery and a direct link-indexed
+        // evaluation of Eqs. (7)–(9) with the SAME rate trajectory (taken
+        // from the centralized controller) and compare the per-route prices
+        // q_r slot by slot.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        let problem = CcProblem::new(&s.net, &imap, vec![vec![route1, route2]]);
+
+        let mut central =
+            MultipathController::new(&problem, ProportionalFair, CcConfig::default());
+        let mut states: Vec<LinkPriceState> = s
+            .net
+            .nodes()
+            .iter()
+            .map(|n| LinkPriceState::new(&s.net, &imap, n.id))
+            .collect();
+        // Direct evaluation state: γ per link.
+        let mut gamma = vec![0.0_f64; s.net.link_count()];
+        let alpha = 0.02;
+
+        for _ in 0..500 {
+            let x: Vec<f64> = central.rates().to_vec();
+            let q_dist = distributed_slot(&s.net, &imap, &mut states, &problem, &x, alpha);
+
+            // Direct Eqs. (7)-(9).
+            let link_rates = problem.link_rates(&x);
+            let y = problem.domain_airtimes(&imap, &link_rates);
+            for (g, &yl) in gamma.iter_mut().zip(&y) {
+                *g = (*g + alpha * (yl - 1.0)).max(0.0);
+            }
+            let q_direct: Vec<f64> = problem
+                .routes
+                .iter()
+                .map(|path| {
+                    path.links()
+                        .iter()
+                        .map(|&l| {
+                            let dg: f64 =
+                                imap.domain(l).iter().map(|&i| gamma[i.index()]).sum();
+                            problem.link_costs[l.index()] * dg
+                        })
+                        .sum()
+                })
+                .collect();
+
+            for (a, b) in q_dist.iter().zip(&q_direct) {
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "distributed {a} vs direct {b}"
+                );
+            }
+            central.step(&problem, &imap);
+        }
+    }
+
+    #[test]
+    fn broadcasts_aggregate_per_medium() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut state = LinkPriceState::new(&s.net, &imap, s.gateway);
+        state.set_demand(s.plc_ab, 0.3);
+        state.set_demand(s.wifi_ab, 0.5);
+        let bs = state.make_broadcasts(&s.net);
+        assert_eq!(bs.len(), 2); // one per medium
+        let plc = bs.iter().find(|b| b.medium == empower_model::Medium::Plc).unwrap();
+        let wifi = bs.iter().find(|b| b.medium == empower_model::Medium::WIFI1).unwrap();
+        assert!((plc.airtime_demand - 0.3).abs() < 1e-12);
+        assert!((wifi.airtime_demand - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_sums_hops() {
+        let mut acc = RoutePriceAccumulator::new();
+        acc.add_hop(0.1);
+        acc.add_hop(0.25);
+        assert!((acc.total() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_stays_zero_below_capacity() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut state = LinkPriceState::new(&s.net, &imap, s.gateway);
+        state.set_demand(s.wifi_ab, 0.2);
+        let bs = state.make_broadcasts(&s.net);
+        state.update_gammas(&bs, 0.02, 0.0);
+        assert_eq!(state.gamma(s.wifi_ab), 0.0);
+    }
+
+    #[test]
+    fn gamma_rises_under_overload() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut state = LinkPriceState::new(&s.net, &imap, s.gateway);
+        state.set_demand(s.wifi_ab, 1.5); // 150 % airtime demand
+        let bs = state.make_broadcasts(&s.net);
+        state.update_gammas(&bs, 0.02, 0.0);
+        assert!((state.gamma(s.wifi_ab) - 0.02 * 0.5).abs() < 1e-12);
+    }
+}

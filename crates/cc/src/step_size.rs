@@ -1,0 +1,177 @@
+//! The step-size heuristic of §6.1.
+//!
+//! The controller uses a fixed base step `α₀ = 0.02`, scaled by route
+//! length: ×4 when the longest route is one hop, ×2 when the flow is
+//! single-path or the longest route is two hops. To recover from a too
+//! aggressive α, the heuristic watches the flow's total-rate trajectory and
+//! halves α whenever it sees **6 or more oscillations of non-decreasing
+//! amplitude** — the signature of a dual iteration circling its fixed point
+//! instead of spiralling in.
+
+use serde::{Deserialize, Serialize};
+
+/// Adaptive step size for one flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveAlpha {
+    alpha: f64,
+    /// The hop-count-scaled starting value; recovery ceiling.
+    initial_alpha: f64,
+    min_alpha: f64,
+    /// Last observed flow rate.
+    last_rate: Option<f64>,
+    /// Last delta (rate difference between consecutive slots).
+    last_delta: Option<f64>,
+    /// Length of the current run of sign-alternating, non-decreasing-
+    /// amplitude deltas.
+    oscillation_run: usize,
+    /// Amplitude of the previous oscillation half-swing.
+    last_amplitude: f64,
+    /// Consecutive calm (non-oscillating) slots, for α recovery.
+    calm_run: usize,
+}
+
+impl AdaptiveAlpha {
+    /// Base step size from §6.1.
+    pub const BASE_ALPHA: f64 = 0.02;
+
+    /// Creates the heuristic for a flow whose longest route has
+    /// `max_hops` hops and which uses `route_count` routes.
+    pub fn new(max_hops: usize, route_count: usize) -> Self {
+        let multiplier = if max_hops <= 1 {
+            4.0
+        } else if max_hops == 2 || route_count == 1 {
+            2.0
+        } else {
+            1.0
+        };
+        let alpha = Self::BASE_ALPHA * multiplier;
+        AdaptiveAlpha {
+            alpha,
+            initial_alpha: alpha,
+            min_alpha: alpha / 16.0,
+            last_rate: None,
+            last_delta: None,
+            oscillation_run: 0,
+            last_amplitude: 0.0,
+            calm_run: 0,
+        }
+    }
+
+    /// Current α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feeds one slot's total flow rate; returns the (possibly reduced) α to
+    /// use for the next slot.
+    pub fn observe(&mut self, rate: f64) -> f64 {
+        if let Some(last) = self.last_rate {
+            let delta = rate - last;
+            if let Some(prev_delta) = self.last_delta {
+                let alternating = delta * prev_delta < 0.0;
+                let non_decreasing = delta.abs() + 1e-12 >= self.last_amplitude;
+                // Only *significant* swings count: measurement quantization
+                // produces permanent sub-percent jitter that must not
+                // starve the step size.
+                let significant = delta.abs() >= 0.02 * rate.abs().max(1.0);
+                if alternating && non_decreasing && significant {
+                    self.oscillation_run += 1;
+                    self.calm_run = 0;
+                    if self.oscillation_run >= 6 {
+                        self.alpha = (self.alpha / 2.0).max(self.min_alpha);
+                        self.oscillation_run = 0;
+                    }
+                } else if alternating && significant {
+                    // Oscillating but damping: benign, restart the count.
+                    self.oscillation_run = 1;
+                    self.calm_run = 0;
+                } else {
+                    self.oscillation_run = 0;
+                    // Sustained calm earns the step size back (the paper
+                    // only shrinks α; without recovery a single transient
+                    // permanently slows every later adaptation).
+                    self.calm_run += 1;
+                    if self.calm_run >= 100 && self.alpha < self.initial_alpha {
+                        self.alpha = (self.alpha * 2.0).min(self.initial_alpha);
+                        self.calm_run = 0;
+                    }
+                }
+            }
+            self.last_amplitude = delta.abs();
+            self.last_delta = Some(delta);
+        }
+        self.last_rate = Some(rate);
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hop_routes_get_4x() {
+        assert!((AdaptiveAlpha::new(1, 2).alpha() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_routes_get_2x() {
+        assert!((AdaptiveAlpha::new(2, 2).alpha() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_path_gets_2x_even_when_long() {
+        assert!((AdaptiveAlpha::new(3, 1).alpha() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_multipath_keeps_base() {
+        assert!((AdaptiveAlpha::new(3, 2).alpha() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growing_oscillations_halve_alpha() {
+        let mut a = AdaptiveAlpha::new(3, 2);
+        let base = a.alpha();
+        // Rates swinging with growing amplitude: 10±k.
+        let mut rate = 10.0;
+        for k in 0..12 {
+            rate = if k % 2 == 0 { 10.0 + k as f64 } else { 10.0 - k as f64 };
+            a.observe(rate);
+        }
+        assert!(a.alpha() < base, "α should shrink, got {}", a.alpha());
+        let _ = rate;
+    }
+
+    #[test]
+    fn damped_oscillations_keep_alpha() {
+        let mut a = AdaptiveAlpha::new(3, 2);
+        let base = a.alpha();
+        for k in 0..20 {
+            let amp = 10.0 / (k as f64 + 1.0);
+            let rate = if k % 2 == 0 { 10.0 + amp } else { 10.0 - amp };
+            a.observe(rate);
+        }
+        assert_eq!(a.alpha(), base);
+    }
+
+    #[test]
+    fn monotone_convergence_keeps_alpha() {
+        let mut a = AdaptiveAlpha::new(3, 2);
+        let base = a.alpha();
+        for k in 0..50 {
+            a.observe(10.0 - 10.0 / (k as f64 + 1.0));
+        }
+        assert_eq!(a.alpha(), base);
+    }
+
+    #[test]
+    fn alpha_never_drops_below_floor() {
+        let mut a = AdaptiveAlpha::new(3, 2);
+        for k in 0..10_000 {
+            let rate = if k % 2 == 0 { k as f64 } else { -(k as f64) };
+            a.observe(rate);
+        }
+        assert!(a.alpha() >= 1e-4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Flow utility functions.
+//!
+//! A utility `U_f : ℝ₊ → ℝ₊` is increasing and strictly concave; it encodes
+//! the throughput/fairness trade-off. The paper's evaluation uses
+//! proportional fairness `U_f(x) = log(1 + x)` throughout (§5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// An increasing, strictly concave utility with an invertible derivative.
+pub trait Utility: std::fmt::Debug + Send + Sync {
+    /// `U(x)`.
+    fn value(&self, x: f64) -> f64;
+    /// `U'(x)`; must be positive and strictly decreasing.
+    fn deriv(&self, x: f64) -> f64;
+    /// `U'⁻¹(q)`, clamped at 0 (Eq. (10) uses this directly).
+    fn deriv_inv(&self, q: f64) -> f64;
+}
+
+/// `U(x) = log(1 + x)` — proportional fairness (shifted so `U(0) = 0`).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ProportionalFair;
+
+impl Utility for ProportionalFair {
+    fn value(&self, x: f64) -> f64 {
+        (1.0 + x.max(0.0)).ln()
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        1.0 / (1.0 + x.max(0.0))
+    }
+
+    fn deriv_inv(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 / q - 1.0).max(0.0)
+        }
+    }
+}
+
+/// α-fair utility family (Mo & Walrand): `U(x) = x^{1−α}/(1−α)` for α ≠ 1.
+/// α → 1 recovers proportional fairness, α → ∞ max-min fairness. The shifted
+/// argument `1 + x` keeps it finite at zero like the paper's choice.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlphaFair {
+    pub alpha: f64,
+}
+
+impl AlphaFair {
+    /// Creates an α-fair utility; `alpha` must be positive and ≠ 1 (use
+    /// [`ProportionalFair`] for α = 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && (alpha - 1.0).abs() > 1e-9, "use ProportionalFair for α = 1");
+        AlphaFair { alpha }
+    }
+}
+
+impl Utility for AlphaFair {
+    fn value(&self, x: f64) -> f64 {
+        ((1.0 + x.max(0.0)).powf(1.0 - self.alpha) - 1.0) / (1.0 - self.alpha)
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        (1.0 + x.max(0.0)).powf(-self.alpha)
+    }
+
+    fn deriv_inv(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            (q.powf(-1.0 / self.alpha) - 1.0).max(0.0)
+        }
+    }
+}
+
+/// Linear "utility" `U(x) = w · x` — **not** strictly concave; provided only
+/// for throughput-maximization baselines and tests. `deriv_inv` is a step
+/// function: 0 above the weight, +∞ below.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    pub weight: f64,
+}
+
+impl Utility for Linear {
+    fn value(&self, x: f64) -> f64 {
+        self.weight * x
+    }
+
+    fn deriv(&self, _x: f64) -> f64 {
+        self.weight
+    }
+
+    fn deriv_inv(&self, q: f64) -> f64 {
+        if q < self.weight {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_inverse<U: Utility>(u: &U, xs: &[f64]) {
+        for &x in xs {
+            let q = u.deriv(x);
+            let back = u.deriv_inv(q);
+            assert!((back - x).abs() < 1e-9, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn proportional_fair_inverse_round_trips() {
+        check_inverse(&ProportionalFair, &[0.0, 0.5, 1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn alpha_fair_inverse_round_trips() {
+        check_inverse(&AlphaFair::new(2.0), &[0.0, 0.5, 1.0, 10.0, 100.0]);
+        check_inverse(&AlphaFair::new(0.5), &[0.0, 0.5, 1.0, 10.0]);
+    }
+
+    #[test]
+    fn proportional_fair_is_concave_increasing() {
+        let u = ProportionalFair;
+        let xs = [0.0, 1.0, 5.0, 20.0, 80.0];
+        for w in xs.windows(2) {
+            assert!(u.value(w[1]) > u.value(w[0]));
+            assert!(u.deriv(w[1]) < u.deriv(w[0]));
+        }
+    }
+
+    #[test]
+    fn deriv_inv_handles_zero_price() {
+        assert_eq!(ProportionalFair.deriv_inv(0.0), f64::INFINITY);
+        assert_eq!(ProportionalFair.deriv_inv(-1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn deriv_inv_clamps_high_prices_to_zero() {
+        // U'(0) = 1 for proportional fairness: any q ≥ 1 maps to x = 0.
+        assert_eq!(ProportionalFair.deriv_inv(2.0), 0.0);
+        assert_eq!(AlphaFair::new(2.0).deriv_inv(1.5), 0.0);
+    }
+
+    #[test]
+    fn alpha_2_matches_closed_form() {
+        // α = 2: U'(x) = (1+x)^-2, so U'(1) = 0.25 and U'⁻¹(0.25) = 1.
+        let u = AlphaFair::new(2.0);
+        assert!((u.deriv(1.0) - 0.25).abs() < 1e-12);
+        assert!((u.deriv_inv(0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ProportionalFair")]
+    fn alpha_one_is_rejected() {
+        AlphaFair::new(1.0);
+    }
+
+    #[test]
+    fn linear_derivative_is_constant() {
+        let u = Linear { weight: 0.3 };
+        assert_eq!(u.deriv(0.0), 0.3);
+        assert_eq!(u.deriv(100.0), 0.3);
+        assert_eq!(u.deriv_inv(0.2), f64::INFINITY);
+        assert_eq!(u.deriv_inv(0.4), 0.0);
+    }
+}

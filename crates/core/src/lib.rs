@@ -1,0 +1,52 @@
+//! # empower-core
+//!
+//! The public facade of the EMPoWER reproduction. It ties together the
+//! subsystem crates and exposes:
+//!
+//! * [`Scheme`] — the eight evaluation schemes of §5.1 (EMPoWER, SP,
+//!   SP-WiFi, MP-WiFi, MP-mWiFi, MP-w/o-CC, SP-w/o-CC, MP-2bp) as a single
+//!   configuration switch that selects mediums, routing flavour,
+//!   channel-switching cost and congestion control;
+//! * [`evaluate_fluid`] — the fast slotted-controller evaluation used for
+//!   the 1000-run CDF sweeps of §5 (Figs. 4–7);
+//! * [`build_simulation`] — wiring a scheme into the packet-level
+//!   discrete-event simulator of `empower-sim` for testbed-style runs (§6);
+//! * re-exports of the subsystem crates under stable names.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use empower_core::{evaluate_fluid, FluidEval, Scheme};
+//! use empower_core::model::topology::fig1_scenario;
+//! use empower_core::model::{InterferenceModel, SharedMedium};
+//!
+//! let s = fig1_scenario();
+//! let imap = SharedMedium.build_map(&s.net);
+//! let eval = evaluate_fluid(
+//!     &s.net,
+//!     &imap,
+//!     &[(s.gateway, s.client)],
+//!     Scheme::Empower,
+//!     &FluidEval::default(),
+//! );
+//! // The paper's worked example: 10 Mbps hybrid + 6.6 Mbps WiFi-WiFi.
+//! assert!((eval.flow_rates[0] - 16.67).abs() < 0.3);
+//! ```
+
+pub mod eval;
+pub mod monitor;
+pub mod scheme;
+pub mod stack;
+
+pub use eval::{evaluate_equilibrium, evaluate_fluid, FluidEval, FluidEvalResult};
+pub use monitor::{RecomputeReason, RouteMonitor};
+pub use scheme::Scheme;
+pub use stack::build_simulation;
+
+/// Re-export: the network-model substrate.
+pub use empower_baselines as baselines;
+pub use empower_cc as cc;
+pub use empower_datapath as datapath;
+pub use empower_model as model;
+pub use empower_routing as routing;
+pub use empower_sim as sim;

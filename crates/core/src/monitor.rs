@@ -1,0 +1,148 @@
+//! Route-recomputation triggering (§3.2).
+//!
+//! "The routes need to be recomputed only when there is a link failure or a
+//! large capacity variation, which occurs infrequently (order of minutes or
+//! hours)." The congestion controller absorbs everything smaller. This
+//! module watches a flow's routes against fresh capacity estimates and says
+//! when the ~50 ms recomputation is worth paying.
+
+use empower_model::{InterferenceMap, Network, NodeId};
+use empower_routing::RouteSet;
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::Scheme;
+
+/// Why the monitor asked for new routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecomputeReason {
+    /// A link on one of the flow's routes died.
+    LinkFailure,
+    /// A link's capacity moved by more than the configured fraction.
+    CapacityShift,
+}
+
+/// Watches one flow's routes.
+#[derive(Debug, Clone)]
+pub struct RouteMonitor {
+    src: NodeId,
+    dst: NodeId,
+    scheme: Scheme,
+    /// Relative capacity change that counts as "large" (0.5 = ±50 %).
+    pub shift_threshold: f64,
+    /// Capacities of the route links at the time the routes were computed.
+    baseline: Vec<(empower_model::LinkId, f64)>,
+}
+
+impl RouteMonitor {
+    /// Starts monitoring `routes` as computed on `net`.
+    pub fn new(net: &Network, scheme: Scheme, src: NodeId, dst: NodeId, routes: &RouteSet) -> Self {
+        let mut baseline = Vec::new();
+        for r in &routes.routes {
+            for &l in r.path.links() {
+                if !baseline.iter().any(|&(id, _)| id == l) {
+                    baseline.push((l, net.link(l).capacity_mbps));
+                }
+            }
+        }
+        RouteMonitor { src, dst, scheme, shift_threshold: 0.5, baseline }
+    }
+
+    /// Checks the current network state; `Some(reason)` means recompute.
+    pub fn check(&self, net: &Network) -> Option<RecomputeReason> {
+        for &(l, was) in &self.baseline {
+            let link = net.link(l);
+            if !link.is_alive() {
+                return Some(RecomputeReason::LinkFailure);
+            }
+            let rel = (link.capacity_mbps - was).abs() / was.max(1e-9);
+            if rel > self.shift_threshold {
+                return Some(RecomputeReason::CapacityShift);
+            }
+        }
+        None
+    }
+
+    /// Recomputes the routes and re-baselines the monitor. Returns the new
+    /// route set (possibly empty if the flow got disconnected).
+    pub fn recompute(&mut self, net: &Network, imap: &InterferenceMap) -> RouteSet {
+        let routes = self.scheme.compute_routes(net, imap, self.src, self.dst, 5);
+        *self = RouteMonitor::new(net, self.scheme, self.src, self.dst, &routes);
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, SharedMedium};
+
+    #[test]
+    fn quiet_network_triggers_nothing() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        assert_eq!(monitor.check(&s.net), None);
+    }
+
+    #[test]
+    fn small_variation_is_absorbed_by_the_controller() {
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        s.net.set_capacity(s.wifi_bc, 30.0 * 0.8); // −20 %, below threshold
+        assert_eq!(monitor.check(&s.net), None);
+    }
+
+    #[test]
+    fn failure_triggers_and_recompute_drops_the_dead_route() {
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        assert_eq!(routes.len(), 2);
+        let mut monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        s.net.set_capacity(s.plc_ab, 0.0);
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::LinkFailure));
+        let new_routes = monitor.recompute(&s.net, &imap);
+        assert_eq!(new_routes.len(), 1, "only the WiFi route survives");
+        for r in &new_routes.routes {
+            assert!(!r.path.uses_link(s.plc_ab));
+        }
+        // Re-baselined: no further trigger.
+        assert_eq!(monitor.check(&s.net), None);
+    }
+
+    #[test]
+    fn large_capacity_shift_triggers() {
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        s.net.set_capacity(s.wifi_bc, 5.0); // −83 %
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
+    }
+
+    #[test]
+    fn off_route_links_are_ignored() {
+        // A failure somewhere else in the network is not this flow's
+        // problem — recomputation stays a rare event.
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        // Monitor only the single-path hybrid route.
+        let routes = Scheme::Sp.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let monitor = RouteMonitor::new(&s.net, Scheme::Sp, s.gateway, s.client, &routes);
+        let on_route = routes.routes[0].path.links().to_vec();
+        // Kill some link not on the route.
+        let victim = s
+            .net
+            .links()
+            .iter()
+            .map(|l| l.id)
+            .find(|l| !on_route.contains(l))
+            .unwrap();
+        s.net.set_capacity(victim, 0.0);
+        assert_eq!(monitor.check(&s.net), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! The evaluation schemes of §5.1.
+//!
+//! | Scheme | Routing | CC | Mediums |
+//! |---|---|---|---|
+//! | EMPoWER | multipath (§3.2 tree) | yes | PLC + WiFi ch. 1 |
+//! | SP | single path (§3.1) | yes | PLC + WiFi ch. 1 |
+//! | SP-WiFi | single path | yes | WiFi ch. 1 |
+//! | MP-WiFi | multipath | yes | WiFi ch. 1 |
+//! | MP-mWiFi | multipath | yes | WiFi ch. 1 + ch. 2 |
+//! | MP-w/o-CC | multipath | no (open loop) | PLC + WiFi ch. 1 |
+//! | SP-w/o-CC | single path | no (open loop) | PLC + WiFi ch. 1 |
+//! | MP-2bp | naive 2-shortest | yes | PLC + WiFi ch. 1 |
+//!
+//! "When using only WiFi, the CSC is set to 0" (§5.1) — single-medium
+//! schemes cannot alternate technologies, so the switching incentive is
+//! disabled for them.
+
+use empower_model::{InterferenceMap, Medium, Network, NodeId};
+use empower_routing::{
+    best_combination, mp_2bp, single_path_route, CscMode, MultipathConfig, RouteQuery, RouteSet,
+};
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's evaluation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    Empower,
+    Sp,
+    SpWifi,
+    MpWifi,
+    MpMwifi,
+    MpWoCc,
+    SpWoCc,
+    Mp2bp,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's listing order.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Empower,
+        Scheme::Sp,
+        Scheme::SpWifi,
+        Scheme::MpWifi,
+        Scheme::MpMwifi,
+        Scheme::MpWoCc,
+        Scheme::SpWoCc,
+        Scheme::Mp2bp,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Empower => "EMPoWER",
+            Scheme::Sp => "SP",
+            Scheme::SpWifi => "SP-WiFi",
+            Scheme::MpWifi => "MP-WiFi",
+            Scheme::MpMwifi => "MP-mWiFi",
+            Scheme::MpWoCc => "MP-w/o-CC",
+            Scheme::SpWoCc => "SP-w/o-CC",
+            Scheme::Mp2bp => "MP-2bp",
+        }
+    }
+
+    /// Mediums the scheme may use.
+    pub fn mediums(self) -> Vec<Medium> {
+        match self {
+            Scheme::Empower | Scheme::Sp | Scheme::MpWoCc | Scheme::SpWoCc | Scheme::Mp2bp => {
+                vec![Medium::WIFI1, Medium::Plc]
+            }
+            Scheme::SpWifi | Scheme::MpWifi => vec![Medium::WIFI1],
+            Scheme::MpMwifi => vec![Medium::WIFI1, Medium::WIFI2],
+        }
+    }
+
+    /// True if the scheme runs the congestion controller.
+    pub fn uses_cc(self) -> bool {
+        !matches!(self, Scheme::MpWoCc | Scheme::SpWoCc)
+    }
+
+    /// True if the scheme may return several routes.
+    pub fn multipath(self) -> bool {
+        !matches!(self, Scheme::Sp | Scheme::SpWifi | Scheme::SpWoCc)
+    }
+
+    /// Channel-switching-cost policy for this scheme.
+    pub fn csc(self) -> CscMode {
+        if self.mediums().len() >= 2 {
+            CscMode::Paper
+        } else {
+            CscMode::Zero
+        }
+    }
+
+    /// Computes this scheme's routes for one flow. `n` is the `n-shortest`
+    /// parameter (the paper uses 5).
+    pub fn compute_routes(
+        self,
+        net: &Network,
+        imap: &InterferenceMap,
+        src: NodeId,
+        dst: NodeId,
+        n: usize,
+    ) -> RouteSet {
+        let query = RouteQuery::new(src, dst).with_mediums(&self.mediums());
+        match self {
+            Scheme::Sp | Scheme::SpWifi | Scheme::SpWoCc => {
+                single_path_route(net, imap, &query, self.csc())
+            }
+            Scheme::Mp2bp => mp_2bp(net, imap, &query, self.csc()),
+            _ => {
+                let config = MultipathConfig { n_shortest: n, csc: self.csc(), ..Default::default() };
+                best_combination(net, imap, &query, &config)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, SharedMedium};
+
+    #[test]
+    fn scheme_taxonomy_matches_the_paper() {
+        assert!(Scheme::Empower.uses_cc() && Scheme::Empower.multipath());
+        assert!(Scheme::Sp.uses_cc() && !Scheme::Sp.multipath());
+        assert!(!Scheme::MpWoCc.uses_cc() && Scheme::MpWoCc.multipath());
+        assert!(!Scheme::SpWoCc.uses_cc() && !Scheme::SpWoCc.multipath());
+        assert_eq!(Scheme::MpMwifi.mediums(), vec![Medium::WIFI1, Medium::WIFI2]);
+        assert_eq!(Scheme::SpWifi.mediums(), vec![Medium::WIFI1]);
+    }
+
+    #[test]
+    fn wifi_only_schemes_disable_csc() {
+        assert_eq!(Scheme::SpWifi.csc(), CscMode::Zero);
+        assert_eq!(Scheme::MpWifi.csc(), CscMode::Zero);
+        assert_eq!(Scheme::Empower.csc(), CscMode::Paper);
+    }
+
+    #[test]
+    fn empower_finds_both_fig1_routes_but_spwifi_finds_one() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let emp = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        assert_eq!(emp.len(), 2);
+        let spw = Scheme::SpWifi.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        assert_eq!(spw.len(), 1);
+        // The WiFi-only single path must not touch PLC.
+        for route in &spw.routes {
+            for &l in route.path.links() {
+                assert!(s.net.link(l).medium.is_wifi());
+            }
+        }
+    }
+
+    #[test]
+    fn mp_wifi_on_one_channel_equals_single_path_capacity() {
+        // §5.2.1: MP-WiFi coincides with SP-WiFi — multipath helps only
+        // with ≥ 2 non-interfering technologies.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mp = Scheme::MpWifi.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let sp = Scheme::SpWifi.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        assert!((mp.total_rate() - sp.total_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Scheme::Empower.to_string(), "EMPoWER");
+        assert_eq!(Scheme::Mp2bp.to_string(), "MP-2bp");
+        assert_eq!(Scheme::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Destination-side packet reordering (§6.1).
+//!
+//! "The header contains a 4-byte sequence number, which is used by the
+//! destination for reordering packets that arrive from different routes. We
+//! do not use timeouts for missing packets. To identify a lost packet, the
+//! destination stores the last sequence number received from each route: a
+//! packet with a sequence number S is lost when it has received packets with
+//! sequence number greater than S on all routes from a certain source."
+
+use std::collections::BTreeMap;
+
+/// What the reorder buffer releases to the upper layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorderEvent {
+    /// Packet with this sequence number delivered in order.
+    Deliver(u32),
+    /// This sequence number was declared lost (skipped).
+    Lost(u32),
+}
+
+/// Per-(source-)flow reorder buffer.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    /// Next sequence number the upper layer expects.
+    next_seq: u32,
+    /// Out-of-order packets waiting.
+    pending: BTreeMap<u32, ()>,
+    /// Highest sequence number seen per route (indexed by route id).
+    highest_per_route: Vec<Option<u32>>,
+    /// Cap on buffered packets (drop-oldest beyond this; real memory bound).
+    capacity: usize,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer for a flow using `route_count` routes.
+    pub fn new(route_count: usize) -> Self {
+        ReorderBuffer {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            highest_per_route: vec![None; route_count],
+            capacity: 4096,
+        }
+    }
+
+    /// Number of packets currently buffered out of order.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next in-order sequence number expected.
+    pub fn expected(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Re-keys the buffer for a new route set (route recomputation after a
+    /// failure, §3.2): the expected sequence number and any buffered
+    /// packets survive; the per-route high-water marks restart, so the
+    /// loss rule waits until every *new* route has carried traffic.
+    pub fn reset_routes(&mut self, route_count: usize) {
+        self.highest_per_route = vec![None; route_count];
+    }
+
+    /// Accepts a packet that arrived on `route` with sequence `seq` and
+    /// returns everything releasable, in order.
+    pub fn accept(&mut self, route: usize, seq: u32) -> Vec<ReorderEvent> {
+        let hi = &mut self.highest_per_route[route];
+        if hi.is_none_or(|h| seq > h) {
+            *hi = Some(seq);
+        }
+        let mut out = Vec::new();
+        if seq < self.next_seq {
+            return out; // stale duplicate
+        }
+        self.pending.insert(seq, ());
+        if self.pending.len() > self.capacity {
+            // Memory bound: force delivery up to the oldest buffered packet.
+            let oldest = *self.pending.keys().next().expect("non-empty");
+            while self.next_seq < oldest {
+                out.push(ReorderEvent::Lost(self.next_seq));
+                self.next_seq += 1;
+            }
+        }
+        self.drain(&mut out);
+        out
+    }
+
+    /// Applies the all-routes-passed loss rule and releases in-order data.
+    fn drain(&mut self, out: &mut Vec<ReorderEvent>) {
+        loop {
+            if self.pending.remove(&self.next_seq).is_some() {
+                out.push(ReorderEvent::Deliver(self.next_seq));
+                self.next_seq += 1;
+                continue;
+            }
+            // next_seq missing: lost iff every route has seen beyond it.
+            let all_passed = !self.highest_per_route.is_empty()
+                && self
+                    .highest_per_route
+                    .iter()
+                    .all(|h| h.is_some_and(|hi| hi > self.next_seq));
+            if all_passed {
+                out.push(ReorderEvent::Lost(self.next_seq));
+                self.next_seq += 1;
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ReorderEvent::{Deliver, Lost};
+
+    #[test]
+    fn in_order_delivery_is_immediate() {
+        let mut b = ReorderBuffer::new(2);
+        assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
+        assert_eq!(b.accept(1, 1), vec![Deliver(1)]);
+        assert_eq!(b.accept(0, 2), vec![Deliver(2)]);
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn out_of_order_waits_for_the_gap() {
+        let mut b = ReorderBuffer::new(2);
+        // seq 1 arrives on route 0 before seq 0: route 1 hasn't passed 0
+        // yet, so 0 may still arrive there — hold 1.
+        assert_eq!(b.accept(0, 1), vec![]);
+        assert_eq!(b.buffered(), 1);
+        assert_eq!(b.accept(1, 0), vec![Deliver(0), Deliver(1)]);
+    }
+
+    #[test]
+    fn loss_declared_when_all_routes_passed() {
+        let mut b = ReorderBuffer::new(2);
+        // seq 0 never arrives; both routes deliver beyond it.
+        assert_eq!(b.accept(0, 1), vec![]);
+        assert_eq!(b.accept(1, 2), vec![Lost(0), Deliver(1), Deliver(2)]);
+    }
+
+    #[test]
+    fn single_route_losses_resolve_immediately_on_next_packet() {
+        let mut b = ReorderBuffer::new(1);
+        assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
+        // 1 lost; 2 arrives on the only route → 1 declared lost.
+        assert_eq!(b.accept(0, 2), vec![Lost(1), Deliver(2)]);
+    }
+
+    #[test]
+    fn slow_route_defers_loss_declaration() {
+        let mut b = ReorderBuffer::new(2);
+        // Route 0 races ahead; route 1 is silent: nothing can be declared.
+        assert_eq!(b.accept(0, 5), vec![]);
+        assert_eq!(b.accept(0, 6), vec![]);
+        assert_eq!(b.buffered(), 2);
+        // Route 1 finally passes seq 4: 0..=4 lost, 5 and 6 deliver.
+        let events = b.accept(1, 7);
+        assert_eq!(
+            events,
+            vec![Lost(0), Lost(1), Lost(2), Lost(3), Lost(4), Deliver(5), Deliver(6), Deliver(7)]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut b = ReorderBuffer::new(1);
+        assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
+        assert_eq!(b.accept(0, 0), vec![]);
+    }
+
+    #[test]
+    fn capacity_bound_forces_progress() {
+        let mut b = ReorderBuffer::new(2);
+        b.capacity = 8;
+        // Fill beyond capacity with a hole at 0 (route 1 stays behind).
+        let mut forced = Vec::new();
+        for s in 1..=9 {
+            forced.extend(b.accept(0, s));
+        }
+        // The forced drain declares seq 0 lost and flushes the buffer.
+        assert!(forced.contains(&Lost(0)));
+        assert!(forced.contains(&Deliver(9)));
+        assert!(b.buffered() <= 8);
+    }
+
+    #[test]
+    fn interleaved_two_route_stream_delivers_everything_in_order() {
+        let mut b = ReorderBuffer::new(2);
+        let mut delivered = Vec::new();
+        // Route 0 gets even seqs, route 1 odd. Each route is FIFO (packets
+        // on one route cannot overtake each other), but the two routes
+        // interleave arbitrarily.
+        let arrivals =
+            [(0, 0u32), (1, 1), (0, 2), (0, 4), (1, 3), (1, 5), (0, 6), (1, 7), (0, 8), (1, 9)];
+        for (r, s) in arrivals {
+            for ev in b.accept(r, s) {
+                if let Deliver(x) = ev {
+                    delivered.push(x);
+                }
+            }
+        }
+        assert_eq!(delivered, (0..=9).collect::<Vec<u32>>());
+    }
+}

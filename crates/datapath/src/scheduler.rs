@@ -1,0 +1,212 @@
+//! Source-side packet scheduling (§6.1).
+//!
+//! "If several routes exist, each packet is sent over route r with a
+//! probability proportional to the rate x_r." The scheduler also enforces
+//! the flow's total rate with a token bucket: "our congestion controller …
+//! drops packets if the rate sent by the above layers goes above the total
+//! rate for the flow" (§6.4) — that drop signal is what TCP perceives as
+//! congestion.
+
+use rand::Rng;
+
+/// Outcome of offering one packet to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Send on this route index.
+    Route(usize),
+    /// The flow's admitted rate is exhausted: drop (TCP sees congestion).
+    Drop,
+}
+
+/// Weighted route picker + token-bucket admission for one flow.
+#[derive(Debug, Clone)]
+pub struct RouteScheduler {
+    /// Current per-route rates `x_r`, Mbps.
+    rates: Vec<f64>,
+    /// Token bucket level, megabits.
+    tokens: f64,
+    /// Bucket depth, megabits (burst tolerance).
+    bucket_depth: f64,
+    /// Last refill time, seconds.
+    last_refill: f64,
+    /// Next sequence number to stamp.
+    next_seq: u32,
+    /// Price-probing floor, Mbps: a route's *selection weight* never drops
+    /// below this, so every route keeps carrying a trickle of packets and
+    /// its price `q_r` stays observable. Without it, a route whose rate the
+    /// controller drove to zero could never learn that its price has since
+    /// dropped (no packets → no fresh `q_r` in ACKs → deadlock).
+    probe_floor: f64,
+}
+
+impl RouteScheduler {
+    /// Creates a scheduler for `route_count` routes, all rates zero, with a
+    /// default bucket depth sized for ~4 × 12 kbit frames.
+    pub fn new(route_count: usize) -> Self {
+        Self::with_bucket(route_count, 0.05)
+    }
+
+    /// Creates a scheduler with an explicit token-bucket depth in megabits.
+    /// The depth must hold at least one frame or everything is dropped; the
+    /// simulator sizes it to a few aggregated frames.
+    pub fn with_bucket(route_count: usize, bucket_depth_mb: f64) -> Self {
+        assert!(bucket_depth_mb > 0.0);
+        RouteScheduler {
+            rates: vec![0.0; route_count],
+            tokens: 0.0,
+            bucket_depth: bucket_depth_mb,
+            last_refill: 0.0,
+            next_seq: 0,
+            probe_floor: 0.25,
+        }
+    }
+
+    /// Overrides the price-probing floor (Mbps). Zero disables probing.
+    pub fn set_probe_floor(&mut self, floor_mbps: f64) {
+        self.probe_floor = floor_mbps.max(0.0);
+    }
+
+    /// Re-keys the scheduler for a new route set, zeroing the rates but
+    /// preserving the token bucket and — crucially — the wire sequence
+    /// counter (the destination's reorder buffer lives across route
+    /// recomputations).
+    pub fn reset_routes(&mut self, route_count: usize) {
+        self.rates = vec![0.0; route_count];
+    }
+
+    /// Updates the per-route rates from the congestion controller.
+    pub fn set_rates(&mut self, rates: &[f64]) {
+        assert_eq!(rates.len(), self.rates.len());
+        self.rates.copy_from_slice(rates);
+    }
+
+    /// Current total admitted rate, Mbps.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Offers one packet of `bits` bits at time `now`; returns the route to
+    /// use (and consumes tokens) or [`RouteChoice::Drop`].
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, now: f64, bits: u64) -> RouteChoice {
+        let total = self.total_rate();
+        // Refill: rate is Mbps = Mb/s; tokens are Mb.
+        let elapsed = (now - self.last_refill).max(0.0);
+        self.tokens = (self.tokens + total * elapsed).min(self.bucket_depth);
+        self.last_refill = now;
+        let need = bits as f64 / 1e6;
+        if total <= 0.0 || self.tokens < need {
+            return RouteChoice::Drop;
+        }
+        self.tokens -= need;
+        // Weighted route choice ∝ max(x_r, probe floor): proportional to
+        // the controller's split, with a trickle on quiet routes to keep
+        // their prices observable.
+        let weights: Vec<f64> =
+            self.rates.iter().map(|&x| x.max(self.probe_floor)).collect();
+        let sum: f64 = weights.iter().sum();
+        let mut draw = rng.gen::<f64>() * sum;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return RouteChoice::Route(i);
+            }
+            draw -= w;
+        }
+        RouteChoice::Route(self.rates.len() - 1)
+    }
+
+    /// Stamps and returns the next sequence number.
+    pub fn next_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_drops_everything() {
+        let mut s = RouteScheduler::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.offer(&mut rng, 0.0, 12000), RouteChoice::Drop);
+    }
+
+    #[test]
+    fn route_choice_is_proportional_to_rates() {
+        let mut s = RouteScheduler::new(2);
+        s.set_rates(&[30.0, 10.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 2];
+        let mut t = 0.0;
+        for _ in 0..40_000 {
+            t += 0.001; // plenty of tokens at 40 Mbps
+            if let RouteChoice::Route(r) = s.offer(&mut rng, t, 12000) {
+                counts[r] += 1;
+            }
+        }
+        let frac = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn token_bucket_enforces_the_total_rate() {
+        let mut s = RouteScheduler::new(1);
+        s.set_rates(&[10.0]); // 10 Mbps
+        let mut rng = StdRng::seed_from_u64(3);
+        // Offer 1500 B packets every 0.5 ms for 1 s → offered 24 Mbps.
+        let mut sent_bits = 0u64;
+        let mut t = 0.0;
+        while t < 1.0 {
+            if let RouteChoice::Route(_) = s.offer(&mut rng, t, 12000) {
+                sent_bits += 12000;
+            }
+            t += 0.0005;
+        }
+        let rate = sent_bits as f64 / 1e6;
+        assert!((rate - 10.0).abs() < 0.5, "admitted {rate} Mbps");
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let mut s = RouteScheduler::new(1);
+        assert_eq!(s.next_seq(), 0);
+        assert_eq!(s.next_seq(), 1);
+        assert_eq!(s.next_seq(), 2);
+    }
+
+    #[test]
+    fn probe_floor_keeps_quiet_routes_sampled() {
+        let mut s = RouteScheduler::new(2);
+        s.set_rates(&[0.0, 20.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut t = 0.0;
+        let mut probe_hits = 0;
+        for _ in 0..20_000 {
+            t += 0.001;
+            if let RouteChoice::Route(0) = s.offer(&mut rng, t, 12000) {
+                probe_hits += 1;
+            }
+        }
+        // Expected share ≈ 0.25 / 20.25 ≈ 1.2 %.
+        assert!(probe_hits > 50, "quiet route got {probe_hits} probes");
+    }
+
+    #[test]
+    fn rate_updates_take_effect() {
+        let mut s = RouteScheduler::new(2);
+        s.set_probe_floor(0.0);
+        s.set_rates(&[0.0, 5.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = 0.0;
+        for _ in 0..100 {
+            t += 0.01;
+            if let RouteChoice::Route(r) = s.offer(&mut rng, t, 12000) {
+                assert_eq!(r, 1, "only route 1 has rate");
+            }
+        }
+    }
+}

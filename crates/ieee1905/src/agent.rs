@@ -1,0 +1,336 @@
+//! Topology discovery (clause 8 of the standard) and reconstruction of a
+//! routable network view from it.
+//!
+//! Each 1905.1 device periodically multicasts a **Topology Discovery** CMDU
+//! on every interface (every 60 s); receivers keep a neighbor database and
+//! age entries out after 180 s without a refresh. On request (Link Metric
+//! Query), a device reports the MAC throughput capacity of each of its
+//! links — which is precisely the `c_l` input EMPoWER's routing needs.
+//!
+//! [`TopologyAgent`] implements the device side; [`reconstruct_network`]
+//! assembles the collected link metrics back into an
+//! [`empower_model::Network`], so the whole routing/congestion-control
+//! stack can run on *discovered* state rather than ground truth.
+
+use std::collections::HashMap;
+
+use empower_model::{Medium, Network, NetworkBuilder, NodeId};
+
+use crate::cmdu::{Cmdu, MessageType};
+use crate::media::{medium_from_code, medium_to_code};
+use crate::tlv::{Tlv, TlvType};
+use crate::AlMacAddress;
+
+/// Standard timers.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// Topology Discovery period, seconds (60 in the standard).
+    pub discovery_interval_secs: f64,
+    /// Neighbor ageing timeout, seconds (the standard allows up to 180).
+    pub neighbor_timeout_secs: f64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig { discovery_interval_secs: 60.0, neighbor_timeout_secs: 180.0 }
+    }
+}
+
+/// One discovered directed link with its reported capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredLink {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub medium: Medium,
+    pub capacity_mbps: f64,
+}
+
+/// The per-device discovery agent.
+#[derive(Debug)]
+pub struct TopologyAgent {
+    node: NodeId,
+    al_mac: AlMacAddress,
+    config: AgentConfig,
+    /// Neighbor database: (neighbor AL MAC, medium) → last heard, seconds.
+    neighbors: HashMap<(AlMacAddress, Medium), f64>,
+    last_discovery: Option<f64>,
+    next_msg_id: u16,
+}
+
+impl TopologyAgent {
+    /// Creates an agent for `node`.
+    pub fn new(node: NodeId, config: AgentConfig) -> Self {
+        TopologyAgent {
+            node,
+            al_mac: AlMacAddress::for_node(node),
+            config,
+            neighbors: HashMap::new(),
+            last_discovery: None,
+            next_msg_id: 0,
+        }
+    }
+
+    /// The agent's abstraction-layer MAC.
+    pub fn al_mac(&self) -> AlMacAddress {
+        self.al_mac
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current (non-aged) neighbors on `medium`.
+    pub fn neighbors_on(&self, medium: Medium, now: f64) -> Vec<AlMacAddress> {
+        let mut out: Vec<AlMacAddress> = self
+            .neighbors
+            .iter()
+            .filter(|(&(_, m), &heard)| {
+                m == medium && now - heard <= self.config.neighbor_timeout_secs
+            })
+            .map(|(&(mac, _), _)| mac)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// If the discovery timer expired, produce the Topology Discovery CMDU
+    /// to multicast on every interface.
+    pub fn poll_discovery(&mut self, now: f64) -> Option<Cmdu> {
+        let due = self
+            .last_discovery
+            .is_none_or(|t| now - t >= self.config.discovery_interval_secs);
+        if !due {
+            return None;
+        }
+        self.last_discovery = Some(now);
+        let id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        Some(Cmdu::new(
+            MessageType::TopologyDiscovery,
+            id,
+            vec![Tlv::al_mac(self.al_mac)],
+        ))
+    }
+
+    /// Processes a CMDU received on `medium` at time `now`.
+    pub fn on_cmdu(&mut self, medium: Medium, cmdu: &Cmdu, now: f64) {
+        if cmdu.message_type != MessageType::TopologyDiscovery {
+            return;
+        }
+        for tlv in &cmdu.tlvs {
+            if tlv.tlv_type == TlvType::AlMacAddress {
+                if let Ok(mac) = tlv.parse_al_mac() {
+                    if mac != self.al_mac {
+                        self.neighbors.insert((mac, medium), now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops aged-out neighbors.
+    pub fn age_out(&mut self, now: f64) {
+        let timeout = self.config.neighbor_timeout_secs;
+        self.neighbors.retain(|_, &mut heard| now - heard <= timeout);
+    }
+
+    /// Builds the Link Metric Response for this device: one transmitter-
+    /// link-metric TLV per (discovered neighbor, medium), with the capacity
+    /// the device measures on that link (`measure` is the device's local
+    /// estimator — MCS/BLE-based in the paper).
+    pub fn link_metric_response(
+        &mut self,
+        now: f64,
+        mut measure: impl FnMut(NodeId, Medium) -> Option<f64>,
+    ) -> Cmdu {
+        let id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        let mut tlvs = Vec::new();
+        let mut entries: Vec<(AlMacAddress, Medium)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, &heard)| now - heard <= self.config.neighbor_timeout_secs)
+            .map(|(&k, _)| k)
+            .collect();
+        entries.sort_by_key(|&(mac, m)| (mac, m.tag()));
+        for (mac, medium) in entries {
+            let Some(node) = mac.node() else { continue };
+            if let Some(cap) = measure(node, medium) {
+                tlvs.push(Tlv::transmitter_link_metric(mac, medium_to_code(medium), cap));
+            }
+        }
+        Cmdu::new(MessageType::LinkMetricResponse, id, tlvs)
+    }
+}
+
+/// Parses every transmitter-link-metric TLV of a Link Metric Response sent
+/// by `from`.
+pub fn parse_link_metric_response(from: NodeId, cmdu: &Cmdu) -> Vec<DiscoveredLink> {
+    let mut out = Vec::new();
+    if cmdu.message_type != MessageType::LinkMetricResponse {
+        return out;
+    }
+    for tlv in &cmdu.tlvs {
+        if tlv.tlv_type == TlvType::TransmitterLinkMetric {
+            if let Ok((mac, media, cap)) = tlv.parse_link_metric() {
+                if let (Some(to), Some(medium)) = (mac.node(), medium_from_code(media)) {
+                    out.push(DiscoveredLink { from, to, medium, capacity_mbps: cap });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rebuilds a routable [`Network`] from discovered links, reusing the
+/// reference network's node inventory (positions, interface sets, panels —
+/// the things a 1905.1 Device Information exchange would carry) but *only*
+/// the links and capacities that discovery reported.
+pub fn reconstruct_network(reference: &Network, links: &[DiscoveredLink]) -> Network {
+    let mut b = NetworkBuilder::new();
+    for node in reference.nodes() {
+        b.add_labeled_node(node.pos, node.mediums.clone(), node.panel, node.label.clone());
+    }
+    for l in links {
+        if l.capacity_mbps > 0.0 {
+            b.add_link(l.from, l.to, l.medium, l.capacity_mbps);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::testbed22;
+    use empower_model::{CarrierSense, InterferenceModel};
+
+    /// Runs a full discovery round over a ground-truth network: every agent
+    /// multicasts on each medium; delivery = every node sharing an alive
+    /// link on that medium hears it.
+    fn discovery_round(net: &Network, agents: &mut [TopologyAgent], now: f64) {
+        let broadcasts: Vec<(NodeId, Option<Cmdu>)> = agents
+            .iter_mut()
+            .map(|a| (a.node(), a.poll_discovery(now)))
+            .collect();
+        for (sender, cmdu) in broadcasts {
+            let Some(cmdu) = cmdu else { continue };
+            for link in net.out_links(sender) {
+                if link.is_alive() {
+                    agents[link.to.index()].on_cmdu(link.medium, &cmdu, now);
+                }
+            }
+        }
+    }
+
+    fn collect_links(net: &Network, agents: &mut [TopologyAgent], now: f64) -> Vec<DiscoveredLink> {
+        let mut all = Vec::new();
+        for a in agents.iter_mut() {
+            let node = a.node();
+            let response = a.link_metric_response(now, |to, medium| {
+                net.find_link(node, to, medium).map(|l| l.capacity_mbps)
+            });
+            all.extend(parse_link_metric_response(node, &response));
+        }
+        all
+    }
+
+    #[test]
+    fn discovery_reconstructs_the_testbed() {
+        let t = testbed22(1);
+        let mut agents: Vec<TopologyAgent> = t
+            .net
+            .nodes()
+            .iter()
+            .map(|n| TopologyAgent::new(n.id, AgentConfig::default()))
+            .collect();
+        discovery_round(&t.net, &mut agents, 0.0);
+        let links = collect_links(&t.net, &mut agents, 1.0);
+        assert_eq!(links.len(), t.net.link_count(), "every directed link discovered");
+        let rebuilt = reconstruct_network(&t.net, &links);
+        assert_eq!(rebuilt.link_count(), t.net.link_count());
+        // Capacities round-trip at the wire's 1 Mbps granularity.
+        for l in rebuilt.links() {
+            let truth = t.net.find_link(l.from, l.to, l.medium).unwrap();
+            assert!((l.capacity_mbps - truth.capacity_mbps).abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn routing_works_on_the_discovered_topology() {
+        use empower_core::Scheme;
+        let t = testbed22(1);
+        let mut agents: Vec<TopologyAgent> = t
+            .net
+            .nodes()
+            .iter()
+            .map(|n| TopologyAgent::new(n.id, AgentConfig::default()))
+            .collect();
+        discovery_round(&t.net, &mut agents, 0.0);
+        let links = collect_links(&t.net, &mut agents, 1.0);
+        let rebuilt = reconstruct_network(&t.net, &links);
+        let imap = CarrierSense::default().build_map(&rebuilt);
+        let routes =
+            Scheme::Empower.compute_routes(&rebuilt, &imap, NodeId(0), NodeId(12), 5);
+        assert!(!routes.is_empty());
+        // Nominal capacity on the discovered view is within the 1 Mbps wire
+        // quantization of the ground-truth answer.
+        let truth_imap = CarrierSense::default().build_map(&t.net);
+        let truth =
+            Scheme::Empower.compute_routes(&t.net, &truth_imap, NodeId(0), NodeId(12), 5);
+        assert!(
+            (routes.total_rate() - truth.total_rate()).abs() / truth.total_rate() < 0.05,
+            "discovered {:.1} vs truth {:.1}",
+            routes.total_rate(),
+            truth.total_rate()
+        );
+    }
+
+    #[test]
+    fn neighbors_age_out_without_refresh() {
+        let t = testbed22(1);
+        let mut agents: Vec<TopologyAgent> = t
+            .net
+            .nodes()
+            .iter()
+            .map(|n| TopologyAgent::new(n.id, AgentConfig::default()))
+            .collect();
+        discovery_round(&t.net, &mut agents, 0.0);
+        let medium = Medium::Plc;
+        let before = agents[0].neighbors_on(medium, 10.0).len();
+        assert!(before > 0);
+        // 200 s later with no refresh: everything aged out.
+        agents[0].age_out(200.0);
+        assert!(agents[0].neighbors_on(medium, 200.0).is_empty());
+    }
+
+    #[test]
+    fn discovery_respects_the_60s_timer() {
+        let mut agent = TopologyAgent::new(NodeId(0), AgentConfig::default());
+        assert!(agent.poll_discovery(0.0).is_some());
+        assert!(agent.poll_discovery(30.0).is_none());
+        assert!(agent.poll_discovery(60.0).is_some());
+    }
+
+    #[test]
+    fn dead_links_are_not_discovered() {
+        let t = testbed22(1);
+        let mut net = t.net.clone();
+        // Kill one specific link; the agent's measurement returns None.
+        let victim = net.links()[0].id;
+        net.set_capacity(victim, 0.0);
+        let mut agents: Vec<TopologyAgent> = net
+            .nodes()
+            .iter()
+            .map(|n| TopologyAgent::new(n.id, AgentConfig::default()))
+            .collect();
+        discovery_round(&net, &mut agents, 0.0);
+        let links = collect_links(&net, &mut agents, 1.0);
+        // The victim's (from, to, medium) triple is absent (capacity 0
+        // never becomes a DiscoveredLink edge in the rebuilt graph).
+        let rebuilt = reconstruct_network(&net, &links);
+        let v = net.link(victim);
+        assert!(rebuilt.find_link(v.from, v.to, v.medium).is_none());
+    }
+}

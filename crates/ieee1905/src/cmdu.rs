@@ -1,0 +1,230 @@
+//! CMDUs — 1905.1 control message data units.
+//!
+//! Wire format (Figure 6-2 of the standard): 1 byte message version,
+//! 1 reserved byte, 2 bytes message type, 2 bytes message id, 1 byte
+//! fragment id, 1 byte flags (bit 7 = last fragment, bit 6 = relay
+//! indicator), then the TLV list terminated by End-of-Message.
+
+use bytes::{Buf, BufMut};
+
+use crate::tlv::{Tlv, TlvError, TlvType};
+
+/// Message types used by this subset (Table 6-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageType {
+    TopologyDiscovery,
+    TopologyNotification,
+    TopologyQuery,
+    TopologyResponse,
+    LinkMetricQuery,
+    LinkMetricResponse,
+    Other(u16),
+}
+
+impl MessageType {
+    /// Wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            MessageType::TopologyDiscovery => 0x0000,
+            MessageType::TopologyNotification => 0x0001,
+            MessageType::TopologyQuery => 0x0002,
+            MessageType::TopologyResponse => 0x0003,
+            MessageType::LinkMetricQuery => 0x0005,
+            MessageType::LinkMetricResponse => 0x0006,
+            MessageType::Other(c) => c,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            0x0000 => MessageType::TopologyDiscovery,
+            0x0001 => MessageType::TopologyNotification,
+            0x0002 => MessageType::TopologyQuery,
+            0x0003 => MessageType::TopologyResponse,
+            0x0005 => MessageType::LinkMetricQuery,
+            0x0006 => MessageType::LinkMetricResponse,
+            other => MessageType::Other(other),
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmduError {
+    Truncated,
+    /// The header's version field is not 0 (1905.1-2013).
+    UnsupportedVersion(u8),
+    /// TLV list error.
+    Tlv(TlvError),
+    /// The TLV list did not terminate with End-of-Message.
+    MissingEndOfMessage,
+}
+
+impl From<TlvError> for CmduError {
+    fn from(e: TlvError) -> Self {
+        CmduError::Tlv(e)
+    }
+}
+
+impl std::fmt::Display for CmduError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmduError::Truncated => write!(f, "cmdu truncated"),
+            CmduError::UnsupportedVersion(v) => write!(f, "unsupported cmdu version {v}"),
+            CmduError::Tlv(e) => write!(f, "cmdu tlv error: {e}"),
+            CmduError::MissingEndOfMessage => write!(f, "cmdu missing end-of-message tlv"),
+        }
+    }
+}
+
+impl std::error::Error for CmduError {}
+
+/// A CMDU: header + TLVs (End-of-Message excluded from `tlvs`; it is added
+/// on encode and consumed on decode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmdu {
+    pub message_type: MessageType,
+    pub message_id: u16,
+    pub fragment_id: u8,
+    pub last_fragment: bool,
+    pub relay: bool,
+    pub tlvs: Vec<Tlv>,
+}
+
+impl Cmdu {
+    /// A single-fragment CMDU.
+    pub fn new(message_type: MessageType, message_id: u16, tlvs: Vec<Tlv>) -> Self {
+        Cmdu { message_type, message_id, fragment_id: 0, last_fragment: true, relay: false, tlvs }
+    }
+
+    /// Serializes to bytes (header + TLVs + End-of-Message).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 3 + self.tlvs.iter().map(|t| 3 + t.value.len()).sum::<usize>());
+        buf.put_u8(0); // messageVersion: 1905.1-2013
+        buf.put_u8(0); // reserved
+        buf.put_u16(self.message_type.code());
+        buf.put_u16(self.message_id);
+        buf.put_u8(self.fragment_id);
+        let mut flags = 0u8;
+        if self.last_fragment {
+            flags |= 0x80;
+        }
+        if self.relay {
+            flags |= 0x40;
+        }
+        buf.put_u8(flags);
+        for tlv in &self.tlvs {
+            tlv.encode(&mut buf);
+        }
+        Tlv::end_of_message().encode(&mut buf);
+        buf
+    }
+
+    /// Parses a CMDU from bytes.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CmduError> {
+        if buf.remaining() < 8 {
+            return Err(CmduError::Truncated);
+        }
+        let version = buf.get_u8();
+        if version != 0 {
+            return Err(CmduError::UnsupportedVersion(version));
+        }
+        let _reserved = buf.get_u8();
+        let message_type = MessageType::from_code(buf.get_u16());
+        let message_id = buf.get_u16();
+        let fragment_id = buf.get_u8();
+        let flags = buf.get_u8();
+        let mut tlvs = Vec::new();
+        loop {
+            let tlv = Tlv::decode(&mut buf)?;
+            if tlv.tlv_type == TlvType::EndOfMessage {
+                break;
+            }
+            tlvs.push(tlv);
+        }
+        Ok(Cmdu {
+            message_type,
+            message_id,
+            fragment_id,
+            last_fragment: flags & 0x80 != 0,
+            relay: flags & 0x40 != 0,
+            tlvs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaType;
+    use crate::AlMacAddress;
+    use empower_model::NodeId;
+
+    fn sample() -> Cmdu {
+        Cmdu::new(
+            MessageType::TopologyDiscovery,
+            42,
+            vec![
+                Tlv::al_mac(AlMacAddress::for_node(NodeId(1))),
+                Tlv::mac_address([2, 0, 0, 0, 0, 9]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cmdu_round_trips() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let back = Cmdu::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn link_metric_response_round_trips() {
+        let c = Cmdu::new(
+            MessageType::LinkMetricResponse,
+            7,
+            vec![Tlv::transmitter_link_metric(
+                AlMacAddress::for_node(NodeId(4)),
+                MediaType::Ieee80211n5,
+                88.0,
+            )],
+        );
+        let back = Cmdu::decode(&c.to_bytes()).unwrap();
+        let (mac, media, cap) = back.tlvs[0].parse_link_metric().unwrap();
+        assert_eq!(mac, AlMacAddress::for_node(NodeId(4)));
+        assert_eq!(media, MediaType::Ieee80211n5);
+        assert_eq!(cap, 88.0);
+    }
+
+    #[test]
+    fn missing_end_of_message_is_an_error() {
+        let mut bytes = sample().to_bytes();
+        // Chop off the 3-byte End-of-Message TLV.
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(Cmdu::decode(&bytes), Err(CmduError::Tlv(TlvError::Truncated))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 9;
+        assert_eq!(Cmdu::decode(&bytes), Err(CmduError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn flags_encode_last_fragment_and_relay() {
+        let mut c = sample();
+        c.relay = true;
+        c.last_fragment = false;
+        let back = Cmdu::decode(&c.to_bytes()).unwrap();
+        assert!(back.relay);
+        assert!(!back.last_fragment);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        assert_eq!(Cmdu::decode(&[0, 0, 0]), Err(CmduError::Truncated));
+    }
+}

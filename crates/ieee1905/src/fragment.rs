@@ -1,0 +1,255 @@
+//! CMDU fragmentation and reassembly (§7.1.1 of the standard).
+//!
+//! A CMDU whose TLV list exceeds the transport MTU is split into fragments
+//! sharing the message id, with increasing fragment ids and the
+//! last-fragment flag on the final piece. TLVs are never split across
+//! fragments (the standard's rule); a single TLV larger than the MTU is a
+//! caller error. Reassembly collects fragments per (source, message id)
+//! until the last-fragment flag arrives, tolerating reordering.
+
+use std::collections::HashMap;
+
+use crate::cmdu::{Cmdu, CmduError, MessageType};
+use crate::tlv::Tlv;
+
+/// Splits `cmdu` into wire-ready fragments whose encoded size (header +
+/// TLVs + End-of-Message) stays within `mtu` bytes.
+///
+/// # Panics
+/// Panics if a single TLV cannot fit in an MTU-sized fragment, or if the
+/// MTU cannot even hold the 8-byte header plus the End-of-Message TLV.
+pub fn fragment(cmdu: &Cmdu, mtu: usize) -> Vec<Cmdu> {
+    const HEADER: usize = 8;
+    const EOM: usize = 3;
+    assert!(mtu > HEADER + EOM, "mtu {mtu} cannot hold a CMDU at all");
+    let budget = mtu - HEADER - EOM;
+
+    let mut fragments: Vec<Vec<Tlv>> = vec![Vec::new()];
+    let mut used = 0usize;
+    for tlv in &cmdu.tlvs {
+        let size = 3 + tlv.value.len();
+        assert!(size <= budget, "single TLV of {size} B exceeds the {mtu} B MTU");
+        if used + size > budget {
+            fragments.push(Vec::new());
+            used = 0;
+        }
+        used += size;
+        fragments.last_mut().expect("non-empty").push(tlv.clone());
+    }
+
+    let count = fragments.len();
+    fragments
+        .into_iter()
+        .enumerate()
+        .map(|(i, tlvs)| Cmdu {
+            message_type: cmdu.message_type,
+            message_id: cmdu.message_id,
+            fragment_id: i as u8,
+            last_fragment: i + 1 == count,
+            relay: cmdu.relay,
+            tlvs,
+        })
+        .collect()
+}
+
+/// Reassembles fragmented CMDUs, keyed by (sender key, message id).
+///
+/// The sender key is whatever uniquely identifies the transmitting device
+/// for the caller (e.g. the AL MAC); reassembly state for incomplete
+/// messages is bounded by [`Defragmenter::MAX_PENDING`].
+#[derive(Debug, Default)]
+pub struct Defragmenter<K: std::hash::Hash + Eq + Clone> {
+    pending: HashMap<(K, u16), Vec<Option<Cmdu>>>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Defragmenter<K> {
+    /// Cap on simultaneously reassembling messages (oldest-insert eviction
+    /// is deliberately NOT implemented; hitting the cap drops the new
+    /// message, which a retransmitted discovery cycle recovers from).
+    pub const MAX_PENDING: usize = 64;
+
+    /// A fresh defragmenter.
+    pub fn new() -> Self {
+        Defragmenter { pending: HashMap::new() }
+    }
+
+    /// Feeds one received fragment; returns the reassembled CMDU once all
+    /// fragments up to the last-fragment flag have arrived.
+    pub fn accept(&mut self, sender: K, fragment: Cmdu) -> Result<Option<Cmdu>, CmduError> {
+        let key = (sender, fragment.message_id);
+        if !self.pending.contains_key(&key) && self.pending.len() >= Self::MAX_PENDING {
+            return Ok(None);
+        }
+        let slots = self.pending.entry(key.clone()).or_default();
+        let idx = fragment.fragment_id as usize;
+        if slots.len() <= idx {
+            slots.resize(idx + 1, None);
+        }
+        slots[idx] = Some(fragment);
+        // Complete iff some stored fragment is flagged last AND every slot
+        // up to it is filled.
+        let last_idx = slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|f| f.last_fragment));
+        let Some(last_idx) = last_idx else {
+            return Ok(None);
+        };
+        if slots[..=last_idx].iter().any(Option::is_none) {
+            return Ok(None);
+        }
+        let mut slots = self.pending.remove(&key).expect("present");
+        slots.truncate(last_idx + 1);
+        let mut parts = slots.into_iter().map(|s| s.expect("checked"));
+        let mut whole = parts.next().expect("at least one fragment");
+        for part in parts {
+            whole.tlvs.extend(part.tlvs);
+        }
+        whole.fragment_id = 0;
+        whole.last_fragment = true;
+        Ok(Some(whole))
+    }
+
+    /// Number of messages mid-reassembly.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Convenience: fragment, encode, decode and reassemble — used in tests and
+/// as executable documentation of the wire round trip.
+pub fn wire_round_trip(cmdu: &Cmdu, mtu: usize) -> Result<Cmdu, CmduError> {
+    let mut defrag: Defragmenter<u8> = Defragmenter::new();
+    let mut result = None;
+    for frag in fragment(cmdu, mtu) {
+        let bytes = frag.to_bytes();
+        assert!(bytes.len() <= mtu, "fragment overran the MTU: {} > {mtu}", bytes.len());
+        let decoded = Cmdu::decode(&bytes)?;
+        if let Some(whole) = defrag.accept(0, decoded)? {
+            result = Some(whole);
+        }
+    }
+    result.ok_or(CmduError::MissingEndOfMessage)
+}
+
+/// Returns true for message types the standard floods through relays
+/// (topology discovery/notification); query/response types are unicast.
+pub fn is_relayed_multicast(t: MessageType) -> bool {
+    matches!(t, MessageType::TopologyDiscovery | MessageType::TopologyNotification)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaType;
+    use crate::AlMacAddress;
+    use empower_model::NodeId;
+
+    fn big_cmdu(tlv_count: usize) -> Cmdu {
+        let tlvs = (0..tlv_count)
+            .map(|i| {
+                Tlv::transmitter_link_metric(
+                    AlMacAddress::for_node(NodeId(i as u32)),
+                    MediaType::Ieee1901Fft,
+                    50.0 + i as f64,
+                )
+            })
+            .collect();
+        Cmdu::new(MessageType::LinkMetricResponse, 99, tlvs)
+    }
+
+    #[test]
+    fn small_messages_stay_whole() {
+        let c = big_cmdu(2);
+        let frags = fragment(&c, 1500);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].last_fragment);
+        assert_eq!(frags[0].tlvs, c.tlvs);
+    }
+
+    #[test]
+    fn large_messages_split_and_reassemble() {
+        // 100 link-metric TLVs at 13 B each ≈ 1.3 kB; MTU 128 forces many
+        // fragments.
+        let c = big_cmdu(100);
+        let frags = fragment(&c, 128);
+        assert!(frags.len() > 5, "{} fragments", frags.len());
+        assert!(frags[..frags.len() - 1].iter().all(|f| !f.last_fragment));
+        assert!(frags.last().unwrap().last_fragment);
+        let whole = wire_round_trip(&c, 128).unwrap();
+        assert_eq!(whole.tlvs, c.tlvs);
+        assert_eq!(whole.message_id, 99);
+    }
+
+    #[test]
+    fn reassembly_tolerates_reordering() {
+        let c = big_cmdu(60);
+        let mut frags = fragment(&c, 128);
+        frags.reverse();
+        let mut defrag: Defragmenter<u8> = Defragmenter::new();
+        let mut done = None;
+        for f in frags {
+            if let Some(w) = defrag.accept(1, f).unwrap() {
+                done = Some(w);
+            }
+        }
+        assert_eq!(done.unwrap().tlvs, c.tlvs);
+        assert_eq!(defrag.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_senders_do_not_mix() {
+        let c1 = big_cmdu(40);
+        let mut c2 = big_cmdu(40);
+        c2.tlvs.reverse();
+        let f1 = fragment(&c1, 128);
+        let f2 = fragment(&c2, 128);
+        let mut defrag: Defragmenter<u8> = Defragmenter::new();
+        let mut results = Vec::new();
+        for (a, b) in f1.into_iter().zip(f2) {
+            if let Some(w) = defrag.accept(1, a).unwrap() {
+                results.push((1, w));
+            }
+            if let Some(w) = defrag.accept(2, b).unwrap() {
+                results.push((2, w));
+            }
+        }
+        assert_eq!(results.len(), 2);
+        let r1 = &results.iter().find(|(k, _)| *k == 1).unwrap().1;
+        let r2 = &results.iter().find(|(k, _)| *k == 2).unwrap().1;
+        assert_eq!(r1.tlvs, c1.tlvs);
+        assert_eq!(r2.tlvs, c2.tlvs);
+    }
+
+    #[test]
+    fn missing_fragment_blocks_completion() {
+        let c = big_cmdu(60);
+        let frags = fragment(&c, 128);
+        let mut defrag: Defragmenter<u8> = Defragmenter::new();
+        for (i, f) in frags.into_iter().enumerate() {
+            if i == 1 {
+                continue; // lost on the wire
+            }
+            assert!(defrag.accept(7, f).unwrap().is_none());
+        }
+        assert_eq!(defrag.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversized_tlv_is_a_caller_error() {
+        let c = Cmdu::new(
+            MessageType::TopologyResponse,
+            1,
+            vec![Tlv { tlv_type: crate::tlv::TlvType::Other(200), value: vec![0; 5000] }],
+        );
+        fragment(&c, 1500);
+    }
+
+    #[test]
+    fn relay_classification() {
+        assert!(is_relayed_multicast(MessageType::TopologyDiscovery));
+        assert!(is_relayed_multicast(MessageType::TopologyNotification));
+        assert!(!is_relayed_multicast(MessageType::LinkMetricQuery));
+        assert!(!is_relayed_multicast(MessageType::TopologyResponse));
+    }
+}

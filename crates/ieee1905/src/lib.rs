@@ -1,0 +1,96 @@
+//! # empower-ieee1905
+//!
+//! A working subset of **IEEE 1905.1-2013** — the "Convergent Digital Home
+//! Network" abstraction layer the paper builds on (§1: it sits between the
+//! data-link and network layers and federates WiFi, PLC, Ethernet and MoCA
+//! interfaces under one *abstraction-layer MAC address*, "without
+//! specifying routing or load-balancing algorithms"; EMPoWER supplies
+//! those).
+//!
+//! Implemented here, wire-format faithful:
+//!
+//! * **CMDUs** (control message data units): the 8-byte header, message
+//!   types, and the TLV framing with the mandatory End-of-Message TLV;
+//! * the TLVs needed for EMPoWER's control plane: AL MAC address,
+//!   interface MAC address, device information, 1905 neighbor devices, and
+//!   transmitter link metrics (which carry exactly the per-technology
+//!   capacity estimates EMPoWER's routing consumes);
+//! * the standard's **media-type codes** (Table 6-12), mapped to and from
+//!   [`empower_model::Medium`];
+//! * a **topology-discovery agent**: periodic Topology Discovery
+//!   messages, a neighbor database with standard ageing, Topology
+//!   Query/Response handling, and reconstruction of an
+//!   [`empower_model::Network`] from what the agents discovered — so the
+//!   routing layer can run on a 1905.1-discovered topology instead of
+//!   ground truth.
+
+pub mod agent;
+pub mod cmdu;
+pub mod fragment;
+pub mod media;
+pub mod tlv;
+
+pub use agent::{AgentConfig, DiscoveredLink, TopologyAgent};
+pub use cmdu::{Cmdu, CmduError, MessageType};
+pub use fragment::{fragment, Defragmenter};
+pub use media::{medium_from_code, medium_to_code, MediaType};
+pub use tlv::{Tlv, TlvError, TlvType};
+
+/// An abstraction-layer MAC address (the 1905.1 device identity, distinct
+/// from any physical interface's MAC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlMacAddress(pub [u8; 6]);
+
+impl AlMacAddress {
+    /// Derives the AL MAC for a node of the simulated network
+    /// (locally-administered, distinct from all interface MACs).
+    pub fn for_node(node: empower_model::NodeId) -> Self {
+        AlMacAddress([0x02, 0x19, 0x05, 0x00, (node.0 >> 8) as u8, node.0 as u8])
+    }
+
+    /// Reverse of [`AlMacAddress::for_node`], if this AL MAC is one.
+    pub fn node(&self) -> Option<empower_model::NodeId> {
+        let m = self.0;
+        (m[0] == 0x02 && m[1] == 0x19 && m[2] == 0x05 && m[3] == 0x00)
+            .then(|| empower_model::NodeId(((m[4] as u32) << 8) | m[5] as u32))
+    }
+}
+
+impl std::fmt::Display for AlMacAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", m[0], m[1], m[2], m[3], m[4], m[5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::NodeId;
+
+    #[test]
+    fn al_mac_round_trips_node_ids() {
+        for id in [0u32, 1, 255, 256, 65535] {
+            let mac = AlMacAddress::for_node(NodeId(id));
+            assert_eq!(mac.node(), Some(NodeId(id)));
+        }
+    }
+
+    #[test]
+    fn al_mac_is_locally_administered_unicast() {
+        let mac = AlMacAddress::for_node(NodeId(7));
+        assert_eq!(mac.0[0] & 0x02, 0x02);
+        assert_eq!(mac.0[0] & 0x01, 0x00);
+    }
+
+    #[test]
+    fn foreign_macs_are_not_node_macs() {
+        assert_eq!(AlMacAddress([0xaa; 6]).node(), None);
+    }
+
+    #[test]
+    fn display_is_colon_hex() {
+        let mac = AlMacAddress::for_node(NodeId(1));
+        assert_eq!(mac.to_string(), "02:19:05:00:00:01");
+    }
+}

@@ -1,0 +1,120 @@
+//! IEEE 1905.1 media-type codes (Table 6-12 of the standard).
+
+use empower_model::Medium;
+use serde::{Deserialize, Serialize};
+
+/// A 1905.1 media type (16-bit code on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaType {
+    /// IEEE 802.3u fast Ethernet.
+    FastEthernet,
+    /// IEEE 802.3ab gigabit Ethernet.
+    GigabitEthernet,
+    /// IEEE 802.11g, 2.4 GHz.
+    Ieee80211g24,
+    /// IEEE 802.11n, 2.4 GHz.
+    Ieee80211n24,
+    /// IEEE 802.11n, 5 GHz.
+    Ieee80211n5,
+    /// IEEE 1901 wavelet PLC.
+    Ieee1901Wavelet,
+    /// IEEE 1901 FFT PLC (HomePlug AV).
+    Ieee1901Fft,
+    /// MoCA v1.1.
+    MocaV11,
+    /// Codes this subset does not interpret.
+    Unknown(u16),
+}
+
+impl MediaType {
+    /// Wire code (big-endian u16 in TLVs).
+    pub fn code(self) -> u16 {
+        match self {
+            MediaType::FastEthernet => 0x0000,
+            MediaType::GigabitEthernet => 0x0001,
+            MediaType::Ieee80211g24 => 0x0101,
+            MediaType::Ieee80211n24 => 0x0103,
+            MediaType::Ieee80211n5 => 0x0104,
+            MediaType::Ieee1901Wavelet => 0x0200,
+            MediaType::Ieee1901Fft => 0x0201,
+            MediaType::MocaV11 => 0x0300,
+            MediaType::Unknown(c) => c,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            0x0000 => MediaType::FastEthernet,
+            0x0001 => MediaType::GigabitEthernet,
+            0x0101 => MediaType::Ieee80211g24,
+            0x0103 => MediaType::Ieee80211n24,
+            0x0104 => MediaType::Ieee80211n5,
+            0x0200 => MediaType::Ieee1901Wavelet,
+            0x0201 => MediaType::Ieee1901Fft,
+            0x0300 => MediaType::MocaV11,
+            other => MediaType::Unknown(other),
+        }
+    }
+}
+
+/// Maps a simulated medium to its 1905.1 media type: the testbed's WiFi
+/// channel 1 is the 5 GHz 802.11n band, channel 2 the 2.4 GHz band (§6.1),
+/// PLC is HomePlug AV (IEEE 1901 FFT).
+pub fn medium_to_code(medium: Medium) -> MediaType {
+    match medium {
+        Medium::Wifi { channel: 1 } => MediaType::Ieee80211n5,
+        Medium::Wifi { .. } => MediaType::Ieee80211n24,
+        Medium::Plc => MediaType::Ieee1901Fft,
+        Medium::Ethernet => MediaType::GigabitEthernet,
+    }
+}
+
+/// Reverse of [`medium_to_code`] for the types this reproduction uses.
+pub fn medium_from_code(media: MediaType) -> Option<Medium> {
+    match media {
+        MediaType::Ieee80211n5 => Some(Medium::WIFI1),
+        MediaType::Ieee80211n24 | MediaType::Ieee80211g24 => Some(Medium::WIFI2),
+        MediaType::Ieee1901Fft | MediaType::Ieee1901Wavelet => Some(Medium::Plc),
+        MediaType::FastEthernet | MediaType::GigabitEthernet => Some(Medium::Ethernet),
+        MediaType::MocaV11 | MediaType::Unknown(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for mt in [
+            MediaType::FastEthernet,
+            MediaType::GigabitEthernet,
+            MediaType::Ieee80211g24,
+            MediaType::Ieee80211n24,
+            MediaType::Ieee80211n5,
+            MediaType::Ieee1901Wavelet,
+            MediaType::Ieee1901Fft,
+            MediaType::MocaV11,
+        ] {
+            assert_eq!(MediaType::from_code(mt.code()), mt);
+        }
+        assert_eq!(MediaType::from_code(0x7777), MediaType::Unknown(0x7777));
+    }
+
+    #[test]
+    fn mediums_round_trip_through_1905_codes() {
+        for m in [Medium::WIFI1, Medium::WIFI2, Medium::Plc, Medium::Ethernet] {
+            let back = medium_from_code(medium_to_code(m)).unwrap();
+            // WiFi channels map onto distinct bands and back.
+            assert_eq!(back.is_wifi(), m.is_wifi());
+            assert_eq!(back.is_plc(), m.is_plc());
+        }
+    }
+
+    #[test]
+    fn plc_is_homeplug_av() {
+        assert_eq!(medium_to_code(Medium::Plc), MediaType::Ieee1901Fft);
+        assert_eq!(medium_to_code(Medium::Plc).code(), 0x0201);
+    }
+}

@@ -1,0 +1,204 @@
+//! IEEE 1905.1 TLVs (type-length-value elements).
+//!
+//! Wire format: 1 byte type, 2 bytes length (big-endian), `length` bytes of
+//! value. Every CMDU's TLV list is terminated by the End-of-Message TLV
+//! (type 0, length 0).
+
+use bytes::{Buf, BufMut};
+
+use crate::media::MediaType;
+use crate::AlMacAddress;
+
+/// TLV type codes used by this subset (Table 6-7 of the standard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlvType {
+    EndOfMessage,
+    AlMacAddress,
+    MacAddress,
+    DeviceInformation,
+    Ieee1905NeighborDevice,
+    TransmitterLinkMetric,
+    Other(u8),
+}
+
+impl TlvType {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            TlvType::EndOfMessage => 0,
+            TlvType::AlMacAddress => 1,
+            TlvType::MacAddress => 2,
+            TlvType::DeviceInformation => 3,
+            TlvType::Ieee1905NeighborDevice => 7,
+            TlvType::TransmitterLinkMetric => 9,
+            TlvType::Other(c) => c,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => TlvType::EndOfMessage,
+            1 => TlvType::AlMacAddress,
+            2 => TlvType::MacAddress,
+            3 => TlvType::DeviceInformation,
+            7 => TlvType::Ieee1905NeighborDevice,
+            9 => TlvType::TransmitterLinkMetric,
+            other => TlvType::Other(other),
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlvError {
+    /// Fewer bytes than the header or declared length require.
+    Truncated,
+    /// A typed accessor was called on a value with the wrong size.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TlvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlvError::Truncated => write!(f, "tlv truncated"),
+            TlvError::Malformed(what) => write!(f, "malformed {what} tlv"),
+        }
+    }
+}
+
+impl std::error::Error for TlvError {}
+
+/// A raw TLV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tlv {
+    pub tlv_type: TlvType,
+    pub value: Vec<u8>,
+}
+
+impl Tlv {
+    /// The End-of-Message terminator.
+    pub fn end_of_message() -> Self {
+        Tlv { tlv_type: TlvType::EndOfMessage, value: Vec::new() }
+    }
+
+    /// Builds an AL-MAC-address TLV.
+    pub fn al_mac(mac: AlMacAddress) -> Self {
+        Tlv { tlv_type: TlvType::AlMacAddress, value: mac.0.to_vec() }
+    }
+
+    /// Builds an interface-MAC-address TLV.
+    pub fn mac_address(mac: [u8; 6]) -> Self {
+        Tlv { tlv_type: TlvType::MacAddress, value: mac.to_vec() }
+    }
+
+    /// Builds a transmitter-link-metric entry: the neighbor the link leads
+    /// to, the medium, and the MAC-layer throughput capacity in Mbps — the
+    /// exact quantity EMPoWER's link metric `d_l = 1/c_l` needs.
+    pub fn transmitter_link_metric(
+        neighbor: AlMacAddress,
+        media: MediaType,
+        capacity_mbps: f64,
+    ) -> Self {
+        let mut v = Vec::with_capacity(6 + 2 + 2);
+        v.extend_from_slice(&neighbor.0);
+        v.put_u16(media.code());
+        // The standard carries macThroughputCapacity as u16 Mbps.
+        v.put_u16(capacity_mbps.round().clamp(0.0, u16::MAX as f64) as u16);
+        Tlv { tlv_type: TlvType::TransmitterLinkMetric, value: v }
+    }
+
+    /// Parses a transmitter-link-metric TLV.
+    pub fn parse_link_metric(&self) -> Result<(AlMacAddress, MediaType, f64), TlvError> {
+        if self.tlv_type != TlvType::TransmitterLinkMetric || self.value.len() != 10 {
+            return Err(TlvError::Malformed("transmitter link metric"));
+        }
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&self.value[..6]);
+        let mut rest = &self.value[6..];
+        let media = MediaType::from_code(rest.get_u16());
+        let cap = rest.get_u16() as f64;
+        Ok((AlMacAddress(mac), media, cap))
+    }
+
+    /// Parses an AL-MAC-address TLV.
+    pub fn parse_al_mac(&self) -> Result<AlMacAddress, TlvError> {
+        if self.tlv_type != TlvType::AlMacAddress || self.value.len() != 6 {
+            return Err(TlvError::Malformed("al mac"));
+        }
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&self.value);
+        Ok(AlMacAddress(mac))
+    }
+
+    /// Serializes into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.tlv_type.code());
+        buf.put_u16(self.value.len() as u16);
+        buf.put_slice(&self.value);
+    }
+
+    /// Parses one TLV from `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, TlvError> {
+        if buf.remaining() < 3 {
+            return Err(TlvError::Truncated);
+        }
+        let tlv_type = TlvType::from_code(buf.get_u8());
+        let len = buf.get_u16() as usize;
+        if buf.remaining() < len {
+            return Err(TlvError::Truncated);
+        }
+        let mut value = vec![0u8; len];
+        buf.copy_to_slice(&mut value);
+        Ok(Tlv { tlv_type, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::NodeId;
+
+    #[test]
+    fn tlv_round_trips() {
+        let tlv = Tlv::al_mac(AlMacAddress::for_node(NodeId(3)));
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        let back = Tlv::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, tlv);
+        assert_eq!(back.parse_al_mac().unwrap(), AlMacAddress::for_node(NodeId(3)));
+    }
+
+    #[test]
+    fn link_metric_carries_capacity() {
+        let n = AlMacAddress::for_node(NodeId(9));
+        let tlv = Tlv::transmitter_link_metric(n, MediaType::Ieee1901Fft, 67.4);
+        let (mac, media, cap) = tlv.parse_link_metric().unwrap();
+        assert_eq!(mac, n);
+        assert_eq!(media, MediaType::Ieee1901Fft);
+        assert_eq!(cap, 67.0); // u16 Mbps granularity on the wire
+    }
+
+    #[test]
+    fn truncated_tlvs_are_rejected() {
+        let tlv = Tlv::mac_address([1, 2, 3, 4, 5, 6]);
+        let mut buf = Vec::new();
+        tlv.encode(&mut buf);
+        assert_eq!(Tlv::decode(&mut &buf[..2]).unwrap_err(), TlvError::Truncated);
+        assert_eq!(Tlv::decode(&mut &buf[..5]).unwrap_err(), TlvError::Truncated);
+    }
+
+    #[test]
+    fn wrong_typed_accessors_fail() {
+        let tlv = Tlv::end_of_message();
+        assert!(tlv.parse_al_mac().is_err());
+        assert!(tlv.parse_link_metric().is_err());
+    }
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [0u8, 1, 2, 3, 7, 9, 200] {
+            assert_eq!(TlvType::from_code(t).code(), t);
+        }
+    }
+}

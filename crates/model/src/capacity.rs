@@ -1,0 +1,224 @@
+//! Link-capacity models.
+//!
+//! The paper samples link capacities "from a distribution close to the
+//! capacity distributions measured on our real testbed" (§5.1, detailed in
+//! the companion technical report and the Electri-Fi measurement study
+//! \[38\]). The measurements are not public, so these models are synthetic
+//! stand-ins calibrated to the properties the paper *states and relies on*:
+//!
+//! * maximum link capacity ≈ 100 Mbps for both 802.11n (40 MHz) and
+//!   HomePlug AV 200, so PLC/WiFi and 2-channel WiFi have comparable
+//!   aggregate capacity (§6.1);
+//! * WiFi connection radius ≈ 35 m, PLC radius ≈ 50 m (§5.1);
+//! * WiFi typically beats PLC at short range, while PLC degrades more
+//!   gracefully with distance and therefore wins at the edge of WiFi
+//!   coverage (§5.2.1) — this is what produces the coverage gains of hybrid
+//!   networks;
+//! * PLC capacity depends on the *electrical* path, which is only loosely
+//!   correlated with Euclidean distance, so PLC capacities carry more
+//!   multiplicative randomness.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::link::CAPACITY_EPSILON_MBPS;
+
+/// Samples a capacity (Mbps) for a candidate link of a given length; `None`
+/// means the link does not exist at that distance.
+pub trait CapacityModel {
+    /// Maximum distance at which a link can exist, metres.
+    fn connection_radius_m(&self) -> f64;
+
+    /// Samples the capacity for a link of length `distance_m`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, distance_m: f64) -> Option<f64>;
+}
+
+/// Distance-driven WiFi capacity: near-maximal at short range, decaying to
+/// zero at the connection radius, with mild per-link fading noise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WifiCapacityModel {
+    /// PHY-limited maximum link capacity, Mbps.
+    pub max_capacity_mbps: f64,
+    /// Connection radius, metres (35 m in the paper).
+    pub radius_m: f64,
+    /// Distance-decay exponent: capacity ∝ 1 − (d/R)^decay before noise.
+    pub decay: f64,
+    /// Lower bound of the uniform fading factor (upper bound is 1.0).
+    pub fading_floor: f64,
+    /// NLOS blocking: a candidate link of length `d` is absent with
+    /// probability `blocking · (d/R)^blocking_exp`. Walls and furniture
+    /// kill in-range WiFi links in real buildings — this is what gives
+    /// hybrid PLC/WiFi its coverage advantage over multi-channel WiFi
+    /// (§5.2.1: PLC "brings connectivity where multi-channel WiFi does
+    /// not").
+    pub blocking: f64,
+    /// Exponent of the blocking-probability growth with distance.
+    pub blocking_exp: f64,
+}
+
+impl Default for WifiCapacityModel {
+    fn default() -> Self {
+        WifiCapacityModel {
+            max_capacity_mbps: 100.0,
+            radius_m: 35.0,
+            decay: 2.0,
+            fading_floor: 0.65,
+            blocking: 0.6,
+            blocking_exp: 1.2,
+        }
+    }
+}
+
+impl CapacityModel for WifiCapacityModel {
+    fn connection_radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, distance_m: f64) -> Option<f64> {
+        if distance_m > self.radius_m {
+            return None;
+        }
+        let ratio = (distance_m / self.radius_m).clamp(0.0, 1.0);
+        // NLOS blocking first: the link may simply not exist.
+        let p_block = self.blocking * ratio.powf(self.blocking_exp);
+        if rng.gen::<f64>() < p_block {
+            return None;
+        }
+        let base = self.max_capacity_mbps * (1.0 - ratio.powf(self.decay));
+        let fading = rng.gen_range(self.fading_floor..=1.0);
+        let cap = base * fading;
+        (cap > CAPACITY_EPSILON_MBPS).then_some(cap)
+    }
+}
+
+/// PLC capacity: weak distance dependence, strong per-outlet randomness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlcCapacityModel {
+    /// PHY-limited maximum link capacity, Mbps (HPAV 200 tops out around
+    /// 100 Mbps of UDP goodput per the Electri-Fi measurements).
+    pub max_capacity_mbps: f64,
+    /// Connection radius, metres (50 m in the paper).
+    pub radius_m: f64,
+    /// Linear distance attenuation at the radius (0.45 ⇒ a link at full
+    /// radius keeps 55 % of max before noise).
+    pub distance_attenuation: f64,
+    /// Exponent shaping the multiplicative outlet-quality factor: quality =
+    /// u^shape for u ~ U(0,1]; larger values skew toward poor outlets.
+    pub quality_shape: f64,
+    /// Floor on the outlet-quality factor, keeping alive PLC links usable.
+    pub quality_floor: f64,
+}
+
+impl Default for PlcCapacityModel {
+    fn default() -> Self {
+        PlcCapacityModel {
+            max_capacity_mbps: 100.0,
+            radius_m: 50.0,
+            distance_attenuation: 0.45,
+            quality_shape: 0.6,
+            quality_floor: 0.15,
+        }
+    }
+}
+
+impl CapacityModel for PlcCapacityModel {
+    fn connection_radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, distance_m: f64) -> Option<f64> {
+        if distance_m > self.radius_m {
+            return None;
+        }
+        let ratio = (distance_m / self.radius_m).clamp(0.0, 1.0);
+        let base = self.max_capacity_mbps * (1.0 - self.distance_attenuation * ratio);
+        let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+        let quality = u.powf(self.quality_shape).max(self.quality_floor);
+        let cap = base * quality;
+        (cap > CAPACITY_EPSILON_MBPS).then_some(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_capacity<M: CapacityModel>(model: &M, d: f64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let sum: f64 = (0..n).map(|_| model.sample(&mut rng, d).unwrap_or(0.0)).sum();
+        sum / n as f64
+    }
+
+    #[test]
+    fn wifi_dies_beyond_radius() {
+        let model = WifiCapacityModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(model.sample(&mut rng, 36.0).is_none());
+        assert!(model.sample(&mut rng, 34.9).is_some());
+    }
+
+    #[test]
+    fn plc_dies_beyond_radius() {
+        let model = PlcCapacityModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(model.sample(&mut rng, 51.0).is_none());
+        assert!(model.sample(&mut rng, 49.0).is_some());
+    }
+
+    #[test]
+    fn wifi_beats_plc_at_short_range_on_average() {
+        let wifi = WifiCapacityModel::default();
+        let plc = PlcCapacityModel::default();
+        assert!(mean_capacity(&wifi, 5.0, 1) > mean_capacity(&plc, 5.0, 2));
+    }
+
+    #[test]
+    fn plc_beats_wifi_at_long_range_on_average() {
+        let wifi = WifiCapacityModel::default();
+        let plc = PlcCapacityModel::default();
+        assert!(mean_capacity(&plc, 33.0, 3) > mean_capacity(&wifi, 33.0, 4));
+    }
+
+    #[test]
+    fn wifi_capacity_decreases_with_distance() {
+        let wifi = WifiCapacityModel::default();
+        let near = mean_capacity(&wifi, 5.0, 5);
+        let mid = mean_capacity(&wifi, 20.0, 6);
+        let far = mean_capacity(&wifi, 33.0, 7);
+        assert!(near > mid && mid > far, "{near} {mid} {far}");
+    }
+
+    #[test]
+    fn capacities_respect_phy_maximum() {
+        let wifi = WifiCapacityModel::default();
+        let plc = PlcCapacityModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..2000 {
+            if let Some(c) = wifi.sample(&mut rng, 1.0) {
+                assert!(c <= 100.0 + 1e-9);
+            }
+            if let Some(c) = plc.sample(&mut rng, 1.0) {
+                assert!(c <= 100.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn plc_has_higher_relative_spread_than_wifi() {
+        // PLC capacity is dominated by outlet quality, not distance.
+        let wifi = WifiCapacityModel::default();
+        let plc = PlcCapacityModel::default();
+        let spread = |caps: &[f64]| {
+            let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+            let var = caps.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / caps.len() as f64;
+            var.sqrt() / mean
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let w: Vec<f64> = (0..3000).filter_map(|_| wifi.sample(&mut rng, 10.0)).collect();
+        let p: Vec<f64> = (0..3000).filter_map(|_| plc.sample(&mut rng, 10.0)).collect();
+        assert!(spread(&p) > 2.0 * spread(&w));
+    }
+}

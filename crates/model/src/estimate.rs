@@ -1,0 +1,186 @@
+//! Link-capacity estimation (§6.1).
+//!
+//! On the real testbed, capacities are estimated from modulation information
+//! in the frame headers: the 802.11n MCS index for WiFi and the bit-loading
+//! estimate (BLE) for PLC. The paper distinguishes two regimes:
+//!
+//! * **idle**: low-rate probes (~1 kB/s) give an estimate that is "precise
+//!   although not perfect" and reacts to changes within seconds — good
+//!   enough for routing, which only needs rough capacities;
+//! * **active**: when a flow is running, the data traffic itself yields an
+//!   extremely precise estimate that tracks capacity changes within ~100 ms —
+//!   required by the congestion controller, for which an overestimated
+//!   capacity means congestion.
+//!
+//! [`CapacityEstimator`] reproduces those two regimes with configurable
+//! multiplicative noise and reaction latency, so experiments can study the
+//! effect of estimation error (one of the explanations offered in §6.3 for
+//! EMPoWER occasionally trailing the brute-force single path).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::normal;
+
+/// Which traffic is available to estimate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EstimationMode {
+    /// Only the ~1 kB/s probes: noisier, slower to react.
+    Idle,
+    /// A live flow crosses the link: near-perfect, fast.
+    Active,
+}
+
+/// One estimated capacity value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityEstimate {
+    /// Estimated capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// The regime the estimate was produced in.
+    pub mode: EstimationMode,
+}
+
+/// Noisy, lagging view of a true link capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityEstimator {
+    /// Relative standard deviation of the idle (probe-based) estimate.
+    pub idle_rel_std: f64,
+    /// Relative standard deviation of the active (traffic-based) estimate.
+    pub active_rel_std: f64,
+    /// Reaction delay of the idle estimator, seconds ("a few seconds").
+    pub idle_reaction_secs: f64,
+    /// Reaction delay of the active estimator, seconds ("order of hundred of
+    /// milliseconds").
+    pub active_reaction_secs: f64,
+    /// Last capacity the estimator has caught up with, and when.
+    tracked_capacity: f64,
+    tracked_since: f64,
+    /// Pending target after a capacity change, if still within the lag.
+    pending: Option<(f64, f64)>,
+}
+
+impl Default for CapacityEstimator {
+    fn default() -> Self {
+        CapacityEstimator {
+            idle_rel_std: 0.08,
+            active_rel_std: 0.01,
+            idle_reaction_secs: 3.0,
+            active_reaction_secs: 0.1,
+            tracked_capacity: 0.0,
+            tracked_since: 0.0,
+            pending: None,
+        }
+    }
+}
+
+impl CapacityEstimator {
+    /// Creates an estimator locked onto `capacity` at time 0.
+    pub fn new(capacity_mbps: f64) -> Self {
+        CapacityEstimator { tracked_capacity: capacity_mbps, ..Default::default() }
+    }
+
+    /// Reports a change of the true capacity at time `now` (seconds). The
+    /// estimator keeps returning the old value until the mode-dependent
+    /// reaction delay has elapsed.
+    pub fn capacity_changed(&mut self, now: f64, new_capacity_mbps: f64) {
+        self.pending = Some((new_capacity_mbps, now));
+    }
+
+    /// The estimate available at time `now` under `mode`.
+    pub fn estimate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        now: f64,
+        mode: EstimationMode,
+    ) -> CapacityEstimate {
+        let lag = match mode {
+            EstimationMode::Idle => self.idle_reaction_secs,
+            EstimationMode::Active => self.active_reaction_secs,
+        };
+        if let Some((target, since)) = self.pending {
+            if now - since >= lag {
+                self.tracked_capacity = target;
+                self.tracked_since = since + lag;
+                self.pending = None;
+            }
+        }
+        let rel_std = match mode {
+            EstimationMode::Idle => self.idle_rel_std,
+            EstimationMode::Active => self.active_rel_std,
+        };
+        let noise = normal(rng, 1.0, rel_std).max(0.0);
+        CapacityEstimate { capacity_mbps: self.tracked_capacity * noise, mode }
+    }
+
+    /// The capacity the estimator is currently locked onto (no noise).
+    pub fn tracked(&self) -> f64 {
+        self.tracked_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn active_estimates_are_tighter_than_idle() {
+        let mut est = CapacityEstimator::new(50.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let spread = |est: &mut CapacityEstimator, rng: &mut StdRng, mode| {
+            let xs: Vec<f64> =
+                (0..3000).map(|_| est.estimate(rng, 0.0, mode).capacity_mbps).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let idle = spread(&mut est, &mut rng, EstimationMode::Idle);
+        let active = spread(&mut est, &mut rng, EstimationMode::Active);
+        assert!(idle > 3.0 * active, "idle {idle} active {active}");
+    }
+
+    #[test]
+    fn estimates_center_on_true_capacity() {
+        let mut est = CapacityEstimator::new(80.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..5000)
+            .map(|_| est.estimate(&mut rng, 0.0, EstimationMode::Idle).capacity_mbps)
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean - 80.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn active_mode_reacts_within_lag() {
+        let mut est = CapacityEstimator::new(50.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        est.capacity_changed(10.0, 20.0);
+        // Before the 100 ms active lag: still near 50.
+        let before = est.estimate(&mut rng, 10.05, EstimationMode::Active).capacity_mbps;
+        assert!((before - 50.0).abs() < 5.0, "{before}");
+        // After: near 20.
+        let after = est.estimate(&mut rng, 10.2, EstimationMode::Active).capacity_mbps;
+        assert!((after - 20.0).abs() < 2.0, "{after}");
+    }
+
+    #[test]
+    fn idle_mode_reacts_slower() {
+        let mut est = CapacityEstimator::new(50.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        est.capacity_changed(0.0, 10.0);
+        let at_1s = est.estimate(&mut rng, 1.0, EstimationMode::Idle).capacity_mbps;
+        assert!((at_1s - 50.0).abs() < 15.0, "{at_1s}"); // still old value
+        let at_5s = est.estimate(&mut rng, 5.0, EstimationMode::Idle).capacity_mbps;
+        assert!((at_5s - 10.0).abs() < 4.0, "{at_5s}");
+    }
+
+    #[test]
+    fn estimates_never_go_negative() {
+        let mut est = CapacityEstimator::new(1.0);
+        est.idle_rel_std = 2.0; // absurd noise
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            assert!(est.estimate(&mut rng, 0.0, EstimationMode::Idle).capacity_mbps >= 0.0);
+        }
+    }
+}

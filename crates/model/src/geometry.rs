@@ -1,0 +1,107 @@
+//! Minimal 2-D geometry used by the topology generators and the
+//! distance-based interference/capacity models.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the floor plan, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle (the deployment area of a topology).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Width in metres (x extent).
+    pub width: f64,
+    /// Height in metres (y extent).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a `width × height` rectangle anchored at the origin.
+    pub const fn new(width: f64, height: f64) -> Self {
+        Rect { width, height }
+    }
+
+    /// True if `p` lies inside the rectangle (boundary included).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0.0 && p.x <= self.width && p.y >= 0.0 && p.y <= self.height
+    }
+
+    /// Samples a uniformly random point inside the rectangle.
+    pub fn sample_uniform<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(rng.gen::<f64>() * self.width, rng.gen::<f64>() * self.height)
+    }
+
+    /// Splits the rectangle into `parts` vertical slices and returns the
+    /// 0-based slice index containing `p`. Used for assigning electrical
+    /// panels in the enterprise topology ("we divide the building area in
+    /// two equal parts", §5.1).
+    pub fn vertical_slice(&self, p: Point, parts: u32) -> u32 {
+        debug_assert!(parts > 0);
+        let frac = (p.x / self.width).clamp(0.0, 1.0);
+        ((frac * parts as f64) as u32).min(parts - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(1.5, -2.5);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(50.0, 30.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(50.0, 30.0)));
+        assert!(!r.contains(Point::new(50.1, 5.0)));
+        assert!(!r.contains(Point::new(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn uniform_samples_stay_inside() {
+        let r = Rect::new(100.0, 60.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.contains(r.sample_uniform(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn vertical_slices_partition_the_area() {
+        let r = Rect::new(100.0, 60.0);
+        assert_eq!(r.vertical_slice(Point::new(10.0, 5.0), 2), 0);
+        assert_eq!(r.vertical_slice(Point::new(60.0, 5.0), 2), 1);
+        // Right boundary maps to the last slice, not one past it.
+        assert_eq!(r.vertical_slice(Point::new(100.0, 5.0), 2), 1);
+    }
+}

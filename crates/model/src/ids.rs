@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers for nodes, links and electrical panels.
+//!
+//! All identifiers are dense `u32` indices into the owning [`Network`]'s
+//! internal vectors, which keeps lookups allocation-free and lets the
+//! routing/congestion-control layers use plain `Vec`s indexed by id instead
+//! of hash maps on hot paths.
+//!
+//! [`Network`]: crate::graph::Network
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (a station of the local network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a *directed* link of the multigraph.
+///
+/// An undirected physical link (e.g. a WiFi association) is represented by
+/// two directed links, one per direction; both occupy the same medium and
+/// therefore always belong to each other's interference domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Identifier of an electrical panel (IEEE 1901 central coordinator).
+///
+/// Two nodes can form a PLC link only when they are attached to the same
+/// panel (§5.1: "a PLC link exists only when two nodes are connected to the
+/// same central coordinator").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PanelId(pub u32);
+
+impl NodeId {
+    /// Index into node-indexed vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Index into link-indexed vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PanelId {
+    /// Index into panel-indexed vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for PanelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(12).to_string(), "l12");
+        assert_eq!(PanelId(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ids_index_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(LinkId(0).index(), 0);
+        assert_eq!(PanelId(2).index(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(5) > LinkId(4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Directed links of the multigraph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LinkId, NodeId};
+use crate::medium::Medium;
+
+/// Capacities below this many Mbps are treated as zero (the link is
+/// considered absent). The `update(P, G)` procedure of §3.2 drives link
+/// capacities to exactly zero at path bottlenecks, and floating-point
+/// residue must not resurrect them.
+pub const CAPACITY_EPSILON_MBPS: f64 = 1e-9;
+
+/// A directed link `from → to` on a given medium.
+///
+/// The paper defines a link as present whenever its two endpoints can
+/// communicate with nonzero capacity on the corresponding technology. We
+/// store `c_l` in Mbps; the link cost is `d_l = 1 / c_l` (seconds of airtime
+/// per megabit), equivalent to the ETT metric up to a constant factor (§3.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Dense identifier, equal to the link's position in [`Network::links`].
+    ///
+    /// [`Network::links`]: crate::graph::Network::links
+    pub id: LinkId,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub medium: Medium,
+    /// Capacity `c_l` in Mbps.
+    pub capacity_mbps: f64,
+    /// The opposite-direction twin of this link, if the physical link is
+    /// bidirectional (always the case for the generated topologies).
+    pub reverse: Option<LinkId>,
+}
+
+impl Link {
+    /// Link cost `d_l = 1 / c_l` (airtime per unit of traffic, in
+    /// seconds-per-megabit when capacity is in Mbps).
+    ///
+    /// Returns `f64::INFINITY` for a dead link, which naturally excludes it
+    /// from shortest-path computations and makes Lemma 1 rates collapse to
+    /// zero.
+    pub fn cost(&self) -> f64 {
+        if self.is_alive() {
+            1.0 / self.capacity_mbps
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// True if the link still has usable capacity.
+    pub fn is_alive(&self) -> bool {
+        self.capacity_mbps > CAPACITY_EPSILON_MBPS
+    }
+
+    /// The time, in seconds, this link needs to carry `bits` bits — used by
+    /// the packet-level MAC.
+    pub fn tx_time_secs(&self, bits: u64) -> f64 {
+        debug_assert!(self.is_alive());
+        bits as f64 / (self.capacity_mbps * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(cap: f64) -> Link {
+        Link {
+            id: LinkId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            medium: Medium::WIFI1,
+            capacity_mbps: cap,
+            reverse: None,
+        }
+    }
+
+    #[test]
+    fn cost_is_inverse_capacity() {
+        assert!((link(20.0).cost() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_links_have_infinite_cost() {
+        assert_eq!(link(0.0).cost(), f64::INFINITY);
+        assert_eq!(link(1e-12).cost(), f64::INFINITY);
+        assert!(!link(0.0).is_alive());
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let l = link(100.0); // 100 Mbps
+        let t = l.tx_time_secs(1500 * 8); // one 1500 B frame
+        assert!((t - 0.00012).abs() < 1e-9);
+        assert!((l.tx_time_secs(3000 * 8) - 2.0 * t).abs() < 1e-12);
+    }
+}

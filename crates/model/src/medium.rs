@@ -1,0 +1,126 @@
+//! Communication technologies ("mediums") of the hybrid network.
+//!
+//! The paper's multigraph has one edge set `E_k` per technology `k`. The
+//! evaluation uses three concrete mediums: two non-interfering 40 MHz WiFi
+//! channels (Channel 1 at 5.8 GHz, Channel 2 at 2.4 GHz) and HomePlug AV
+//! power-line communication. Links of *different* mediums never interfere;
+//! whether two links of the *same* medium interfere is decided by an
+//! [`InterferenceModel`](crate::interference::InterferenceModel).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A link technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Medium {
+    /// An 802.11 channel. Channels with different numbers are assumed
+    /// orthogonal (non-interfering), as in the paper's multi-channel WiFi
+    /// baseline.
+    Wifi {
+        /// Logical channel number (1 = 5.8 GHz band, 2 = 2.4 GHz band in the
+        /// paper's testbed; any further numbers are allowed).
+        channel: u8,
+    },
+    /// HomePlug AV power-line communication (IEEE 1901 CSMA/CA MAC).
+    Plc,
+    /// Switched full-duplex Ethernet: point-to-point, interference-free.
+    Ethernet,
+}
+
+impl Medium {
+    /// WiFi channel 1 (the paper's 5.785–5.825 GHz band).
+    pub const WIFI1: Medium = Medium::Wifi { channel: 1 };
+    /// WiFi channel 2 (the paper's 2.412–2.452 GHz band).
+    pub const WIFI2: Medium = Medium::Wifi { channel: 2 };
+
+    /// True if this is any WiFi channel.
+    pub fn is_wifi(self) -> bool {
+        matches!(self, Medium::Wifi { .. })
+    }
+
+    /// True if this is power-line communication.
+    pub fn is_plc(self) -> bool {
+        matches!(self, Medium::Plc)
+    }
+
+    /// True if the medium is shared (CSMA-style contention): WiFi and PLC
+    /// both are; switched Ethernet is not.
+    pub fn is_shared(self) -> bool {
+        !matches!(self, Medium::Ethernet)
+    }
+
+    /// Whether two mediums can interfere at all. Only identical shared
+    /// mediums can; WiFi channels are orthogonal across channel numbers and
+    /// WiFi never interferes with PLC (they occupy disjoint physical
+    /// spectra — the premise of the whole paper).
+    pub fn may_interfere_with(self, other: Medium) -> bool {
+        self == other && self.is_shared()
+    }
+
+    /// A short stable label used in interface-id hashing and traces.
+    pub fn label(self) -> String {
+        match self {
+            Medium::Wifi { channel } => format!("wifi{channel}"),
+            Medium::Plc => "plc".to_string(),
+            Medium::Ethernet => "eth".to_string(),
+        }
+    }
+
+    /// A small integer tag, unique per medium, used for dense per-medium
+    /// tables (e.g. the per-technology price broadcasts of §4.2).
+    pub fn tag(self) -> u16 {
+        match self {
+            Medium::Wifi { channel } => 0x0100 | channel as u16,
+            Medium::Plc => 0x0200,
+            Medium::Ethernet => 0x0300,
+        }
+    }
+}
+
+impl fmt::Display for Medium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthogonal_wifi_channels_do_not_interfere() {
+        assert!(!Medium::WIFI1.may_interfere_with(Medium::WIFI2));
+        assert!(Medium::WIFI1.may_interfere_with(Medium::WIFI1));
+    }
+
+    #[test]
+    fn plc_and_wifi_do_not_interfere() {
+        assert!(!Medium::Plc.may_interfere_with(Medium::WIFI1));
+        assert!(!Medium::WIFI2.may_interfere_with(Medium::Plc));
+        assert!(Medium::Plc.may_interfere_with(Medium::Plc));
+    }
+
+    #[test]
+    fn ethernet_never_interferes() {
+        assert!(!Medium::Ethernet.may_interfere_with(Medium::Ethernet));
+        assert!(!Medium::Ethernet.is_shared());
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let mediums = [Medium::WIFI1, Medium::WIFI2, Medium::Plc, Medium::Ethernet];
+        for (i, a) in mediums.iter().enumerate() {
+            for b in &mediums[i + 1..] {
+                assert_ne!(a.tag(), b.tag(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Medium::WIFI1.label(), "wifi1");
+        assert_eq!(Medium::Plc.label(), "plc");
+        assert_eq!(Medium::Ethernet.label(), "eth");
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic worked examples from the paper.
+
+use crate::geometry::Point;
+use crate::graph::{Network, NetworkBuilder};
+use crate::ids::{LinkId, NodeId, PanelId};
+use crate::medium::Medium;
+
+/// The Figure 1 scenario: a hybrid PLC/WiFi gateway `a`, a PLC/WiFi range
+/// extender `b` and a WiFi-only client `c`.
+///
+/// Link capacities: PLC `a↔b` 10 Mbps, WiFi `a↔b` 15 Mbps, WiFi `b↔c`
+/// 30 Mbps. The optimal load balance for a download `a → c` is 10 Mbps on
+/// the hybrid Route 1 (PLC then WiFi) and ≈ 6.6 Mbps on the all-WiFi
+/// Route 2.
+#[derive(Debug, Clone)]
+pub struct Fig1Scenario {
+    pub net: Network,
+    pub gateway: NodeId,
+    pub extender: NodeId,
+    pub client: NodeId,
+    /// PLC link `a → b` (forward direction of the duplex pair).
+    pub plc_ab: LinkId,
+    /// WiFi link `a → b`.
+    pub wifi_ab: LinkId,
+    /// WiFi link `b → c`.
+    pub wifi_bc: LinkId,
+}
+
+/// Builds the Figure 1 scenario.
+pub fn fig1_scenario() -> Fig1Scenario {
+    let mut b = NetworkBuilder::new();
+    let hybrid = vec![Medium::WIFI1, Medium::Plc];
+    let gateway = b.add_labeled_node(Point::new(0.0, 0.0), hybrid.clone(), Some(PanelId(0)), "gateway");
+    let extender =
+        b.add_labeled_node(Point::new(15.0, 0.0), hybrid, Some(PanelId(0)), "extender");
+    let client = b.add_labeled_node(Point::new(30.0, 0.0), vec![Medium::WIFI1], None, "client");
+    let (plc_ab, _) = b.add_duplex(gateway, extender, Medium::Plc, 10.0);
+    let (wifi_ab, _) = b.add_duplex(gateway, extender, Medium::WIFI1, 15.0);
+    let (wifi_bc, _) = b.add_duplex(extender, client, Medium::WIFI1, 30.0);
+    Fig1Scenario { net: b.build(), gateway, extender, client, plc_ab, wifi_ab, wifi_bc }
+}
+
+/// A reconstruction of the Figure 3 example: the multigraph where the best
+/// *isolated* route is not part of the best *combination* of routes.
+///
+/// The original figure's exact seven link capacities cannot be recovered from
+/// the text, so this network reproduces the stated properties exactly:
+///
+/// * Route 2 (`s → v → d`, alternating mediums, 11 Mbps bottlenecks) is the
+///   best isolated route at 11 Mbps, but using it exhausts **both** mediums,
+///   leaving nothing else (total 11 Mbps);
+/// * Routes 1 (`s → u → d`, medium A then B, caps 20/10) and 3 (`s → d`
+///   direct on medium A, cap 10) each carry 10 Mbps in isolation;
+/// * the best combination is Route 1 followed by Route 3, which carries
+///   `10 + 5 = 15` Mbps — Route 1's 10 Mbps consume half of medium A's
+///   airtime, halving Route 3's direct link to 5 Mbps.
+///
+/// Mediums A and B are modelled as two orthogonal WiFi channels under the
+/// shared-medium interference model ("all links using the same medium
+/// interfere", as in the figure).
+#[derive(Debug, Clone)]
+pub struct Fig3Scenario {
+    pub net: Network,
+    pub source: NodeId,
+    pub dest: NodeId,
+    /// Intermediate node of Route 1.
+    pub via_u: NodeId,
+    /// Intermediate node of Route 2.
+    pub via_v: NodeId,
+    /// Route 1 links: `s → u` on medium A (20 Mbps), `u → d` on medium B
+    /// (10 Mbps).
+    pub route1: [LinkId; 2],
+    /// Route 2 links: `s → v` on medium A (11 Mbps), `v → d` on medium B
+    /// (11 Mbps).
+    pub route2: [LinkId; 2],
+    /// Route 3 link: `s → d` direct on medium A (10 Mbps).
+    pub route3: [LinkId; 1],
+}
+
+/// Builds the Figure 3 reconstruction.
+pub fn fig3_scenario() -> Fig3Scenario {
+    let mut b = NetworkBuilder::new();
+    let both = vec![Medium::WIFI1, Medium::WIFI2];
+    let s = b.add_labeled_node(Point::new(0.0, 0.0), both.clone(), None, "s");
+    let u = b.add_labeled_node(Point::new(10.0, 10.0), both.clone(), None, "u");
+    let v = b.add_labeled_node(Point::new(10.0, -10.0), both.clone(), None, "v");
+    let d = b.add_labeled_node(Point::new(20.0, 0.0), both, None, "d");
+    let (r1a, _) = b.add_duplex(s, u, Medium::WIFI1, 20.0);
+    let (r1b, _) = b.add_duplex(u, d, Medium::WIFI2, 10.0);
+    let (r2a, _) = b.add_duplex(s, v, Medium::WIFI1, 11.0);
+    let (r2b, _) = b.add_duplex(v, d, Medium::WIFI2, 11.0);
+    let (r3, _) = b.add_duplex(s, d, Medium::WIFI1, 10.0);
+    Fig3Scenario {
+        net: b.build(),
+        source: s,
+        dest: d,
+        via_u: u,
+        via_v: v,
+        route1: [r1a, r1b],
+        route2: [r2a, r2b],
+        route3: [r3],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::{InterferenceModel, SharedMedium};
+    use crate::path::Path;
+
+    #[test]
+    fn fig1_route_capacities_match_paper() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        assert!((route1.capacity(&s.net, &imap) - 10.0).abs() < 1e-9);
+        assert!((route2.capacity(&s.net, &imap) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_isolated_route_capacities() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let r1 = Path::new(&s.net, s.route1.to_vec()).unwrap();
+        let r2 = Path::new(&s.net, s.route2.to_vec()).unwrap();
+        let r3 = Path::new(&s.net, s.route3.to_vec()).unwrap();
+        assert!((r1.capacity(&s.net, &imap) - 10.0).abs() < 1e-9);
+        assert!((r2.capacity(&s.net, &imap) - 11.0).abs() < 1e-9);
+        assert!((r3.capacity(&s.net, &imap) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_best_single_route_is_route2() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let caps: Vec<f64> = [s.route1.to_vec(), s.route2.to_vec(), s.route3.to_vec()]
+            .into_iter()
+            .map(|links| Path::new(&s.net, links).unwrap().capacity(&s.net, &imap))
+            .collect();
+        assert!(caps[1] > caps[0] && caps[1] > caps[2]);
+    }
+
+    #[test]
+    fn fig3_route1_leaves_half_of_medium_a_for_route3() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let r1 = Path::new(&s.net, s.route1.to_vec()).unwrap();
+        let rate = r1.capacity(&s.net, &imap); // 10
+        // Residual on route 3's direct link (medium A): 1 − 10/20 = 0.5.
+        let resid = r1.residual_idle_fraction(&s.net, &imap, s.route3[0], rate);
+        assert!((resid - 0.5).abs() < 1e-9);
+        // Route 1's own bottleneck (medium B link) is exhausted.
+        let resid_b = r1.residual_idle_fraction(&s.net, &imap, s.route1[1], rate);
+        assert!(resid_b.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_route2_exhausts_both_mediums() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let r2 = Path::new(&s.net, s.route2.to_vec()).unwrap();
+        let rate = r2.capacity(&s.net, &imap); // 11
+        for probe in [s.route1[0], s.route1[1], s.route3[0]] {
+            let resid = r2.residual_idle_fraction(&s.net, &imap, probe, rate);
+            assert!(resid.abs() < 1e-9, "link {probe} keeps {resid}");
+        }
+    }
+}

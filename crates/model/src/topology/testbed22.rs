@@ -1,0 +1,208 @@
+//! Simulated stand-in for the 22-node office testbed of §6.
+//!
+//! The real testbed spreads 22 APU1D boards over a 65×40 m office floor
+//! (Fig. 8); every node has two WiFi interfaces (Atheros AR9280, one per
+//! channel) and a HomePlug AV PLC interface (QCA7420) on the building's
+//! electrical network. The exact floor plan and per-link capacities are not
+//! published, so this module:
+//!
+//! * fixes 22 node positions spread over the 65×40 m floor, loosely
+//!   following the map of Fig. 8 (clusters along the corridors, nodes 1 and
+//!   13 far apart so that Flow 1-13 needs multiple hops, node 4 and node 7
+//!   between them as in the Fig. 9 example);
+//! * samples link capacities from the calibrated distance models of
+//!   [`crate::capacity`] with a caller-provided seed, so each "measurement
+//!   campaign" is reproducible;
+//! * treats the whole floor as one electrical panel (the testbed's PLC
+//!   links span the floor).
+//!
+//! Experiments that need the exact capacities printed in the paper (e.g.
+//! Fig. 9-left) override individual links with
+//! [`Network::set_capacity`](crate::graph::Network::set_capacity).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::capacity::{CapacityModel, PlcCapacityModel, WifiCapacityModel};
+use crate::geometry::Point;
+use crate::graph::{Network, NetworkBuilder};
+use crate::ids::{NodeId, PanelId};
+use crate::medium::Medium;
+
+/// Floor dimensions, metres (Fig. 8).
+pub const FLOOR_WIDTH_M: f64 = 65.0;
+pub const FLOOR_HEIGHT_M: f64 = 40.0;
+
+/// Fixed node positions (metres), index 0 ↔ paper's "Node 1".
+///
+/// Chosen to span the floor with realistic office spacing: WiFi (35 m
+/// radius) cannot cover the floor in one hop, PLC (50 m) almost can.
+pub const NODE_POSITIONS: [(f64, f64); 22] = [
+    (4.0, 35.0),  // 1  north-west corner (Fig. 9 source)
+    (2.0, 26.0),  // 2
+    (10.0, 30.0), // 3
+    (14.0, 24.0), // 4  first relay of Fig. 9
+    (8.0, 16.0),  // 5
+    (3.0, 7.0),   // 6
+    (24.0, 28.0), // 7  central relay of Fig. 9
+    (20.0, 12.0), // 8
+    (28.0, 6.0),  // 9
+    (30.0, 18.0), // 10
+    (34.0, 33.0), // 11
+    (38.0, 25.0), // 12
+    (42.0, 12.0), // 13 Fig. 9 destination, ~47 m from node 1
+    (44.0, 30.0), // 14
+    (48.0, 20.0), // 15
+    (46.0, 6.0),  // 16
+    (52.0, 34.0), // 17
+    (54.0, 12.0), // 18
+    (58.0, 26.0), // 19
+    (60.0, 5.0),  // 20
+    (62.0, 17.0), // 21
+    (63.0, 36.0), // 22 south-east corner
+];
+
+/// The simulated testbed.
+#[derive(Debug, Clone)]
+pub struct Testbed22 {
+    pub net: Network,
+}
+
+impl Testbed22 {
+    /// The [`NodeId`] for the paper's 1-based node numbering.
+    pub fn node(&self, paper_number: u32) -> NodeId {
+        assert!((1..=22).contains(&paper_number), "testbed nodes are numbered 1..=22");
+        NodeId(paper_number - 1)
+    }
+}
+
+/// Builds the testbed with capacities drawn from `seed`.
+pub fn testbed22(seed: u64) -> Testbed22 {
+    testbed22_with_models(seed, &WifiCapacityModel::default(), &PlcCapacityModel::default())
+}
+
+/// Builds the testbed with explicit capacity models.
+pub fn testbed22_with_models(
+    seed: u64,
+    wifi: &WifiCapacityModel,
+    plc: &PlcCapacityModel,
+) -> Testbed22 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new();
+    let mediums = vec![Medium::WIFI1, Medium::WIFI2, Medium::Plc];
+    let nodes: Vec<NodeId> = NODE_POSITIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            b.add_labeled_node(
+                Point::new(x, y),
+                mediums.clone(),
+                Some(PanelId(0)),
+                format!("node{}", i + 1),
+            )
+        })
+        .collect();
+
+    for (i, &na) in nodes.iter().enumerate() {
+        for &nb in nodes.iter().skip(i + 1) {
+            let dist = b.peek_node(na).pos.distance(b.peek_node(nb).pos);
+            if let Some(cap) = wifi.sample(&mut rng, dist) {
+                b.add_duplex(na, nb, Medium::WIFI1, cap);
+                // The second channel mirrors the first: same band width,
+                // same capacities (§5.1 / §6.1).
+                b.add_duplex(na, nb, Medium::WIFI2, cap);
+            }
+            if let Some(cap) = plc.sample(&mut rng, dist) {
+                b.add_duplex(na, nb, Medium::Plc, cap);
+            }
+        }
+    }
+    Testbed22 { net: b.build() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_22_triple_interface_nodes() {
+        let t = testbed22(1);
+        assert_eq!(t.net.node_count(), 22);
+        for n in t.net.nodes() {
+            assert_eq!(n.mediums.len(), 3);
+            assert!(n.has_wifi() && n.has_plc());
+        }
+    }
+
+    #[test]
+    fn positions_fit_the_floor() {
+        for &(x, y) in &NODE_POSITIONS {
+            assert!((0.0..=FLOOR_WIDTH_M).contains(&x));
+            assert!((0.0..=FLOOR_HEIGHT_M).contains(&y));
+        }
+    }
+
+    #[test]
+    fn paper_numbering_maps_to_ids() {
+        let t = testbed22(1);
+        assert_eq!(t.node(1), NodeId(0));
+        assert_eq!(t.node(22), NodeId(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1..=22")]
+    fn node_zero_is_rejected() {
+        testbed22(1).node(0);
+    }
+
+    #[test]
+    fn floor_is_not_one_wifi_hop() {
+        // Node 1 (NW) and node 22 (SE) are beyond WiFi range of each other.
+        let t = testbed22(1);
+        let d = t.net.node_distance(t.node(1), t.node(22));
+        assert!(d > 35.0, "{d}");
+        assert!(t.net.find_link(t.node(1), t.node(22), Medium::WIFI1).is_none());
+    }
+
+    #[test]
+    fn fig9_nodes_are_reachable_as_in_the_paper() {
+        // Flow 1-13: no direct WiFi link (distance > 35 m) but a direct PLC
+        // link (distance < 50 m), and node 4 within WiFi range of node 1.
+        let t = testbed22(1);
+        let (n1, n4, n13) = (t.node(1), t.node(4), t.node(13));
+        assert!(t.net.node_distance(n1, n13) > 35.0);
+        assert!(t.net.node_distance(n1, n13) < 50.0);
+        assert!(t.net.find_link(n1, n13, Medium::Plc).is_some());
+        assert!(t.net.find_link(n1, n4, Medium::WIFI1).is_some());
+    }
+
+    #[test]
+    fn capacities_are_reproducible_per_seed() {
+        let a = testbed22(7);
+        let b = testbed22(7);
+        let c = testbed22(8);
+        assert_eq!(a.net.link_count(), b.net.link_count());
+        for (la, lb) in a.net.links().iter().zip(b.net.links()) {
+            assert_eq!(la.capacity_mbps, lb.capacity_mbps);
+        }
+        // A different seed changes at least one capacity.
+        let differs = a
+            .net
+            .links()
+            .iter()
+            .zip(c.net.links())
+            .any(|(x, y)| x.capacity_mbps != y.capacity_mbps);
+        assert!(differs);
+    }
+
+    #[test]
+    fn wifi_channels_mirror_capacities() {
+        let t = testbed22(3);
+        for l in t.net.links() {
+            if l.medium == Medium::WIFI1 {
+                let twin = t.net.find_link(l.from, l.to, Medium::WIFI2).unwrap();
+                assert_eq!(twin.capacity_mbps, l.capacity_mbps);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Routing baselines used by the evaluation (§5.1):
+//!
+//! * **SP / SP-WiFi** — the single-path procedure of §3.1 alone;
+//! * **MP-2bp** — "naive multipath routing returning two best paths
+//!   (2-shortest)": the first two paths of Yen's algorithm, with nominal
+//!   rates obtained by loading them in order.
+
+use empower_model::{InterferenceMap, Network};
+
+use crate::dijkstra::{shortest_path, CscMode};
+use crate::ksp::k_shortest_paths;
+use crate::metrics::LinkMetric;
+use crate::multipath::{RouteAllocation, RouteSet};
+use crate::query::RouteQuery;
+use crate::update::update_multigraph;
+
+/// The single-path procedure: one route per flow (SP/SP-WiFi schemes). The
+/// nominal rate is the path's standalone capacity `R(P)`.
+pub fn single_path_route(
+    net: &Network,
+    imap: &InterferenceMap,
+    query: &RouteQuery,
+    csc: CscMode,
+) -> RouteSet {
+    let metric = LinkMetric::ett(net);
+    match shortest_path(net, &metric, csc, query) {
+        Some(outcome) => {
+            let rate = outcome.path.capacity(net, imap);
+            RouteSet { routes: vec![RouteAllocation { path: outcome.path, nominal_rate: rate }] }
+        }
+        None => RouteSet::default(),
+    }
+}
+
+/// MP-2bp: the two cheapest loopless paths, regardless of whether they make
+/// a good *combination* (this is precisely what the exploration tree fixes).
+/// The second path's nominal rate is evaluated after loading the first.
+pub fn mp_2bp(
+    net: &Network,
+    imap: &InterferenceMap,
+    query: &RouteQuery,
+    csc: CscMode,
+) -> RouteSet {
+    let metric = LinkMetric::ett(net);
+    let paths = k_shortest_paths(net, &metric, csc, query, 2);
+    let mut g = net.clone();
+    let mut routes = Vec::new();
+    for outcome in paths {
+        let rate = update_multigraph(&mut g, imap, &outcome.path);
+        routes.push(RouteAllocation { path: outcome.path, nominal_rate: rate });
+    }
+    RouteSet { routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig3_scenario;
+    use empower_model::{InterferenceModel, SharedMedium};
+
+    #[test]
+    fn single_path_returns_one_route() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let set = single_path_route(&s.net, &imap, &q, CscMode::Paper);
+        assert_eq!(set.len(), 1);
+        // The shortest path by weight is the direct 10 Mbps Route 3.
+        assert_eq!(set.routes[0].path.links(), &s.route3[..]);
+        assert!((set.total_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mp_2bp_is_beaten_by_the_exploration_tree_on_fig3() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let naive = mp_2bp(&s.net, &imap, &q, CscMode::Paper);
+        let smart = crate::multipath::best_combination(
+            &s.net,
+            &imap,
+            &q,
+            &crate::multipath::MultipathConfig::default(),
+        );
+        assert!(naive.total_rate() < smart.total_rate(), "{} vs {}", naive.total_rate(),
+            smart.total_rate());
+    }
+
+    #[test]
+    fn mp_2bp_returns_at_most_two_routes() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let set = mp_2bp(&s.net, &imap, &q, CscMode::Paper);
+        assert!(set.len() <= 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn disconnected_baselines_return_empty() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest).with_mediums(&[empower_model::Medium::Plc]);
+        assert!(single_path_route(&s.net, &imap, &q, CscMode::Paper).is_empty());
+        assert!(mp_2bp(&s.net, &imap, &q, CscMode::Paper).is_empty());
+    }
+}

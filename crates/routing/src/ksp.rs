@@ -1,0 +1,205 @@
+//! `n-shortest(G)`: the n shortest loopless paths (Yen's algorithm) under
+//! the single-path metric of §3.1.
+//!
+//! The multipath procedure of §3.2 explores combinations built from these
+//! paths; the paper uses `n = 5`, "which enables route diversity while
+//! limiting the number of possible combinations to be explored".
+
+use std::collections::HashSet;
+
+use empower_model::{Network, Path};
+
+use crate::dijkstra::{
+    path_weight, shortest_path, shortest_path_with_budget, CscMode, DijkstraOutcome,
+    MAX_ROUTE_HOPS,
+};
+use crate::metrics::LinkMetric;
+use crate::query::RouteQuery;
+
+/// Computes up to `k` shortest loopless paths for `query`, cheapest first.
+///
+/// Ties are broken deterministically (by weight, then by link sequence), so
+/// results are stable across runs.
+pub fn k_shortest_paths(
+    net: &Network,
+    metric: &LinkMetric,
+    csc: CscMode,
+    query: &RouteQuery,
+    k: usize,
+) -> Vec<DijkstraOutcome> {
+    let mut accepted: Vec<DijkstraOutcome> = Vec::new();
+    let Some(first) = shortest_path(net, metric, csc, query) else {
+        return accepted;
+    };
+    accepted.push(first);
+
+    // Candidate pool; kept sorted on extraction. Deduplicated by link
+    // sequence.
+    let mut candidates: Vec<DijkstraOutcome> = Vec::new();
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    seen.insert(accepted[0].path.links().iter().map(|l| l.0).collect());
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least one accepted path").path.clone();
+        let prev_nodes = prev.nodes(net);
+
+        for spur_idx in 0..prev.hop_count() {
+            let spur_node = prev_nodes[spur_idx];
+            let root_links = &prev.links()[..spur_idx];
+
+            let mut spur_query = query.clone();
+            spur_query.src = spur_node;
+            // Ban the next link of every *accepted* path sharing this root,
+            // so the spur leg must deviate here. (Banning pending
+            // candidates' links too would over-constrain the search and
+            // break the weight ordering — duplicates are handled by the
+            // `seen` set instead.)
+            for known in accepted.iter().map(|o| &o.path) {
+                if known.links().len() > spur_idx && &known.links()[..spur_idx] == root_links {
+                    spur_query.banned_links.insert(known.links()[spur_idx]);
+                }
+            }
+            // Ban the root's interior nodes to keep the total path loopless.
+            for &node in &prev_nodes[..spur_idx] {
+                spur_query.banned_nodes.insert(node);
+            }
+
+            let ingress = (spur_idx > 0).then(|| net.link(root_links[spur_idx - 1]).medium);
+            // The spliced path must respect the header's 6-hop cap, so the
+            // spur leg's budget shrinks by the root's length.
+            let budget = MAX_ROUTE_HOPS - spur_idx;
+            let Some(spur) =
+                shortest_path_with_budget(net, metric, csc, &spur_query, ingress, budget)
+            else {
+                continue;
+            };
+
+            let mut links = root_links.to_vec();
+            links.extend_from_slice(spur.path.links());
+            let key: Vec<u32> = links.iter().map(|l| l.0).collect();
+            if !seen.insert(key) {
+                continue;
+            }
+            let Ok(path) = Path::new(net, links) else {
+                continue;
+            };
+            debug_assert!(path.hop_count() <= MAX_ROUTE_HOPS, "budgeted spur overran the cap");
+            let weight = path_weight(net, metric, csc, query, path.links());
+            candidates.push(DijkstraOutcome { path, weight });
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the cheapest candidate (stable tie-break on links).
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.weight
+                    .total_cmp(&b.weight)
+                    .then_with(|| a.path.links().cmp(b.path.links()))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        accepted.push(candidates.swap_remove(best_idx));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::{fig1_scenario, fig3_scenario};
+    use empower_model::Medium;
+
+    #[test]
+    fn finds_both_fig1_routes() {
+        let s = fig1_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 5);
+        assert_eq!(paths.len(), 2, "exactly two loopless gateway→client paths");
+        let mediums: Vec<Vec<Medium>> = paths
+            .iter()
+            .map(|o| o.path.links().iter().map(|&l| s.net.link(l).medium).collect())
+            .collect();
+        assert!(mediums.contains(&vec![Medium::Plc, Medium::WIFI1]));
+        assert!(mediums.contains(&vec![Medium::WIFI1, Medium::WIFI1]));
+    }
+
+    #[test]
+    fn weights_are_nondecreasing() {
+        let s = fig3_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 10);
+        assert!(paths.len() >= 3);
+        for w in paths.windows(2) {
+            assert!(w[0].weight <= w[1].weight + 1e-12);
+        }
+    }
+
+    #[test]
+    fn finds_all_three_fig3_routes() {
+        let s = fig3_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 10);
+        let link_sets: Vec<&[empower_model::LinkId]> =
+            paths.iter().map(|o| o.path.links()).collect();
+        assert!(link_sets.contains(&&s.route1[..]));
+        assert!(link_sets.contains(&&s.route2[..]));
+        assert!(link_sets.contains(&&s.route3[..]));
+    }
+
+    #[test]
+    fn paths_are_unique_and_loopless() {
+        let s = fig3_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 10);
+        let mut seen = std::collections::HashSet::new();
+        for o in &paths {
+            assert!(seen.insert(o.path.links().to_vec()), "duplicate path");
+            // Node-loopless by Path construction.
+            let nodes = o.path.nodes(&s.net);
+            let mut uniq = nodes.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), nodes.len());
+        }
+    }
+
+    #[test]
+    fn k_one_equals_shortest_path() {
+        let s = fig1_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let single = shortest_path(&s.net, &metric, CscMode::Paper, &q).unwrap();
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].path.links(), single.path.links());
+    }
+
+    #[test]
+    fn no_paths_when_disconnected() {
+        let s = fig1_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client).with_mediums(&[Medium::Plc]);
+        assert!(k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 5).is_empty());
+    }
+
+    #[test]
+    fn medium_restriction_propagates_to_spurs() {
+        let s = fig3_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q = RouteQuery::new(s.source, s.dest).with_mediums(&[Medium::WIFI1]);
+        let paths = k_shortest_paths(&s.net, &metric, CscMode::Paper, &q, 10);
+        for o in &paths {
+            for &l in o.path.links() {
+                assert_eq!(s.net.link(l).medium, Medium::WIFI1);
+            }
+        }
+    }
+}

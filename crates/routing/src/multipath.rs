@@ -1,0 +1,232 @@
+//! The multipath procedure (§3.2): exploration tree over `update(P, G)`.
+//!
+//! The tree's root is the initial multigraph `G₀`. From every vertex `G`,
+//! the `j ≤ n` non-empty paths returned by `n-shortest(G)` become edges,
+//! each leading to `update(Pᵢ, G)`. A root-to-leaf edge set `B(G_L)` is a
+//! combination of paths usable simultaneously, with total capacity
+//! `Σ_{P∈B(G_L)} R(P)` (each `R(P)` evaluated in the multigraph it was
+//! selected in). The procedure returns the best leaf's combination.
+//!
+//! Termination: `update` zeroes at least the bottleneck link of the chosen
+//! path, so each tree level strictly reduces the set of alive links. With
+//! shared mediums many links die at once, which is why the paper observes a
+//! tree depth of 1–3 in practice; a configurable `max_depth` guards against
+//! pathological inputs.
+
+use empower_model::{InterferenceMap, Network, Path};
+use serde::{Deserialize, Serialize};
+
+use crate::dijkstra::CscMode;
+use crate::ksp::k_shortest_paths;
+use crate::metrics::LinkMetric;
+use crate::query::RouteQuery;
+use crate::update::update_multigraph;
+
+/// Parameters of the multipath route computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultipathConfig {
+    /// `n` of `n-shortest(G)`; the paper uses 5.
+    pub n_shortest: usize,
+    /// Hard cap on tree depth (i.e. on the number of combined routes).
+    pub max_depth: usize,
+    /// Channel-switching-cost policy for the underlying single-path steps.
+    pub csc: CscMode,
+    /// Ignore additional routes whose marginal rate is below this threshold
+    /// (Mbps); keeps numerically-dead branches out of the combination.
+    pub min_route_rate: f64,
+}
+
+impl Default for MultipathConfig {
+    fn default() -> Self {
+        MultipathConfig { n_shortest: 5, max_depth: 16, csc: CscMode::Paper, min_route_rate: 1e-6 }
+    }
+}
+
+/// One selected route with its nominal rate `R(P)` (the rate `update`
+/// assumed; the congestion controller refines actual rates online).
+#[derive(Debug, Clone)]
+pub struct RouteAllocation {
+    pub path: Path,
+    /// `R(P)` evaluated in the multigraph the path was selected in, Mbps.
+    pub nominal_rate: f64,
+}
+
+/// The combination of routes returned by the multipath procedure.
+#[derive(Debug, Clone, Default)]
+pub struct RouteSet {
+    pub routes: Vec<RouteAllocation>,
+}
+
+impl RouteSet {
+    /// Total nominal capacity `C_B = Σ R(P)`.
+    pub fn total_rate(&self) -> f64 {
+        self.routes.iter().map(|r| r.nominal_rate).sum()
+    }
+
+    /// Number of routes (the paper's desirable data-dependent path count).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no route was found (disconnected pair).
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The paths, dropping rate annotations.
+    pub fn paths(&self) -> Vec<Path> {
+        self.routes.iter().map(|r| r.path.clone()).collect()
+    }
+
+    /// Longest route length in hops (drives the §6.1 step-size heuristic).
+    pub fn max_hops(&self) -> usize {
+        self.routes.iter().map(|r| r.path.hop_count()).max().unwrap_or(0)
+    }
+}
+
+/// Runs the §3.2 exploration tree and returns the best combination of paths
+/// for `query`.
+pub fn best_combination(
+    net: &Network,
+    imap: &InterferenceMap,
+    query: &RouteQuery,
+    config: &MultipathConfig,
+) -> RouteSet {
+    let mut best = RouteSet::default();
+    let mut best_total = 0.0;
+    let mut chain: Vec<RouteAllocation> = Vec::new();
+    explore(net, imap, query, config, 0, &mut chain, &mut best, &mut best_total);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    g: &Network,
+    imap: &InterferenceMap,
+    query: &RouteQuery,
+    config: &MultipathConfig,
+    depth: usize,
+    chain: &mut Vec<RouteAllocation>,
+    best: &mut RouteSet,
+    best_total: &mut f64,
+) {
+    let total: f64 = chain.iter().map(|r| r.nominal_rate).sum();
+    if total > *best_total {
+        *best_total = total;
+        *best = RouteSet { routes: chain.clone() };
+    }
+    if depth >= config.max_depth {
+        return;
+    }
+    // n-shortest on the current (already-discounted) multigraph. The metric
+    // must reflect the current capacities.
+    let metric = LinkMetric::ett(g);
+    let candidates = k_shortest_paths(g, &metric, config.csc, query, config.n_shortest);
+    for outcome in candidates {
+        let mut child = g.clone();
+        let rate = update_multigraph(&mut child, imap, &outcome.path);
+        if rate <= config.min_route_rate {
+            continue; // empty path: no spare capacity on this branch
+        }
+        chain.push(RouteAllocation { path: outcome.path, nominal_rate: rate });
+        explore(&child, imap, query, config, depth + 1, chain, best, best_total);
+        chain.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::{fig1_scenario, fig3_scenario};
+    use empower_model::{InterferenceModel, SharedMedium};
+
+    #[test]
+    fn fig1_combination_matches_the_papers_example() {
+        // Optimal load balancing: 10 Mbps on the hybrid route, 6.6 on the
+        // WiFi-WiFi route — a 66 % improvement over single path.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let set = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert_eq!(set.len(), 2);
+        assert!((set.total_rate() - (10.0 + 20.0 / 3.0)).abs() < 1e-6, "{}", set.total_rate());
+        // First selected route is the hybrid one at 10 Mbps.
+        assert!((set.routes[0].nominal_rate - 10.0).abs() < 1e-9);
+        assert_eq!(set.routes[0].path.links()[0], s.plc_ab);
+    }
+
+    #[test]
+    fn fig3_best_combination_avoids_the_best_single_route() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let set = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert!((set.total_rate() - 15.0).abs() < 1e-6, "{}", set.total_rate());
+        assert_eq!(set.len(), 2);
+        // Route 2 (the best isolated route) is not part of the combination.
+        for route in &set.routes {
+            assert_ne!(route.path.links(), &s.route2[..]);
+        }
+    }
+
+    #[test]
+    fn route_count_is_data_dependent() {
+        // Remove the WiFi a-b link: only the hybrid route remains.
+        let mut s = fig1_scenario();
+        s.net.set_capacity(s.wifi_ab, 0.0);
+        let rev = s.net.link(s.wifi_ab).reverse.unwrap();
+        s.net.set_capacity(rev, 0.0);
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let set = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert_eq!(set.len(), 1);
+        assert!((set.total_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_pair_yields_empty_set() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client).with_mediums(&[empower_model::Medium::Plc]);
+        let set = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert!(set.is_empty());
+        assert_eq!(set.total_rate(), 0.0);
+    }
+
+    #[test]
+    fn depth_limit_bounds_route_count() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let config = MultipathConfig { max_depth: 1, ..Default::default() };
+        let set = best_combination(&s.net, &imap, &q, &config);
+        assert_eq!(set.len(), 1);
+        // Depth 1 picks the single route with the best R(P), which here is
+        // either route at 10 Mbps.
+        assert!((set.total_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_never_loses_to_single_path() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.source, s.dest);
+        let single = best_combination(
+            &s.net,
+            &imap,
+            &q,
+            &MultipathConfig { max_depth: 1, ..Default::default() },
+        );
+        let multi = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert!(multi.total_rate() >= single.total_rate() - 1e-12);
+    }
+
+    #[test]
+    fn max_hops_reports_longest_route() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let q = RouteQuery::new(s.gateway, s.client);
+        let set = best_combination(&s.net, &imap, &q, &MultipathConfig::default());
+        assert_eq!(set.max_hops(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Route queries: source/destination plus the restrictions a scheme or a
+//! k-shortest-path spur computation imposes.
+
+use std::collections::HashSet;
+
+use empower_model::{LinkId, Medium, Network, NodeId};
+
+/// A routing request.
+///
+/// `allowed_mediums` implements the paper's evaluation schemes: SP-WiFi and
+/// MP-WiFi restrict to one WiFi channel, MP-mWiFi to two channels, EMPoWER
+/// to PLC + one WiFi channel. `banned_*` serve Yen's algorithm and failure
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct RouteQuery {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// If set, only links on these mediums are considered.
+    pub allowed_mediums: Option<Vec<Medium>>,
+    /// Links that must not be used.
+    pub banned_links: HashSet<LinkId>,
+    /// Nodes that must not be traversed (source exempt).
+    pub banned_nodes: HashSet<NodeId>,
+}
+
+impl RouteQuery {
+    /// An unrestricted query.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        RouteQuery {
+            src,
+            dst,
+            allowed_mediums: None,
+            banned_links: HashSet::new(),
+            banned_nodes: HashSet::new(),
+        }
+    }
+
+    /// Restricts the query to the given mediums.
+    pub fn with_mediums(mut self, mediums: &[Medium]) -> Self {
+        self.allowed_mediums = Some(mediums.to_vec());
+        self
+    }
+
+    /// True if the query permits using `link` (alive, allowed medium, not
+    /// banned, not entering a banned node).
+    pub fn permits(&self, net: &Network, link: LinkId) -> bool {
+        let l = net.link(link);
+        if !l.is_alive() || self.banned_links.contains(&link) || self.banned_nodes.contains(&l.to)
+        {
+            return false;
+        }
+        match &self.allowed_mediums {
+            Some(allowed) => allowed.contains(&l.medium),
+            None => true,
+        }
+    }
+
+    /// Minimum egress cost of `node` under the query's *medium restriction*
+    /// only — the `w_ns(u)` channel-switching cost of §3.1.
+    ///
+    /// Deliberately ignores `banned_links`/`banned_nodes`: `w_ns(u)` is a
+    /// node-global constant of the metric (that is what keeps it isotone),
+    /// and Yen's temporary spur bans must not perturb it — otherwise a spur
+    /// search optimizes a different weight than the one the spliced path is
+    /// finally scored with, and the k-shortest enumeration loses its
+    /// ordering.
+    pub fn min_permitted_egress_cost(&self, net: &Network, node: NodeId) -> f64 {
+        net.out_links(node)
+            .filter(|l| {
+                l.is_alive()
+                    && self
+                        .allowed_mediums
+                        .as_ref()
+                        .is_none_or(|allowed| allowed.contains(&l.medium))
+            })
+            .map(|l| l.cost())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+
+    #[test]
+    fn medium_restriction_filters_links() {
+        let s = fig1_scenario();
+        let q = RouteQuery::new(s.gateway, s.client).with_mediums(&[Medium::WIFI1]);
+        assert!(!q.permits(&s.net, s.plc_ab));
+        assert!(q.permits(&s.net, s.wifi_ab));
+    }
+
+    #[test]
+    fn banned_links_and_nodes_are_rejected() {
+        let s = fig1_scenario();
+        let mut q = RouteQuery::new(s.gateway, s.client);
+        q.banned_links.insert(s.wifi_ab);
+        assert!(!q.permits(&s.net, s.wifi_ab));
+        assert!(q.permits(&s.net, s.plc_ab));
+        q.banned_nodes.insert(s.extender);
+        assert!(!q.permits(&s.net, s.plc_ab)); // enters the banned extender
+    }
+
+    #[test]
+    fn dead_links_are_rejected() {
+        let mut s = fig1_scenario();
+        s.net.set_capacity(s.plc_ab, 0.0);
+        let q = RouteQuery::new(s.gateway, s.client);
+        assert!(!q.permits(&s.net, s.plc_ab));
+    }
+
+    #[test]
+    fn min_permitted_egress_cost_respects_filter() {
+        let s = fig1_scenario();
+        let q = RouteQuery::new(s.gateway, s.client);
+        // Unrestricted: fastest egress of the gateway is WiFi 15 Mbps.
+        assert!((q.min_permitted_egress_cost(&s.net, s.gateway) - 1.0 / 15.0).abs() < 1e-12);
+        let q = q.with_mediums(&[Medium::Plc]);
+        assert!((q.min_permitted_egress_cost(&s.net, s.gateway) - 1.0 / 10.0).abs() < 1e-12);
+    }
+}

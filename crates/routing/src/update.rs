@@ -1,0 +1,141 @@
+//! The `update(P, G)` procedure of §3.2.
+//!
+//! `update(P, G)` produces a view of the multigraph where capacities reflect
+//! the resource consumption of sending traffic on `P` at its maximum
+//! self-interference-aware rate `R(P)`: every link in `⋃_{l'∈P} I_{l'}` is
+//! scaled by its residual idle fraction `r(l, P)`, and at least one link of
+//! `P` (the bottleneck) drops to exactly zero — which is what guarantees the
+//! exploration tree terminates.
+
+use std::collections::BTreeSet;
+
+use empower_model::{InterferenceMap, LinkId, Network, Path};
+
+/// `R(P)` on the multigraph `net` (convenience re-export of
+/// [`Path::capacity`] under its §3.2 name).
+pub fn path_rate(net: &Network, imap: &InterferenceMap, path: &Path) -> f64 {
+    path.capacity(net, imap)
+}
+
+/// Applies `update(P, G)` in place and returns `R(P)`, the rate assumed sent
+/// on the path.
+///
+/// The interference map is *not* rebuilt: interference is geometric and does
+/// not depend on capacities, and zero-capacity links simply become unusable
+/// (infinite cost) for subsequent shortest-path computations.
+pub fn update_multigraph(net: &mut Network, imap: &InterferenceMap, path: &Path) -> f64 {
+    let rate = path.capacity(net, imap);
+    if rate <= 0.0 {
+        return 0.0;
+    }
+    // Collect the union of interference domains of the path's links first;
+    // the scaling factors r(l, P) must all be computed on the *pre-update*
+    // capacities.
+    let affected: BTreeSet<LinkId> = path
+        .links()
+        .iter()
+        .flat_map(|&l| imap.domain(l).iter().copied())
+        .collect();
+    let scaled: Vec<(LinkId, f64)> = affected
+        .into_iter()
+        .map(|l| {
+            let r = path.residual_idle_fraction(net, imap, l, rate);
+            (l, (net.link(l).capacity_mbps * r).max(0.0))
+        })
+        .collect();
+    for (l, cap) in scaled {
+        net.set_capacity(l, cap);
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::{fig1_scenario, fig3_scenario};
+    use empower_model::{InterferenceModel, SharedMedium};
+
+    #[test]
+    fn update_zeroes_the_bottleneck() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        let route1 = Path::new(&g, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let rate = update_multigraph(&mut g, &imap, &route1);
+        assert!((rate - 10.0).abs() < 1e-9);
+        // Bottleneck (PLC) is exhausted.
+        assert_eq!(g.link(s.plc_ab).capacity_mbps, 0.0);
+        // WiFi b→c keeps 2/3 of 30 = 20 Mbps.
+        assert!((g.link(s.wifi_bc).capacity_mbps - 20.0).abs() < 1e-9);
+        // WiFi a→b shares the medium: 15 · 2/3 = 10 Mbps.
+        assert!((g.link(s.wifi_ab).capacity_mbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_second_route_rate_matches_back_of_envelope() {
+        // After Route 1, the remaining WiFi-WiFi route supports
+        // 1/(1/10 + 1/20) = 6.67 Mbps — the paper's x ≈ 6.6.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        let route1 = Path::new(&g, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        update_multigraph(&mut g, &imap, &route1);
+        let route2 = Path::new(&g, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        let x = path_rate(&g, &imap, &route2);
+        assert!((x - 20.0 / 3.0).abs() < 1e-9, "x = {x}");
+    }
+
+    #[test]
+    fn update_on_dead_path_is_a_noop() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        g.set_capacity(s.plc_ab, 0.0);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let before: Vec<f64> = g.links().iter().map(|l| l.capacity_mbps).collect();
+        let rate = update_multigraph(&mut g, &imap, &route1);
+        assert_eq!(rate, 0.0);
+        let after: Vec<f64> = g.links().iter().map(|l| l.capacity_mbps).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn update_affects_reverse_directions_too() {
+        // The reverse direction of a used link shares its medium and must be
+        // discounted as well.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        let route2 = Path::new(&g, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        update_multigraph(&mut g, &imap, &route2); // rate 10, full WiFi airtime
+        let rev = g.link(s.wifi_ab).reverse.unwrap();
+        assert_eq!(g.link(rev).capacity_mbps, 0.0);
+    }
+
+    #[test]
+    fn fig3_update_sequence_reaches_15_total() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        let r1 = Path::new(&g, s.route1.to_vec()).unwrap();
+        let r3 = Path::new(&g, s.route3.to_vec()).unwrap();
+        let rate1 = update_multigraph(&mut g, &imap, &r1);
+        let rate3 = update_multigraph(&mut g, &imap, &r3);
+        assert!((rate1 - 10.0).abs() < 1e-9);
+        assert!((rate3 - 5.0).abs() < 1e-9);
+        assert!((rate1 + rate3 - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_best_single_route_exhausts_everything() {
+        let s = fig3_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let mut g = s.net.clone();
+        let r2 = Path::new(&g, s.route2.to_vec()).unwrap();
+        let rate2 = update_multigraph(&mut g, &imap, &r2);
+        assert!((rate2 - 11.0).abs() < 1e-9);
+        for l in g.links() {
+            assert!(!l.is_alive(), "{} survived", l.id);
+        }
+    }
+}

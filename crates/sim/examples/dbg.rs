@@ -1,0 +1,23 @@
+use empower_model::topology::fig1_scenario;
+use empower_model::{InterferenceModel, Path, SharedMedium};
+use empower_sim::*;
+
+fn main() {
+    for delta in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        let mut sim = Simulation::new(s.net, imap, SimConfig { delta, ..Default::default() });
+        sim.add_flow(FlowSpecSim {
+            src: s.gateway, dst: s.client, routes: vec![route1, route2],
+            use_cc: true, open_loop_rates: vec![],
+            pattern: TrafficPattern::Tcp { start: 0.0, stop: 300.0, size_bytes: 0 },
+            delay_equalization: true,
+        });
+        let report = sim.run(300.0);
+        let f = &report.flows[0];
+        println!("delta={delta} thpt(last 100s)={:.2} drop_src={} lost={}",
+            f.mean_throughput(200, 300), f.dropped_at_source, f.declared_lost);
+    }
+}

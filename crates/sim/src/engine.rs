@@ -1,0 +1,1332 @@
+//! The discrete-event engine: MAC, forwarding, control plane, applications.
+
+use std::collections::{HashMap, VecDeque};
+
+use empower_cc::{FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
+use empower_datapath::{
+    AckCollector, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry, ReorderBuffer,
+    ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
+};
+use empower_model::rng::{exponential, normal};
+use empower_model::{InterferenceMap, LinkId, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::flow::{FlowSpecSim, TrafficPattern};
+use crate::packet::{PacketKind, SimPacket};
+use crate::stats::{FlowStats, SimReport};
+use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use crate::trace::{DropSite, Trace, TraceEvent};
+
+/// One flow's live state inside the engine.
+struct FlowRuntime {
+    spec: FlowSpecSim,
+    source_routes: Vec<SourceRoute>,
+    /// First link of each route (the source's egress).
+    first_links: Vec<LinkId>,
+    scheduler: RouteScheduler,
+    controller: Option<FlowController<ProportionalFair>>,
+    reorder: ReorderBuffer,
+    acks: AckCollector,
+    delay_eq: Option<DelayEqualizer>,
+    active: bool,
+    /// Remaining frame goal of the current file (None = not a file flow).
+    current_file_frames: Option<u64>,
+    /// Frames of the current file delivered so far.
+    file_frames_delivered: u64,
+    /// When the current file's transfer began.
+    file_began_at: f64,
+    /// Precomputed absolute ready-times of queued files (PoissonFiles).
+    pending_files: VecDeque<f64>,
+    /// TCP machinery, if this is a TCP flow.
+    tcp: Option<TcpFlow>,
+    /// Source-side backlog of TCP segments awaiting admission (the tun/tap
+    /// → datapath queue of the real implementation). Lets TCP self-clock
+    /// instead of losing every burst to the token bucket.
+    tcp_backlog: VecDeque<u32>,
+    /// Guard so exactly one Emit event is in flight per flow.
+    emit_pending: bool,
+    /// Emission gate: no packet may be offered before this time (a queued
+    /// Poisson file that is not ready yet).
+    emission_not_before: f64,
+}
+
+struct TcpFlow {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    /// Map wire sequence → TCP segment id at the destination.
+    wire_to_tcp: HashMap<u32, u32>,
+    /// One-way ACK-path delay, seconds.
+    ack_delay: f64,
+    /// Time of the currently scheduled RTO check (stale events ignored).
+    rto_check_at: Option<f64>,
+}
+
+/// The simulator.
+pub struct Simulation {
+    net: Network,
+    imap: InterferenceMap,
+    reg: IfaceRegistry,
+    cfg: SimConfig,
+    rng: StdRng,
+    events: EventQueue,
+    now: f64,
+    /// Per-link FIFO queues.
+    queues: Vec<VecDeque<SimPacket>>,
+    /// Frame currently on the air per link.
+    busy: Vec<Option<SimPacket>>,
+    last_start: Vec<f64>,
+    /// Bits enqueued per link since the last control tick (demand).
+    demand_bits: Vec<f64>,
+    /// EWMA-smoothed per-link airtime demand. Raw per-slot demand is
+    /// quantized to whole frames and therefore noisy (σ ≈ 0.1–0.2 of a
+    /// domain's budget at 12 kB frames); feeding it raw into the γ update's
+    /// positive-part recursion turns γ into a reflected random walk whose
+    /// mean grows with the noise, strangling the rates. Smoothing over a
+    /// few slots removes the bias at the cost of ~half a second of control
+    /// lag — exactly what a real driver's airtime statistics do.
+    last_demand: Vec<f64>,
+    /// Slow-EWMA demand driving the saturation penalty: persistent
+    /// overdrive must trigger it, single-slot quantization spikes must not.
+    penalty_demand: Vec<f64>,
+    price_states: Vec<LinkPriceState>,
+    broadcasts: Vec<PriceBroadcast>,
+    flows: Vec<FlowRuntime>,
+    stats: Vec<FlowStats>,
+    ticks: u64,
+    /// Flows whose FlowStart event has fired.
+    started_flows: usize,
+    /// Whether the initial ControlTick has been scheduled.
+    control_started: bool,
+    /// Optional packet-level trace sink.
+    trace: Option<Trace>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation over `net`.
+    pub fn new(net: Network, imap: InterferenceMap, cfg: SimConfig) -> Self {
+        let reg = IfaceRegistry::for_network(&net);
+        let l = net.link_count();
+        let price_states = net
+            .nodes()
+            .iter()
+            .map(|n| LinkPriceState::new(&net, &imap, n.id))
+            .collect();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulation {
+            reg,
+            queues: vec![VecDeque::new(); l],
+            busy: vec![None; l],
+            last_start: vec![-1.0; l],
+            demand_bits: vec![0.0; l],
+            last_demand: vec![0.0; l],
+            penalty_demand: vec![0.0; l],
+            price_states,
+            broadcasts: Vec::new(),
+            flows: Vec::new(),
+            stats: Vec::new(),
+            ticks: 0,
+            started_flows: 0,
+            control_started: false,
+            trace: None,
+            events: EventQueue::new(),
+            now: 0.0,
+            net,
+            imap,
+            cfg,
+            rng,
+        }
+    }
+
+    /// Read access to the network (capacities may change via failures).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Diagnostic: the worst per-domain airtime demand observed at the last
+    /// control tick, with the link whose domain it is.
+    pub fn debug_worst_domain(&self) -> (f64, LinkId) {
+        let mut worst = (0.0, LinkId(0));
+        for l in 0..self.net.link_count() {
+            let y: f64 = self
+                .imap
+                .domain(LinkId(l as u32))
+                .iter()
+                .map(|&i| self.last_demand[i.index()])
+                .sum();
+            if y > worst.0 {
+                worst = (y, LinkId(l as u32));
+            }
+        }
+        worst
+    }
+
+    /// Diagnostic: last tick's airtime demand of one link.
+    pub fn debug_link_demand(&self, link: LinkId) -> f64 {
+        self.last_demand[link.index()]
+    }
+
+    /// Diagnostic: the route prices a flow's controller currently believes.
+    pub fn debug_flow_prices(&self, flow: usize) -> Option<Vec<f64>> {
+        self.flows[flow].controller.as_ref().map(|c| c.believed_prices().to_vec())
+    }
+
+    /// Attaches a packet-level trace sink (e.g. `Trace::bounded(100_000)`).
+    pub fn attach_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// Detaches and returns the trace recorded so far.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Registers a flow; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the spec has no routes, or an open-loop flow lacks rates.
+    pub fn add_flow(&mut self, spec: FlowSpecSim) -> usize {
+        assert!(!spec.routes.is_empty(), "flow has no routes");
+        assert!(
+            !self.control_started,
+            "flows must be registered before the simulation starts \
+             (the control-tick chain may already have drained)"
+        );
+        if !spec.use_cc {
+            assert_eq!(
+                spec.open_loop_rates.len(),
+                spec.routes.len(),
+                "open-loop flows need one rate per route"
+            );
+        }
+        let source_routes: Vec<SourceRoute> = spec
+            .routes
+            .iter()
+            .map(|p| {
+                let hops: Vec<IfaceId> = p
+                    .links()
+                    .iter()
+                    .map(|&l| {
+                        let link = self.net.link(l);
+                        self.reg
+                            .id_of(link.to, link.medium)
+                            .expect("all interfaces are registered")
+                    })
+                    .collect();
+                SourceRoute::new(&hops).expect("routes fit the 6-hop header")
+            })
+            .collect();
+        let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
+        let mut scheduler = RouteScheduler::with_bucket(
+            spec.routes.len(),
+            4.0 * self.cfg.frame_bits as f64 / 1e6,
+        );
+        let controller = if spec.use_cc {
+            let caps: Vec<f64> =
+                spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
+            let max_hops = spec.routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
+            Some(FlowController::new(
+                ProportionalFair,
+                self.cfg.cc_config(),
+                caps,
+                max_hops,
+            ))
+        } else {
+            scheduler.set_rates(&spec.open_loop_rates);
+            None
+        };
+        let tcp = spec.pattern.is_tcp().then(|| {
+            let total = match spec.pattern {
+                TrafficPattern::Tcp { size_bytes: 0, .. } => None,
+                TrafficPattern::Tcp { size_bytes, .. } => {
+                    Some(size_bytes * 8 / self.cfg.frame_bits + 1)
+                }
+                _ => unreachable!(),
+            };
+            // ACK path: the reverse of route 0, small frames, lightly
+            // loaded prioritized queues → per-hop store-and-forward of a
+            // 40 B segment plus 1 ms of MAC access per hop.
+            let ack_delay: f64 = spec.routes[0]
+                .links()
+                .iter()
+                .map(|&l| {
+                    let link = self.net.link(l);
+                    0.001 + 320.0 / (link.capacity_mbps.max(1.0) * 1e6)
+                })
+                .sum();
+            TcpFlow {
+                sender: TcpSender::new(TcpConfig::default(), total),
+                receiver: TcpReceiver::new(),
+                wire_to_tcp: HashMap::new(),
+                ack_delay,
+                rto_check_at: None,
+            }
+        });
+        let route_count = spec.routes.len();
+        let delay_eq = spec.delay_equalization.then(|| DelayEqualizer::new(route_count));
+        let start = spec.pattern.start_time();
+        let stop = spec.pattern.stop_time();
+        let idx = self.flows.len();
+        self.flows.push(FlowRuntime {
+            spec,
+            source_routes,
+            first_links,
+            scheduler,
+            controller,
+            reorder: ReorderBuffer::new(route_count),
+            acks: AckCollector::new(route_count),
+            delay_eq,
+            active: false,
+            current_file_frames: None,
+            file_frames_delivered: 0,
+            file_began_at: 0.0,
+            pending_files: VecDeque::new(),
+            tcp,
+            tcp_backlog: VecDeque::new(),
+            emit_pending: false,
+            emission_not_before: 0.0,
+        });
+        self.stats.push(FlowStats { started_at: start, ..Default::default() });
+        self.events.push(start, Event::FlowStart { flow: idx });
+        if let Some(stop) = stop {
+            self.events.push(stop, Event::FlowStop { flow: idx });
+        }
+        idx
+    }
+
+    /// Schedules a capacity change (failure injection: 0 = link death).
+    pub fn schedule_link_change(&mut self, at: f64, link: LinkId, capacity_mbps: f64) {
+        self.events.push(at, Event::LinkChange { link, capacity_mbps });
+    }
+
+    /// Replaces a flow's routes mid-run — the §3.2 route recomputation after
+    /// a failure or a large capacity shift (the caller decides *when*, e.g.
+    /// via `empower_core`'s RouteMonitor).
+    ///
+    /// The wire sequence counter and the destination's expected sequence
+    /// survive (the reorder buffer is re-keyed, not reset), the controller
+    /// restarts fresh on the new route set, and in-flight frames of old
+    /// routes still deliver or get declared lost by the normal rules.
+    ///
+    /// # Panics
+    /// Panics if `routes` is empty or a route does not match the flow's
+    /// endpoints.
+    pub fn replace_routes(&mut self, flow: usize, routes: Vec<empower_model::Path>) {
+        assert!(!routes.is_empty(), "a flow needs at least one route");
+        for p in &routes {
+            assert_eq!(p.source(&self.net), self.flows[flow].spec.src);
+            assert_eq!(p.destination(&self.net), self.flows[flow].spec.dst);
+        }
+        let source_routes: Vec<SourceRoute> = routes
+            .iter()
+            .map(|p| {
+                let hops: Vec<IfaceId> = p
+                    .links()
+                    .iter()
+                    .map(|&l| {
+                        let link = self.net.link(l);
+                        self.reg.id_of(link.to, link.medium).expect("registered interface")
+                    })
+                    .collect();
+                SourceRoute::new(&hops).expect("routes fit the 6-hop header")
+            })
+            .collect();
+        let n = routes.len();
+        let caps: Vec<f64> =
+            routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
+        let max_hops = routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
+        let fl = &mut self.flows[flow];
+        fl.first_links = routes.iter().map(|p| p.links()[0]).collect();
+        fl.source_routes = source_routes;
+        fl.spec.routes = routes;
+        fl.scheduler.reset_routes(n);
+        if fl.controller.is_some() {
+            fl.controller = Some(FlowController::new(
+                ProportionalFair,
+                self.cfg.cc_config(),
+                caps,
+                max_hops,
+            ));
+        } else {
+            // Open-loop flows keep driving each new route at its standalone
+            // capacity.
+            fl.spec.open_loop_rates =
+                fl.spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
+            fl.scheduler.set_rates(&fl.spec.open_loop_rates);
+        }
+        fl.reorder.reset_routes(n);
+        fl.acks = AckCollector::new(n);
+        if fl.delay_eq.is_some() {
+            fl.delay_eq = Some(DelayEqualizer::new(n));
+        }
+        // New route columns in the rate series start now, padded with zeros
+        // for the elapsed samples.
+        let series = &mut self.stats[flow].rate_series;
+        let len = series.first().map_or(0, Vec::len);
+        if series.len() < n {
+            series.resize_with(n, || vec![0.0; len]);
+        }
+    }
+
+    /// Runs until `duration` seconds of simulated time and returns the
+    /// report.
+    pub fn run(&mut self, duration: f64) -> SimReport {
+        self.run_until(duration);
+        self.report(duration)
+    }
+
+    /// Advances the simulation to time `until` and pauses, leaving all
+    /// state intact — callers can inspect the network, recompute routes
+    /// ([`Simulation::replace_routes`]) or inject changes, then resume.
+    pub fn run_until(&mut self, until: f64) {
+        if !self.control_started {
+            self.control_started = true;
+            self.events.push(0.0, Event::ControlTick);
+        }
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, event) = self.events.pop().expect("peeked");
+            debug_assert!(at + 1e-9 >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch(event, f64::INFINITY);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// The report as of the current simulated time.
+    pub fn report(&self, duration: f64) -> SimReport {
+        SimReport { flows: self.stats.clone(), duration }
+    }
+
+    fn dispatch(&mut self, event: Event, _horizon: f64) {
+        match event {
+            Event::ControlTick => self.control_tick(),
+            Event::Emit { flow } => self.emit(flow),
+            Event::TxEnd { link } => self.tx_end(link),
+            Event::FlowStart { flow } => self.flow_start(flow),
+            Event::FlowStop { flow } => {
+                self.flows[flow].active = false;
+            }
+            Event::LinkChange { link, capacity_mbps } => self.link_change(link, capacity_mbps),
+            Event::Release { flow, route, seq, price, created_at } => {
+                self.deliver_to_reorder(flow, route, seq, price, created_at);
+            }
+            Event::TcpAckArrival { flow, ack_seq, .. } => self.tcp_ack(flow, ack_seq),
+            Event::TcpRtoCheck { flow } => self.tcp_rto_check(flow),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Applications
+    // ------------------------------------------------------------------
+
+    fn flow_start(&mut self, f: usize) {
+        self.started_flows += 1;
+        self.flows[f].active = true;
+        match self.flows[f].spec.pattern {
+            TrafficPattern::SaturatedUdp { .. } => self.schedule_emit(f, 0.0),
+            TrafficPattern::FileDownload { size_bytes, .. } => {
+                self.begin_file(f, size_bytes);
+                self.schedule_emit(f, 0.0);
+            }
+            TrafficPattern::PoissonFiles { count, size_bytes, mean_gap_secs, .. } => {
+                // Precompute the Poisson ready-times of the files.
+                let mut t = self.now;
+                for _ in 0..count {
+                    self.flows[f].pending_files.push_back(t);
+                    t += exponential(&mut self.rng, mean_gap_secs);
+                }
+                self.begin_file(f, size_bytes);
+                self.flows[f].pending_files.pop_front();
+                self.schedule_emit(f, 0.0);
+            }
+            TrafficPattern::Tcp { .. } => {
+                self.tcp_pump(f);
+            }
+        }
+    }
+
+    fn begin_file(&mut self, f: usize, size_bytes: u64) {
+        let frames = (size_bytes * 8).div_ceil(self.cfg.frame_bits);
+        let fl = &mut self.flows[f];
+        fl.current_file_frames = Some(frames);
+        fl.file_frames_delivered = 0;
+        fl.file_began_at = self.now;
+    }
+
+    fn schedule_emit(&mut self, f: usize, delay: f64) {
+        if !self.flows[f].emit_pending {
+            self.flows[f].emit_pending = true;
+            self.events.push(self.now + delay, Event::Emit { flow: f });
+        }
+    }
+
+    fn emit(&mut self, f: usize) {
+        self.flows[f].emit_pending = false;
+        if !self.flows[f].active {
+            return;
+        }
+        // A queued file may not be ready yet (Poisson arrivals): a stale
+        // Emit event from the previous file's pacing must not start it
+        // early.
+        let gate = self.flows[f].emission_not_before;
+        if self.now + 1e-9 < gate {
+            self.schedule_emit(f, gate - self.now);
+            return;
+        }
+        if self.flows[f].spec.pattern.is_tcp() {
+            self.tcp_drain(f);
+            return;
+        }
+        // File flows stop offering once the goal is met.
+        if self.flows[f].current_file_frames.is_some()
+            && self.flows[f].file_frames_delivered >= self.flows[f].current_file_frames.unwrap()
+        {
+            return; // completion handling re-arms emission
+        }
+        let bits = self.cfg.frame_bits;
+        let choice = self.flows[f].scheduler.offer(&mut self.rng, self.now, bits);
+        match choice {
+            RouteChoice::Drop => {
+                self.stats[f].dropped_at_source += 1;
+            }
+            RouteChoice::Route(r) => {
+                let seq = self.flows[f].scheduler.next_seq();
+                self.send_on_route(f, r, seq, PacketKind::Data, None);
+            }
+        }
+        let rate = self.flows[f].scheduler.total_rate().max(1.0);
+        let interval = bits as f64 / 1e6 / rate;
+        self.schedule_emit(f, interval);
+    }
+
+    /// Builds a frame and enqueues it on the first link of route `r`.
+    fn send_on_route(
+        &mut self,
+        f: usize,
+        r: usize,
+        wire_seq: u32,
+        kind: PacketKind,
+        tcp_seq: Option<u32>,
+    ) {
+        let src_route = self.flows[f].source_routes[r];
+        let mut header = EmpowerHeader::new(src_route, wire_seq);
+        let first = self.flows[f].first_links[r];
+        // The source adds its own price contribution for the first hop.
+        let src_node = self.flows[f].spec.src;
+        let contribution = self.price_states[src_node.index()].price_contribution(
+            &self.net,
+            &self.broadcasts,
+            first,
+        );
+        header.add_price(contribution);
+        if let (Some(tcp), Some(ts)) = (self.flows[f].tcp.as_mut(), tcp_seq) {
+            tcp.wire_to_tcp.insert(wire_seq, ts);
+        }
+        let pkt = SimPacket {
+            header,
+            size_bits: self.cfg.frame_bits,
+            flow: f,
+            route: r,
+            created_at: self.now,
+            kind,
+        };
+        self.stats[f].sent_frames += 1;
+        self.enqueue_link(first, pkt);
+    }
+
+    // ------------------------------------------------------------------
+    // MAC
+    // ------------------------------------------------------------------
+
+    fn enqueue_link(&mut self, link: LinkId, pkt: SimPacket) {
+        let l = link.index();
+        // Demand is the *offered* airtime (Eq. (7) measures what flows try
+        // to push, which is what the prices must react to), so count the
+        // frame even when the queue then drops it.
+        self.demand_bits[l] += pkt.size_bits as f64;
+        if !self.net.link(link).is_alive() || self.queues[l].len() >= self.cfg.queue_frames {
+            self.stats[pkt.flow].dropped_in_network += 1;
+            if let Some(tr) = self.trace.as_mut() {
+                let site = if self.net.link(link).is_alive() {
+                    DropSite::QueueOverflow
+                } else {
+                    DropSite::DeadLink
+                };
+                tr.push(TraceEvent::Drop {
+                    t: self.now,
+                    flow: pkt.flow,
+                    seq: pkt.header.seq,
+                    where_: site,
+                });
+            }
+            return;
+        }
+        self.queues[l].push_back(pkt);
+        self.try_start(link);
+    }
+
+    fn can_start(&self, link: LinkId) -> bool {
+        let l = link.index();
+        self.busy[l].is_none()
+            && !self.queues[l].is_empty()
+            && self.net.link(link).is_alive()
+            && self.imap.domain(link).iter().all(|&i| self.busy[i.index()].is_none())
+    }
+
+    fn try_start(&mut self, link: LinkId) {
+        if !self.can_start(link) {
+            return;
+        }
+        let l = link.index();
+        let pkt = self.queues[l].pop_front().expect("checked non-empty");
+        let mut duration = self.net.link(link).tx_time_secs(pkt.size_bits);
+        if self.cfg.saturation_penalty > 0.0 {
+            // CSMA saturation rolloff (see SimConfig::saturation_penalty):
+            // collisions and back-off waste airtime once the domain's
+            // offered load exceeds what it can carry.
+            let y: f64 = self
+                .imap
+                .domain(link)
+                .iter()
+                .map(|&i| self.penalty_demand[i.index()])
+                .sum();
+            // Tolerance band: a controlled flow rides y ≈ 1 − δ (exactly
+            // 1.0 when δ = 0) with measurement jitter; only *persistent*
+            // overdrive pays (the penalty demand is slow-smoothed).
+            if y > 1.1 {
+                duration *= 1.0 + self.cfg.saturation_penalty * (y - 1.1);
+            }
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::TxStart {
+                t: self.now,
+                link: link.0,
+                flow: pkt.flow,
+                seq: pkt.header.seq,
+                bits: pkt.size_bits,
+            });
+        }
+        self.busy[l] = Some(pkt);
+        self.last_start[l] = self.now;
+        self.events.push(self.now + duration, Event::TxEnd { link });
+    }
+
+    fn tx_end(&mut self, link: LinkId) {
+        let l = link.index();
+        let pkt = self.busy[l].take().expect("TxEnd without a frame on the air");
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::TxEnd {
+                t: self.now,
+                link: link.0,
+                flow: pkt.flow,
+                seq: pkt.header.seq,
+            });
+        }
+        self.receive(link, pkt);
+        // Give the freed medium to the longest-waiting backlogged contender
+        // (round-robin-fair CSMA without collisions), then everyone else
+        // that still fits.
+        let mut candidates: Vec<LinkId> = self.imap.domain(link).to_vec();
+        candidates.sort_by(|a, b| {
+            self.last_start[a.index()]
+                .total_cmp(&self.last_start[b.index()])
+                .then_with(|| a.cmp(b))
+        });
+        for cand in candidates {
+            self.try_start(cand);
+        }
+    }
+
+    fn receive(&mut self, link: LinkId, mut pkt: SimPacket) {
+        let node = self.net.link(link).to;
+        let medium = self.net.link(link).medium;
+        let arrived_iface =
+            self.reg.id_of(node, medium).expect("receiving interface exists");
+        if pkt.header.route.is_destination(arrived_iface) {
+            self.arrive_at_destination(pkt);
+            return;
+        }
+        let Some(next_iface) = pkt.header.route.next_hop_after(arrived_iface) else {
+            // Mis-routed (e.g. stale route after failure): drop.
+            self.stats[pkt.flow].dropped_in_network += 1;
+            return;
+        };
+        let Some((nnode, nmedium)) = self.reg.iface_of(next_iface) else {
+            self.stats[pkt.flow].dropped_in_network += 1;
+            return;
+        };
+        let Some(next_link) = self.net.find_link(node, nnode, nmedium).map(|l| l.id) else {
+            self.stats[pkt.flow].dropped_in_network += 1;
+            return;
+        };
+        // Forwarding node adds its price contribution (Eq. (9)).
+        let contribution = self.price_states[node.index()].price_contribution(
+            &self.net,
+            &self.broadcasts,
+            next_link,
+        );
+        pkt.header.add_price(contribution);
+        self.enqueue_link(next_link, pkt);
+    }
+
+    fn arrive_at_destination(&mut self, pkt: SimPacket) {
+        let f = pkt.flow;
+        let route = pkt.route;
+        let seq = pkt.header.seq;
+        let price = pkt.header.price as f64;
+        let delay = self.now - pkt.created_at;
+        if let Some(eq) = self.flows[f].delay_eq.as_mut() {
+            let hold = eq.on_arrival(route, delay);
+            if hold > 1e-9 {
+                self.events.push(
+                    self.now + hold,
+                    Event::Release { flow: f, route, seq, price, created_at: pkt.created_at },
+                );
+                return;
+            }
+        }
+        self.deliver_to_reorder(f, route, seq, price, pkt.created_at);
+    }
+
+    fn deliver_to_reorder(
+        &mut self,
+        f: usize,
+        route: usize,
+        seq: u32,
+        price: f64,
+        created_at: f64,
+    ) {
+        // End-to-end latency sample: source emission to (pre-reorder)
+        // arrival at the destination stack, including any delay-equalizer
+        // hold that brought us here.
+        let delay = self.now - created_at;
+        let st = &mut self.stats[f];
+        st.delay_sum_secs += delay;
+        st.delay_samples += 1;
+        if delay > st.delay_max_secs {
+            st.delay_max_secs = delay;
+        }
+        self.flows[f].acks.observe_price(route, price);
+        let events = self.flows[f].reorder.accept(route, seq);
+        let mut delivered_now = 0u64;
+        let mut tcp_acks: Vec<u32> = Vec::new();
+        for ev in events {
+            match ev {
+                ReorderEvent::Deliver(s) => {
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.push(TraceEvent::Deliver { t: self.now, flow: f, seq: s });
+                    }
+                    self.flows[f].acks.count_delivery();
+                    delivered_now += 1;
+                    if let Some(tcp) = self.flows[f].tcp.as_mut() {
+                        if let Some(ts) = tcp.wire_to_tcp.remove(&s) {
+                            tcp_acks.push(tcp.receiver.on_segment(ts));
+                        }
+                    }
+                }
+                ReorderEvent::Lost(s) => {
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.push(TraceEvent::DeclaredLost { t: self.now, flow: f, seq: s });
+                    }
+                    self.stats[f].declared_lost += 1;
+                }
+            }
+        }
+        if delivered_now > 0 {
+            let bits = delivered_now * self.cfg.frame_bits;
+            self.stats[f].delivered_bits += bits;
+            let bucket = self.now as usize;
+            let series = &mut self.stats[f].throughput_series;
+            if series.len() <= bucket {
+                series.resize(bucket + 1, 0.0);
+            }
+            series[bucket] += bits as f64 / 1e6;
+            self.flows[f].file_frames_delivered += delivered_now;
+            self.check_file_completion(f);
+        }
+        if let Some(tcp) = self.flows[f].tcp.as_ref() {
+            let ack_delay = tcp.ack_delay;
+            for ack in tcp_acks {
+                self.events.push(
+                    self.now + ack_delay,
+                    Event::TcpAckArrival { flow: f, ack_seq: ack, dup: false },
+                );
+            }
+        }
+    }
+
+    fn check_file_completion(&mut self, f: usize) {
+        let Some(goal) = self.flows[f].current_file_frames else {
+            return;
+        };
+        if self.flows[f].file_frames_delivered < goal {
+            return;
+        }
+        self.stats[f].completions.push(self.now - self.flows[f].file_began_at);
+        match self.flows[f].spec.pattern {
+            TrafficPattern::PoissonFiles { size_bytes, .. } => {
+                if let Some(ready) = self.flows[f].pending_files.pop_front() {
+                    let begin_in = (ready - self.now).max(0.0);
+                    // Sequential downloads: the next file begins when it is
+                    // both ready and the previous one is done. In-flight
+                    // frames of the old file carry over.
+                    let frames = (size_bytes * 8).div_ceil(self.cfg.frame_bits);
+                    let excess = self.flows[f].file_frames_delivered - goal;
+                    let fl = &mut self.flows[f];
+                    fl.current_file_frames = Some(frames);
+                    fl.file_frames_delivered = excess;
+                    fl.file_began_at = self.now + begin_in;
+                    fl.emission_not_before = self.now + begin_in;
+                    self.schedule_emit(f, begin_in);
+                } else {
+                    self.flows[f].active = false;
+                    self.flows[f].current_file_frames = None;
+                }
+            }
+            _ => {
+                self.flows[f].active = false;
+                self.flows[f].current_file_frames = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    fn control_tick(&mut self) {
+        let slot = self.cfg.slot_secs;
+        // 1. Per-link airtime-demand measurement over the last slot, with
+        //    optional capacity-estimation error.
+        for l in 0..self.net.link_count() {
+            let link = self.net.link(LinkId(l as u32));
+            let demand = if link.is_alive() {
+                self.demand_bits[l] / (link.capacity_mbps * 1e6 * slot)
+            } else if self.demand_bits[l] > 0.0 {
+                // Traffic offered to a dead link: the capacity estimator
+                // notices within ~100 ms (§6.1), and a zero-capacity link
+                // under any load is infinitely oversubscribed. Report a
+                // mildly saturated demand: enough for prices to drain the
+                // route, small enough that γ unwinds quickly on recovery
+                // (the γ update (8) decays at most α per slot).
+                1.2
+            } else {
+                0.0
+            };
+            let noisy = if self.cfg.estimation_rel_std > 0.0 {
+                demand * normal(&mut self.rng, 1.0, self.cfg.estimation_rel_std).max(0.05)
+            } else {
+                demand
+            };
+            let smoothed = self.cfg.demand_ewma * noisy
+                + (1.0 - self.cfg.demand_ewma) * self.last_demand[l];
+            let owner = link.from;
+            self.price_states[owner.index()].set_demand(LinkId(l as u32), smoothed);
+            self.last_demand[l] = smoothed;
+            self.penalty_demand[l] = 0.05 * noisy + 0.95 * self.penalty_demand[l];
+            self.demand_bits[l] = 0.0;
+        }
+        // 2. TCP piggyback (§6.4): destinations of active TCP flows flag
+        //    themselves; the flag rides on their price broadcasts and
+        //    tightens the airtime budget across their contention domains.
+        let mut tcp_nodes = vec![false; self.net.node_count()];
+        for fl in &self.flows {
+            if fl.active && fl.spec.pattern.is_tcp() {
+                tcp_nodes[fl.spec.dst.index()] = true;
+            }
+        }
+        for s in self.price_states.iter_mut() {
+            s.set_tcp_receiver(tcp_nodes[s.node().index()]);
+        }
+        // 3. Broadcast, overhear, update duals.
+        let broadcasts: Vec<PriceBroadcast> =
+            self.price_states.iter().flat_map(|s| s.make_broadcasts(&self.net)).collect();
+        let alpha = self.cfg.cc.alpha;
+        let delta = self.cfg.delta;
+        let delta_tcp = self.cfg.tcp_delta.max(delta);
+        for s in self.price_states.iter_mut() {
+            s.update_gammas_with_tcp_margin(&broadcasts, alpha, delta, delta_tcp);
+        }
+        // 3. Fresh broadcasts carry the updated γ sums for the coming slot.
+        self.broadcasts =
+            self.price_states.iter().flat_map(|s| s.make_broadcasts(&self.net)).collect();
+        // 4. ACKs and controller steps.
+        for f in 0..self.flows.len() {
+            if self.flows[f].controller.is_none() {
+                continue;
+            }
+            let ack = self.flows[f].acks.maybe_ack(self.now);
+            let prices: Vec<Option<f64>> = match ack {
+                Some(a) => a.route_prices,
+                None => vec![None; self.flows[f].spec.routes.len()],
+            };
+            let rates =
+                self.flows[f].controller.as_mut().expect("checked above").on_ack(&prices);
+            self.flows[f].scheduler.set_rates(&rates.per_route);
+        }
+        // 5. Once per second: sample injected rates.
+        let per_sec = (1.0 / slot).round() as u64;
+        if self.ticks.is_multiple_of(per_sec) {
+            for f in 0..self.flows.len() {
+                let rates: Vec<f64> = match self.flows[f].controller.as_ref() {
+                    Some(c) => c.rates().to_vec(),
+                    None => self.flows[f].spec.open_loop_rates.clone(),
+                };
+                let series = &mut self.stats[f].rate_series;
+                if series.is_empty() {
+                    *series = vec![Vec::new(); rates.len()];
+                }
+                for (r, &x) in rates.iter().enumerate() {
+                    series[r].push(if self.flows[f].active { x } else { 0.0 });
+                }
+            }
+        }
+        self.ticks += 1;
+        // Early exit: once every flow has started and finished and the MAC
+        // is drained, further control ticks are no-ops; stopping them lets
+        // the event loop run dry instead of idling to the horizon (file
+        // downloads end when they end, not at the simulation horizon).
+        let all_done = self.started_flows == self.flows.len()
+            && self.flows.iter().all(|f| !f.active)
+            && self.busy.iter().all(Option::is_none)
+            && self.queues.iter().all(VecDeque::is_empty);
+        if !all_done {
+            self.events.push(self.now + slot, Event::ControlTick);
+        }
+    }
+
+    fn link_change(&mut self, link: LinkId, capacity_mbps: f64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::LinkChange { t: self.now, link: link.0, capacity_mbps });
+        }
+        self.net.set_capacity(link, capacity_mbps);
+        let l = link.index();
+        if !self.net.link(link).is_alive() {
+            // Queued frames on a dead link are lost.
+            for pkt in self.queues[l].drain(..) {
+                self.stats[pkt.flow].dropped_in_network += 1;
+            }
+        } else {
+            self.try_start(link);
+        }
+        // Route-capacity clamps in controllers are intentionally NOT
+        // updated: the controller adapts through prices, as in the paper
+        // (routes are only recomputed on failures, by the caller).
+    }
+
+    // ------------------------------------------------------------------
+    // TCP
+    // ------------------------------------------------------------------
+
+    fn tcp_pump(&mut self, f: usize) {
+        if !self.flows[f].active {
+            return;
+        }
+        loop {
+            let Some(tcp) = self.flows[f].tcp.as_mut() else { return };
+            let Some((tcp_seq, is_retx)) = tcp.sender.next_to_send() else {
+                break;
+            };
+            tcp.sender.on_sent(tcp_seq, self.now, is_retx);
+            // Into the source queue; the drain loop paces admission. A full
+            // queue is the §6.4 drop TCP perceives as congestion.
+            if self.flows[f].tcp_backlog.len() >= 64 {
+                self.stats[f].dropped_at_source += 1;
+            } else {
+                self.flows[f].tcp_backlog.push_back(tcp_seq);
+            }
+        }
+        self.tcp_drain(f);
+        self.tcp_arm_rto(f);
+    }
+
+    /// Drains the TCP source queue at the admitted rate.
+    fn tcp_drain(&mut self, f: usize) {
+        if self.flows[f].tcp_backlog.is_empty() || !self.flows[f].active {
+            return;
+        }
+        let bits = self.cfg.frame_bits;
+        let choice = if self.flows[f].spec.use_cc {
+            self.flows[f].scheduler.offer(&mut self.rng, self.now, bits)
+        } else {
+            RouteChoice::Route(0)
+        };
+        match choice {
+            RouteChoice::Drop => {
+                // No tokens yet: retry after roughly one frame time at the
+                // admitted rate; the segment stays queued.
+            }
+            RouteChoice::Route(r) => {
+                let tcp_seq = self.flows[f].tcp_backlog.pop_front().expect("checked");
+                let wire_seq = self.flows[f].scheduler.next_seq();
+                self.send_on_route(f, r, wire_seq, PacketKind::TcpData, Some(tcp_seq));
+            }
+        }
+        if !self.flows[f].tcp_backlog.is_empty() {
+            let rate = self.flows[f].scheduler.total_rate().max(1.0);
+            let interval = bits as f64 / 1e6 / rate;
+            self.schedule_emit(f, interval);
+        }
+    }
+
+    fn tcp_arm_rto(&mut self, f: usize) {
+        let Some(tcp) = self.flows[f].tcp.as_mut() else { return };
+        if tcp.rto_check_at.is_none() {
+            let at = self.now + tcp.sender.rto();
+            tcp.rto_check_at = Some(at);
+            self.events.push(at, Event::TcpRtoCheck { flow: f });
+        }
+    }
+
+    fn tcp_ack(&mut self, f: usize, ack_seq: u32) {
+        {
+            let Some(tcp) = self.flows[f].tcp.as_mut() else { return };
+            tcp.sender.on_ack(ack_seq, self.now);
+            if tcp.sender.done() {
+                let elapsed = self.now - self.stats[f].started_at;
+                self.stats[f].completions.push(elapsed);
+                self.flows[f].active = false;
+                return;
+            }
+        }
+        self.tcp_pump(f);
+    }
+
+    fn tcp_rto_check(&mut self, f: usize) {
+        let active = self.flows[f].active;
+        let retransmit = {
+            let Some(tcp) = self.flows[f].tcp.as_mut() else { return };
+            tcp.rto_check_at = None;
+            if !active {
+                return;
+            }
+            match tcp.sender.on_rto_check(self.now) {
+                Some(next) => {
+                    tcp.rto_check_at = Some(next);
+                    true
+                }
+                None => false,
+            }
+        };
+        if retransmit {
+            let at = self.flows[f].tcp.as_ref().expect("tcp flow").rto_check_at;
+            if let Some(at) = at {
+                self.events.push(at, Event::TcpRtoCheck { flow: f });
+            }
+            self.tcp_pump(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, Path, SharedMedium};
+
+    fn fig1_sim() -> (Simulation, Vec<Path>) {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        let sim = Simulation::new(s.net, imap, SimConfig::default());
+        (sim, vec![route1, route2])
+    }
+
+    #[test]
+    fn empower_flow_reaches_the_multipath_optimum() {
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 300.0));
+        let report = sim.run(300.0);
+        let t = report.final_throughput(0, 10);
+        // Paper optimum: 16.67 Mbps. The packet sim pays real queueing and
+        // slot granularity; expect within ~10 %.
+        assert!(t > 15.0 && t < 17.5, "throughput {t}");
+    }
+
+    #[test]
+    fn single_route_flow_saturates_the_path() {
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        sim.add_flow(FlowSpecSim::saturated(src, dst, vec![routes[0].clone()], 60.0));
+        let report = sim.run(60.0);
+        let t = report.final_throughput(0, 10);
+        assert!(t > 8.5 && t < 10.5, "throughput {t}"); // R(P) = 10
+    }
+
+    #[test]
+    fn open_loop_overload_collapses() {
+        // Drive the 2-hop WiFi route at 3× capacity without CC: goodput
+        // lands well below the 10 Mbps a paced source would get.
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[1].source(sim.network());
+        let dst = routes[1].destination(sim.network());
+        sim.add_flow(FlowSpecSim {
+            src,
+            dst,
+            routes: vec![routes[1].clone()],
+            use_cc: false,
+            open_loop_rates: vec![30.0],
+            pattern: TrafficPattern::SaturatedUdp { start: 0.0, stop: 60.0 },
+            delay_equalization: false,
+        });
+        let report = sim.run(60.0);
+        let t = report.final_throughput(0, 10);
+        // The frame-fair MAC caps goodput at the path capacity; the damage
+        // of over-driving shows as sustained queue drops (and, with
+        // contending flows, wasted shared airtime).
+        assert!(t < 10.8, "goodput {t} cannot exceed R(P)");
+        assert!(report.flows[0].dropped_in_network > 1000, "sustained queue drops");
+    }
+
+    #[test]
+    fn file_download_completes_and_records_duration() {
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        sim.add_flow(FlowSpecSim {
+            src,
+            dst,
+            routes,
+            use_cc: true,
+            open_loop_rates: Vec::new(),
+            // 5 MB at ~16 Mbps ≈ 2.5 s + ramp.
+            pattern: TrafficPattern::FileDownload { start: 0.0, size_bytes: 5_000_000 },
+            delay_equalization: false,
+        });
+        let report = sim.run(120.0);
+        assert_eq!(report.flows[0].completions.len(), 1);
+        let dur = report.flows[0].completions[0];
+        assert!(dur > 2.0 && dur < 60.0, "duration {dur}");
+    }
+
+    #[test]
+    fn two_contending_flows_share_the_wifi_medium() {
+        // Flow A on the 1-hop WiFi a→b link, flow B on the 1-hop WiFi b→c
+        // link: same domain, so rates must sum to ≲ the Lemma-1 region.
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
+        let wifi_bc = Path::new(&s.net, vec![s.wifi_bc]).unwrap();
+        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
+        let a_src = s.gateway;
+        let a_dst = s.extender;
+        sim.add_flow(FlowSpecSim::saturated(a_src, a_dst, vec![wifi_ab], 120.0));
+        sim.add_flow(FlowSpecSim::saturated(s.extender, s.client, vec![wifi_bc], 120.0));
+        let report = sim.run(120.0);
+        let ta = report.final_throughput(0, 10);
+        let tb = report.final_throughput(1, 10);
+        // Airtime feasibility: ta/15 + tb/30 ≤ 1 (+ tolerance).
+        assert!(ta / 15.0 + tb / 30.0 < 1.08, "ta {ta} tb {tb}");
+        assert!(ta > 3.0 && tb > 3.0, "both make progress: {ta}, {tb}");
+    }
+
+    #[test]
+    fn link_failure_kills_the_route_traffic() {
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        let plc_link = routes[0].links()[0];
+        sim.add_flow(FlowSpecSim::saturated(src, dst, vec![routes[0].clone()], 60.0));
+        sim.schedule_link_change(30.0, plc_link, 0.0);
+        let report = sim.run(60.0);
+        let before = report.flows[0].mean_throughput(20, 29);
+        let after = report.flows[0].mean_throughput(40, 59);
+        assert!(before > 8.0, "before {before}");
+        assert!(after < 0.5, "after {after}");
+    }
+
+    #[test]
+    fn tcp_transfers_over_empower() {
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        sim.add_flow(FlowSpecSim {
+            src,
+            dst,
+            routes,
+            use_cc: true,
+            open_loop_rates: Vec::new(),
+            pattern: TrafficPattern::Tcp { start: 0.0, stop: 120.0, size_bytes: 0 },
+            delay_equalization: true,
+        });
+        let report = sim.run(120.0);
+        let t = report.final_throughput(0, 20);
+        assert!(t > 8.0, "TCP throughput {t}");
+        // TCP over two routes beats the best single route (10 Mbps)...
+        assert!(t > 10.0, "multipath TCP gain: {t}");
+    }
+
+    #[test]
+    fn external_interference_is_respected_not_squeezed() {
+        // §4.3: "except during a short transition phase, non-EMPoWER
+        // clients are not affected by EMPoWER clients". An external node
+        // half-loads the WiFi a→b link; the EMPoWER flow must leave that
+        // traffic intact and fill only the residual region.
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        let wifi_ab = routes[1].links()[0];
+        let ext =
+            FlowSpecSim::external(sim.network(), wifi_ab, 7.5, 0.0, 300.0);
+        let ext_idx = sim.add_flow(ext);
+        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 300.0));
+        let report = sim.run(300.0);
+        let ext_thpt = report.final_throughput(ext_idx, 30);
+        // The external source keeps (almost) its full 7.5 Mbps.
+        assert!(ext_thpt > 7.0, "external throughput {ext_thpt}");
+        // And the EMPoWER flow still exploits the residual WiFi airtime
+        // on top of the PLC route (strictly more than PLC-only, strictly
+        // less than the uncontended 16.7 optimum).
+        let emp = report.final_throughput(1, 10);
+        assert!(emp > 10.5, "EMPoWER should still use residual WiFi: {emp}");
+        assert!(emp < 15.0, "but cannot take what the external node holds: {emp}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut sim, routes) = fig1_sim();
+            let src = routes[0].source(sim.network());
+            let dst = routes[0].destination(sim.network());
+            sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 30.0));
+            let r = sim.run(30.0);
+            (r.flows[0].delivered_bits, r.flows[0].sent_frames)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mac_never_violates_interference() {
+        // White-box check: during a busy run, at no point are two
+        // interfering links on the air together. We verify post-hoc via the
+        // invariant embedded in try_start by running with debug assertions
+        // and asserting global progress.
+        let (mut sim, routes) = fig1_sim();
+        let src = routes[0].source(sim.network());
+        let dst = routes[0].destination(sim.network());
+        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 20.0));
+        let report = sim.run(20.0);
+        assert!(report.flows[0].delivered_bits > 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::{Trace, TraceEvent};
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, Path, SharedMedium};
+
+    #[test]
+    fn trace_records_the_life_of_a_flow() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
+        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
+        sim.add_flow(FlowSpecSim::saturated(s.gateway, s.client, vec![route1], 10.0));
+        sim.attach_trace(Trace::bounded(50_000));
+        let report = sim.run(10.0);
+        let trace = sim.take_trace().expect("trace attached");
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Conservation: every Deliver seq was first seen in a TxStart.
+        let started: std::collections::HashSet<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TxStart { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        let mut delivered = 0u64;
+        for e in events {
+            if let TraceEvent::Deliver { seq, .. } = e {
+                assert!(started.contains(seq), "delivered seq {seq} never transmitted");
+                delivered += 1;
+            }
+        }
+        let frames = report.flows[0].delivered_bits / SimConfig::default().frame_bits;
+        assert_eq!(delivered, frames, "trace deliveries match stats");
+    }
+
+    #[test]
+    fn trace_airtime_respects_wall_clock() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
+        let wifi_ab = s.wifi_ab;
+        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
+        sim.add_flow(FlowSpecSim::saturated(s.gateway, s.client, vec![route2], 20.0));
+        sim.attach_trace(Trace::new());
+        sim.run(20.0);
+        let trace = sim.take_trace().unwrap();
+        let airtime = trace.airtime_on(wifi_ab);
+        assert!(airtime > 0.0);
+        assert!(airtime <= 20.0, "airtime {airtime} exceeds the run length");
+    }
+}
+
+#[cfg(test)]
+mod tcp_margin_tests {
+    use super::*;
+    use empower_model::topology::fig1_scenario;
+    use empower_model::{InterferenceModel, Path, SharedMedium};
+
+    /// §6.4: the δ = 0.3 budget applies exactly in the contention domain of
+    /// a TCP receiver — UDP flows sharing that domain keep their airtime
+    /// sum at ≤ 0.7, leaving TCP its headroom.
+    #[test]
+    fn udp_in_a_tcp_domain_respects_the_tcp_margin() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
+        let wifi_bc = Path::new(&s.net, vec![s.wifi_bc]).unwrap();
+        let mut sim = Simulation::new(s.net.clone(), imap.clone(), SimConfig::default());
+        // UDP flow on wifi a→b; TCP flow on wifi b→c: same WiFi domain.
+        let udp = sim.add_flow(FlowSpecSim::saturated(
+            s.gateway,
+            s.extender,
+            vec![wifi_ab],
+            300.0,
+        ));
+        sim.add_flow(FlowSpecSim {
+            src: s.extender,
+            dst: s.client,
+            routes: vec![wifi_bc],
+            use_cc: true,
+            open_loop_rates: Vec::new(),
+            pattern: TrafficPattern::Tcp { start: 0.0, stop: 300.0, size_bytes: 0 },
+            delay_equalization: true,
+        });
+        let report = sim.run(300.0);
+        let t_udp = report.final_throughput(udp, 20);
+        let t_tcp = report.final_throughput(1, 20);
+        // Both progress, and the joint WiFi airtime honours the 0.7 budget
+        // the TCP piggyback imposes on the whole domain.
+        let airtime = t_udp / 15.0 + t_tcp / 30.0;
+        assert!(t_udp > 2.0 && t_tcp > 2.0, "udp {t_udp}, tcp {t_tcp}");
+        assert!(airtime < 0.76, "domain airtime {airtime:.2} exceeds the TCP budget");
+    }
+
+    /// Without any TCP flow the default margin applies (airtime → ~1).
+    #[test]
+    fn udp_alone_keeps_the_default_margin() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
+        let mut sim = Simulation::new(s.net.clone(), imap, SimConfig::default());
+        let udp =
+            sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 200.0));
+        let report = sim.run(200.0);
+        let t_udp = report.final_throughput(udp, 20);
+        assert!(t_udp > 13.0, "no TCP around: full budget, got {t_udp}");
+    }
+}

@@ -1,0 +1,139 @@
+//! The event queue: a deterministic time-ordered heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use empower_model::LinkId;
+
+/// Simulator events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A frame finishes transmitting on `link`.
+    TxEnd { link: LinkId },
+    /// The application of flow `flow` offers its next packet.
+    Emit { flow: usize },
+    /// The 100 ms control slot boundary: demand measurement, price
+    /// broadcasts, dual updates, ACKs, controller steps, stats sampling.
+    ControlTick,
+    /// Failure injection / capacity change.
+    LinkChange { link: LinkId, capacity_mbps: f64 },
+    /// Delay-equalization release of a held packet into the reorder buffer.
+    Release { flow: usize, route: usize, seq: u32, price: f64, created_at: f64 },
+    /// A TCP acknowledgement arrives back at the sender of `flow`.
+    TcpAckArrival { flow: usize, ack_seq: u32, dup: bool },
+    /// TCP retransmission-timeout check for `flow`.
+    TcpRtoCheck { flow: usize },
+    /// Start generating traffic for `flow`.
+    FlowStart { flow: usize },
+    /// Stop generating traffic for `flow`.
+    FlowStop { flow: usize },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: f64,
+    /// Insertion counter: deterministic FIFO tie-break at equal times.
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    counter: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at` (seconds).
+    pub fn push(&mut self, at: f64, event: Event) {
+        debug_assert!(at.is_finite() && at >= 0.0, "bad event time {at}");
+        self.heap.push(Scheduled { at, seq: self.counter, event });
+        self.counter += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::ControlTick);
+        q.push(1.0, Event::Emit { flow: 0 });
+        q.push(3.0, Event::ControlTick);
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::Emit { flow: 0 });
+        q.push(1.0, Event::Emit { flow: 1 });
+        q.push(1.0, Event::Emit { flow: 2 });
+        for expect in 0..3 {
+            match q.pop().unwrap().1 {
+                Event::Emit { flow } => assert_eq!(flow, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5.0, Event::ControlTick);
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Flow specifications: who talks to whom, over which routes, with what
+//! traffic pattern.
+
+use empower_model::{NodeId, Path};
+use serde::{Deserialize, Serialize};
+
+/// The application driving a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Saturated UDP (the paper's iperf runs): the application always has
+    /// data; the stack admits what congestion control allows.
+    SaturatedUdp {
+        start: f64,
+        stop: f64,
+    },
+    /// A single file download of `size_bytes`, finished when the receiver
+    /// has the full payload (lost frames are re-offered by the source, as
+    /// an application-level repair loop would).
+    FileDownload {
+        start: f64,
+        size_bytes: u64,
+    },
+    /// `count` sequential file downloads whose start times follow a Poisson
+    /// process: each file starts `Exp(mean_gap_secs)` after the previous
+    /// file *finished or started, whichever is later* (Table 1's Conc
+    /// workload).
+    PoissonFiles {
+        start: f64,
+        count: u32,
+        size_bytes: u64,
+        mean_gap_secs: f64,
+    },
+    /// A TCP bulk transfer (mini-TCP of [`crate::tcp`]); `size_bytes = 0`
+    /// means run until `stop`.
+    Tcp {
+        start: f64,
+        stop: f64,
+        size_bytes: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// When the flow first becomes active.
+    pub fn start_time(&self) -> f64 {
+        match *self {
+            TrafficPattern::SaturatedUdp { start, .. }
+            | TrafficPattern::FileDownload { start, .. }
+            | TrafficPattern::PoissonFiles { start, .. }
+            | TrafficPattern::Tcp { start, .. } => start,
+        }
+    }
+
+    /// Explicit stop time, if the pattern has one.
+    pub fn stop_time(&self) -> Option<f64> {
+        match *self {
+            TrafficPattern::SaturatedUdp { stop, .. } => Some(stop),
+            TrafficPattern::Tcp { stop, .. } => Some(stop),
+            _ => None,
+        }
+    }
+
+    /// True for TCP flows.
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, TrafficPattern::Tcp { .. })
+    }
+}
+
+/// One flow handed to the simulator.
+#[derive(Debug, Clone)]
+pub struct FlowSpecSim {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Routes selected by the routing layer (1 = single path).
+    pub routes: Vec<Path>,
+    /// Run the congestion controller. When `false`, the flow injects
+    /// open-loop at `open_loop_rates` (the w/o-CC schemes).
+    pub use_cc: bool,
+    /// Per-route open-loop rates, Mbps (ignored when `use_cc`); typically
+    /// the routing layer's nominal `R(P)`.
+    pub open_loop_rates: Vec<f64>,
+    pub pattern: TrafficPattern,
+    /// Destination-side delay equalization (§6.4; on for TCP).
+    pub delay_equalization: bool,
+}
+
+impl FlowSpecSim {
+    /// A congestion-controlled saturated-UDP flow (the common case).
+    pub fn saturated(src: NodeId, dst: NodeId, routes: Vec<Path>, stop: f64) -> Self {
+        FlowSpecSim {
+            src,
+            dst,
+            routes,
+            use_cc: true,
+            open_loop_rates: Vec::new(),
+            pattern: TrafficPattern::SaturatedUdp { start: 0.0, stop },
+            delay_equalization: false,
+        }
+    }
+
+    /// An **external** (non-EMPoWER) traffic source: a fixed-rate,
+    /// open-loop, single-hop transmission on one link (§4.3). EMPoWER
+    /// nodes overhear its airtime through their demand measurements and
+    /// converge to the optimum of the residual region — without ever
+    /// throttling the external node, which doesn't listen to prices.
+    pub fn external(net: &empower_model::Network, link: empower_model::LinkId,
+                    rate_mbps: f64, start: f64, stop: f64) -> Self {
+        let l = net.link(link);
+        FlowSpecSim {
+            src: l.from,
+            dst: l.to,
+            routes: vec![Path::from_links_unchecked(vec![link])],
+            use_cc: false,
+            open_loop_rates: vec![rate_mbps],
+            pattern: TrafficPattern::SaturatedUdp { start, stop },
+            delay_equalization: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_times() {
+        let p = TrafficPattern::SaturatedUdp { start: 1.0, stop: 9.0 };
+        assert_eq!(p.start_time(), 1.0);
+        assert_eq!(p.stop_time(), Some(9.0));
+        let f = TrafficPattern::FileDownload { start: 2.0, size_bytes: 100 };
+        assert_eq!(f.start_time(), 2.0);
+        assert_eq!(f.stop_time(), None);
+        assert!(!f.is_tcp());
+        assert!(TrafficPattern::Tcp { start: 0.0, stop: 1.0, size_bytes: 0 }.is_tcp());
+    }
+}

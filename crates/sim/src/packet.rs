@@ -1,0 +1,51 @@
+//! Simulated frames.
+
+use empower_datapath::EmpowerHeader;
+
+/// What a frame carries, beyond the EMPoWER layer-2.5 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Plain UDP-style data.
+    Data,
+    /// A TCP segment (the sequence number doubles as the TCP segment id).
+    TcpData,
+}
+
+/// One frame in flight or queued.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// The wire header (source route, accumulated price, sequence number).
+    pub header: EmpowerHeader,
+    /// Frame size on the wire, bits (header + payload).
+    pub size_bits: u64,
+    /// Owning flow index.
+    pub flow: usize,
+    /// Which of the flow's routes this packet rides (redundant with the
+    /// header's source route; kept for O(1) stats).
+    pub route: usize,
+    /// Emission time at the source, seconds.
+    pub created_at: f64,
+    pub kind: PacketKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_datapath::{IfaceId, SourceRoute};
+
+    #[test]
+    fn packet_carries_its_header() {
+        let route = SourceRoute::new(&[IfaceId(3), IfaceId(4)]).unwrap();
+        let p = SimPacket {
+            header: EmpowerHeader::new(route, 7),
+            size_bits: 96_000,
+            flow: 0,
+            route: 1,
+            created_at: 0.5,
+            kind: PacketKind::Data,
+        };
+        assert_eq!(p.header.seq, 7);
+        assert_eq!(p.header.route.len(), 2);
+        assert_eq!(p.kind, PacketKind::Data);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the paper's §1 worked example (Figure 1) end to end.
+//!
+//! A hybrid PLC/WiFi gateway (a), a PLC/WiFi range extender (b) and a
+//! WiFi-only laptop (c). The laptop downloads from the gateway. EMPoWER
+//! finds two simultaneously-usable routes and balances them optimally:
+//! 10 Mbps on the hybrid PLC→WiFi route, ≈ 6.6 Mbps on the two-hop
+//! WiFi route — a 66 % improvement over the best single path.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use empower_core::model::topology::fig1_scenario;
+use empower_core::model::{InterferenceModel, SharedMedium};
+use empower_core::{evaluate_fluid, FluidEval, Scheme};
+
+fn main() {
+    let s = fig1_scenario();
+    let imap = SharedMedium.build_map(&s.net);
+
+    println!("Topology: gateway (a) — extender (b) — laptop (c)");
+    for link in s.net.links().iter().filter(|l| l.from < l.to) {
+        println!(
+            "  {} → {} over {:<6} {:>5.0} Mbps",
+            link.from, link.to, link.medium.label(), link.capacity_mbps
+        );
+    }
+
+    // 1. What routes does EMPoWER pick, and at what nominal rates?
+    let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+    println!("\nEMPoWER route combination:");
+    for r in &routes.routes {
+        println!("  {}   R(P) = {:.1} Mbps", r.path.render(&s.net), r.nominal_rate);
+    }
+
+    // 2. Run the distributed congestion controller to equilibrium.
+    let flows = [(s.gateway, s.client)];
+    let emp = evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
+    let sp = evaluate_fluid(&s.net, &imap, &flows, Scheme::Sp, &FluidEval::default());
+
+    println!("\nConverged throughput:");
+    println!("  single path (SP):  {:>6.2} Mbps", sp.flow_rates[0]);
+    println!("  EMPoWER:           {:>6.2} Mbps", emp.flow_rates[0]);
+    println!(
+        "  gain:              {:>+6.0} %",
+        100.0 * (emp.flow_rates[0] / sp.flow_rates[0] - 1.0)
+    );
+    if let Some(slots) = emp.convergence_slots[0] {
+        println!(
+            "  converged within 1% of final after {slots} slots (~{:.1} s of 100 ms ACKs)",
+            slots as f64 * 0.1
+        );
+    }
+}

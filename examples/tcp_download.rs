@@ -1,0 +1,52 @@
+//! TCP over the layer-2.5 stack (§6.4): a bulk TCP transfer on the
+//! simulated 22-node testbed, plain single-path TCP vs TCP over EMPoWER
+//! with δ = 0.3 and destination-side delay equalization.
+//!
+//! Run: `cargo run --release --example tcp_download [src] [dst]`
+//! (node numbers are the paper's 1-based ids; default flow is 9 → 13).
+
+use empower_core::model::topology::testbed22;
+use empower_core::model::{CarrierSense, InterferenceModel};
+use empower_core::sim::{SimConfig, TrafficPattern};
+use empower_core::{build_simulation, Scheme};
+
+fn main() {
+    let arg = |i: usize, default: u32| {
+        std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let (src_no, dst_no) = (arg(1, 9), arg(2, 13));
+    let t = testbed22(1);
+    let imap = CarrierSense::default().build_map(&t.net);
+    let src = t.node(src_no);
+    let dst = t.node(dst_no);
+    println!("TCP bulk transfer node{src_no} → node{dst_no} on the simulated testbed\n");
+
+    for (label, scheme) in [("plain single-path TCP", Scheme::SpWoCc), ("TCP over EMPoWER", Scheme::Empower)] {
+        let routes = scheme.compute_routes(&t.net, &imap, src, dst, 5);
+        let flows =
+            [(src, dst, TrafficPattern::Tcp { start: 0.0, stop: 200.0, size_bytes: 0 })];
+        let (mut sim, mapping) = build_simulation(
+            &t.net,
+            &imap,
+            &flows,
+            scheme,
+            SimConfig { delta: 0.3, ..Default::default() },
+        );
+        let Some(f) = mapping[0] else {
+            println!("{label}: disconnected");
+            continue;
+        };
+        let report = sim.run(200.0);
+        println!("{label}:");
+        for r in &routes.routes {
+            println!("  route: {}", r.path.render(&t.net));
+        }
+        println!(
+            "  steady throughput (last 100 s): {:.1} Mbps   source drops: {}   reorder losses: {}\n",
+            report.flows[f].mean_throughput(100, 200),
+            report.flows[f].dropped_at_source,
+            report.flows[f].declared_lost,
+        );
+    }
+    println!("(δ = 0.3 leaves the headroom TCP needs; see `ablation_delta` for the sweep.)");
+}

@@ -1,0 +1,2 @@
+//! Workspace root crate: re-exports the public facade for examples and integration tests.
+pub use empower_core as core;
