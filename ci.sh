@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Local CI gate. Run from the repo root before sending a change out:
+#
+#   ./ci.sh          # fmt check + clippy + tier-1 build/test
+#   ./ci.sh quick    # skip the release build, debug tests only
+#
+# Tier-1 (ROADMAP.md): `cargo build --release && cargo test -q` must pass.
+set -eu
+
+cd "$(dirname "$0")"
+
+say() { printf '\n== %s ==\n' "$1"; }
+
+say "rustfmt (check only)"
+cargo fmt --check
+
+say "clippy, warnings are errors"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" = "quick" ]; then
+    say "tests (debug)"
+    cargo test -q
+else
+    say "tier-1: release build"
+    cargo build --release
+    say "tier-1: tests"
+    cargo test -q --release
+fi
+
+say "ci.sh: all gates passed"

@@ -22,12 +22,11 @@
 
 use empower_cc::Utility;
 use empower_model::{InterferenceMap, Network, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::conflict::{max_weight_independent_set, ConflictGraph};
 
 /// Backpressure parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BackpressureConfig {
     /// Utility/backlog trade-off `V`.
     pub v: f64,
@@ -144,8 +143,7 @@ impl Backpressure {
                     }
                 }
                 let Some(f) = best_f else { continue };
-                let amount =
-                    (link.capacity_mbps * tau).min(self.queues[link.from.index()][f]);
+                let amount = (link.capacity_mbps * tau).min(self.queues[link.from.index()][f]);
                 self.queues[link.from.index()][f] -= amount;
                 if self.flows[f].1 == link.to {
                     delivered_mb[f] += amount;
@@ -233,8 +231,7 @@ mod tests {
     fn no_traffic_without_flows() {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
-        let mut bp =
-            Backpressure::new(&s.net, &imap, vec![], BackpressureConfig::default());
+        let mut bp = Backpressure::new(&s.net, &imap, vec![], BackpressureConfig::default());
         let out = bp.run(&s.net, &ProportionalFair, 100);
         assert!(out.flow_throughputs.is_empty());
     }

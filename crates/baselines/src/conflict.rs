@@ -87,8 +87,7 @@ fn bron_kerbosch(
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&v| g.conflicts(u, v)).count())
         .expect("P ∪ X non-empty");
-    let candidates: Vec<usize> =
-        p.iter().copied().filter(|&v| !g.conflicts(pivot, v)).collect();
+    let candidates: Vec<usize> = p.iter().copied().filter(|&v| !g.conflicts(pivot, v)).collect();
     let mut p = p;
     let mut x = x;
     for v in candidates {
@@ -224,7 +223,7 @@ mod tests {
     #[test]
     fn mwis_ignores_zero_weights() {
         let g = fig1_graph();
-        let (set, total) = max_weight_independent_set(&g, &vec![0.0; 6]);
+        let (set, total) = max_weight_independent_set(&g, &[0.0; 6]);
         assert!(set.is_empty());
         assert_eq!(total, 0.0);
     }

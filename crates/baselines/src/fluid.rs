@@ -180,7 +180,7 @@ mod tests {
         let imap = SharedMedium.build_map(&s.net);
         let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
         let paced =
-            saturation_goodput(&s.net, &imap, &[route2.clone()], &[10.0]).delivered[0];
+            saturation_goodput(&s.net, &imap, std::slice::from_ref(&route2), &[10.0]).delivered[0];
         let wild = saturation_goodput(&s.net, &imap, &[route2], &[100.0]).delivered[0];
         assert!(paced > wild, "paced {paced} vs wild {wild}");
     }

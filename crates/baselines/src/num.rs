@@ -64,8 +64,7 @@ pub fn maximize_utility<U: Utility>(
         }
         // Exact line search on the concave φ(θ) = U(x + θ (s − x)).
         let eval = |theta: f64| {
-            let xt: Vec<f64> =
-                x.iter().zip(&s).map(|(xi, si)| xi + theta * (si - xi)).collect();
+            let xt: Vec<f64> = x.iter().zip(&s).map(|(xi, si)| xi + theta * (si - xi)).collect();
             problem.flow_rates(&xt).iter().map(|&f| utility.value(f)).sum::<f64>()
         };
         let mut lo = 0.0_f64;

@@ -16,12 +16,11 @@
 
 use empower_cc::CcProblem;
 use empower_model::{InterferenceMap, LinkId};
-use serde::{Deserialize, Serialize};
 
 use crate::conflict::{maximal_cliques, ConflictGraph};
 
 /// Which constraint family to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {
     Conservative,
     Cliques,
@@ -78,9 +77,9 @@ impl CapacityRegion {
 
     /// True if route rates `x` lie in the region (within tolerance).
     pub fn contains(&self, x: &[f64]) -> bool {
-        self.rows.iter().all(|row| {
-            row.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= self.budget + 1e-9
-        })
+        self.rows
+            .iter()
+            .all(|row| row.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= self.budget + 1e-9)
     }
 
     /// Number of constraint rows after deduplication.
@@ -148,9 +147,8 @@ mod tests {
         use empower_model::{CarrierSense, Medium, NetworkBuilder, Point};
         let mut b = NetworkBuilder::new();
         let m = vec![Medium::WIFI1];
-        let n: Vec<_> = (0..4)
-            .map(|i| b.add_node(Point::new(30.0 * i as f64, 0.0), m.clone(), None))
-            .collect();
+        let n: Vec<_> =
+            (0..4).map(|i| b.add_node(Point::new(30.0 * i as f64, 0.0), m.clone(), None)).collect();
         let (l0, _) = b.add_duplex(n[0], n[1], Medium::WIFI1, 30.0);
         let (l1, _) = b.add_duplex(n[1], n[2], Medium::WIFI1, 30.0);
         let (l2, _) = b.add_duplex(n[2], n[3], Medium::WIFI1, 30.0);

@@ -101,11 +101,8 @@ pub fn solve_lp(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<LpOutcome> {
                 let factor = t[i][enter];
                 // Two rows of the same tableau: split to borrow disjointly.
                 let (head, tail) = t.split_at_mut(i.max(leave));
-                let (row, pivot_row) = if i < leave {
-                    (&mut head[i], &tail[0])
-                } else {
-                    (&mut tail[0], &head[leave])
-                };
+                let (row, pivot_row) =
+                    if i < leave { (&mut head[i], &tail[0]) } else { (&mut tail[0], &head[leave]) };
                 for (v, pv) in row.iter_mut().zip(pivot_row) {
                     *v -= factor * pv;
                 }
@@ -179,12 +176,8 @@ mod tests {
         //   PLC domain:  x1/10 ≤ 1
         //   WiFi domain: x1/30 + x2(1/15 + 1/30) ≤ 1
         // max x1 + x2 → x1 = 10, x2 = 20/3.
-        let out = solve_lp(
-            &[1.0, 1.0],
-            &[vec![0.1, 0.0], vec![1.0 / 30.0, 0.1]],
-            &[1.0, 1.0],
-        )
-        .unwrap();
+        let out =
+            solve_lp(&[1.0, 1.0], &[vec![0.1, 0.0], vec![1.0 / 30.0, 0.1]], &[1.0, 1.0]).unwrap();
         assert!((out.x[0] - 10.0).abs() < 1e-9);
         assert!((out.x[1] - 20.0 / 3.0).abs() < 1e-9);
         assert!((out.objective - 50.0 / 3.0).abs() < 1e-9);

@@ -1,48 +1,34 @@
-//! Criterion benches for the control-plane kernels: one congestion-
+//! Micro-benchmarks for the control-plane kernels: one congestion-
 //! controller slot, the exact MWIS scheduler that makes backpressure
 //! "optimal but impractical", and the centralized reference solver.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use empower_baselines::{
     max_weight_independent_set, maximize_utility, CapacityRegion, ConflictGraph, RegionKind,
 };
+use empower_bench::harness::bench;
 use empower_cc::{CcConfig, CcProblem, MultipathController, ProportionalFair};
 use empower_core::Scheme;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
 
-fn bench_control(c: &mut Criterion) {
+fn main() {
     let t = testbed22(1);
     let imap = CarrierSense::default().build_map(&t.net);
-    let routes =
-        Scheme::Empower.compute_routes(&t.net, &imap, t.node(1), t.node(13), 5);
+    let routes = Scheme::Empower.compute_routes(&t.net, &imap, t.node(1), t.node(13), 5);
     let problem = CcProblem::new(&t.net, &imap, vec![routes.paths()]);
 
-    c.bench_function("cc/controller_slot_testbed22", |b| {
-        let mut ctl = MultipathController::new(&problem, ProportionalFair, CcConfig::default());
-        b.iter(|| {
-            ctl.step(&problem, &imap);
-            std::hint::black_box(ctl.rates()[0])
-        })
+    let mut ctl = MultipathController::new(&problem, ProportionalFair, CcConfig::default());
+    bench("cc/controller_slot_testbed22", || {
+        ctl.step(&problem, &imap);
+        ctl.rates()[0]
     });
 
-    c.bench_function("baselines/mwis_testbed22", |b| {
-        let g = ConflictGraph::from_interference(&imap);
-        let weights: Vec<f64> =
-            (0..g.len()).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
-        b.iter(|| max_weight_independent_set(&g, &weights))
-    });
+    let g = ConflictGraph::from_interference(&imap);
+    let weights: Vec<f64> = (0..g.len()).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
+    bench("baselines/mwis_testbed22", || max_weight_independent_set(&g, &weights));
 
-    c.bench_function("baselines/frank_wolfe_conservative", |b| {
-        let region =
-            CapacityRegion::build(&problem, &imap, RegionKind::Conservative, 0.0);
-        b.iter(|| maximize_utility(&problem, &region, &ProportionalFair, 50))
+    let region = CapacityRegion::build(&problem, &imap, RegionKind::Conservative, 0.0);
+    bench("baselines/frank_wolfe_conservative", || {
+        maximize_utility(&problem, &region, &ProportionalFair, 50)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_control
-}
-criterion_main!(benches);

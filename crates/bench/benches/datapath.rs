@@ -1,48 +1,32 @@
-//! Criterion benches for the layer-2.5 datapath kernels: the 20-byte header
+//! Micro-benchmarks for the layer-2.5 datapath kernels: the 20-byte header
 //! codec (touched on every forwarded frame) and the reorder buffer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use empower_bench::harness::bench;
 use empower_datapath::{EmpowerHeader, IfaceId, ReorderBuffer, SourceRoute};
 
-fn bench_header(c: &mut Criterion) {
-    let route =
-        SourceRoute::new(&[IfaceId(11), IfaceId(22), IfaceId(33), IfaceId(44)]).unwrap();
+fn main() {
+    let route = SourceRoute::new(&[IfaceId(11), IfaceId(22), IfaceId(33), IfaceId(44)]).unwrap();
     let mut header = EmpowerHeader::new(route, 123_456);
     header.add_price(0.375);
 
-    c.bench_function("header/encode", |b| {
-        let mut buf = Vec::with_capacity(32);
-        b.iter(|| {
-            buf.clear();
-            header.encode(&mut buf);
-            std::hint::black_box(&buf);
-        })
+    let mut buf = Vec::with_capacity(32);
+    bench("header/encode", || {
+        buf.clear();
+        header.encode(&mut buf);
+        buf.len()
     });
 
     let bytes = header.to_bytes();
-    c.bench_function("header/decode", |b| {
-        b.iter(|| EmpowerHeader::decode(&mut bytes.as_slice()).unwrap())
+    bench("header/decode", || EmpowerHeader::decode(&mut bytes.as_slice()).unwrap());
+
+    bench("reorder/two_route_interleave_1k", || {
+        let mut buf = ReorderBuffer::new(2);
+        let mut delivered = 0usize;
+        // Route 0 carries even seqs, route 1 odd, slightly skewed.
+        for s in 0..1000u32 {
+            let route = (s % 2) as usize;
+            delivered += buf.accept(route, s).len();
+        }
+        delivered
     });
 }
-
-fn bench_reorder(c: &mut Criterion) {
-    c.bench_function("reorder/two_route_interleave_1k", |b| {
-        b.iter(|| {
-            let mut buf = ReorderBuffer::new(2);
-            let mut delivered = 0usize;
-            // Route 0 carries even seqs, route 1 odd, slightly skewed.
-            for s in 0..1000u32 {
-                let route = (s % 2) as usize;
-                delivered += buf.accept(route, s).len();
-            }
-            std::hint::black_box(delivered)
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = bench_header, bench_reorder
-}
-criterion_main!(benches);

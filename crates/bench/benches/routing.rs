@@ -1,10 +1,10 @@
-//! Criterion benches for the routing kernels.
+//! Micro-benchmarks for the routing kernels.
 //!
 //! §3.2 claims the whole multipath computation takes ≈ 50 ms with n = 5 on
 //! the testbed routers (AMD G-T40E-class boards); `multipath/testbed22_n5`
 //! is the direct counterpart on the 22-node topology.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use empower_bench::harness::bench;
 use empower_core::Scheme;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
@@ -13,41 +13,22 @@ use empower_routing::{
     RouteQuery,
 };
 
-fn bench_routing(c: &mut Criterion) {
+fn main() {
     let t = testbed22(1);
     let imap = CarrierSense::default().build_map(&t.net);
     let src = t.node(1);
     let dst = t.node(13);
     let query = RouteQuery::new(src, dst).with_mediums(&Scheme::Empower.mediums());
 
-    c.bench_function("dijkstra/testbed22", |b| {
-        let metric = LinkMetric::ett(&t.net);
-        b.iter(|| shortest_path(&t.net, &metric, CscMode::Paper, &query))
-    });
-
-    c.bench_function("yen5/testbed22", |b| {
-        let metric = LinkMetric::ett(&t.net);
-        b.iter(|| k_shortest_paths(&t.net, &metric, CscMode::Paper, &query, 5))
-    });
+    let metric = LinkMetric::ett(&t.net);
+    bench("dijkstra/testbed22", || shortest_path(&t.net, &metric, CscMode::Paper, &query));
+    bench("yen5/testbed22", || k_shortest_paths(&t.net, &metric, CscMode::Paper, &query, 5));
 
     // The §3.2 end-to-end claim: full exploration tree with n-shortest.
-    let mut group = c.benchmark_group("multipath");
     for n in [1usize, 2, 3, 5, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("testbed22_n", n),
-            &n,
-            |b, &n| {
-                let config = MultipathConfig { n_shortest: n, ..Default::default() };
-                b.iter(|| best_combination(&t.net, &imap, &query, &config))
-            },
-        );
+        let config = MultipathConfig { n_shortest: n, ..Default::default() };
+        bench(&format!("multipath/testbed22_n{n}"), || {
+            best_combination(&t.net, &imap, &query, &config)
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_routing
-}
-criterion_main!(benches);

@@ -8,13 +8,11 @@
 //! the equalizer.
 
 use empower_bench::BenchArgs;
-use empower_core::{Scheme, sim::SimConfig, sim::TrafficPattern};
+use empower_core::{sim::SimConfig, sim::TrafficPattern, Scheme};
 use empower_model::{InterferenceModel, SharedMedium};
 use empower_sim::{FlowSpecSim, Simulation};
 use empower_testbed::fig9::fig9_network;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     delta: f64,
     delay_eq: bool,
@@ -23,18 +21,25 @@ struct Row {
     reorder_losses: u64,
 }
 
+empower_telemetry::impl_to_json_struct!(Row {
+    delta,
+    delay_eq,
+    tcp_mbps,
+    mean_delay_ms,
+    reorder_losses
+});
+
 fn main() {
     let args = BenchArgs::parse();
     let duration = if args.quick { 150.0 } else { 400.0 };
+    let tele = args.telemetry();
     println!("== Ablation: TCP delay equalization (two routes of different length) ==");
     println!(
         "{:>6} {:>10} {:>10} {:>14} {:>15}",
         "δ", "delay-eq", "TCP Mbps", "mean delay ms", "reorder losses"
     );
     let mut rows = Vec::new();
-    for (delta, delay_eq) in
-        [(0.05, false), (0.05, true), (0.3, false), (0.3, true)]
-    {
+    for (delta, delay_eq) in [(0.05, false), (0.05, true), (0.3, false), (0.3, true)] {
         let (net, [n1, _, _, n13]) = fig9_network();
         let imap = SharedMedium.build_map(&net);
         let routes = Scheme::Empower.compute_routes(&net, &imap, n1, n13, 5);
@@ -43,6 +48,7 @@ fn main() {
             imap,
             SimConfig { delta, tcp_delta: delta, seed: args.seed, ..Default::default() },
         );
+        sim.attach_telemetry(tele.clone());
         let f = sim.add_flow(FlowSpecSim {
             src: n1,
             dst: n13,
@@ -71,4 +77,7 @@ fn main() {
         "\n(the equalizer matters when cross-route delay skew is large — small δ,\n         deep queues; with the paper's δ = 0.3 the routes stay shallow and it is\n         nearly free either way)"
     );
     args.maybe_dump(&rows);
+    let mut m = args.manifest("ablation_delay_eq");
+    m.set("duration_s", duration);
+    args.maybe_write_manifest(m, &tele);
 }

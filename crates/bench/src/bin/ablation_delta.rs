@@ -6,13 +6,11 @@
 //! sweeps δ for both traffic types on the Fig. 9 cut-out network.
 
 use empower_bench::BenchArgs;
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::{InterferenceModel, SharedMedium};
 use empower_sim::{SimConfig, TrafficPattern};
 use empower_testbed::fig9::fig9_network;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     delta: f64,
     udp_mbps: f64,
@@ -21,11 +19,20 @@ struct Point {
     tcp_mbps: f64,
 }
 
+empower_telemetry::impl_to_json_struct!(Point {
+    delta,
+    udp_mbps,
+    udp_mean_delay_ms,
+    udp_max_delay_ms,
+    tcp_mbps
+});
+
 fn main() {
     let args = BenchArgs::parse();
     let duration = if args.quick { 150.0 } else { 400.0 };
     let (net, [n1, _, _, n13]) = fig9_network();
     let imap = SharedMedium.build_map(&net);
+    let tele = args.telemetry();
     println!("== Ablation: constraint margin δ (Flow 1-13, {duration:.0} s runs) ==");
     println!(
         "{:>6} {:>12} {:>14} {:>14} {:>12}",
@@ -42,13 +49,16 @@ fn main() {
         .into_iter()
         .enumerate()
         {
-            let (mut sim, mapping) = build_simulation(
-                &net,
-                &imap,
-                &[(n1, n13, pattern)],
-                Scheme::Empower,
-                SimConfig { delta, tcp_delta: delta, seed: args.seed, ..Default::default() },
-            );
+            let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+                .delta(delta)
+                .telemetry(tele.clone())
+                .build_simulation(
+                    &net,
+                    &imap,
+                    &[(n1, n13, pattern)],
+                    SimConfig { delta, tcp_delta: delta, seed: args.seed, ..Default::default() },
+                )
+                .expect("tolerant mode cannot fail");
             if let Some(f) = mapping[0] {
                 let report = sim.run(duration);
                 let to = duration as usize;
@@ -77,4 +87,7 @@ fn main() {
         "\n(UDP throughput peaks at small δ, but delay explodes as δ → 0 — the §4.1\n         rationale for the margin; TCP additionally needs the headroom to avoid drops.)"
     );
     args.maybe_dump(&points);
+    let mut m = args.manifest("ablation_delta");
+    m.set("duration_s", duration);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -14,9 +14,7 @@ use empower_bench::{mean, BenchArgs};
 use empower_cc::{AlphaFair, CcProblem, ProportionalFair, Utility};
 use empower_core::Scheme;
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     alpha: f64,
     total_mbps: f64,
@@ -38,9 +36,12 @@ fn solve<U: Utility>(problem: &CcProblem, region: &CapacityRegion, u: &U) -> Vec
     maximize_utility(problem, region, u, 300).flow_rates
 }
 
+empower_telemetry::impl_to_json_struct!(Row { alpha, total_mbps, min_flow_mbps, jain_index });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(60, 10);
+    let tele = args.telemetry();
     println!("== Ablation: α-fair utility family (3 flows, residential) ==");
     println!("{:>8} {:>12} {:>12} {:>12}", "α", "total Mbps", "min flow", "Jain index");
     let mut rows = Vec::new();
@@ -65,6 +66,7 @@ fn main() {
             if !ok {
                 continue;
             }
+            tele.counter("ablation/instances", empower_telemetry::CounterType::Packets).inc();
             let problem = CcProblem::new(&net, &imap, flow_routes);
             let region = CapacityRegion::build(&problem, &imap, RegionKind::Conservative, 0.0);
             let rates = if (alpha - 1.0).abs() < 1e-9 {
@@ -93,4 +95,7 @@ fn main() {
     println!("\n(total throughput falls and the worst flow + Jain index rise with α —");
     println!(" the §4 fairness knob; the paper's log(1+x) is the α = 1 row.)");
     args.maybe_dump(&rows);
+    let mut m = args.manifest("ablation_fairness");
+    m.set("runs", runs as u64);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -9,17 +9,15 @@
 
 use empower_bench::{mean, BenchArgs};
 use empower_core::Scheme;
+use empower_model::rng::SeedableRng;
+use empower_model::rng::StdRng;
 use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
 use empower_model::{CarrierSense, InterferenceModel};
 use empower_routing::{
-    best_combination, shortest_path, CscMode, LinkMetric, MetricKind, MultipathConfig,
-    RouteQuery,
+    best_combination, shortest_path, CscMode, LinkMetric, MetricKind, MultipathConfig, RouteQuery,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Output {
     n_sweep: Vec<(usize, f64)>,
     csc_change_fraction: f64,
@@ -27,17 +25,24 @@ struct Output {
     metric_capacity: Vec<(String, f64)>,
 }
 
+empower_telemetry::impl_to_json_struct!(Output {
+    n_sweep,
+    csc_change_fraction,
+    csc_capacity_gain,
+    metric_capacity
+});
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(200, 20);
+    let tele = args.telemetry();
     let mut out = Output::default();
 
     // Instances: residential topologies with one random hybrid flow.
     let instances: Vec<_> = (0..runs)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(args.seed + i as u64);
-            let topo =
-                generate(&mut rng, &RandomTopologyConfig::new(TopologyClass::Residential));
+            let topo = generate(&mut rng, &RandomTopologyConfig::new(TopologyClass::Residential));
             let imap = CarrierSense::default().build_map(&topo.net);
             let (s, d) = topo.sample_flow(&mut rng);
             (topo.net, imap, s, d)
@@ -97,5 +102,12 @@ fn main() {
         println!("  {kind:?}: {:.2}", mean(&caps));
         out.metric_capacity.push((format!("{kind:?}"), mean(&caps)));
     }
+    tele.counter("ablation/instances", empower_telemetry::CounterType::Packets)
+        .add(instances.len() as u64);
     args.maybe_dump(&out);
+    let mut m = args.manifest("ablation_routing");
+    m.set("runs", runs as u64)
+        .set("csc_change_fraction", out.csc_change_fraction)
+        .set("csc_capacity_gain", out.csc_capacity_gain);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -11,21 +11,22 @@ use empower_baselines::{Backpressure, BackpressureConfig};
 use empower_bench::sweep::make_instance;
 use empower_bench::{cdf_line, BenchArgs};
 use empower_cc::{self, slots_to_converge, ConvergenceCriterion, ProportionalFair};
-use empower_core::{evaluate_fluid, FluidEval, Scheme};
+use empower_core::{FluidEval, RunConfig, Scheme};
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Output {
     class: String,
     empower_slots: Vec<f64>,
     backpressure_slots: Vec<f64>,
 }
 
+empower_telemetry::impl_to_json_struct!(Output { class, empower_slots, backpressure_slots });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(100, 8);
     let bp_slots_budget = if args.quick { 4000 } else { 20_000 };
+    let tele = args.telemetry();
     let mut all = Vec::new();
 
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
@@ -34,20 +35,20 @@ fn main() {
         let mut emp = Vec::new();
         let mut bp = Vec::new();
         for i in 0..runs {
-            let (net, imap, flows) = make_instance(class, args.seed + i as u64, 1, );
+            let (net, imap, flows) = make_instance(class, args.seed + i as u64, 1);
             // EMPoWER: the actual slotted controller.
             // The fluid loop has no measurement noise or feedback delay,
             // so the controller can run the full rate-proportional boost
             // (the packet simulator's conservative cap exists to tame its
             // noisy, delayed price loop).
             let cc = empower_cc::CcConfig { boost_cap: 64.0, ..Default::default() };
-            let out = evaluate_fluid(
-                &net,
-                &imap,
-                &flows,
+            let out = RunConfig::from_fluid(
                 Scheme::Empower,
                 &FluidEval { slots: 4000, cc, ..Default::default() },
-            );
+            )
+            .telemetry(tele.clone())
+            .evaluate_fluid(&net, &imap, &flows)
+            .expect("tolerant mode cannot fail");
             if out.flow_rates[0] <= 1e-9 {
                 continue; // disconnected
             }
@@ -55,12 +56,8 @@ fn main() {
                 emp.push(s as f64);
             }
             // Backpressure with exact max-weight scheduling.
-            let mut scheme = Backpressure::new(
-                &net,
-                &imap,
-                flows.clone(),
-                BackpressureConfig::default(),
-            );
+            let mut scheme =
+                Backpressure::new(&net, &imap, flows.clone(), BackpressureConfig::default());
             let result = scheme.run(&net, &ProportionalFair, bp_slots_budget);
             let traj: Vec<f64> = result.trajectory.iter().map(|t| t[0]).collect();
             let slots = slots_to_converge(&traj, ConvergenceCriterion::default())
@@ -78,4 +75,7 @@ fn main() {
         all.push(Output { class: label, empower_slots: emp, backpressure_slots: bp });
     }
     args.maybe_dump(&all);
+    let mut m = args.manifest("convergence_table");
+    m.set("runs", runs as u64).set("bp_slots_budget", bp_slots_budget as u64);
+    args.maybe_write_manifest(m, &tele);
 }

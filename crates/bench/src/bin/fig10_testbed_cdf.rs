@@ -13,7 +13,7 @@
 use empower_bench::{cdf_line, fraction, BenchArgs};
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::fig10::{run, Fig10Config, SIM_SCHEMES};
+use empower_testbed::fig10::{run_traced, Fig10Config, SIM_SCHEMES};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -25,15 +25,13 @@ fn main() {
     };
     let t = testbed22(args.seed);
     let imap = CarrierSense::default().build_map(&t.net);
+    let tele = args.telemetry();
     println!("== Fig. 10 — {} random pairs on the 22-node testbed ==", config.pairs);
-    let rows = run(&t.net, &imap, &config);
+    let rows = run_traced(&t.net, &imap, &config, &tele);
 
     // Left: ratios vs EMPoWER.
     let ratio = |f: &dyn Fn(&empower_testbed::fig10::Fig10Row) -> f64| -> Vec<f64> {
-        rows.iter()
-            .filter(|r| r.empower_final > 1e-9)
-            .map(|r| f(r) / r.empower_final)
-            .collect()
+        rows.iter().filter(|r| r.empower_final > 1e-9).map(|r| f(r) / r.empower_final).collect()
     };
     for (si, scheme) in SIM_SCHEMES.iter().enumerate().skip(1) {
         cdf_line(scheme.label(), &ratio(&|r| r.throughput[si]));
@@ -75,4 +73,7 @@ fn main() {
         100.0 * fraction(&early, |x| x >= 0.8)
     );
     args.maybe_dump(&rows);
+    let mut m = args.manifest("fig10_testbed_cdf");
+    m.set("pairs", config.pairs as u64).set("duration_s", config.duration);
+    args.maybe_write_manifest(m, &tele);
 }

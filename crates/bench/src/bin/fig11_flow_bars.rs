@@ -8,7 +8,7 @@
 use empower_bench::BenchArgs;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::fig11::{run, run_flows, Fig11Config, FLOWS, SCHEMES};
+use empower_testbed::fig11::{run_flows_traced, Fig11Config, FLOWS, SCHEMES};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,12 +19,11 @@ fn main() {
     };
     let t = testbed22(args.seed);
     let imap = CarrierSense::default().build_map(&t.net);
+    let tele = args.telemetry();
     println!("== Fig. 11 — converged throughput, mean ± std (Mbps) ==");
-    let rows = if args.quick {
-        run_flows(&t.net, &imap, &config, &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())])
-    } else {
-        run(&t.net, &imap, &config)
-    };
+    let flows =
+        if args.quick { &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())] } else { &FLOWS[..] };
+    let rows = run_flows_traced(&t.net, &imap, &config, flows, &tele);
     print!("{:<8}", "flow");
     for s in SCHEMES {
         print!("{:>22}", s.label());
@@ -41,10 +40,7 @@ fn main() {
     // larger than single-path" — compare per-flow stds.
     let emp_std: f64 = rows.iter().map(|r| r.cells[0].std_mbps).sum();
     let sp_std: f64 = rows.iter().map(|r| r.cells[2].std_mbps).sum();
-    let wins = rows
-        .iter()
-        .filter(|r| r.cells[0].mean_mbps >= r.cells[2].mean_mbps)
-        .count();
+    let wins = rows.iter().filter(|r| r.cells[0].mean_mbps >= r.cells[2].mean_mbps).count();
     println!(
         "\nEMPoWER ≥ SP on {wins}/{} flows; total std — EMPoWER {:.1} vs SP {:.1} \
          (comparable: multipath reordering adds no systematic variance)",
@@ -53,4 +49,7 @@ fn main() {
         sp_std
     );
     args.maybe_dump(&rows);
+    let mut m = args.manifest("fig11_flow_bars");
+    m.set("flows", rows.len() as u64).set("duration_s", config.duration);
+    args.maybe_write_manifest(m, &tele);
 }

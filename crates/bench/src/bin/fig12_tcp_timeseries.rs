@@ -15,10 +15,14 @@ fn main() {
     let args = BenchArgs::parse();
     let t = testbed22(args.seed);
     let imap = CarrierSense::default().build_map(&t.net);
+    let tele = args.telemetry();
     println!("== Fig. 12 — TCP Flow 9-13: SP-w/o-CC then EMPoWER (δ = 0.3) ==");
-    let data = fig12::run(&t.net, &imap, args.seed);
+    let data = fig12::run_flow_traced(&t.net, &imap, args.seed, 9, 13, &tele);
     let step = if args.quick { 100 } else { 25 };
-    println!("{:>6} {:>12} | {:>6} {:>10} {:>10} {:>12}", "t[s]", "SP TCP", "t[s]", "route1", "route2", "EMPoWER TCP");
+    println!(
+        "{:>6} {:>12} | {:>6} {:>10} {:>10} {:>12}",
+        "t[s]", "SP TCP", "t[s]", "route1", "route2", "EMPoWER TCP"
+    );
     let len = data.phase1_received.len().max(data.phase2_received.len());
     for i in (0..len).step_by(step) {
         let r1 = data.phase2_route_rates.first().and_then(|r| r.get(i)).copied().unwrap_or(0.0);
@@ -35,7 +39,11 @@ fn main() {
     }
     let mean_tail = |xs: &[f64]| {
         let lo = xs.len().saturating_sub(100);
-        if xs.len() == lo { 0.0 } else { xs[lo..].iter().sum::<f64>() / (xs.len() - lo) as f64 }
+        if xs.len() == lo {
+            0.0
+        } else {
+            xs[lo..].iter().sum::<f64>() / (xs.len() - lo) as f64
+        }
     };
     println!(
         "\nsteady TCP throughput: SP-w/o-CC {:.1} Mbps → EMPoWER {:.1} Mbps",
@@ -43,4 +51,7 @@ fn main() {
         mean_tail(&data.phase2_received)
     );
     args.maybe_dump(&data);
+    let mut m = args.manifest("fig12_tcp_timeseries");
+    m.set("phase_secs", fig12::PHASE_SECS).set("tcp_delta", fig12::TCP_DELTA);
+    args.maybe_write_manifest(m, &tele);
 }

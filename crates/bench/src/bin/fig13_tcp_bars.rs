@@ -7,22 +7,18 @@
 use empower_bench::BenchArgs;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::fig13::{run, run_flows, Fig13Config, FLOWS};
+use empower_testbed::fig13::{run_flows_traced, Fig13Config, FLOWS};
 
 fn main() {
     let args = BenchArgs::parse();
     let t = testbed22(args.seed);
     let imap = CarrierSense::default().build_map(&t.net);
-    let config = Fig13Config {
-        duration: if args.quick { 150.0 } else { 300.0 },
-        seed: args.seed,
-    };
+    let config = Fig13Config { duration: if args.quick { 150.0 } else { 300.0 }, seed: args.seed };
+    let tele = args.telemetry();
     println!("== Fig. 13 — TCP rate, mean ± std (Mbps), δ = 0.3 ==");
-    let rows = if args.quick {
-        run_flows(&t.net, &imap, &config, &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())])
-    } else {
-        run(&t.net, &imap, &config)
-    };
+    let flows =
+        if args.quick { &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())] } else { &FLOWS[..] };
+    let rows = run_flows_traced(&t.net, &imap, &config, flows, &tele);
     println!("{:<8}{:>20}{:>20}", "flow", "EMPoWER", "SP-w/o-CC");
     let mut wins = 0;
     for r in &rows {
@@ -40,4 +36,7 @@ fn main() {
     }
     println!("\nEMPoWER ≥ single-path TCP on {wins}/{} flows", rows.len());
     args.maybe_dump(&rows);
+    let mut m = args.manifest("fig13_tcp_bars");
+    m.set("flows", rows.len() as u64).set("duration_s", config.duration);
+    args.maybe_write_manifest(m, &tele);
 }

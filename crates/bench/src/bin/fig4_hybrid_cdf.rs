@@ -7,37 +7,38 @@
 //! +68 % (enterprise) over WiFi alone, and ≈ +39 % / +31 % over
 //! single-path hybrid.
 
-use empower_bench::sweep::{run_one, SweepRun};
+use empower_bench::sweep::{run_one_traced, SweepRun};
 use empower_bench::{cdf_line, mean, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
+use empower_telemetry::CounterType;
 
 const SCHEMES: [Scheme; 5] =
     [Scheme::Empower, Scheme::Sp, Scheme::SpWifi, Scheme::MpWifi, Scheme::MpMwifi];
 
-#[derive(Serialize)]
 struct Output {
     class: String,
     runs: Vec<SweepRun>,
 }
 
+empower_telemetry::impl_to_json_struct!(Output { class, runs });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(1000, 40);
     let params = FluidEval::default();
+    let tele = args.telemetry();
     let mut all = Vec::new();
 
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
         let label = format!("{class:?}");
         println!("== Fig. 4 — {label} topology, {runs} runs ==");
         let data: Vec<SweepRun> = (0..runs)
-            .map(|i| run_one(class, args.seed + i as u64, 1, &SCHEMES, &params))
+            .map(|i| run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele))
             .collect();
 
-        let rates = |si: usize| -> Vec<f64> {
-            data.iter().map(|r| r.scheme_rates[si][0]).collect()
-        };
+        let rates =
+            |si: usize| -> Vec<f64> { data.iter().map(|r| r.scheme_rates[si][0]).collect() };
         for (si, scheme) in SCHEMES.iter().enumerate() {
             cdf_line(scheme.label(), &rates(si));
         }
@@ -52,17 +53,19 @@ fn main() {
             100.0 * (mean(&emp) / mean(&sp) - 1.0),
             100.0 * (mean(&emp) / mean(&mwifi) - 1.0),
         );
-        let coincide = spw
-            .iter()
-            .zip(&mpw)
-            .filter(|(a, b)| (*a - *b).abs() < 0.05 * a.abs().max(1.0))
-            .count();
+        let coincide =
+            spw.iter().zip(&mpw).filter(|(a, b)| (*a - *b).abs() < 0.05 * a.abs().max(1.0)).count();
         println!(
             "MP-WiFi coincides with SP-WiFi in {}/{} runs (§5.2.1 claim)\n",
             coincide,
             data.len()
         );
+        tele.counter(format!("fig4/{}/coincide", label.to_lowercase()), CounterType::Gauge)
+            .set(coincide as u64);
         all.push(Output { class: label, runs: data });
     }
     args.maybe_dump(&all);
+    let mut m = args.manifest("fig4_hybrid_cdf");
+    m.set("runs", runs as u64).set("schemes", SCHEMES.len() as u64);
+    args.maybe_write_manifest(m, &tele);
 }

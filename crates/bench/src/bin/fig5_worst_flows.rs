@@ -7,15 +7,13 @@
 //! more than 1.7×; and in 6 % (residential) / 19 % (enterprise) of the
 //! worst flows PLC/WiFi has connectivity where multi-channel WiFi has none.
 
-use empower_bench::sweep::run_one;
+use empower_bench::sweep::run_one_traced;
 use empower_bench::{cdf_line, fraction, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
 
 const SCHEMES: [Scheme; 2] = [Scheme::Empower, Scheme::MpMwifi];
 
-#[derive(Serialize)]
 struct Output {
     class: String,
     /// (T_mwifi, T_empower) for the worst-20 % runs.
@@ -23,10 +21,13 @@ struct Output {
     rescue_fraction: f64,
 }
 
+empower_telemetry::impl_to_json_struct!(Output { class, worst_pairs, rescue_fraction });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(1000, 40);
     let params = FluidEval::default();
+    let tele = args.telemetry();
     let mut all = Vec::new();
 
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
@@ -34,7 +35,7 @@ fn main() {
         println!("== Fig. 5 — worst flows, {label} topology, {runs} runs ==");
         let pairs: Vec<(f64, f64)> = (0..runs)
             .map(|i| {
-                let r = run_one(class, args.seed + i as u64, 1, &SCHEMES, &params);
+                let r = run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele);
                 (r.scheme_rates[1][0], r.scheme_rates[0][0]) // (mwifi, empower)
             })
             .filter(|&(a, b)| a > 1e-9 || b > 1e-9) // drop doubly-disconnected
@@ -45,18 +46,11 @@ fn main() {
         let cut = (sorted.len() as f64 * 0.2).ceil() as usize;
         let worst = &sorted[..cut.max(1).min(sorted.len())];
 
-        let ratios: Vec<f64> = worst
-            .iter()
-            .filter(|&&(_, emp)| emp > 1e-9)
-            .map(|&(mw, emp)| mw / emp)
-            .collect();
+        let ratios: Vec<f64> =
+            worst.iter().filter(|&&(_, emp)| emp > 1e-9).map(|&(mw, emp)| mw / emp).collect();
         cdf_line("T_mWiFi / T_EMPoWER", &ratios);
-        let max_emp_gain = ratios
-            .iter()
-            .cloned()
-            .filter(|&r| r > 0.0)
-            .fold(f64::INFINITY, f64::min)
-            .recip();
+        let max_emp_gain =
+            ratios.iter().cloned().filter(|&r| r > 0.0).fold(f64::INFINITY, f64::min).recip();
         println!(
             "EMPoWER better (ratio < 1): {:.0}%   mWiFi better: {:.0}%   max EMPoWER gain: {:.1}x (finite cases)   max mWiFi gain: {:.1}x",
             100.0 * fraction(&ratios, |r| r < 1.0),
@@ -64,10 +58,8 @@ fn main() {
             max_emp_gain,
             ratios.iter().cloned().fold(0.0, f64::max),
         );
-        let rescue = fraction(
-            &worst.iter().map(|&(mw, _)| mw).collect::<Vec<_>>(),
-            |mw| mw <= 1e-9,
-        );
+        let rescue =
+            fraction(&worst.iter().map(|&(mw, _)| mw).collect::<Vec<_>>(), |mw| mw <= 1e-9);
         println!(
             "PLC/WiFi brings connectivity where mWiFi has none: {:.0}% of worst flows\n",
             100.0 * rescue
@@ -75,4 +67,7 @@ fn main() {
         all.push(Output { class: label, worst_pairs: worst.to_vec(), rescue_fraction: rescue });
     }
     args.maybe_dump(&all);
+    let mut m = args.manifest("fig5_worst_flows");
+    m.set("runs", runs as u64);
+    args.maybe_write_manifest(m, &tele);
 }

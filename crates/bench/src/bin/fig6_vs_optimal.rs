@@ -5,25 +5,26 @@
 //! (residential) / 85 % (enterprise) of runs; within 15 % of *optimal* in
 //! 99 % / 83 % of runs; and it clearly dominates SP, MP-2bp and MP-w/o-CC.
 
-use empower_bench::sweep::run_one;
+use empower_bench::sweep::run_one_traced;
 use empower_bench::{cdf_line, fraction, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
 
 const SCHEMES: [Scheme; 4] = [Scheme::Empower, Scheme::Mp2bp, Scheme::MpWoCc, Scheme::Sp];
 
-#[derive(Serialize)]
 struct Output {
     class: String,
     /// Per run: [conservative, EMPoWER, MP-2bp, MP-w/o-CC, SP] over optimal.
     ratios: Vec<Vec<f64>>,
 }
 
+empower_telemetry::impl_to_json_struct!(Output { class, ratios });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(500, 25);
     let params = FluidEval::default();
+    let tele = args.telemetry();
     let mut all = Vec::new();
 
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
@@ -31,7 +32,7 @@ fn main() {
         println!("== Fig. 6 — T_X / T_optimal, {label} topology, {runs} runs ==");
         let mut ratios: Vec<Vec<f64>> = Vec::new();
         for i in 0..runs {
-            let r = run_one(class, args.seed + i as u64, 1, &SCHEMES, &params);
+            let r = run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele);
             let opt = r.optimal.flow_rates[0];
             if opt <= 1e-9 {
                 continue; // disconnected pair: no reference
@@ -66,4 +67,7 @@ fn main() {
         all.push(Output { class: label, ratios });
     }
     args.maybe_dump(&all);
+    let mut m = args.manifest("fig6_vs_optimal");
+    m.set("runs", runs as u64);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -6,25 +6,26 @@
 //! beats MP-2bp even though its route selection optimizes a single flow's
 //! throughput.
 
-use empower_bench::sweep::run_one;
+use empower_bench::sweep::run_one_traced;
 use empower_bench::{cdf_line, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
-use serde::Serialize;
 
 const SCHEMES: [Scheme; 4] = [Scheme::Empower, Scheme::Mp2bp, Scheme::MpWoCc, Scheme::Sp];
 
-#[derive(Serialize)]
 struct Output {
     class: String,
     /// Per run: [conservative, EMPoWER, MP-2bp, MP-w/o-CC, SP] over optimal.
     utility_ratios: Vec<Vec<f64>>,
 }
 
+empower_telemetry::impl_to_json_struct!(Output { class, utility_ratios });
+
 fn main() {
     let args = BenchArgs::parse();
     let runs = args.sweep(500, 20);
     let params = FluidEval::default();
+    let tele = args.telemetry();
     let mut all = Vec::new();
 
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
@@ -32,7 +33,7 @@ fn main() {
         println!("== Fig. 7 — U_X / U_optimal, 3 flows, {label} topology, {runs} runs ==");
         let mut ratios: Vec<Vec<f64>> = Vec::new();
         for i in 0..runs {
-            let r = run_one(class, args.seed + i as u64, 3, &SCHEMES, &params);
+            let r = run_one_traced(class, args.seed + i as u64, 3, &SCHEMES, &params, &tele);
             let opt = r.optimal.utility;
             if opt <= 1e-9 {
                 continue;
@@ -55,4 +56,7 @@ fn main() {
         all.push(Output { class: label, utility_ratios: ratios });
     }
     args.maybe_dump(&all);
+    let mut m = args.manifest("fig7_utility");
+    m.set("runs", runs as u64).set("flows", 3u64);
+    args.maybe_write_manifest(m, &tele);
 }

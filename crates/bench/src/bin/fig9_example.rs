@@ -7,7 +7,8 @@ use empower_testbed::fig9;
 
 fn main() {
     let args = BenchArgs::parse();
-    let data = fig9::run(args.seed);
+    let tele = args.telemetry();
+    let data = fig9::run_traced(args.seed, &tele);
     println!("== Fig. 9 — Flow 1-13 over two routes, contending Flow 4-7 ==");
     println!("best single-path capacity: {:.1} Mbps", data.best_single_path);
     println!(
@@ -45,4 +46,7 @@ fn main() {
         mean(&data.route1_rate, 2200, 3900)
     );
     args.maybe_dump(&data);
+    let mut m = args.manifest("fig9_example");
+    m.set("duration_s", fig9::DURATION);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -18,20 +18,19 @@
 use empower_bench::BenchArgs;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::table1::{run_experiment, Experiment};
+use empower_testbed::table1::{run_experiment_traced, Experiment};
 
 fn main() {
     let args = BenchArgs::parse();
     let t = testbed22(args.seed);
     let imap = CarrierSense::default().build_map(&t.net);
+    let tele = args.telemetry();
     println!("== Table 1 — download times (mean ± std, seconds) ==");
     println!("{:<26}{:>18}{:>18}", "", "EMPoWER", "MP-w/o-CC");
     let mut rows = Vec::new();
     for exp in Experiment::ALL {
-        let reps = args
-            .runs
-            .unwrap_or(if args.quick { 2 } else { exp.paper_repetitions() });
-        let row = run_experiment(&t.net, &imap, exp, reps, args.seed);
+        let reps = args.runs.unwrap_or(if args.quick { 2 } else { exp.paper_repetitions() });
+        let row = run_experiment_traced(&t.net, &imap, exp, reps, args.seed, &tele);
         println!(
             "{:<26}{:>11.1} ± {:>4.1}{:>11.1} ± {:>4.1}",
             exp.label(),
@@ -49,4 +48,7 @@ fn main() {
         rows.push(row);
     }
     args.maybe_dump(&rows);
+    let mut m = args.manifest("table1_downloads");
+    m.set("experiments", rows.len() as u64);
+    args.maybe_write_manifest(m, &tele);
 }

@@ -1,0 +1,68 @@
+//! A minimal micro-benchmark harness (in-tree replacement for Criterion).
+//!
+//! Each benchmark target is a plain binary (`harness = false`): call
+//! [`bench`] per kernel. The harness auto-scales the batch size so one
+//! timed batch takes ~10 ms, runs a fixed number of batches and reports
+//! min / median / mean per-iteration time. Wall-clock timing only — no
+//! statistics beyond ordering, no outlier rejection — but stable enough
+//! to catch the order-of-magnitude regressions CI cares about.
+
+use std::time::{Duration, Instant};
+
+/// Target duration of one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+/// Timed batches per benchmark.
+const BATCHES: usize = 30;
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Formats nanoseconds human-readably.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Runs `f` repeatedly and prints a `name  min/median/mean` line. The
+/// closure's return value is passed through `std::hint::black_box` so the
+/// optimizer cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm up (fills caches, triggers lazy init).
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < WARMUP || warm_iters == 0 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    // Calibrate the batch size from the warm-up rate.
+    let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+    let batch = ((BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} min {:>10}   median {:>10}   mean {:>10}   ({batch} iters x {BATCHES} batches)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}

@@ -10,7 +10,7 @@
 //! (a small smoke-test configuration) so the full reproduction and a fast
 //! sanity pass share the same code.
 
-use serde::Serialize;
+use empower_telemetry::{Manifest, Telemetry, ToJson};
 
 /// Common CLI options for experiment binaries.
 #[derive(Debug, Clone)]
@@ -21,6 +21,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Where to dump raw JSON results.
     pub json: Option<String>,
+    /// Where to write the run manifest (seed, scheme, params, counters).
+    pub metrics: Option<String>,
     /// Base seed.
     pub seed: u64,
 }
@@ -28,26 +30,26 @@ pub struct BenchArgs {
 impl BenchArgs {
     /// Parses `std::env::args()`.
     pub fn parse() -> Self {
-        let mut args = BenchArgs { runs: None, quick: false, json: None, seed: 1 };
+        let mut args = BenchArgs { runs: None, quick: false, json: None, metrics: None, seed: 1 };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--runs" => {
                     args.runs = Some(
-                        it.next()
-                            .and_then(|v| v.parse().ok())
-                            .expect("--runs needs an integer"),
+                        it.next().and_then(|v| v.parse().ok()).expect("--runs needs an integer"),
                     )
                 }
                 "--quick" => args.quick = true,
                 "--json" => args.json = Some(it.next().expect("--json needs a path")),
+                "--metrics" => args.metrics = Some(it.next().expect("--metrics needs a path")),
                 "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer")
+                    args.seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer")
                 }
-                other => panic!("unknown argument {other} (try --runs N | --quick | --json F | --seed S)"),
+                other => panic!(
+                    "unknown argument {other} \
+                     (try --runs N | --quick | --json F | --metrics F | --seed S)"
+                ),
             }
         }
         args
@@ -59,10 +61,39 @@ impl BenchArgs {
         self.runs.unwrap_or(if self.quick { quick } else { full })
     }
 
+    /// A telemetry registry: live when `--metrics` was given (the manifest
+    /// wants counters), disabled otherwise so the hot paths pay one branch.
+    pub fn telemetry(&self) -> Telemetry {
+        if self.metrics.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Starts a run manifest pre-filled with the common provenance fields.
+    pub fn manifest(&self, experiment: &str) -> Manifest {
+        let mut m = Manifest::new(experiment);
+        m.set("seed", self.seed)
+            .set("quick", self.quick)
+            .set("runs_flag", self.runs.map(|r| r as u64));
+        m
+    }
+
+    /// Writes the manifest (with `telemetry`'s counters attached) if
+    /// `--metrics` was given.
+    pub fn maybe_write_manifest(&self, mut manifest: Manifest, telemetry: &Telemetry) {
+        if let Some(path) = &self.metrics {
+            manifest.attach_counters(telemetry);
+            manifest.write(path).expect("write metrics manifest");
+            eprintln!("(run manifest written to {path})");
+        }
+    }
+
     /// Writes `data` as JSON if `--json` was given.
-    pub fn maybe_dump<T: Serialize>(&self, data: &T) {
+    pub fn maybe_dump<T: ToJson>(&self, data: &T) {
         if let Some(path) = &self.json {
-            let s = serde_json::to_string_pretty(data).expect("serializable results");
+            let s = data.to_json().to_string_pretty();
             std::fs::write(path, s).expect("write json results");
             eprintln!("(raw results written to {path})");
         }
@@ -130,4 +161,5 @@ mod tests {
         assert!((fraction(&v, |x| x >= 2.0) - 2.0 / 3.0).abs() < 1e-12);
     }
 }
+pub mod harness;
 pub mod sweep;

@@ -6,12 +6,12 @@
 
 use empower_baselines::{enumerate_paths, maximize_utility, CapacityRegion, RegionKind};
 use empower_cc::{CcProblem, ProportionalFair, Utility};
-use empower_core::{evaluate_equilibrium, FluidEval, Scheme};
+use empower_core::{FluidEval, RunConfig, Scheme};
+use empower_model::rng::SeedableRng;
+use empower_model::rng::StdRng;
 use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
 use empower_model::{CarrierSense, InterferenceMap, InterferenceModel, Medium, Network, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use empower_telemetry::{CounterType, Telemetry};
 
 /// Maximum hop count for the centralized references' route space. Local-
 /// network routes are a few hops (§3.2: observed tree depth ≤ 3; the header
@@ -20,14 +20,14 @@ use serde::Serialize;
 pub const OPT_MAX_HOPS: usize = 3;
 
 /// Result of the centralized reference on one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReferencePoint {
     pub flow_rates: Vec<f64>,
     pub utility: f64,
 }
 
 /// Everything measured on one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRun {
     pub seed: u64,
     /// Per-scheme per-flow rates, in the order the caller's scheme list.
@@ -37,6 +37,15 @@ pub struct SweepRun {
     pub optimal: ReferencePoint,
     pub conservative: ReferencePoint,
 }
+
+empower_telemetry::impl_to_json_struct!(ReferencePoint { flow_rates, utility });
+empower_telemetry::impl_to_json_struct!(SweepRun {
+    seed,
+    scheme_rates,
+    scheme_utility,
+    optimal,
+    conservative,
+});
 
 /// Draws one topology + flow set for `seed`.
 pub fn make_instance(
@@ -115,6 +124,20 @@ pub fn run_one(
     schemes: &[Scheme],
     params: &FluidEval,
 ) -> SweepRun {
+    run_one_traced(class, seed, flow_count, schemes, params, &Telemetry::disabled())
+}
+
+/// Like [`run_one`], recording per-run counters on `tele`: every
+/// `evaluate_equilibrium` call's counters accumulate, plus a
+/// `sweep/runs` tally so a manifest shows how many runs contributed.
+pub fn run_one_traced(
+    class: TopologyClass,
+    seed: u64,
+    flow_count: usize,
+    schemes: &[Scheme],
+    params: &FluidEval,
+    tele: &Telemetry,
+) -> SweepRun {
     let (net, imap, flows) = make_instance(class, seed, flow_count);
     let mut scheme_rates = Vec::with_capacity(schemes.len());
     let mut scheme_utility = Vec::with_capacity(schemes.len());
@@ -127,20 +150,18 @@ pub fn run_one(
                 }
             }
         }
-        let out = evaluate_equilibrium(&net, &imap, &flows, scheme, params);
+        let out = RunConfig::from_fluid(scheme, params)
+            .telemetry(tele.clone())
+            .evaluate_equilibrium(&net, &imap, &flows)
+            .expect("tolerant mode cannot fail");
         scheme_rates.push(out.flow_rates);
         scheme_utility.push(out.utility);
     }
+    tele.counter("sweep/runs", CounterType::Packets).inc();
     let optimal =
         reference_with_extra(&net, &imap, &flows, RegionKind::Cliques, params.delta, &extra);
-    let conservative = reference_with_extra(
-        &net,
-        &imap,
-        &flows,
-        RegionKind::Conservative,
-        params.delta,
-        &extra,
-    );
+    let conservative =
+        reference_with_extra(&net, &imap, &flows, RegionKind::Conservative, params.delta, &extra);
     SweepRun { seed, scheme_rates, scheme_utility, optimal, conservative }
 }
 
@@ -151,13 +172,7 @@ mod tests {
     #[test]
     fn one_residential_run_is_consistent() {
         let schemes = [Scheme::Empower, Scheme::Sp, Scheme::SpWifi];
-        let run = run_one(
-            TopologyClass::Residential,
-            42,
-            1,
-            &schemes,
-            &FluidEval::default(),
-        );
+        let run = run_one(TopologyClass::Residential, 42, 1, &schemes, &FluidEval::default());
         assert_eq!(run.scheme_rates.len(), 3);
         // EMPoWER never loses to its own single-path restriction.
         assert!(run.scheme_rates[0][0] >= run.scheme_rates[1][0] - 1e-6);
@@ -168,13 +183,8 @@ mod tests {
 
     #[test]
     fn enterprise_reference_is_no_smaller_than_empower() {
-        let run = run_one(
-            TopologyClass::Enterprise,
-            7,
-            1,
-            &[Scheme::Empower],
-            &FluidEval::default(),
-        );
+        let run =
+            run_one(TopologyClass::Enterprise, 7, 1, &[Scheme::Empower], &FluidEval::default());
         assert!(run.optimal.flow_rates[0] + 1e-6 >= run.scheme_rates[0][0] * 0.99);
     }
 }

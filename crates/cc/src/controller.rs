@@ -28,20 +28,19 @@
 //! to `U'⁻¹(0) = ∞` while prices are still zero.
 
 use empower_model::InterferenceMap;
-use serde::{Deserialize, Serialize};
 
 use crate::problem::CcProblem;
 use crate::utility::Utility;
 
 /// Which §4 controller to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ControllerKind {
     SinglePath,
     Multipath,
 }
 
 /// Controller parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CcConfig {
     /// Fixed step size `α` (the paper uses 0.02 as the base; see
     /// [`crate::step_size::AdaptiveAlpha`] for the §6.1 heuristic).
@@ -79,11 +78,16 @@ impl Default for CcConfig {
 struct PriceState {
     /// Dual variables `γ_l`.
     gamma: Vec<f64>,
+    /// Cumulative γ updates performed (links × slots).
+    updates: u64,
+    /// Cumulative count of (link, slot) pairs whose airtime demand exceeded
+    /// the constraint margin, i.e. `y_l > 1 − δ` (Eq. (8) pushing γ up).
+    violations: u64,
 }
 
 impl PriceState {
     fn new(link_count: usize) -> Self {
-        PriceState { gamma: vec![0.0; link_count] }
+        PriceState { gamma: vec![0.0; link_count], updates: 0, violations: 0 }
     }
 
     /// One price slot: computes `y_l` from current rates, updates `γ`, and
@@ -109,6 +113,10 @@ impl PriceState {
         let y = problem.domain_airtimes(imap, &link_rates);
         for (g, &yl) in self.gamma.iter_mut().zip(&y) {
             *g = (*g + alpha * (yl - (1.0 - delta))).max(0.0);
+            self.updates += 1;
+            if yl > 1.0 - delta {
+                self.violations += 1;
+            }
         }
         // Σ_{i∈I_l} γ_i per link, then q_r = Σ_{l∈r} d_l · that sum.
         let domain_gamma: Vec<f64> = (0..self.gamma.len())
@@ -178,6 +186,16 @@ impl<U: Utility> SinglePathController<U> {
         &self.prices.gamma
     }
 
+    /// Cumulative γ updates performed so far (links × slots).
+    pub fn price_updates(&self) -> u64 {
+        self.prices.updates
+    }
+
+    /// Cumulative (link, slot) pairs where `y_l > 1 − δ`.
+    pub fn margin_violations(&self) -> u64 {
+        self.prices.violations
+    }
+
     /// Advances one slot; returns the new rates.
     pub fn step(&mut self, problem: &CcProblem, imap: &InterferenceMap) -> &[f64] {
         let q = self.prices.step(
@@ -236,6 +254,16 @@ impl<U: Utility> MultipathController<U> {
     /// Current dual prices `γ_l`.
     pub fn prices(&self) -> &[f64] {
         &self.prices.gamma
+    }
+
+    /// Cumulative γ updates performed so far (links × slots).
+    pub fn price_updates(&self) -> u64 {
+        self.prices.updates
+    }
+
+    /// Cumulative (link, slot) pairs where `y_l > 1 − δ`.
+    pub fn margin_violations(&self) -> u64 {
+        self.prices.violations
     }
 
     /// Overrides the step size (used by the adaptive-α heuristic).

@@ -5,10 +5,8 @@
 //! final throughput)". This module applies that criterion to a trajectory of
 //! per-slot rates.
 
-use serde::{Deserialize, Serialize};
-
 /// The §5.2.2 criterion.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConvergenceCriterion {
     /// Relative tolerance around the final value (0.01 in the paper).
     pub tolerance: f64,
@@ -52,7 +50,7 @@ mod tests {
     fn monotone_ramp_converges_at_the_band_entry() {
         // 0, 1, 2, ..., 99 then flat at 100 for 100 slots.
         let mut traj: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        traj.extend(std::iter::repeat(100.0).take(100));
+        traj.extend(std::iter::repeat_n(100.0, 100));
         let t = slots_to_converge(&traj, ConvergenceCriterion::default()).unwrap();
         // Final = 100 (trailing window is flat); band is ±1; slot 99 has
         // value 99 which is inside, slot 98 (98.0) is outside.
@@ -67,8 +65,7 @@ mod tests {
 
     #[test]
     fn oscillating_tail_never_converges() {
-        let traj: Vec<f64> =
-            (0..200).map(|i| if i % 2 == 0 { 10.0 } else { 20.0 }).collect();
+        let traj: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 10.0 } else { 20.0 }).collect();
         assert_eq!(slots_to_converge(&traj, ConvergenceCriterion::default()), None);
     }
 

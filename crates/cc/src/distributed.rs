@@ -17,11 +17,10 @@
 //! (carrier-sense) interference.
 
 use empower_model::{InterferenceMap, LinkId, Medium, Network, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// One periodic per-technology broadcast from a node (§4.2 items (i)–(ii),
 /// plus the §6.4 TCP piggyback).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriceBroadcast {
     pub from: NodeId,
     pub medium: Medium,
@@ -147,8 +146,13 @@ impl LinkPriceState {
     ///
     /// `broadcasts` is everything this node overheard this slot (broadcasts
     /// from irrelevant nodes are ignored via the overhearing sets).
-    pub fn update_gammas(&mut self, broadcasts: &[PriceBroadcast], alpha: f64, delta: f64) {
-        self.update_gammas_with_tcp_margin(broadcasts, alpha, delta, delta);
+    pub fn update_gammas(
+        &mut self,
+        broadcasts: &[PriceBroadcast],
+        alpha: f64,
+        delta: f64,
+    ) -> usize {
+        self.update_gammas_with_tcp_margin(broadcasts, alpha, delta, delta)
     }
 
     /// Like [`LinkPriceState::update_gammas`], applying `delta_tcp` instead
@@ -156,13 +160,16 @@ impl LinkPriceState {
     /// TCP receiver (this node or an overheard broadcaster) — the §6.4
     /// coexistence rule ("only the nodes in the contention domain of a TCP
     /// flow should use this value of δ").
+    ///
+    /// Returns how many egress links violated their airtime margin this
+    /// slot (`y_l > 1 − δ`), for the caller's telemetry.
     pub fn update_gammas_with_tcp_margin(
         &mut self,
         broadcasts: &[PriceBroadcast],
         alpha: f64,
         delta: f64,
         delta_tcp: f64,
-    ) {
+    ) -> usize {
         let per_link: Vec<(f64, f64)> = self
             .overheard
             .iter()
@@ -179,9 +186,14 @@ impl LinkPriceState {
                 (external + internal, if tcp { delta_tcp } else { delta })
             })
             .collect();
+        let mut violations = 0;
         for (g, (yl, d)) in self.gamma.iter_mut().zip(per_link) {
             *g = (*g + alpha * (yl - (1.0 - d))).max(0.0);
+            if yl > 1.0 - d {
+                violations += 1;
+            }
         }
+        violations
     }
 
     /// The per-hop price contribution `d_l Σ_{i∈I_l} γ_i` a node adds to the
@@ -210,7 +222,7 @@ impl LinkPriceState {
 
 /// Accumulates the route price `q_r` hop by hop, as the dedicated header
 /// field does on the wire.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RoutePriceAccumulator {
     q: f64,
 }
@@ -245,7 +257,6 @@ mod tests {
     /// per-route q_r, mirroring what the packet datapath would compute.
     fn distributed_slot(
         net: &Network,
-        imap: &InterferenceMap,
         states: &mut [LinkPriceState],
         problem: &CcProblem,
         x: &[f64],
@@ -299,21 +310,16 @@ mod tests {
         let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
         let problem = CcProblem::new(&s.net, &imap, vec![vec![route1, route2]]);
 
-        let mut central =
-            MultipathController::new(&problem, ProportionalFair, CcConfig::default());
-        let mut states: Vec<LinkPriceState> = s
-            .net
-            .nodes()
-            .iter()
-            .map(|n| LinkPriceState::new(&s.net, &imap, n.id))
-            .collect();
+        let mut central = MultipathController::new(&problem, ProportionalFair, CcConfig::default());
+        let mut states: Vec<LinkPriceState> =
+            s.net.nodes().iter().map(|n| LinkPriceState::new(&s.net, &imap, n.id)).collect();
         // Direct evaluation state: γ per link.
         let mut gamma = vec![0.0_f64; s.net.link_count()];
         let alpha = 0.02;
 
         for _ in 0..500 {
             let x: Vec<f64> = central.rates().to_vec();
-            let q_dist = distributed_slot(&s.net, &imap, &mut states, &problem, &x, alpha);
+            let q_dist = distributed_slot(&s.net, &mut states, &problem, &x, alpha);
 
             // Direct Eqs. (7)-(9).
             let link_rates = problem.link_rates(&x);
@@ -328,8 +334,7 @@ mod tests {
                     path.links()
                         .iter()
                         .map(|&l| {
-                            let dg: f64 =
-                                imap.domain(l).iter().map(|&i| gamma[i.index()]).sum();
+                            let dg: f64 = imap.domain(l).iter().map(|&i| gamma[i.index()]).sum();
                             problem.link_costs[l.index()] * dg
                         })
                         .sum()
@@ -337,10 +342,7 @@ mod tests {
                 .collect();
 
             for (a, b) in q_dist.iter().zip(&q_direct) {
-                assert!(
-                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
-                    "distributed {a} vs direct {b}"
-                );
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "distributed {a} vs direct {b}");
             }
             central.step(&problem, &imap);
         }

@@ -6,8 +6,6 @@
 //! lives in [`crate::distributed::LinkPriceState`] on every node; this type
 //! is deliberately ignorant of the network — it sees only prices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::controller::CcConfig;
 use crate::step_size::AdaptiveAlpha;
 use crate::utility::Utility;
@@ -28,7 +26,7 @@ pub struct FlowController<U: Utility> {
 }
 
 /// A summary of one controller update.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowRates {
     pub per_route: Vec<f64>,
     pub total: f64,
@@ -105,12 +103,7 @@ mod tests {
 
     #[test]
     fn rates_start_at_zero_and_ramp() {
-        let mut c = FlowController::new(
-            ProportionalFair,
-            CcConfig::default(),
-            vec![10.0, 10.0],
-            2,
-        );
+        let mut c = FlowController::new(ProportionalFair, CcConfig::default(), vec![10.0, 10.0], 2);
         assert_eq!(c.total_rate(), 0.0);
         let r = c.on_ack(&[Some(0.0), Some(0.0)]);
         assert!(r.total > 0.0);
@@ -121,12 +114,7 @@ mod tests {
         // Fixed prices q = U'(x*) pin the equilibrium: with q = 0.1,
         // the unconstrained optimum is total x with 1/(1+x) = 0.1 → x = 9,
         // split across routes (each clamped at 6).
-        let mut c = FlowController::new(
-            ProportionalFair,
-            CcConfig::default(),
-            vec![6.0, 6.0],
-            2,
-        );
+        let mut c = FlowController::new(ProportionalFair, CcConfig::default(), vec![6.0, 6.0], 2);
         for _ in 0..4000 {
             c.on_ack(&[Some(0.1), Some(0.1)]);
         }
@@ -136,8 +124,7 @@ mod tests {
 
     #[test]
     fn missing_prices_keep_previous_value() {
-        let mut c =
-            FlowController::new(ProportionalFair, CcConfig::default(), vec![100.0], 1);
+        let mut c = FlowController::new(ProportionalFair, CcConfig::default(), vec![100.0], 1);
         for _ in 0..500 {
             c.on_ack(&[Some(2.0)]); // price above U'(0)=1 → rate stays 0
         }
@@ -151,8 +138,7 @@ mod tests {
 
     #[test]
     fn rates_respect_route_caps() {
-        let mut c =
-            FlowController::new(ProportionalFair, CcConfig::default(), vec![3.0, 5.0], 2);
+        let mut c = FlowController::new(ProportionalFair, CcConfig::default(), vec![3.0, 5.0], 2);
         for _ in 0..2000 {
             c.on_ack(&[Some(0.0), Some(0.0)]);
         }
@@ -162,12 +148,7 @@ mod tests {
 
     #[test]
     fn higher_price_moves_traffic_to_the_cheaper_route() {
-        let mut c = FlowController::new(
-            ProportionalFair,
-            CcConfig::default(),
-            vec![50.0, 50.0],
-            2,
-        );
+        let mut c = FlowController::new(ProportionalFair, CcConfig::default(), vec![50.0, 50.0], 2);
         for _ in 0..4000 {
             c.on_ack(&[Some(0.30), Some(0.05)]);
         }

@@ -34,9 +34,9 @@ pub mod step_size;
 pub mod utility;
 
 pub use controller::{CcConfig, ControllerKind, MultipathController, SinglePathController};
-pub use flow::{FlowController, FlowRates};
 pub use convergence::{slots_to_converge, ConvergenceCriterion};
 pub use distributed::{LinkPriceState, PriceBroadcast, RoutePriceAccumulator};
+pub use flow::{FlowController, FlowRates};
 pub use problem::{CcProblem, FlowSpec, RouteRef};
 pub use step_size::AdaptiveAlpha;
 pub use utility::{AlphaFair, Linear, ProportionalFair, Utility};

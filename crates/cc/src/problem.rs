@@ -140,11 +140,7 @@ mod tests {
         assert_eq!(p.flow_count(), 1);
         assert_eq!(p.flow_of, vec![0, 0]);
         // wifi_bc is on both routes.
-        let shared = p
-            .routes_on_link
-            .iter()
-            .filter(|rs| rs.len() == 2)
-            .count();
+        let shared = p.routes_on_link.iter().filter(|rs| rs.len() == 2).count();
         assert_eq!(shared, 1);
     }
 

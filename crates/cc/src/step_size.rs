@@ -8,10 +8,8 @@
 //! amplitude** — the signature of a dual iteration circling its fixed point
 //! instead of spiralling in.
 
-use serde::{Deserialize, Serialize};
-
 /// Adaptive step size for one flow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveAlpha {
     alpha: f64,
     /// The hop-count-scaled starting value; recovery ceiling.

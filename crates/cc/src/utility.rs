@@ -4,8 +4,6 @@
 //! the throughput/fairness trade-off. The paper's evaluation uses
 //! proportional fairness `U_f(x) = log(1 + x)` throughout (§5.1).
 
-use serde::{Deserialize, Serialize};
-
 /// An increasing, strictly concave utility with an invertible derivative.
 pub trait Utility: std::fmt::Debug + Send + Sync {
     /// `U(x)`.
@@ -17,7 +15,7 @@ pub trait Utility: std::fmt::Debug + Send + Sync {
 }
 
 /// `U(x) = log(1 + x)` — proportional fairness (shifted so `U(0) = 0`).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ProportionalFair;
 
 impl Utility for ProportionalFair {
@@ -41,7 +39,7 @@ impl Utility for ProportionalFair {
 /// α-fair utility family (Mo & Walrand): `U(x) = x^{1−α}/(1−α)` for α ≠ 1.
 /// α → 1 recovers proportional fairness, α → ∞ max-min fairness. The shifted
 /// argument `1 + x` keeps it finite at zero like the paper's choice.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AlphaFair {
     pub alpha: f64,
 }
@@ -76,7 +74,7 @@ impl Utility for AlphaFair {
 /// Linear "utility" `U(x) = w · x` — **not** strictly concave; provided only
 /// for throughput-maximization baselines and tests. `deriv_inv` is a step
 /// function: 0 above the weight, +∞ below.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Linear {
     pub weight: f64,
 }

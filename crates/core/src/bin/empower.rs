@@ -7,19 +7,24 @@
 //! empower simulate residential --seed 7 0 3    # packet-level run (300 s)
 //! empower topology testbed                     # the simulated 22-node floor
 //! ```
+//!
+//! `evaluate` and `simulate` accept `--metrics <path>`: a run manifest
+//! (seed, parameters, full counter snapshot) is written there, byte-
+//! identical across same-seed runs.
 
 use empower_core::model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
 use empower_core::model::topology::testbed22;
 use empower_core::model::{CarrierSense, InterferenceMap, InterferenceModel, Network, NodeId};
 use empower_core::sim::{SimConfig, TrafficPattern};
-use empower_core::{build_simulation, evaluate_equilibrium, FluidEval, Scheme};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use empower_core::telemetry::{Manifest, Telemetry};
+use empower_core::{RunConfig, Scheme};
+use empower_model::rng::SeedableRng;
+use empower_model::rng::StdRng;
 
 fn usage() -> ! {
     eprintln!(
         "usage: empower <topology|routes|evaluate|simulate> <residential|enterprise|testbed> \
-         [--seed S] [src dst]"
+         [--seed S] [--metrics PATH] [src dst]"
     );
     std::process::exit(2)
 }
@@ -28,6 +33,7 @@ struct Args {
     command: String,
     class: String,
     seed: u64,
+    metrics: Option<String>,
     endpoints: Option<(u32, u32)>,
 }
 
@@ -35,11 +41,15 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut seed = 1u64;
+    let mut metrics = None;
     let mut i = 0;
     while i < argv.len() {
         if argv[i] == "--seed" {
             i += 1;
             seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+        } else if argv[i] == "--metrics" {
+            i += 1;
+            metrics = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
         } else {
             positional.push(argv[i].clone());
         }
@@ -56,7 +66,18 @@ fn parse_args() -> Args {
     } else {
         None
     };
-    Args { command: positional[0].clone(), class: positional[1].clone(), seed, endpoints }
+    Args { command: positional[0].clone(), class: positional[1].clone(), seed, metrics, endpoints }
+}
+
+/// Writes the manifest if `--metrics` was given.
+fn maybe_write_manifest(args: &Args, experiment: &str, tele: &Telemetry) {
+    let Some(path) = &args.metrics else { return };
+    let mut m = Manifest::new(experiment);
+    m.set("class", args.class.as_str()).set("seed", args.seed).attach_counters(tele);
+    if let Err(e) = m.write(path) {
+        eprintln!("cannot write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn build(class: &str, seed: u64) -> (Network, InterferenceMap) {
@@ -85,7 +106,13 @@ fn main() {
             println!("{} nodes, {} directed links", net.node_count(), net.link_count());
             for n in net.nodes() {
                 let mediums: Vec<String> = n.mediums.iter().map(|m| m.label()).collect();
-                println!("  {}  ({:>5.1},{:>5.1})  [{}]", n.id, n.pos.x, n.pos.y, mediums.join("+"));
+                println!(
+                    "  {}  ({:>5.1},{:>5.1})  [{}]",
+                    n.id,
+                    n.pos.x,
+                    n.pos.y,
+                    mediums.join("+")
+                );
             }
             for l in net.links().iter().filter(|l| l.from < l.to) {
                 println!(
@@ -112,32 +139,46 @@ fn main() {
         }
         "evaluate" => {
             let (s, d) = args.endpoints.unwrap_or_else(|| usage());
+            let tele =
+                if args.metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
             println!("{:<12} {:>10}", "scheme", "Mbps");
+            let mut rates = Vec::new();
             for scheme in Scheme::ALL {
-                let out = evaluate_equilibrium(
-                    &net,
-                    &imap,
-                    &[(NodeId(s), NodeId(d))],
-                    scheme,
-                    &FluidEval::default(),
-                );
+                let out = RunConfig::new(scheme)
+                    .telemetry(tele.clone())
+                    .evaluate_equilibrium(&net, &imap, &[(NodeId(s), NodeId(d))])
+                    .expect("tolerant mode cannot fail");
                 println!("{:<12} {:>10.2}", scheme.label(), out.flow_rates[0]);
+                rates.push((scheme.label(), out.flow_rates[0]));
             }
+            if args.metrics.is_some() {
+                // Counters aggregate across the eight schemes; the rates
+                // themselves go in as manifest keys.
+                for (label, rate) in &rates {
+                    tele.counter(
+                        format!("eval/{label}/mbps_x100"),
+                        empower_core::telemetry::CounterType::Gauge,
+                    )
+                    .set((rate * 100.0).round() as u64);
+                }
+            }
+            maybe_write_manifest(&args, "evaluate", &tele);
         }
         "simulate" => {
             let (s, d) = args.endpoints.unwrap_or_else(|| usage());
-            let flows = [(
-                NodeId(s),
-                NodeId(d),
-                TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 },
-            )];
-            let (mut sim, mapping) = build_simulation(
-                &net,
-                &imap,
-                &flows,
-                Scheme::Empower,
-                SimConfig { seed: args.seed, ..Default::default() },
-            );
+            let tele =
+                if args.metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+            let flows =
+                [(NodeId(s), NodeId(d), TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 })];
+            let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+                .telemetry(tele.clone())
+                .build_simulation(
+                    &net,
+                    &imap,
+                    &flows,
+                    SimConfig { seed: args.seed, ..Default::default() },
+                )
+                .expect("tolerant mode cannot fail");
             let Some(f) = mapping[0] else {
                 println!("n{s} and n{d} are not connected");
                 return;
@@ -149,6 +190,7 @@ fn main() {
                 report.flows[f].delivered_bits / SimConfig::default().frame_bits,
                 report.flows[f].declared_lost,
             );
+            maybe_write_manifest(&args, "simulate", &tele);
         }
         _ => usage(),
     }

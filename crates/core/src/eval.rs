@@ -8,18 +8,18 @@
 //! route's standalone capacity, which ignores that the routes share
 //! airtime — the mistake congestion control exists to fix).
 
+use empower_baselines::saturation_goodput;
 use empower_cc::{
     slots_to_converge, CcConfig, CcProblem, ConvergenceCriterion, MultipathController,
     ProportionalFair, Utility,
 };
 use empower_model::{InterferenceMap, Network, NodeId};
-use empower_baselines::saturation_goodput;
-use serde::{Deserialize, Serialize};
+use empower_telemetry::{CounterType, Telemetry};
 
 use crate::scheme::Scheme;
 
 /// Evaluation parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FluidEval {
     /// Controller slots to run (100 ms each in wall-clock terms).
     pub slots: usize,
@@ -38,7 +38,7 @@ impl Default for FluidEval {
 }
 
 /// Outcome of a fluid evaluation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FluidEvalResult {
     /// Final rate per flow, Mbps (0 for disconnected flows).
     pub flow_rates: Vec<f64>,
@@ -54,7 +54,20 @@ pub struct FluidEvalResult {
     pub route_counts: Vec<usize>,
 }
 
+/// Registers the per-flow route gauges and the flow-count summary.
+fn record_route_counts(tele: &Telemetry, route_counts: &[usize], connected: usize) {
+    if !tele.is_enabled() {
+        return;
+    }
+    tele.counter("eval/flows", CounterType::Gauge).set(route_counts.len() as u64);
+    tele.counter("eval/connected_flows", CounterType::Gauge).set(connected as u64);
+    for (f, &n) in route_counts.iter().enumerate() {
+        tele.counter(format!("flow/{f}/routes"), CounterType::Gauge).set(n as u64);
+    }
+}
+
 /// Evaluates `scheme` for the given flows on one topology.
+#[deprecated(since = "0.2.0", note = "use RunConfig::evaluate_fluid")]
 pub fn evaluate_fluid(
     net: &Network,
     imap: &InterferenceMap,
@@ -62,14 +75,28 @@ pub fn evaluate_fluid(
     scheme: Scheme,
     params: &FluidEval,
 ) -> FluidEvalResult {
+    evaluate_fluid_impl(net, imap, flows, scheme, params, &Telemetry::disabled())
+}
+
+/// The engine behind [`crate::RunConfig::evaluate_fluid`]: instruments the
+/// run on `tele` (per-flow route gauges, controller price/violation totals,
+/// convergence slots) with the virtual clock following the slot index.
+pub(crate) fn evaluate_fluid_impl(
+    net: &Network,
+    imap: &InterferenceMap,
+    flows: &[(NodeId, NodeId)],
+    scheme: Scheme,
+    params: &FluidEval,
+    tele: &Telemetry,
+) -> FluidEvalResult {
     // Route computation per flow; disconnected flows keep rate 0.
     let route_sets: Vec<_> = flows
         .iter()
         .map(|&(s, d)| scheme.compute_routes(net, imap, s, d, params.n_shortest))
         .collect();
     let route_counts: Vec<usize> = route_sets.iter().map(|r| r.len()).collect();
-    let connected: Vec<usize> =
-        (0..flows.len()).filter(|&f| !route_sets[f].is_empty()).collect();
+    let connected: Vec<usize> = (0..flows.len()).filter(|&f| !route_sets[f].is_empty()).collect();
+    record_route_counts(tele, &route_counts, connected.len());
 
     let mut flow_rates = vec![0.0; flows.len()];
     let mut trajectories = vec![Vec::new(); flows.len()];
@@ -83,12 +110,20 @@ pub fn evaluate_fluid(
             let config = CcConfig { delta: params.delta, ..params.cc };
             let mut controller = MultipathController::new(&problem, ProportionalFair, config);
             let traj = controller.run_trajectory(&problem, imap, params.slots);
+            tele.set_now(params.slots as f64);
+            tele.counter("cc/price_updates", CounterType::Packets).add(controller.price_updates());
+            tele.counter("cc/margin_violations", CounterType::Errors)
+                .add(controller.margin_violations());
             let finals = problem.flow_rates(controller.rates());
             for (ci, &f) in connected.iter().enumerate() {
                 flow_rates[f] = finals[ci];
                 trajectories[f] = traj.iter().map(|slot| slot[ci]).collect();
                 convergence[f] =
                     slots_to_converge(&trajectories[f], ConvergenceCriterion::default());
+                if let Some(slots) = convergence[f] {
+                    tele.counter(format!("flow/{f}/convergence_slots"), CounterType::Gauge)
+                        .set(slots as u64);
+                }
             }
         } else {
             // Open loop: every route driven at its standalone R(P).
@@ -124,7 +159,8 @@ pub fn evaluate_fluid(
 /// restricted to the scheme's routes, so for steady-state statistics
 /// (Figs. 4–7) we can solve that program with Frank–Wolfe instead of
 /// iterating thousands of controller slots per topology. w/o-CC schemes are
-/// evaluated with the saturation model exactly as in [`evaluate_fluid`].
+/// evaluated with the saturation model exactly as in `evaluate_fluid`.
+#[deprecated(since = "0.2.0", note = "use RunConfig::evaluate_equilibrium")]
 pub fn evaluate_equilibrium(
     net: &Network,
     imap: &InterferenceMap,
@@ -132,16 +168,28 @@ pub fn evaluate_equilibrium(
     scheme: Scheme,
     params: &FluidEval,
 ) -> FluidEvalResult {
+    evaluate_equilibrium_impl(net, imap, flows, scheme, params, &Telemetry::disabled())
+}
+
+/// The engine behind [`crate::RunConfig::evaluate_equilibrium`].
+pub(crate) fn evaluate_equilibrium_impl(
+    net: &Network,
+    imap: &InterferenceMap,
+    flows: &[(NodeId, NodeId)],
+    scheme: Scheme,
+    params: &FluidEval,
+    tele: &Telemetry,
+) -> FluidEvalResult {
     if !scheme.uses_cc() {
-        return evaluate_fluid(net, imap, flows, scheme, params);
+        return evaluate_fluid_impl(net, imap, flows, scheme, params, tele);
     }
     let route_sets: Vec<_> = flows
         .iter()
         .map(|&(s, d)| scheme.compute_routes(net, imap, s, d, params.n_shortest))
         .collect();
     let route_counts: Vec<usize> = route_sets.iter().map(|r| r.len()).collect();
-    let connected: Vec<usize> =
-        (0..flows.len()).filter(|&f| !route_sets[f].is_empty()).collect();
+    let connected: Vec<usize> = (0..flows.len()).filter(|&f| !route_sets[f].is_empty()).collect();
+    record_route_counts(tele, &route_counts, connected.len());
     let mut flow_rates = vec![0.0; flows.len()];
     if !connected.is_empty() {
         let flow_routes: Vec<Vec<empower_model::Path>> =
@@ -153,8 +201,7 @@ pub fn evaluate_equilibrium(
             empower_baselines::RegionKind::Conservative,
             params.delta,
         );
-        let sol =
-            empower_baselines::maximize_utility(&problem, &region, &ProportionalFair, 300);
+        let sol = empower_baselines::maximize_utility(&problem, &region, &ProportionalFair, 300);
         for (ci, &f) in connected.iter().enumerate() {
             flow_rates[f] = sol.flow_rates[ci];
         }
@@ -173,19 +220,37 @@ pub fn evaluate_equilibrium(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RunConfig;
+    use empower_model::rng::SeedableRng;
+    use empower_model::rng::StdRng;
     use empower_model::topology::{fig1_scenario, residential};
     use empower_model::{CarrierSense, InterferenceModel, SharedMedium};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    fn fluid(
+        net: &Network,
+        imap: &InterferenceMap,
+        flows: &[(NodeId, NodeId)],
+        scheme: Scheme,
+    ) -> FluidEvalResult {
+        RunConfig::new(scheme).evaluate_fluid(net, imap, flows).unwrap()
+    }
+
+    fn equilibrium(
+        net: &Network,
+        imap: &InterferenceMap,
+        flows: &[(NodeId, NodeId)],
+        scheme: Scheme,
+    ) -> FluidEvalResult {
+        RunConfig::new(scheme).evaluate_equilibrium(net, imap, flows).unwrap()
+    }
 
     #[test]
     fn empower_beats_single_path_on_fig1() {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let flows = [(s.gateway, s.client)];
-        let emp =
-            evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
-        let sp = evaluate_fluid(&s.net, &imap, &flows, Scheme::Sp, &FluidEval::default());
+        let emp = fluid(&s.net, &imap, &flows, Scheme::Empower);
+        let sp = fluid(&s.net, &imap, &flows, Scheme::Sp);
         assert!((emp.flow_rates[0] - 50.0 / 3.0).abs() < 0.3, "{}", emp.flow_rates[0]);
         assert!((sp.flow_rates[0] - 10.0).abs() < 0.3, "{}", sp.flow_rates[0]);
         // 66 % gain, matching the §1 example.
@@ -198,13 +263,7 @@ mod tests {
         // §5.2.2 reports ~90 slots to steady state.
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
-        let emp = evaluate_fluid(
-            &s.net,
-            &imap,
-            &[(s.gateway, s.client)],
-            Scheme::Empower,
-            &FluidEval::default(),
-        );
+        let emp = fluid(&s.net, &imap, &[(s.gateway, s.client)], Scheme::Empower);
         let slots = emp.convergence_slots[0].expect("converges");
         assert!(slots < 1000, "converged in {slots} slots");
     }
@@ -224,13 +283,7 @@ mod tests {
                 net.set_capacity(id, 0.0);
             }
         }
-        let out = evaluate_fluid(
-            &net,
-            &imap,
-            &[(s.gateway, s.client)],
-            Scheme::SpWifi,
-            &FluidEval::default(),
-        );
+        let out = fluid(&net, &imap, &[(s.gateway, s.client)], Scheme::SpWifi);
         assert_eq!(out.flow_rates[0], 0.0);
         assert_eq!(out.route_counts[0], 0);
     }
@@ -240,9 +293,8 @@ mod tests {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let flows = [(s.gateway, s.client)];
-        let with = evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
-        let without =
-            evaluate_fluid(&s.net, &imap, &flows, Scheme::MpWoCc, &FluidEval::default());
+        let with = fluid(&s.net, &imap, &flows, Scheme::Empower);
+        let without = fluid(&s.net, &imap, &flows, Scheme::MpWoCc);
         assert!(with.flow_rates[0] > without.flow_rates[0] - 1e-6);
     }
 
@@ -252,7 +304,7 @@ mod tests {
         let topo = residential(&mut rng);
         let imap = CarrierSense::default().build_map(&topo.net);
         let flows: Vec<_> = (0..3).map(|_| topo.sample_flow(&mut rng)).collect();
-        let out = evaluate_fluid(&topo.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
+        let out = fluid(&topo.net, &imap, &flows, Scheme::Empower);
         assert!(out.utility.is_finite());
         assert!(out.flow_rates.iter().all(|&x| x >= 0.0));
     }
@@ -264,9 +316,8 @@ mod tests {
         let topo = residential(&mut rng);
         let imap = CarrierSense::default().build_map(&topo.net);
         let flows = [topo.sample_flow(&mut rng)];
-        let p = FluidEval::default();
-        let one = evaluate_equilibrium(&topo.net, &imap, &flows, Scheme::SpWifi, &p);
-        let two = evaluate_equilibrium(&topo.net, &imap, &flows, Scheme::MpMwifi, &p);
+        let one = equilibrium(&topo.net, &imap, &flows, Scheme::SpWifi);
+        let two = equilibrium(&topo.net, &imap, &flows, Scheme::MpMwifi);
         assert!(one.flow_rates[0] > 0.5, "seed 3 pair is connected");
         let ratio = two.flow_rates[0] / one.flow_rates[0];
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
@@ -277,10 +328,8 @@ mod tests {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let flows = [(s.gateway, s.client)];
-        let dynamic =
-            evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
-        let eq =
-            evaluate_equilibrium(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
+        let dynamic = fluid(&s.net, &imap, &flows, Scheme::Empower);
+        let eq = equilibrium(&s.net, &imap, &flows, Scheme::Empower);
         assert!(
             (dynamic.flow_rates[0] - eq.flow_rates[0]).abs() < 0.3,
             "{} vs {}",

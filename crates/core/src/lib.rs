@@ -7,40 +7,46 @@
 //!   SP-WiFi, MP-WiFi, MP-mWiFi, MP-w/o-CC, SP-w/o-CC, MP-2bp) as a single
 //!   configuration switch that selects mediums, routing flavour,
 //!   channel-switching cost and congestion control;
-//! * [`evaluate_fluid`] — the fast slotted-controller evaluation used for
-//!   the 1000-run CDF sweeps of §5 (Figs. 4–7);
-//! * [`build_simulation`] — wiring a scheme into the packet-level
-//!   discrete-event simulator of `empower-sim` for testbed-style runs (§6);
+//! * [`RunConfig`] — the typed run builder: scheme, `n`-shortest, δ,
+//!   controller gains and an optional [`telemetry::Telemetry`] registry,
+//!   with `Result`-typed entry points ([`EmpowerError`]) for route
+//!   computation, fluid/equilibrium evaluation (§5, Figs. 4–7),
+//!   packet-level simulation (§6) and route monitoring (§3.2);
 //! * re-exports of the subsystem crates under stable names.
+//!
+//! The v0 free functions ([`evaluate_fluid`], [`evaluate_equilibrium`],
+//! [`build_simulation`]) still work but are deprecated in favour of
+//! [`RunConfig`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use empower_core::{evaluate_fluid, FluidEval, Scheme};
+//! use empower_core::{RunConfig, Scheme};
 //! use empower_core::model::topology::fig1_scenario;
 //! use empower_core::model::{InterferenceModel, SharedMedium};
 //!
 //! let s = fig1_scenario();
 //! let imap = SharedMedium.build_map(&s.net);
-//! let eval = evaluate_fluid(
-//!     &s.net,
-//!     &imap,
-//!     &[(s.gateway, s.client)],
-//!     Scheme::Empower,
-//!     &FluidEval::default(),
-//! );
+//! let eval = RunConfig::new(Scheme::Empower)
+//!     .evaluate_fluid(&s.net, &imap, &[(s.gateway, s.client)])
+//!     .unwrap();
 //! // The paper's worked example: 10 Mbps hybrid + 6.6 Mbps WiFi-WiFi.
 //! assert!((eval.flow_rates[0] - 16.67).abs() < 0.3);
 //! ```
 
 pub mod eval;
 pub mod monitor;
+pub mod run;
 pub mod scheme;
 pub mod stack;
 
-pub use eval::{evaluate_equilibrium, evaluate_fluid, FluidEval, FluidEvalResult};
+#[allow(deprecated)]
+pub use eval::{evaluate_equilibrium, evaluate_fluid};
+pub use eval::{FluidEval, FluidEvalResult};
 pub use monitor::{RecomputeReason, RouteMonitor};
+pub use run::{EmpowerError, RunConfig};
 pub use scheme::Scheme;
+#[allow(deprecated)]
 pub use stack::build_simulation;
 
 /// Re-export: the network-model substrate.
@@ -50,3 +56,4 @@ pub use empower_datapath as datapath;
 pub use empower_model as model;
 pub use empower_routing as routing;
 pub use empower_sim as sim;
+pub use empower_telemetry as telemetry;

@@ -8,17 +8,28 @@
 
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_routing::RouteSet;
-use serde::{Deserialize, Serialize};
+use empower_telemetry::{CounterType, Telemetry};
 
+use crate::run::EmpowerError;
 use crate::scheme::Scheme;
 
 /// Why the monitor asked for new routes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecomputeReason {
     /// A link on one of the flow's routes died.
     LinkFailure,
     /// A link's capacity moved by more than the configured fraction.
     CapacityShift,
+}
+
+impl RecomputeReason {
+    /// Stable lowercase label used in counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecomputeReason::LinkFailure => "link_failure",
+            RecomputeReason::CapacityShift => "capacity_shift",
+        }
+    }
 }
 
 /// Watches one flow's routes.
@@ -27,15 +38,37 @@ pub struct RouteMonitor {
     src: NodeId,
     dst: NodeId,
     scheme: Scheme,
+    /// The `n`-shortest parameter recomputation uses (matches whatever the
+    /// original routes were computed with).
+    n_shortest: usize,
     /// Relative capacity change that counts as "large" (0.5 = ±50 %).
     pub shift_threshold: f64,
     /// Capacities of the route links at the time the routes were computed.
     baseline: Vec<(empower_model::LinkId, f64)>,
+    /// Recomputations are counted here by [`RecomputeReason`]
+    /// (`monitor/recomputes/<reason>`); disabled by default.
+    tele: Telemetry,
 }
 
 impl RouteMonitor {
-    /// Starts monitoring `routes` as computed on `net`.
+    /// Starts monitoring `routes` as computed on `net`, with the default
+    /// `n = 5` and no telemetry. Prefer [`crate::RunConfig::monitor`],
+    /// which carries both from the run configuration.
     pub fn new(net: &Network, scheme: Scheme, src: NodeId, dst: NodeId, routes: &RouteSet) -> Self {
+        Self::with_config(net, scheme, src, dst, routes, 5, Telemetry::disabled())
+    }
+
+    /// Starts monitoring with an explicit `n`-shortest parameter and
+    /// telemetry registry.
+    pub fn with_config(
+        net: &Network,
+        scheme: Scheme,
+        src: NodeId,
+        dst: NodeId,
+        routes: &RouteSet,
+        n_shortest: usize,
+        tele: Telemetry,
+    ) -> Self {
         let mut baseline = Vec::new();
         for r in &routes.routes {
             for &l in r.path.links() {
@@ -44,30 +77,78 @@ impl RouteMonitor {
                 }
             }
         }
-        RouteMonitor { src, dst, scheme, shift_threshold: 0.5, baseline }
+        RouteMonitor { src, dst, scheme, n_shortest, shift_threshold: 0.5, baseline, tele }
     }
 
     /// Checks the current network state; `Some(reason)` means recompute.
+    ///
+    /// # Panics
+    /// Panics if a baseline link id does not exist in `net` (a baseline
+    /// from a different network) — use [`RouteMonitor::try_check`] to get
+    /// an [`EmpowerError::DeadLink`] instead.
     pub fn check(&self, net: &Network) -> Option<RecomputeReason> {
+        self.try_check(net).expect("baseline links exist in this network")
+    }
+
+    /// Checks the current network state without panicking on foreign
+    /// baselines; `Ok(Some(reason))` means recompute.
+    ///
+    /// # Errors
+    /// [`EmpowerError::DeadLink`] if a baseline link id does not resolve
+    /// in `net`.
+    pub fn try_check(&self, net: &Network) -> Result<Option<RecomputeReason>, EmpowerError> {
         for &(l, was) in &self.baseline {
-            let link = net.link(l);
+            let link = net.try_link(l).ok_or(EmpowerError::DeadLink { link: l })?;
             if !link.is_alive() {
-                return Some(RecomputeReason::LinkFailure);
+                return Ok(Some(RecomputeReason::LinkFailure));
             }
             let rel = (link.capacity_mbps - was).abs() / was.max(1e-9);
             if rel > self.shift_threshold {
-                return Some(RecomputeReason::CapacityShift);
+                return Ok(Some(RecomputeReason::CapacityShift));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Recomputes the routes and re-baselines the monitor. Returns the new
     /// route set (possibly empty if the flow got disconnected).
     pub fn recompute(&mut self, net: &Network, imap: &InterferenceMap) -> RouteSet {
-        let routes = self.scheme.compute_routes(net, imap, self.src, self.dst, 5);
-        *self = RouteMonitor::new(net, self.scheme, self.src, self.dst, &routes);
+        let routes = self.scheme.compute_routes(net, imap, self.src, self.dst, self.n_shortest);
+        let (n, tele) = (self.n_shortest, self.tele.clone());
+        *self = RouteMonitor::with_config(net, self.scheme, self.src, self.dst, &routes, n, tele);
         routes
+    }
+
+    /// Recomputes after a [`RecomputeReason`] (typically the one
+    /// [`RouteMonitor::check`] returned), counting it under
+    /// `monitor/recomputes/<reason>`.
+    ///
+    /// # Errors
+    /// [`EmpowerError::Disconnected`] if the recomputed route set is empty
+    /// — the flow no longer has any path under the scheme's media.
+    pub fn recompute_after(
+        &mut self,
+        net: &Network,
+        imap: &InterferenceMap,
+        reason: RecomputeReason,
+    ) -> Result<RouteSet, EmpowerError> {
+        self.tele
+            .counter(format!("monitor/recomputes/{}", reason.label()), CounterType::Packets)
+            .inc();
+        self.tele.event(
+            "monitor",
+            "recompute",
+            &[
+                ("reason", reason.label().into()),
+                ("src", self.src.index().into()),
+                ("dst", self.dst.index().into()),
+            ],
+        );
+        let routes = self.recompute(net, imap);
+        if routes.is_empty() {
+            return Err(EmpowerError::Disconnected { flow: 0, src: self.src, dst: self.dst });
+        }
+        Ok(routes)
     }
 }
 
@@ -135,14 +216,44 @@ mod tests {
         let monitor = RouteMonitor::new(&s.net, Scheme::Sp, s.gateway, s.client, &routes);
         let on_route = routes.routes[0].path.links().to_vec();
         // Kill some link not on the route.
-        let victim = s
-            .net
-            .links()
-            .iter()
-            .map(|l| l.id)
-            .find(|l| !on_route.contains(l))
-            .unwrap();
+        let victim = s.net.links().iter().map(|l| l.id).find(|l| !on_route.contains(l)).unwrap();
         s.net.set_capacity(victim, 0.0);
         assert_eq!(monitor.check(&s.net), None);
+    }
+
+    #[test]
+    fn try_check_reports_foreign_baselines_as_dead_links() {
+        use crate::run::EmpowerError;
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        // A network with no links at all: every baseline id is foreign.
+        let empty = empower_model::NetworkBuilder::new().build();
+        let err = monitor.try_check(&empty).unwrap_err();
+        assert!(matches!(err, EmpowerError::DeadLink { .. }));
+    }
+
+    #[test]
+    fn recompute_after_counts_by_reason() {
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let tele = Telemetry::enabled();
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let mut monitor = RouteMonitor::with_config(
+            &s.net,
+            Scheme::Empower,
+            s.gateway,
+            s.client,
+            &routes,
+            5,
+            tele.clone(),
+        );
+        s.net.set_capacity(s.plc_ab, 0.0);
+        let reason = monitor.check(&s.net).expect("failure triggers");
+        let new_routes = monitor.recompute_after(&s.net, &imap, reason).unwrap();
+        assert_eq!(new_routes.len(), 1);
+        assert_eq!(tele.snapshot().value("monitor/recomputes/link_failure"), Some(1));
+        assert_eq!(tele.snapshot().value("monitor/recomputes/capacity_shift"), None);
     }
 }

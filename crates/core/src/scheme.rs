@@ -19,10 +19,9 @@ use empower_model::{InterferenceMap, Medium, Network, NodeId};
 use empower_routing::{
     best_combination, mp_2bp, single_path_route, CscMode, MultipathConfig, RouteQuery, RouteSet,
 };
-use serde::{Deserialize, Serialize};
 
 /// One of the paper's evaluation schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     Empower,
     Sp,
@@ -108,7 +107,8 @@ impl Scheme {
             }
             Scheme::Mp2bp => mp_2bp(net, imap, &query, self.csc()),
             _ => {
-                let config = MultipathConfig { n_shortest: n, csc: self.csc(), ..Default::default() };
+                let config =
+                    MultipathConfig { n_shortest: n, csc: self.csc(), ..Default::default() };
                 best_combination(net, imap, &query, &config)
             }
         }

@@ -2,12 +2,15 @@
 
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{FlowSpecSim, SimConfig, Simulation, TrafficPattern};
+use empower_telemetry::Telemetry;
 
+use crate::run::EmpowerError;
 use crate::scheme::Scheme;
 
 /// Builds a packet-level simulation where each `(src, dst, pattern)` flow
 /// runs under `scheme`. Disconnected flows are skipped; the returned vector
 /// maps input index → simulator flow index (or `None` if skipped).
+#[deprecated(since = "0.2.0", note = "use RunConfig::build_simulation")]
 pub fn build_simulation(
     net: &Network,
     imap: &InterferenceMap,
@@ -15,11 +18,34 @@ pub fn build_simulation(
     scheme: Scheme,
     config: SimConfig,
 ) -> (Simulation, Vec<Option<usize>>) {
+    build_simulation_impl(net, imap, flows, scheme, config, 5, &Telemetry::disabled(), false)
+        .expect("tolerant mode cannot fail")
+}
+
+/// The engine behind [`crate::RunConfig::build_simulation`]: route
+/// computation with a configurable `n`, telemetry attached to the engine
+/// before flows register, and an optional strict mode that turns a
+/// disconnected flow into [`EmpowerError::Disconnected`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_simulation_impl(
+    net: &Network,
+    imap: &InterferenceMap,
+    flows: &[(NodeId, NodeId, TrafficPattern)],
+    scheme: Scheme,
+    config: SimConfig,
+    n_shortest: usize,
+    tele: &Telemetry,
+    strict: bool,
+) -> Result<(Simulation, Vec<Option<usize>>), EmpowerError> {
     let mut sim = Simulation::new(net.clone(), imap.clone(), config);
+    sim.attach_telemetry(tele.clone());
     let mut mapping = Vec::with_capacity(flows.len());
-    for &(src, dst, pattern) in flows {
-        let routes = scheme.compute_routes(net, imap, src, dst, 5);
+    for (f, &(src, dst, pattern)) in flows.iter().enumerate() {
+        let routes = scheme.compute_routes(net, imap, src, dst, n_shortest);
         if routes.is_empty() {
+            if strict {
+                return Err(EmpowerError::Disconnected { flow: f, src, dst });
+            }
             mapping.push(None);
             continue;
         }
@@ -41,12 +67,13 @@ pub fn build_simulation(
         });
         mapping.push(Some(idx));
     }
-    (sim, mapping)
+    Ok((sim, mapping))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RunConfig;
     use empower_model::topology::fig1_scenario;
     use empower_model::{InterferenceModel, SharedMedium};
 
@@ -56,8 +83,9 @@ mod tests {
         let imap = SharedMedium.build_map(&s.net);
         let flows =
             [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 })];
-        let (mut sim, mapping) =
-            build_simulation(&s.net, &imap, &flows, Scheme::Empower, SimConfig::default());
+        let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+            .build_simulation(&s.net, &imap, &flows, SimConfig::default())
+            .unwrap();
         assert_eq!(mapping, vec![Some(0)]);
         let report = sim.run(300.0);
         let t = report.final_throughput(0, 10);
@@ -73,10 +101,39 @@ mod tests {
             let id = empower_model::LinkId(l as u32);
             net.set_capacity(id, 0.0);
         }
-        let flows =
-            [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 1.0 })];
-        let (_, mapping) =
-            build_simulation(&net, &imap, &flows, Scheme::Empower, SimConfig::default());
+        let flows = [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 1.0 })];
+        let (_, mapping) = RunConfig::new(Scheme::Empower)
+            .build_simulation(&net, &imap, &flows, SimConfig::default())
+            .unwrap();
         assert_eq!(mapping, vec![None]);
+        // Strict mode names the offending flow instead.
+        let strict = RunConfig::new(Scheme::Empower).strict_connectivity(true).build_simulation(
+            &net,
+            &imap,
+            &flows,
+            SimConfig::default(),
+        );
+        match strict {
+            Err(EmpowerError::Disconnected { flow: 0, .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("strict mode should refuse a disconnected flow"),
+        }
+    }
+
+    #[test]
+    fn telemetry_flows_through_to_the_engine() {
+        let s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let tele = Telemetry::enabled();
+        let flows = [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 5.0 })];
+        let (mut sim, _) = RunConfig::new(Scheme::Empower)
+            .telemetry(tele.clone())
+            .build_simulation(&s.net, &imap, &flows, SimConfig::default())
+            .unwrap();
+        sim.run(5.0);
+        let snap = tele.snapshot();
+        assert!(snap.value("mac/grants").unwrap() > 0, "MAC grants recorded");
+        assert!(snap.value("datapath/reorder_delivered").unwrap() > 0);
+        assert_eq!(snap.value("datapath/header_decode_errors"), Some(0));
     }
 }

@@ -6,14 +6,12 @@
 //! the best single-path" with prioritized queues. One ACK carries the prices
 //! of *all* routes of the flow.
 
-use serde::{Deserialize, Serialize};
-
 /// ACK pacing: at most one per 100 ms per flow.
 pub const ACK_INTERVAL_SECS: f64 = 0.1;
 
 /// An EMPoWER acknowledgement: the per-route prices observed since the last
 /// ACK, plus cumulative delivery feedback usable for throughput accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ack {
     /// Latest accumulated price `q_r` per route (`None` = no packet seen on
     /// that route during the window).

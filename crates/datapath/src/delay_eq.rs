@@ -10,10 +10,8 @@
 //! per arriving packet, the artificial hold time that aligns its total
 //! latency with the currently slowest route.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-flow destination-side delay equalizer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DelayEqualizer {
     /// EWMA smoothing factor for delay estimates.
     pub ewma: f64,
@@ -37,11 +35,7 @@ impl DelayEqualizer {
             None => delay_secs,
             Some(e) => (1.0 - self.ewma) * e + self.ewma * delay_secs,
         });
-        let slowest = self
-            .est_delay
-            .iter()
-            .flatten()
-            .fold(0.0_f64, |a, &b| a.max(b));
+        let slowest = self.est_delay.iter().flatten().fold(0.0_f64, |a, &b| a.max(b));
         (slowest - self.est_delay[route].expect("just set")).clamp(0.0, self.max_hold_secs)
     }
 

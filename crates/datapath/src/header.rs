@@ -1,7 +1,6 @@
 //! The fixed 20-byte EMPoWER header (§6.1).
 
-use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
+use crate::wire::{Buf, BufMut};
 
 use crate::iface_id::IfaceId;
 
@@ -39,7 +38,7 @@ impl std::error::Error for HeaderError {}
 
 /// The source route: the ingress interface id of every hop, in order. A
 /// 2-hop route therefore stores 2 ids; remaining slots are zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SourceRoute {
     hops: [IfaceId; MAX_HOPS],
     len: u8,
@@ -95,7 +94,7 @@ impl SourceRoute {
 }
 
 /// The layer-2.5 header carried by every EMPoWER data packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmpowerHeader {
     pub route: SourceRoute,
     /// Accumulated route price `q_r` (§4.2); f32 on the wire (4 bytes).

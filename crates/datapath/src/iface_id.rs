@@ -10,10 +10,9 @@
 use std::collections::HashMap;
 
 use empower_model::{Medium, Network, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A 2-byte interface identifier. Zero is reserved as "empty route slot".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IfaceId(pub u16);
 
 impl IfaceId {

@@ -25,6 +25,7 @@ pub mod header;
 pub mod iface_id;
 pub mod reorder;
 pub mod scheduler;
+pub mod wire;
 
 pub use ack::{Ack, AckCollector, ACK_INTERVAL_SECS};
 pub use delay_eq::DelayEqualizer;

@@ -94,10 +94,7 @@ impl ReorderBuffer {
             }
             // next_seq missing: lost iff every route has seen beyond it.
             let all_passed = !self.highest_per_route.is_empty()
-                && self
-                    .highest_per_route
-                    .iter()
-                    .all(|h| h.is_some_and(|hi| hi > self.next_seq));
+                && self.highest_per_route.iter().all(|h| h.is_some_and(|hi| hi > self.next_seq));
             if all_passed {
                 out.push(ReorderEvent::Lost(self.next_seq));
                 self.next_seq += 1;

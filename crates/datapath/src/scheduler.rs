@@ -7,7 +7,7 @@
 //! rate for the flow" (§6.4) — that drop signal is what TCP perceives as
 //! congestion.
 
-use rand::Rng;
+use empower_model::rng::Rng;
 
 /// Outcome of offering one packet to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,8 +101,7 @@ impl RouteScheduler {
         // Weighted route choice ∝ max(x_r, probe floor): proportional to
         // the controller's split, with a trickle on quiet routes to keep
         // their prices observable.
-        let weights: Vec<f64> =
-            self.rates.iter().map(|&x| x.max(self.probe_floor)).collect();
+        let weights: Vec<f64> = self.rates.iter().map(|&x| x.max(self.probe_floor)).collect();
         let sum: f64 = weights.iter().sum();
         let mut draw = rng.gen::<f64>() * sum;
         for (i, &w) in weights.iter().enumerate() {
@@ -125,8 +124,8 @@ impl RouteScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use empower_model::rng::SeedableRng;
+    use empower_model::rng::StdRng;
 
     #[test]
     fn zero_rate_drops_everything() {

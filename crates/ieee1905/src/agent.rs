@@ -97,20 +97,15 @@ impl TopologyAgent {
     /// If the discovery timer expired, produce the Topology Discovery CMDU
     /// to multicast on every interface.
     pub fn poll_discovery(&mut self, now: f64) -> Option<Cmdu> {
-        let due = self
-            .last_discovery
-            .is_none_or(|t| now - t >= self.config.discovery_interval_secs);
+        let due =
+            self.last_discovery.is_none_or(|t| now - t >= self.config.discovery_interval_secs);
         if !due {
             return None;
         }
         self.last_discovery = Some(now);
         let id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1);
-        Some(Cmdu::new(
-            MessageType::TopologyDiscovery,
-            id,
-            vec![Tlv::al_mac(self.al_mac)],
-        ))
+        Some(Cmdu::new(MessageType::TopologyDiscovery, id, vec![Tlv::al_mac(self.al_mac)]))
     }
 
     /// Processes a CMDU received on `medium` at time `now`.
@@ -210,10 +205,8 @@ mod tests {
     /// multicasts on each medium; delivery = every node sharing an alive
     /// link on that medium hears it.
     fn discovery_round(net: &Network, agents: &mut [TopologyAgent], now: f64) {
-        let broadcasts: Vec<(NodeId, Option<Cmdu>)> = agents
-            .iter_mut()
-            .map(|a| (a.node(), a.poll_discovery(now)))
-            .collect();
+        let broadcasts: Vec<(NodeId, Option<Cmdu>)> =
+            agents.iter_mut().map(|a| (a.node(), a.poll_discovery(now))).collect();
         for (sender, cmdu) in broadcasts {
             let Some(cmdu) = cmdu else { continue };
             for link in net.out_links(sender) {
@@ -271,14 +264,12 @@ mod tests {
         let links = collect_links(&t.net, &mut agents, 1.0);
         let rebuilt = reconstruct_network(&t.net, &links);
         let imap = CarrierSense::default().build_map(&rebuilt);
-        let routes =
-            Scheme::Empower.compute_routes(&rebuilt, &imap, NodeId(0), NodeId(12), 5);
+        let routes = Scheme::Empower.compute_routes(&rebuilt, &imap, NodeId(0), NodeId(12), 5);
         assert!(!routes.is_empty());
         // Nominal capacity on the discovered view is within the 1 Mbps wire
         // quantization of the ground-truth answer.
         let truth_imap = CarrierSense::default().build_map(&t.net);
-        let truth =
-            Scheme::Empower.compute_routes(&t.net, &truth_imap, NodeId(0), NodeId(12), 5);
+        let truth = Scheme::Empower.compute_routes(&t.net, &truth_imap, NodeId(0), NodeId(12), 5);
         assert!(
             (routes.total_rate() - truth.total_rate()).abs() / truth.total_rate() < 0.05,
             "discovered {:.1} vs truth {:.1}",
@@ -320,11 +311,8 @@ mod tests {
         // Kill one specific link; the agent's measurement returns None.
         let victim = net.links()[0].id;
         net.set_capacity(victim, 0.0);
-        let mut agents: Vec<TopologyAgent> = net
-            .nodes()
-            .iter()
-            .map(|n| TopologyAgent::new(n.id, AgentConfig::default()))
-            .collect();
+        let mut agents: Vec<TopologyAgent> =
+            net.nodes().iter().map(|n| TopologyAgent::new(n.id, AgentConfig::default())).collect();
         discovery_round(&net, &mut agents, 0.0);
         let links = collect_links(&net, &mut agents, 1.0);
         // The victim's (from, to, medium) triple is absent (capacity 0

@@ -5,7 +5,7 @@
 //! fragment id, 1 byte flags (bit 7 = last fragment, bit 6 = relay
 //! indicator), then the TLV list terminated by End-of-Message.
 
-use bytes::{Buf, BufMut};
+use empower_datapath::wire::{Buf, BufMut};
 
 use crate::tlv::{Tlv, TlvError, TlvType};
 
@@ -100,7 +100,8 @@ impl Cmdu {
 
     /// Serializes to bytes (header + TLVs + End-of-Message).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(8 + 3 + self.tlvs.iter().map(|t| 3 + t.value.len()).sum::<usize>());
+        let mut buf =
+            Vec::with_capacity(8 + 3 + self.tlvs.iter().map(|t| 3 + t.value.len()).sum::<usize>());
         buf.put_u8(0); // messageVersion: 1905.1-2013
         buf.put_u8(0); // reserved
         buf.put_u16(self.message_type.code());

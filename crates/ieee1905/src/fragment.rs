@@ -88,9 +88,7 @@ impl<K: std::hash::Hash + Eq + Clone> Defragmenter<K> {
         slots[idx] = Some(fragment);
         // Complete iff some stored fragment is flagged last AND every slot
         // up to it is filled.
-        let last_idx = slots
-            .iter()
-            .position(|s| s.as_ref().is_some_and(|f| f.last_fragment));
+        let last_idx = slots.iter().position(|s| s.as_ref().is_some_and(|f| f.last_fragment));
         let Some(last_idx) = last_idx else {
             return Ok(None);
         };

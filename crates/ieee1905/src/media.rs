@@ -1,10 +1,9 @@
 //! IEEE 1905.1 media-type codes (Table 6-12 of the standard).
 
 use empower_model::Medium;
-use serde::{Deserialize, Serialize};
 
 /// A 1905.1 media type (16-bit code on the wire).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MediaType {
     /// IEEE 802.3u fast Ethernet.
     FastEthernet,

@@ -4,7 +4,7 @@
 //! value. Every CMDU's TLV list is terminated by the End-of-Message TLV
 //! (type 0, length 0).
 
-use bytes::{Buf, BufMut};
+use empower_datapath::wire::{Buf, BufMut};
 
 use crate::media::MediaType;
 use crate::AlMacAddress;

@@ -17,13 +17,12 @@
 //! effect of estimation error (one of the explanations offered in §6.3 for
 //! EMPoWER occasionally trailing the brute-force single path).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::Rng;
 
 use crate::rng::normal;
 
 /// Which traffic is available to estimate from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimationMode {
     /// Only the ~1 kB/s probes: noisier, slower to react.
     Idle,
@@ -32,7 +31,7 @@ pub enum EstimationMode {
 }
 
 /// One estimated capacity value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityEstimate {
     /// Estimated capacity, Mbps.
     pub capacity_mbps: f64,
@@ -41,7 +40,7 @@ pub struct CapacityEstimate {
 }
 
 /// Noisy, lagging view of a true link capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CapacityEstimator {
     /// Relative standard deviation of the idle (probe-based) estimate.
     pub idle_rel_std: f64,
@@ -121,8 +120,8 @@ impl CapacityEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn active_estimates_are_tighter_than_idle() {

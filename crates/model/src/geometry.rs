@@ -1,10 +1,8 @@
 //! Minimal 2-D geometry used by the topology generators and the
 //! distance-based interference/capacity models.
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the floor plan, in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     pub x: f64,
     pub y: f64,
@@ -23,7 +21,7 @@ impl Point {
 }
 
 /// An axis-aligned rectangle (the deployment area of a topology).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Width in metres (x extent).
     pub width: f64,
@@ -43,7 +41,7 @@ impl Rect {
     }
 
     /// Samples a uniformly random point inside the rectangle.
-    pub fn sample_uniform<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Point {
+    pub fn sample_uniform<R: crate::rng::Rng + ?Sized>(&self, rng: &mut R) -> Point {
         Point::new(rng.gen::<f64>() * self.width, rng.gen::<f64>() * self.height)
     }
 
@@ -61,8 +59,8 @@ impl Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn distance_is_euclidean() {

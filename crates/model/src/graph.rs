@@ -2,8 +2,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::Point;
 use crate::ids::{LinkId, NodeId, PanelId};
 use crate::link::Link;
@@ -15,7 +13,7 @@ use crate::node::Node;
 /// Nodes and links are stored densely; [`NodeId`]/[`LinkId`] index straight
 /// into `nodes`/`links`. Links are directed; bidirectional physical links are
 /// two directed links cross-referencing each other via [`Link::reverse`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -54,6 +52,13 @@ impl Network {
     /// The link with the given id.
     pub fn link(&self, id: LinkId) -> &Link {
         &self.links[id.index()]
+    }
+
+    /// The link with the given id, or `None` if no such link exists —
+    /// the non-panicking lookup for ids that may come from another
+    /// network instance (e.g. a stale route baseline).
+    pub fn try_link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.index())
     }
 
     /// Outgoing links of `node` (including dead ones; filter with
@@ -132,12 +137,7 @@ impl NetworkBuilder {
     }
 
     /// Adds a node and returns its id.
-    pub fn add_node(
-        &mut self,
-        pos: Point,
-        mediums: Vec<Medium>,
-        panel: Option<PanelId>,
-    ) -> NodeId {
+    pub fn add_node(&mut self, pos: Point, mediums: Vec<Medium>, panel: Option<PanelId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { id, pos, mediums, panel, label: String::new() });
         id
@@ -244,8 +244,10 @@ mod tests {
 
     fn two_node_net() -> (Network, NodeId, NodeId) {
         let mut b = NetworkBuilder::new();
-        let a = b.add_node(Point::new(0.0, 0.0), vec![Medium::WIFI1, Medium::Plc], Some(PanelId(0)));
-        let c = b.add_node(Point::new(3.0, 4.0), vec![Medium::WIFI1, Medium::Plc], Some(PanelId(0)));
+        let a =
+            b.add_node(Point::new(0.0, 0.0), vec![Medium::WIFI1, Medium::Plc], Some(PanelId(0)));
+        let c =
+            b.add_node(Point::new(3.0, 4.0), vec![Medium::WIFI1, Medium::Plc], Some(PanelId(0)));
         b.add_duplex(a, c, Medium::WIFI1, 30.0);
         b.add_duplex(a, c, Medium::Plc, 10.0);
         (b.build(), a, c)

@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (a station of the local network).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a *directed* link of the multigraph.
@@ -20,7 +18,7 @@ pub struct NodeId(pub u32);
 /// An undirected physical link (e.g. a WiFi association) is represented by
 /// two directed links, one per direction; both occupy the same medium and
 /// therefore always belong to each other's interference domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 /// Identifier of an electrical panel (IEEE 1901 central coordinator).
@@ -28,7 +26,7 @@ pub struct LinkId(pub u32);
 /// Two nodes can form a PLC link only when they are attached to the same
 /// panel (§5.1: "a PLC link exists only when two nodes are connected to the
 /// same central coordinator").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PanelId(pub u32);
 
 impl NodeId {

@@ -17,8 +17,6 @@
 //!   medium interfere") and a good approximation for dense single-room
 //!   deployments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Network;
 use crate::ids::LinkId;
 use crate::link::Link;
@@ -40,7 +38,7 @@ pub trait InterferenceModel {
 }
 
 /// Range-based carrier sensing for WiFi + per-panel collision domains for PLC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CarrierSense {
     /// Carrier-sensing range for WiFi, metres. Two same-channel WiFi links
     /// interfere iff some endpoint of one is within this distance of some
@@ -87,7 +85,7 @@ impl InterferenceModel for CarrierSense {
 
 /// Every pair of links on the same shared medium interferes (single collision
 /// domain per medium).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SharedMedium;
 
 impl InterferenceModel for SharedMedium {
@@ -98,7 +96,7 @@ impl InterferenceModel for SharedMedium {
 
 /// Precomputed interference domains: `domains[l]` is `I_l`, sorted by id and
 /// always containing `l` itself.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InterferenceMap {
     domains: Vec<Vec<LinkId>>,
 }

@@ -1,7 +1,5 @@
 //! Directed links of the multigraph.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{LinkId, NodeId};
 use crate::medium::Medium;
 
@@ -17,7 +15,7 @@ pub const CAPACITY_EPSILON_MBPS: f64 = 1e-9;
 /// communicate with nonzero capacity on the corresponding technology. We
 /// store `c_l` in Mbps; the link cost is `d_l = 1 / c_l` (seconds of airtime
 /// per megabit), equivalent to the ETT metric up to a constant factor (§3.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Dense identifier, equal to the link's position in [`Network::links`].
     ///

@@ -1,7 +1,5 @@
 //! Network nodes (stations).
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::Point;
 use crate::ids::{NodeId, PanelId};
 use crate::medium::Medium;
@@ -11,7 +9,7 @@ use crate::medium::Medium;
 /// A node owns one *interface* per medium it supports; the multigraph of §2
 /// is equivalently a graph over interfaces (the "virtual graph" used by the
 /// routing layer to make channel-switching costs Dijkstra-compatible).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Dense identifier, equal to the node's position in [`Network::nodes`].
     ///

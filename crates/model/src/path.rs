@@ -8,15 +8,13 @@
 //! `R(P)`, a link `l` (of the whole network, not only of `P`) keeps the idle
 //! fraction `r(l, P) = 1 − Σ_{l'∈ I_l ∩ P} R(P)·d_{l'}`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::interference::InterferenceMap;
 
 /// A loop-free route: an ordered sequence of directed links where each link
 /// starts at the previous link's head.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Path {
     links: Vec<LinkId>,
 }

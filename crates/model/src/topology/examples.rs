@@ -30,9 +30,9 @@ pub struct Fig1Scenario {
 pub fn fig1_scenario() -> Fig1Scenario {
     let mut b = NetworkBuilder::new();
     let hybrid = vec![Medium::WIFI1, Medium::Plc];
-    let gateway = b.add_labeled_node(Point::new(0.0, 0.0), hybrid.clone(), Some(PanelId(0)), "gateway");
-    let extender =
-        b.add_labeled_node(Point::new(15.0, 0.0), hybrid, Some(PanelId(0)), "extender");
+    let gateway =
+        b.add_labeled_node(Point::new(0.0, 0.0), hybrid.clone(), Some(PanelId(0)), "gateway");
+    let extender = b.add_labeled_node(Point::new(15.0, 0.0), hybrid, Some(PanelId(0)), "extender");
     let client = b.add_labeled_node(Point::new(30.0, 0.0), vec![Medium::WIFI1], None, "client");
     let (plc_ab, _) = b.add_duplex(gateway, extender, Medium::Plc, 10.0);
     let (wifi_ab, _) = b.add_duplex(gateway, extender, Medium::WIFI1, 15.0);
@@ -147,7 +147,7 @@ mod tests {
         let imap = SharedMedium.build_map(&s.net);
         let r1 = Path::new(&s.net, s.route1.to_vec()).unwrap();
         let rate = r1.capacity(&s.net, &imap); // 10
-        // Residual on route 3's direct link (medium A): 1 − 10/20 = 0.5.
+                                               // Residual on route 3's direct link (medium A): 1 − 10/20 = 0.5.
         let resid = r1.residual_idle_fraction(&s.net, &imap, s.route3[0], rate);
         assert!((resid - 0.5).abs() < 1e-9);
         // Route 1's own bottleneck (medium B link) is exhausted.

@@ -14,8 +14,7 @@
 //! capacities ("the two channels have the same bandwidth, consequently the
 //! same link capacities", §5.1).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::Rng;
 
 use crate::capacity::{CapacityModel, PlcCapacityModel, WifiCapacityModel};
 use crate::geometry::{Point, Rect};
@@ -24,14 +23,14 @@ use crate::ids::{NodeId, PanelId};
 use crate::medium::Medium;
 
 /// Which §5.1 topology class to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyClass {
     Residential,
     Enterprise,
 }
 
 /// Generation parameters; defaults follow §5.1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomTopologyConfig {
     pub class: TopologyClass,
     /// Whether to add a mirrored second WiFi channel on every WiFi interface
@@ -169,8 +168,7 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &RandomTopologyConfig) -> 
             }
             for i in 0..10 {
                 let pos = area.sample_uniform(rng);
-                let id =
-                    b.add_labeled_node(pos, wifi_mediums.clone(), None, format!("client{i}"));
+                let id = b.add_labeled_node(pos, wifi_mediums.clone(), None, format!("client{i}"));
                 wifi_only_nodes.push(id);
             }
         }
@@ -229,8 +227,8 @@ fn b_node_panel(b: &NetworkBuilder, id: NodeId) -> Option<PanelId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn residential_has_ten_nodes_half_hybrid() {
@@ -329,8 +327,8 @@ mod tests {
 #[cfg(test)]
 mod asymmetry_tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn asymmetric_links_differ_per_direction_but_share_a_mean() {

@@ -20,8 +20,8 @@
 //! Fig. 9-left) override individual links with
 //! [`Network::set_capacity`](crate::graph::Network::set_capacity).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::SeedableRng;
+use crate::rng::StdRng;
 
 use crate::capacity::{CapacityModel, PlcCapacityModel, WifiCapacityModel};
 use crate::geometry::Point;

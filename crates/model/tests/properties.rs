@@ -1,14 +1,16 @@
 //! Property tests of the network-model substrate over randomized
-//! topologies.
+//! topologies. Each property runs over a deterministic sweep of seeds so
+//! failures reproduce exactly (the in-tree RNG replaces proptest; the
+//! failing seed is in the assertion message).
 
+use empower_model::rng::{Rng, SeedableRng, StdRng};
 use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
 use empower_model::{
     lemma1_rmax, AirtimeLedger, CarrierSense, InterferenceMap, InterferenceModel, LinkId,
     SharedMedium,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: u64 = 32;
 
 fn random_net(seed: u64, enterprise: bool) -> empower_model::Network {
     let class = if enterprise { TopologyClass::Enterprise } else { TopologyClass::Residential };
@@ -16,68 +18,88 @@ fn random_net(seed: u64, enterprise: bool) -> empower_model::Network {
     generate(&mut rng, &RandomTopologyConfig::new(class)).net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Interference maps are symmetric and reflexive, and cross-medium
-    /// pairs never interfere.
-    #[test]
-    fn interference_maps_are_well_formed(seed in 0u64..10_000, enterprise in any::<bool>()) {
+/// Interference maps are symmetric and reflexive, and cross-medium
+/// pairs never interfere.
+#[test]
+fn interference_maps_are_well_formed() {
+    let mut meta = StdRng::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let seed = meta.gen_range(0u64..10_000);
+        let enterprise = meta.gen_bool(0.5);
         let net = random_net(seed, enterprise);
         for model in [&CarrierSense::default() as &dyn InterferenceModel, &SharedMedium] {
             let map = InterferenceMap::build(&net, model);
             for a in net.links() {
-                prop_assert!(map.interferes(a.id, a.id), "not reflexive at {}", a.id);
+                assert!(map.interferes(a.id, a.id), "seed {seed}: not reflexive at {}", a.id);
                 for b in net.links() {
-                    prop_assert_eq!(
+                    assert_eq!(
                         map.interferes(a.id, b.id),
                         map.interferes(b.id, a.id),
-                        "asymmetric at {} / {}", a.id, b.id
+                        "seed {seed}: asymmetric at {} / {}",
+                        a.id,
+                        b.id
                     );
                     if map.interferes(a.id, b.id) && a.id != b.id {
-                        prop_assert!(
+                        assert!(
                             a.medium.may_interfere_with(b.medium),
-                            "cross-medium interference {} / {}", a.medium, b.medium
+                            "seed {seed}: cross-medium interference {} / {}",
+                            a.medium,
+                            b.medium
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// Lemma 1 is monotone: adding a contender can only lower R_max.
-    #[test]
-    fn lemma1_is_monotone(costs in prop::collection::vec(0.005f64..1.0, 1..12)) {
+/// Lemma 1 is monotone: adding a contender can only lower R_max.
+#[test]
+fn lemma1_is_monotone() {
+    let mut meta = StdRng::seed_from_u64(0xA002);
+    for case in 0..CASES {
+        let n = meta.gen_range(1usize..12);
+        let costs: Vec<f64> = (0..n).map(|_| meta.gen_range(0.005f64..1.0)).collect();
         let full = lemma1_rmax(&costs);
         for k in 1..costs.len() {
             let partial = lemma1_rmax(&costs[..k]);
-            prop_assert!(partial >= full - 1e-12, "dropping contenders lowered R_max");
+            assert!(partial >= full - 1e-12, "case {case}: dropping contenders lowered R_max");
         }
     }
+}
 
-    /// The shared-medium model upper-bounds carrier sensing: every
-    /// carrier-sense conflict is also a shared-medium conflict, so the
-    /// shared-medium feasible region is contained in the carrier-sense one.
-    #[test]
-    fn shared_medium_dominates_carrier_sense(seed in 0u64..10_000) {
+/// The shared-medium model upper-bounds carrier sensing: every
+/// carrier-sense conflict is also a shared-medium conflict, so the
+/// shared-medium feasible region is contained in the carrier-sense one.
+#[test]
+fn shared_medium_dominates_carrier_sense() {
+    let mut meta = StdRng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let seed = meta.gen_range(0u64..10_000);
         let net = random_net(seed, true);
         let cs = CarrierSense::default().build_map(&net);
         let sm = SharedMedium.build_map(&net);
         for a in net.links() {
             for &b in cs.domain(a.id) {
-                prop_assert!(sm.interferes(a.id, b));
+                assert!(sm.interferes(a.id, b), "seed {seed}: CS conflict not in SM");
             }
         }
     }
+}
 
-    /// Airtime ledgers are additive: the domain airtime of the sum of two
-    /// traffic patterns equals the sum of the individual domain airtimes.
-    #[test]
-    fn airtime_is_additive(seed in 0u64..10_000, r1 in 0.1f64..40.0, r2 in 0.1f64..40.0) {
+/// Airtime ledgers are additive: the domain airtime of the sum of two
+/// traffic patterns equals the sum of the individual domain airtimes.
+#[test]
+fn airtime_is_additive() {
+    let mut meta = StdRng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let seed = meta.gen_range(0u64..10_000);
+        let r1 = meta.gen_range(0.1f64..40.0);
+        let r2 = meta.gen_range(0.1f64..40.0);
         let net = random_net(seed, false);
         let imap = CarrierSense::default().build_map(&net);
         if net.link_count() < 2 {
-            return Ok(());
+            continue;
         }
         let la = LinkId(0);
         let lb = LinkId((net.link_count() / 2) as u32);
@@ -89,10 +111,10 @@ proptest! {
         let mut only_b = AirtimeLedger::new(&net);
         only_b.add_link_traffic(lb, r2);
         for l in net.links() {
-            let sum = only_a.domain_airtime(&net, &imap, l.id)
-                + only_b.domain_airtime(&net, &imap, l.id);
+            let sum =
+                only_a.domain_airtime(&net, &imap, l.id) + only_b.domain_airtime(&net, &imap, l.id);
             let joint = both.domain_airtime(&net, &imap, l.id);
-            prop_assert!((sum - joint).abs() < 1e-9);
+            assert!((sum - joint).abs() < 1e-9, "seed {seed}: ledger not additive");
         }
     }
 }

@@ -35,12 +35,7 @@ pub fn single_path_route(
 /// MP-2bp: the two cheapest loopless paths, regardless of whether they make
 /// a good *combination* (this is precisely what the exploration tree fixes).
 /// The second path's nominal rate is evaluated after loading the first.
-pub fn mp_2bp(
-    net: &Network,
-    imap: &InterferenceMap,
-    query: &RouteQuery,
-    csc: CscMode,
-) -> RouteSet {
+pub fn mp_2bp(net: &Network, imap: &InterferenceMap, query: &RouteQuery, csc: CscMode) -> RouteSet {
     let metric = LinkMetric::ett(net);
     let paths = k_shortest_paths(net, &metric, csc, query, 2);
     let mut g = net.clone();
@@ -82,8 +77,12 @@ mod tests {
             &q,
             &crate::multipath::MultipathConfig::default(),
         );
-        assert!(naive.total_rate() < smart.total_rate(), "{} vs {}", naive.total_rate(),
-            smart.total_rate());
+        assert!(
+            naive.total_rate() < smart.total_rate(),
+            "{} vs {}",
+            naive.total_rate(),
+            smart.total_rate()
+        );
     }
 
     #[test]

@@ -16,7 +16,6 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use empower_model::{LinkId, Medium, Network, Path};
-use serde::{Deserialize, Serialize};
 
 use crate::metrics::LinkMetric;
 use crate::query::RouteQuery;
@@ -28,7 +27,7 @@ use crate::query::RouteQuery;
 pub const MAX_ROUTE_HOPS: usize = 6;
 
 /// Channel-switching-cost policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CscMode {
     /// The paper's choice: `w_ns(u) = min_{l∈L(u)} d_l`, `w_s(u) = 0`.
     Paper,
@@ -290,8 +289,10 @@ mod tests {
         assert_eq!(out.path.source(&s.net), s.gateway);
         assert_eq!(out.path.destination(&s.net), s.client);
         assert_eq!(out.path.hop_count(), 2);
-        assert!((out.weight - (0.1 + 1.0 / 30.0)).abs() < 1e-9
-            || (out.weight - (1.0 / 15.0 + 1.0 / 30.0 + 1.0 / 30.0)).abs() < 1e-9);
+        assert!(
+            (out.weight - (0.1 + 1.0 / 30.0)).abs() < 1e-9
+                || (out.weight - (1.0 / 15.0 + 1.0 / 30.0 + 1.0 / 30.0)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -374,8 +375,7 @@ mod tests {
         let csc = CscMode::Custom { w_ns: 0.0, w_s: 10.0 };
         let out =
             shortest_path(&s.net, &metric, csc, &RouteQuery::new(s.gateway, s.client)).unwrap();
-        let mediums: Vec<Medium> =
-            out.path.links().iter().map(|&l| s.net.link(l).medium).collect();
+        let mediums: Vec<Medium> = out.path.links().iter().map(|&l| s.net.link(l).medium).collect();
         assert_eq!(mediums, vec![Medium::WIFI1, Medium::WIFI1]);
     }
 }

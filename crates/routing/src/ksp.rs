@@ -10,8 +10,7 @@ use std::collections::HashSet;
 use empower_model::{Network, Path};
 
 use crate::dijkstra::{
-    path_weight, shortest_path, shortest_path_with_budget, CscMode, DijkstraOutcome,
-    MAX_ROUTE_HOPS,
+    path_weight, shortest_path, shortest_path_with_budget, CscMode, DijkstraOutcome, MAX_ROUTE_HOPS,
 };
 use crate::metrics::LinkMetric;
 use crate::query::RouteQuery;
@@ -96,9 +95,7 @@ pub fn k_shortest_paths(
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.weight
-                    .total_cmp(&b.weight)
-                    .then_with(|| a.path.links().cmp(b.path.links()))
+                a.weight.total_cmp(&b.weight).then_with(|| a.path.links().cmp(b.path.links()))
             })
             .map(|(i, _)| i)
             .expect("non-empty candidates");

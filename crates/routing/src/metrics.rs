@@ -8,10 +8,9 @@
 //! provided here as baselines so that comparison is reproducible.
 
 use empower_model::{InterferenceMap, LinkId, Network};
-use serde::{Deserialize, Serialize};
 
 /// Selects a link metric by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// `W(l) = d_l` (EMPoWER's choice; ETT up to a constant factor).
     Ett,

@@ -14,7 +14,6 @@
 //! pathological inputs.
 
 use empower_model::{InterferenceMap, Network, Path};
-use serde::{Deserialize, Serialize};
 
 use crate::dijkstra::CscMode;
 use crate::ksp::k_shortest_paths;
@@ -23,7 +22,7 @@ use crate::query::RouteQuery;
 use crate::update::update_multigraph;
 
 /// Parameters of the multipath route computation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultipathConfig {
     /// `n` of `n-shortest(G)`; the paper uses 5.
     pub n_shortest: usize,

@@ -45,8 +45,7 @@ impl RouteQuery {
     /// banned, not entering a banned node).
     pub fn permits(&self, net: &Network, link: LinkId) -> bool {
         let l = net.link(link);
-        if !l.is_alive() || self.banned_links.contains(&link) || self.banned_nodes.contains(&l.to)
-        {
+        if !l.is_alive() || self.banned_links.contains(&link) || self.banned_nodes.contains(&l.to) {
             return false;
         }
         match &self.allowed_mediums {

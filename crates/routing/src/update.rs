@@ -31,11 +31,8 @@ pub fn update_multigraph(net: &mut Network, imap: &InterferenceMap, path: &Path)
     // Collect the union of interference domains of the path's links first;
     // the scaling factors r(l, P) must all be computed on the *pre-update*
     // capacities.
-    let affected: BTreeSet<LinkId> = path
-        .links()
-        .iter()
-        .flat_map(|&l| imap.domain(l).iter().copied())
-        .collect();
+    let affected: BTreeSet<LinkId> =
+        path.links().iter().flat_map(|&l| imap.domain(l).iter().copied()).collect();
     let scaled: Vec<(LinkId, f64)> = affected
         .into_iter()
         .map(|l| {

@@ -10,14 +10,21 @@ fn main() {
         let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
         let mut sim = Simulation::new(s.net, imap, SimConfig { delta, ..Default::default() });
         sim.add_flow(FlowSpecSim {
-            src: s.gateway, dst: s.client, routes: vec![route1, route2],
-            use_cc: true, open_loop_rates: vec![],
+            src: s.gateway,
+            dst: s.client,
+            routes: vec![route1, route2],
+            use_cc: true,
+            open_loop_rates: vec![],
             pattern: TrafficPattern::Tcp { start: 0.0, stop: 300.0, size_bytes: 0 },
             delay_equalization: true,
         });
         let report = sim.run(300.0);
         let f = &report.flows[0];
-        println!("delta={delta} thpt(last 100s)={:.2} drop_src={} lost={}",
-            f.mean_throughput(200, 300), f.dropped_at_source, f.declared_lost);
+        println!(
+            "delta={delta} thpt(last 100s)={:.2} drop_src={} lost={}",
+            f.mean_throughput(200, 300),
+            f.dropped_at_source,
+            f.declared_lost
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Simulation parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Global knobs of a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Control slot (ACK / price-broadcast interval), seconds. 0.1 s in the
     /// paper's implementation.

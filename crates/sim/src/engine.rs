@@ -7,14 +7,17 @@ use empower_datapath::{
     AckCollector, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry, ReorderBuffer,
     ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
 };
+use empower_model::rng::SeedableRng;
+use empower_model::rng::StdRng;
 use empower_model::rng::{exponential, normal};
 use empower_model::{InterferenceMap, LinkId, Network};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use empower_telemetry::{Counter, Telemetry};
 
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
 use crate::flow::{FlowSpecSim, TrafficPattern};
+use crate::metrics::EngineCounters;
 use crate::packet::{PacketKind, SimPacket};
 use crate::stats::{FlowStats, SimReport};
 use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
@@ -51,6 +54,10 @@ struct FlowRuntime {
     /// Emission gate: no packet may be offered before this time (a queued
     /// Poisson file that is not ready yet).
     emission_not_before: f64,
+    /// Per-route frame counters (`flow/<f>/route/<r>/frames`).
+    route_frames: Vec<Counter>,
+    /// ACK-cadence counter (`flow/<f>/acks_sent`).
+    acks_sent: Counter,
 }
 
 struct TcpFlow {
@@ -102,6 +109,8 @@ pub struct Simulation {
     control_started: bool,
     /// Optional packet-level trace sink.
     trace: Option<Trace>,
+    /// Telemetry counter bundle (all no-ops until a registry is attached).
+    etel: EngineCounters,
 }
 
 impl Simulation {
@@ -109,11 +118,8 @@ impl Simulation {
     pub fn new(net: Network, imap: InterferenceMap, cfg: SimConfig) -> Self {
         let reg = IfaceRegistry::for_network(&net);
         let l = net.link_count();
-        let price_states = net
-            .nodes()
-            .iter()
-            .map(|n| LinkPriceState::new(&net, &imap, n.id))
-            .collect();
+        let price_states =
+            net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
         Simulation {
             reg,
@@ -131,6 +137,7 @@ impl Simulation {
             started_flows: 0,
             control_started: false,
             trace: None,
+            etel: EngineCounters::disabled(l),
             events: EventQueue::new(),
             now: 0.0,
             net,
@@ -178,6 +185,25 @@ impl Simulation {
         self.trace = Some(trace);
     }
 
+    /// Attaches a telemetry registry: MAC, queue, datapath and control-
+    /// plane counters register immediately, and the registry's virtual
+    /// clock follows simulated time from here on. Flows registered before
+    /// the attach get their per-flow counters retroactively; attach before
+    /// [`Simulation::add_flow`] for hygiene.
+    pub fn attach_telemetry(&mut self, tele: Telemetry) {
+        self.etel = EngineCounters::attach(tele, self.net.link_count());
+        for f in 0..self.flows.len() {
+            let routes = self.flows[f].spec.routes.len();
+            self.flows[f].route_frames = self.etel.flow_route_counters(f, routes);
+            self.flows[f].acks_sent = self.etel.flow_ack_counter(f);
+        }
+    }
+
+    /// The attached telemetry handle (disabled if none was attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.etel.tele
+    }
+
     /// Detaches and returns the trace recorded so far.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
@@ -210,29 +236,20 @@ impl Simulation {
                     .iter()
                     .map(|&l| {
                         let link = self.net.link(l);
-                        self.reg
-                            .id_of(link.to, link.medium)
-                            .expect("all interfaces are registered")
+                        self.reg.id_of(link.to, link.medium).expect("all interfaces are registered")
                     })
                     .collect();
                 SourceRoute::new(&hops).expect("routes fit the 6-hop header")
             })
             .collect();
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
-        let mut scheduler = RouteScheduler::with_bucket(
-            spec.routes.len(),
-            4.0 * self.cfg.frame_bits as f64 / 1e6,
-        );
+        let mut scheduler =
+            RouteScheduler::with_bucket(spec.routes.len(), 4.0 * self.cfg.frame_bits as f64 / 1e6);
         let controller = if spec.use_cc {
             let caps: Vec<f64> =
                 spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
             let max_hops = spec.routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
-            Some(FlowController::new(
-                ProportionalFair,
-                self.cfg.cc_config(),
-                caps,
-                max_hops,
-            ))
+            Some(FlowController::new(ProportionalFair, self.cfg.cc_config(), caps, max_hops))
         } else {
             scheduler.set_rates(&spec.open_loop_rates);
             None
@@ -287,6 +304,8 @@ impl Simulation {
             tcp_backlog: VecDeque::new(),
             emit_pending: false,
             emission_not_before: 0.0,
+            route_frames: self.etel.flow_route_counters(idx, route_count),
+            acks_sent: self.etel.flow_ack_counter(idx),
         });
         self.stats.push(FlowStats { started_at: start, ..Default::default() });
         self.events.push(start, Event::FlowStart { flow: idx });
@@ -334,8 +353,7 @@ impl Simulation {
             })
             .collect();
         let n = routes.len();
-        let caps: Vec<f64> =
-            routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
+        let caps: Vec<f64> = routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
         let max_hops = routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
         let fl = &mut self.flows[flow];
         fl.first_links = routes.iter().map(|p| p.links()[0]).collect();
@@ -343,12 +361,8 @@ impl Simulation {
         fl.spec.routes = routes;
         fl.scheduler.reset_routes(n);
         if fl.controller.is_some() {
-            fl.controller = Some(FlowController::new(
-                ProportionalFair,
-                self.cfg.cc_config(),
-                caps,
-                max_hops,
-            ));
+            fl.controller =
+                Some(FlowController::new(ProportionalFair, self.cfg.cc_config(), caps, max_hops));
         } else {
             // Open-loop flows keep driving each new route at its standalone
             // capacity.
@@ -361,6 +375,12 @@ impl Simulation {
         if fl.delay_eq.is_some() {
             fl.delay_eq = Some(DelayEqualizer::new(n));
         }
+        fl.route_frames = self.etel.flow_route_counters(flow, n);
+        self.etel.tele.event(
+            "sim",
+            "route_replace",
+            &[("flow", flow.into()), ("routes", n.into())],
+        );
         // New route columns in the rate series start now, padded with zeros
         // for the elapsed samples.
         let series = &mut self.stats[flow].rate_series;
@@ -392,6 +412,7 @@ impl Simulation {
             let (at, event) = self.events.pop().expect("peeked");
             debug_assert!(at + 1e-9 >= self.now, "time went backwards");
             self.now = at;
+            self.etel.tele.set_now(at);
             self.dispatch(event, f64::INFINITY);
         }
         self.now = self.now.max(until);
@@ -427,6 +448,7 @@ impl Simulation {
     fn flow_start(&mut self, f: usize) {
         self.started_flows += 1;
         self.flows[f].active = true;
+        self.etel.tele.event("sim", "flow_start", &[("flow", f.into())]);
         match self.flows[f].spec.pattern {
             TrafficPattern::SaturatedUdp { .. } => self.schedule_emit(f, 0.0),
             TrafficPattern::FileDownload { size_bytes, .. } => {
@@ -493,6 +515,7 @@ impl Simulation {
         match choice {
             RouteChoice::Drop => {
                 self.stats[f].dropped_at_source += 1;
+                self.etel.drops_source.inc();
             }
             RouteChoice::Route(r) => {
                 let seq = self.flows[f].scheduler.next_seq();
@@ -524,6 +547,16 @@ impl Simulation {
             first,
         );
         header.add_price(contribution);
+        if self.etel.enabled() {
+            // Exercise the real 20-byte wire codec on every emitted frame:
+            // an encode/decode round-trip failure is a datapath bug the
+            // counters must surface (the disabled path skips this).
+            self.flows[f].route_frames[r].inc();
+            let bytes = header.to_bytes();
+            if EmpowerHeader::decode(&mut bytes.as_slice()).is_err() {
+                self.etel.header_decode_errors.inc();
+            }
+        }
         if let (Some(tcp), Some(ts)) = (self.flows[f].tcp.as_mut(), tcp_seq) {
             tcp.wire_to_tcp.insert(wire_seq, ts);
         }
@@ -551,12 +584,14 @@ impl Simulation {
         self.demand_bits[l] += pkt.size_bits as f64;
         if !self.net.link(link).is_alive() || self.queues[l].len() >= self.cfg.queue_frames {
             self.stats[pkt.flow].dropped_in_network += 1;
+            let alive = self.net.link(link).is_alive();
+            if alive {
+                self.etel.drops_overflow.inc();
+            } else {
+                self.etel.drops_dead_link.inc();
+            }
             if let Some(tr) = self.trace.as_mut() {
-                let site = if self.net.link(link).is_alive() {
-                    DropSite::QueueOverflow
-                } else {
-                    DropSite::DeadLink
-                };
+                let site = if alive { DropSite::QueueOverflow } else { DropSite::DeadLink };
                 tr.push(TraceEvent::Drop {
                     t: self.now,
                     flow: pkt.flow,
@@ -567,6 +602,7 @@ impl Simulation {
             return;
         }
         self.queues[l].push_back(pkt);
+        self.etel.queue_hwm[l].record_max(self.queues[l].len() as u64);
         self.try_start(link);
     }
 
@@ -580,26 +616,36 @@ impl Simulation {
 
     fn try_start(&mut self, link: LinkId) {
         if !self.can_start(link) {
+            // A deferral is a backlogged, healthy link that found its
+            // contention domain occupied — the CSMA wait the paper's MAC
+            // model abstracts into fair sharing.
+            let l = link.index();
+            if self.busy[l].is_none()
+                && !self.queues[l].is_empty()
+                && self.net.link(link).is_alive()
+            {
+                self.etel.mac_deferrals.inc();
+            }
             return;
         }
         let l = link.index();
         let pkt = self.queues[l].pop_front().expect("checked non-empty");
+        self.etel.mac_grants.inc();
         let mut duration = self.net.link(link).tx_time_secs(pkt.size_bits);
         if self.cfg.saturation_penalty > 0.0 {
             // CSMA saturation rolloff (see SimConfig::saturation_penalty):
             // collisions and back-off waste airtime once the domain's
             // offered load exceeds what it can carry.
-            let y: f64 = self
-                .imap
-                .domain(link)
-                .iter()
-                .map(|&i| self.penalty_demand[i.index()])
-                .sum();
+            let y: f64 =
+                self.imap.domain(link).iter().map(|&i| self.penalty_demand[i.index()]).sum();
             // Tolerance band: a controlled flow rides y ≈ 1 − δ (exactly
             // 1.0 when δ = 0) with measurement jitter; only *persistent*
             // overdrive pays (the penalty demand is slow-smoothed).
             if y > 1.1 {
+                let base = duration;
                 duration *= 1.0 + self.cfg.saturation_penalty * (y - 1.1);
+                self.etel.mac_penalty_frames.inc();
+                self.etel.mac_penalty_airtime_us.add(((duration - base) * 1e6) as u64);
             }
         }
         if let Some(tr) = self.trace.as_mut() {
@@ -633,9 +679,7 @@ impl Simulation {
         // that still fits.
         let mut candidates: Vec<LinkId> = self.imap.domain(link).to_vec();
         candidates.sort_by(|a, b| {
-            self.last_start[a.index()]
-                .total_cmp(&self.last_start[b.index()])
-                .then_with(|| a.cmp(b))
+            self.last_start[a.index()].total_cmp(&self.last_start[b.index()]).then_with(|| a.cmp(b))
         });
         for cand in candidates {
             self.try_start(cand);
@@ -645,8 +689,7 @@ impl Simulation {
     fn receive(&mut self, link: LinkId, mut pkt: SimPacket) {
         let node = self.net.link(link).to;
         let medium = self.net.link(link).medium;
-        let arrived_iface =
-            self.reg.id_of(node, medium).expect("receiving interface exists");
+        let arrived_iface = self.reg.id_of(node, medium).expect("receiving interface exists");
         if pkt.header.route.is_destination(arrived_iface) {
             self.arrive_at_destination(pkt);
             return;
@@ -654,14 +697,17 @@ impl Simulation {
         let Some(next_iface) = pkt.header.route.next_hop_after(arrived_iface) else {
             // Mis-routed (e.g. stale route after failure): drop.
             self.stats[pkt.flow].dropped_in_network += 1;
+            self.etel.route_errors.inc();
             return;
         };
         let Some((nnode, nmedium)) = self.reg.iface_of(next_iface) else {
             self.stats[pkt.flow].dropped_in_network += 1;
+            self.etel.route_errors.inc();
             return;
         };
         let Some(next_link) = self.net.find_link(node, nnode, nmedium).map(|l| l.id) else {
             self.stats[pkt.flow].dropped_in_network += 1;
+            self.etel.route_errors.inc();
             return;
         };
         // Forwarding node adds its price contribution (Eq. (9)).
@@ -713,6 +759,9 @@ impl Simulation {
         }
         self.flows[f].acks.observe_price(route, price);
         let events = self.flows[f].reorder.accept(route, seq);
+        if !events.is_empty() {
+            self.etel.reorder_flushes.inc();
+        }
         let mut delivered_now = 0u64;
         let mut tcp_acks: Vec<u32> = Vec::new();
         for ev in events {
@@ -734,10 +783,12 @@ impl Simulation {
                         tr.push(TraceEvent::DeclaredLost { t: self.now, flow: f, seq: s });
                     }
                     self.stats[f].declared_lost += 1;
+                    self.etel.loss_rule_firings.inc();
                 }
             }
         }
         if delivered_now > 0 {
+            self.etel.reorder_delivered.add(delivered_now);
             let bits = delivered_now * self.cfg.frame_bits;
             self.stats[f].delivered_bits += bits;
             let bucket = self.now as usize;
@@ -767,7 +818,9 @@ impl Simulation {
         if self.flows[f].file_frames_delivered < goal {
             return;
         }
-        self.stats[f].completions.push(self.now - self.flows[f].file_began_at);
+        let took = self.now - self.flows[f].file_began_at;
+        self.stats[f].completions.push(took);
+        self.etel.tele.event("sim", "file_complete", &[("flow", f.into()), ("secs", took.into())]);
         match self.flows[f].spec.pattern {
             TrafficPattern::PoissonFiles { size_bytes, .. } => {
                 if let Some(ready) = self.flows[f].pending_files.pop_front() {
@@ -823,8 +876,8 @@ impl Simulation {
             } else {
                 demand
             };
-            let smoothed = self.cfg.demand_ewma * noisy
-                + (1.0 - self.cfg.demand_ewma) * self.last_demand[l];
+            let smoothed =
+                self.cfg.demand_ewma * noisy + (1.0 - self.cfg.demand_ewma) * self.last_demand[l];
             let owner = link.from;
             self.price_states[owner.index()].set_demand(LinkId(l as u32), smoothed);
             self.last_demand[l] = smoothed;
@@ -849,9 +902,14 @@ impl Simulation {
         let alpha = self.cfg.cc.alpha;
         let delta = self.cfg.delta;
         let delta_tcp = self.cfg.tcp_delta.max(delta);
+        let mut margin_violations = 0usize;
         for s in self.price_states.iter_mut() {
-            s.update_gammas_with_tcp_margin(&broadcasts, alpha, delta, delta_tcp);
+            margin_violations +=
+                s.update_gammas_with_tcp_margin(&broadcasts, alpha, delta, delta_tcp);
         }
+        self.etel.ctrl_ticks.inc();
+        self.etel.cc_price_updates.add(self.net.link_count() as u64);
+        self.etel.cc_margin_violations.add(margin_violations as u64);
         // 3. Fresh broadcasts carry the updated γ sums for the coming slot.
         self.broadcasts =
             self.price_states.iter().flat_map(|s| s.make_broadcasts(&self.net)).collect();
@@ -861,12 +919,14 @@ impl Simulation {
                 continue;
             }
             let ack = self.flows[f].acks.maybe_ack(self.now);
+            if ack.is_some() {
+                self.flows[f].acks_sent.inc();
+            }
             let prices: Vec<Option<f64>> = match ack {
                 Some(a) => a.route_prices,
                 None => vec![None; self.flows[f].spec.routes.len()],
             };
-            let rates =
-                self.flows[f].controller.as_mut().expect("checked above").on_ack(&prices);
+            let rates = self.flows[f].controller.as_mut().expect("checked above").on_ack(&prices);
             self.flows[f].scheduler.set_rates(&rates.per_route);
         }
         // 5. Once per second: sample injected rates.
@@ -904,6 +964,11 @@ impl Simulation {
         if let Some(tr) = self.trace.as_mut() {
             tr.push(TraceEvent::LinkChange { t: self.now, link: link.0, capacity_mbps });
         }
+        self.etel.tele.event(
+            "sim",
+            "link_change",
+            &[("link", link.0.into()), ("capacity_mbps", capacity_mbps.into())],
+        );
         self.net.set_capacity(link, capacity_mbps);
         let l = link.index();
         if !self.net.link(link).is_alive() {
@@ -937,6 +1002,7 @@ impl Simulation {
             // queue is the §6.4 drop TCP perceives as congestion.
             if self.flows[f].tcp_backlog.len() >= 64 {
                 self.stats[f].dropped_at_source += 1;
+                self.etel.drops_source.inc();
             } else {
                 self.flows[f].tcp_backlog.push_back(tcp_seq);
             }
@@ -1175,8 +1241,7 @@ mod tests {
         let src = routes[0].source(sim.network());
         let dst = routes[0].destination(sim.network());
         let wifi_ab = routes[1].links()[0];
-        let ext =
-            FlowSpecSim::external(sim.network(), wifi_ab, 7.5, 0.0, 300.0);
+        let ext = FlowSpecSim::external(sim.network(), wifi_ab, 7.5, 0.0, 300.0);
         let ext_idx = sim.add_flow(ext);
         sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 300.0));
         let report = sim.run(300.0);
@@ -1291,12 +1356,7 @@ mod tcp_margin_tests {
         let wifi_bc = Path::new(&s.net, vec![s.wifi_bc]).unwrap();
         let mut sim = Simulation::new(s.net.clone(), imap.clone(), SimConfig::default());
         // UDP flow on wifi a→b; TCP flow on wifi b→c: same WiFi domain.
-        let udp = sim.add_flow(FlowSpecSim::saturated(
-            s.gateway,
-            s.extender,
-            vec![wifi_ab],
-            300.0,
-        ));
+        let udp = sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 300.0));
         sim.add_flow(FlowSpecSim {
             src: s.extender,
             dst: s.client,
@@ -1323,8 +1383,7 @@ mod tcp_margin_tests {
         let imap = SharedMedium.build_map(&s.net);
         let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
         let mut sim = Simulation::new(s.net.clone(), imap, SimConfig::default());
-        let udp =
-            sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 200.0));
+        let udp = sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 200.0));
         let report = sim.run(200.0);
         let t_udp = report.final_throughput(udp, 20);
         assert!(t_udp > 13.0, "no TCP around: full budget, got {t_udp}");

@@ -51,10 +51,7 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.total_cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

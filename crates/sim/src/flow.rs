@@ -2,41 +2,25 @@
 //! traffic pattern.
 
 use empower_model::{NodeId, Path};
-use serde::{Deserialize, Serialize};
 
 /// The application driving a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficPattern {
     /// Saturated UDP (the paper's iperf runs): the application always has
     /// data; the stack admits what congestion control allows.
-    SaturatedUdp {
-        start: f64,
-        stop: f64,
-    },
+    SaturatedUdp { start: f64, stop: f64 },
     /// A single file download of `size_bytes`, finished when the receiver
     /// has the full payload (lost frames are re-offered by the source, as
     /// an application-level repair loop would).
-    FileDownload {
-        start: f64,
-        size_bytes: u64,
-    },
+    FileDownload { start: f64, size_bytes: u64 },
     /// `count` sequential file downloads whose start times follow a Poisson
     /// process: each file starts `Exp(mean_gap_secs)` after the previous
     /// file *finished or started, whichever is later* (Table 1's Conc
     /// workload).
-    PoissonFiles {
-        start: f64,
-        count: u32,
-        size_bytes: u64,
-        mean_gap_secs: f64,
-    },
+    PoissonFiles { start: f64, count: u32, size_bytes: u64, mean_gap_secs: f64 },
     /// A TCP bulk transfer (mini-TCP of [`crate::tcp`]); `size_bytes = 0`
     /// means run until `stop`.
-    Tcp {
-        start: f64,
-        stop: f64,
-        size_bytes: u64,
-    },
+    Tcp { start: f64, stop: f64, size_bytes: u64 },
 }
 
 impl TrafficPattern {
@@ -102,8 +86,13 @@ impl FlowSpecSim {
     /// nodes overhear its airtime through their demand measurements and
     /// converge to the optimum of the residual region — without ever
     /// throttling the external node, which doesn't listen to prices.
-    pub fn external(net: &empower_model::Network, link: empower_model::LinkId,
-                    rate_mbps: f64, start: f64, stop: f64) -> Self {
+    pub fn external(
+        net: &empower_model::Network,
+        link: empower_model::LinkId,
+        rate_mbps: f64,
+        start: f64,
+        stop: f64,
+    ) -> Self {
         let l = net.link(link);
         FlowSpecSim {
             src: l.from,

@@ -24,6 +24,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod flow;
+mod metrics;
 pub mod packet;
 pub mod stats;
 pub mod tcp;

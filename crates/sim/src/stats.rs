@@ -1,9 +1,7 @@
 //! Per-flow measurement collection.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics for one flow.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowStats {
     /// Application bits delivered in order at the destination.
     pub delivered_bits: u64,
@@ -52,10 +50,7 @@ impl FlowStats {
             return 0.0;
         }
         let mean = self.mean_throughput(lo, hi);
-        let var = self.throughput_series[lo..hi]
-            .iter()
-            .map(|x| (x - mean).powi(2))
-            .sum::<f64>()
+        let var = self.throughput_series[lo..hi].iter().map(|x| (x - mean).powi(2)).sum::<f64>()
             / (hi - lo) as f64;
         var.sqrt()
     }
@@ -77,7 +72,7 @@ impl FlowStats {
 }
 
 /// The simulator's final report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     pub flows: Vec<FlowStats>,
     /// Simulated duration, seconds.
@@ -99,10 +94,7 @@ mod tests {
 
     #[test]
     fn mean_and_std_over_windows() {
-        let s = FlowStats {
-            throughput_series: vec![10.0, 10.0, 20.0, 20.0],
-            ..Default::default()
-        };
+        let s = FlowStats { throughput_series: vec![10.0, 10.0, 20.0, 20.0], ..Default::default() };
         assert!((s.mean_throughput(0, 4) - 15.0).abs() < 1e-12);
         assert!((s.mean_throughput(2, 4) - 20.0).abs() < 1e-12);
         assert!((s.std_throughput(0, 4) - 5.0).abs() < 1e-12);

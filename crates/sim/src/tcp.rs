@@ -17,10 +17,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 /// Transport parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
     /// Initial congestion window, segments.
     pub init_cwnd: f64,
@@ -168,8 +166,7 @@ impl TcpSender {
                             self.rttvar = sample / 2.0;
                         }
                         Some(srtt) => {
-                            self.rttvar =
-                                0.75 * self.rttvar + 0.25 * (sample - srtt).abs();
+                            self.rttvar = 0.75 * self.rttvar + 0.25 * (sample - srtt).abs();
                             self.srtt = Some(0.875 * srtt + 0.125 * sample);
                         }
                     }
@@ -195,8 +192,7 @@ impl TcpSender {
             } else if self.cwnd < self.ssthresh {
                 self.cwnd = (self.cwnd + newly as f64).min(self.config.max_cwnd);
             } else {
-                self.cwnd =
-                    (self.cwnd + newly as f64 / self.cwnd).min(self.config.max_cwnd);
+                self.cwnd = (self.cwnd + newly as f64 / self.cwnd).min(self.config.max_cwnd);
             }
         } else if ack == self.highest_acked {
             self.dup_acks += 1;
@@ -317,8 +313,8 @@ mod tests {
 
     #[test]
     fn congestion_avoidance_grows_linearly() {
-        let mut cfg = TcpConfig::default();
-        cfg.init_ssthresh = 2.0; // start in CA immediately
+        // start in CA immediately
+        let cfg = TcpConfig { init_ssthresh: 2.0, ..Default::default() };
         let mut s = TcpSender::new(cfg, None);
         let mut r = TcpReceiver::new();
         let mut now = 0.0;

@@ -6,11 +6,10 @@
 //! offline analysis and are the raw material for the time-series figures.
 
 use empower_model::LinkId;
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Json;
 
 /// One traced event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "ev", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A frame started transmitting on a link.
     TxStart { t: f64, link: u32, flow: usize, seq: u32, bits: u64 },
@@ -27,12 +26,111 @@ pub enum TraceEvent {
 }
 
 /// Where a drop happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropSite {
     SourceAdmission,
     QueueOverflow,
     DeadLink,
+}
+
+impl DropSite {
+    fn label(self) -> &'static str {
+        match self {
+            DropSite::SourceAdmission => "source_admission",
+            DropSite::QueueOverflow => "queue_overflow",
+            DropSite::DeadLink => "dead_link",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<DropSite> {
+        Some(match s {
+            "source_admission" => DropSite::SourceAdmission,
+            "queue_overflow" => DropSite::QueueOverflow,
+            "dead_link" => DropSite::DeadLink,
+            _ => return None,
+        })
+    }
+}
+
+impl TraceEvent {
+    /// The JSON-line form: an object tagged by `"ev"` with snake_case
+    /// variant names (the format the serde-based version produced).
+    pub fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::TxStart { t, link, flow, seq, bits } => Json::obj([
+                ("ev", Json::from("tx_start")),
+                ("t", Json::Float(*t)),
+                ("link", Json::from(*link)),
+                ("flow", Json::from(*flow)),
+                ("seq", Json::from(*seq)),
+                ("bits", Json::from(*bits)),
+            ]),
+            TraceEvent::TxEnd { t, link, flow, seq } => Json::obj([
+                ("ev", Json::from("tx_end")),
+                ("t", Json::Float(*t)),
+                ("link", Json::from(*link)),
+                ("flow", Json::from(*flow)),
+                ("seq", Json::from(*seq)),
+            ]),
+            TraceEvent::Drop { t, flow, seq, where_ } => Json::obj([
+                ("ev", Json::from("drop")),
+                ("t", Json::Float(*t)),
+                ("flow", Json::from(*flow)),
+                ("seq", Json::from(*seq)),
+                ("where_", Json::from(where_.label())),
+            ]),
+            TraceEvent::Deliver { t, flow, seq } => Json::obj([
+                ("ev", Json::from("deliver")),
+                ("t", Json::Float(*t)),
+                ("flow", Json::from(*flow)),
+                ("seq", Json::from(*seq)),
+            ]),
+            TraceEvent::DeclaredLost { t, flow, seq } => Json::obj([
+                ("ev", Json::from("declared_lost")),
+                ("t", Json::Float(*t)),
+                ("flow", Json::from(*flow)),
+                ("seq", Json::from(*seq)),
+            ]),
+            TraceEvent::LinkChange { t, link, capacity_mbps } => Json::obj([
+                ("ev", Json::from("link_change")),
+                ("t", Json::Float(*t)),
+                ("link", Json::from(*link)),
+                ("capacity_mbps", Json::Float(*capacity_mbps)),
+            ]),
+        }
+    }
+
+    /// Parses one JSON-line object back into an event.
+    pub fn from_json(v: &Json) -> Option<TraceEvent> {
+        let t = v.get("t")?.as_f64()?;
+        let flow = || v.get("flow")?.as_u64().map(|x| x as usize);
+        let seq = || v.get("seq")?.as_u64().map(|x| x as u32);
+        let link = || v.get("link")?.as_u64().map(|x| x as u32);
+        Some(match v.get("ev")?.as_str()? {
+            "tx_start" => TraceEvent::TxStart {
+                t,
+                link: link()?,
+                flow: flow()?,
+                seq: seq()?,
+                bits: v.get("bits")?.as_u64()?,
+            },
+            "tx_end" => TraceEvent::TxEnd { t, link: link()?, flow: flow()?, seq: seq()? },
+            "drop" => TraceEvent::Drop {
+                t,
+                flow: flow()?,
+                seq: seq()?,
+                where_: DropSite::from_label(v.get("where_")?.as_str()?)?,
+            },
+            "deliver" => TraceEvent::Deliver { t, flow: flow()?, seq: seq()? },
+            "declared_lost" => TraceEvent::DeclaredLost { t, flow: flow()?, seq: seq()? },
+            "link_change" => TraceEvent::LinkChange {
+                t,
+                link: link()?,
+                capacity_mbps: v.get("capacity_mbps")?.as_f64()?,
+            },
+            _ => return None,
+        })
+    }
 }
 
 /// An in-memory trace sink with optional size bound.
@@ -82,7 +180,7 @@ impl Trace {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            out.push_str(&e.to_json().to_string());
             out.push('\n');
         }
         out
@@ -135,7 +233,7 @@ mod tests {
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
-        let back: TraceEvent = serde_json::from_str(lines[0]).unwrap();
+        let back = TraceEvent::from_json(&Json::parse(lines[0]).unwrap()).unwrap();
         assert_eq!(back, t.events()[0]);
     }
 

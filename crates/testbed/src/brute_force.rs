@@ -36,17 +36,13 @@ pub fn brute_force_single_path(
     let routes = scheme.compute_routes(net, imap, src, dst, 1);
     let path = routes.routes.first()?.path.clone();
     const STEP_MBPS: f64 = 2.0; // 0.25 MB/s
-    // Offering more than the path's weakest link can ever carry is
-    // pointless (goodput is flat or worse beyond it), so the sweep stops
-    // just past the bottleneck capacity — same result as the paper's
-    // "0 to the maximum possible rate", at a fraction of the cost.
-    let max_rate = path
-        .links()
-        .iter()
-        .map(|&l| net.link(l).capacity_mbps)
-        .fold(f64::INFINITY, f64::min)
-        * 1.1
-        + STEP_MBPS;
+                                // Offering more than the path's weakest link can ever carry is
+                                // pointless (goodput is flat or worse beyond it), so the sweep stops
+                                // just past the bottleneck capacity — same result as the paper's
+                                // "0 to the maximum possible rate", at a fraction of the cost.
+    let max_rate =
+        path.links().iter().map(|&l| net.link(l).capacity_mbps).fold(f64::INFINITY, f64::min) * 1.1
+            + STEP_MBPS;
     let mut best_goodput = 0.0;
     let mut best_offered = 0.0;
     let mut offered = STEP_MBPS;
@@ -72,8 +68,7 @@ mod tests {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let out =
-            brute_force_single_path(&s.net, &imap, s.gateway, s.client, Scheme::SpWoCc)
-                .unwrap();
+            brute_force_single_path(&s.net, &imap, s.gateway, s.client, Scheme::SpWoCc).unwrap();
         // Best single gateway→client path carries 10 Mbps; the sweep in
         // 2 Mbps steps tops out at exactly 10.
         assert!((out.best_goodput - 10.0).abs() < 0.2, "{}", out.best_goodput);
@@ -85,8 +80,7 @@ mod tests {
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let out =
-            brute_force_single_path(&s.net, &imap, s.gateway, s.client, Scheme::SpWifi)
-                .unwrap();
+            brute_force_single_path(&s.net, &imap, s.gateway, s.client, Scheme::SpWifi).unwrap();
         for &l in out.path.links() {
             assert!(s.net.link(l).medium.is_wifi());
         }
@@ -100,9 +94,7 @@ mod tests {
         for l in 0..net.link_count() {
             net.set_capacity(empower_model::LinkId(l as u32), 0.0);
         }
-        assert!(
-            brute_force_single_path(&net, &imap, s.gateway, s.client, Scheme::SpWoCc).is_none()
-        );
+        assert!(brute_force_single_path(&net, &imap, s.gateway, s.client, Scheme::SpWoCc).is_none());
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! `T_X / T_EMPoWER`; the right plot is EMPoWER's throughput after 10–20 s
 //! and 190–200 s as a fraction of its final value.
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
+use empower_model::rng::StdRng;
+use empower_model::rng::{Rng, SeedableRng};
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{SimConfig, TrafficPattern};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 use crate::brute_force::brute_force_single_path;
 
@@ -21,7 +21,7 @@ pub const SIM_SCHEMES: [Scheme; 5] =
     [Scheme::Empower, Scheme::Sp, Scheme::SpWifi, Scheme::MpMwifi, Scheme::Mp2bp];
 
 /// Configuration of the sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Config {
     /// Number of random source–destination pairs (50 in the paper).
     pub pairs: usize,
@@ -40,7 +40,7 @@ impl Default for Fig10Config {
 }
 
 /// Results for one pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// 1-based paper numbering of (source, destination).
     pub src: u32,
@@ -60,8 +60,30 @@ pub struct Fig10Row {
     pub empower_routes: usize,
 }
 
+empower_telemetry::impl_to_json_struct!(Fig10Row {
+    src,
+    dst,
+    throughput,
+    sp_bf,
+    sp_wifi_bf,
+    empower_10_20,
+    empower_190_200,
+    empower_final,
+    empower_routes,
+});
+
 /// Runs the sweep on `net` (normally the 22-node testbed's network).
 pub fn run(net: &Network, imap: &InterferenceMap, config: &Fig10Config) -> Vec<Fig10Row> {
+    run_traced(net, imap, config, &Telemetry::disabled())
+}
+
+/// Like [`run`], with engine counters recorded on `tele`.
+pub fn run_traced(
+    net: &Network,
+    imap: &InterferenceMap,
+    config: &Fig10Config,
+    tele: &Telemetry,
+) -> Vec<Fig10Row> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut rows = Vec::with_capacity(config.pairs);
     for pair_idx in 0..config.pairs {
@@ -75,17 +97,17 @@ pub fn run(net: &Network, imap: &InterferenceMap, config: &Fig10Config) -> Vec<F
         let mut throughput = Vec::with_capacity(SIM_SCHEMES.len());
         let mut empower = (0.0, 0.0, 0.0, 0usize); // (final, 10-20, 190-200, routes)
         for (si, &scheme) in SIM_SCHEMES.iter().enumerate() {
-            let flows = [(
-                src,
-                dst,
-                TrafficPattern::SaturatedUdp { start: 0.0, stop: config.duration },
-            )];
+            let flows =
+                [(src, dst, TrafficPattern::SaturatedUdp { start: 0.0, stop: config.duration })];
             let sim_cfg = SimConfig {
                 delta: config.delta,
                 seed: config.seed ^ ((pair_idx as u64) << 8) ^ si as u64,
                 ..Default::default()
             };
-            let (mut sim, mapping) = build_simulation(net, imap, &flows, scheme, sim_cfg);
+            let (mut sim, mapping) = RunConfig::new(scheme)
+                .telemetry(tele.clone())
+                .build_simulation(net, imap, &flows, sim_cfg)
+                .expect("tolerant mode cannot fail");
             let t = match mapping[0] {
                 None => 0.0,
                 Some(f) => {

@@ -5,37 +5,27 @@
 //! the paper's check that multipath reordering does not add throughput
 //! variance compared to single path.
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{SimConfig, TrafficPattern};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 /// The flows of Fig. 11, in the paper's (1-based) numbering.
-pub const FLOWS: [(u32, u32); 10] = [
-    (4, 19),
-    (1, 11),
-    (17, 1),
-    (19, 3),
-    (9, 4),
-    (11, 5),
-    (13, 21),
-    (11, 15),
-    (20, 19),
-    (7, 6),
-];
+pub const FLOWS: [(u32, u32); 10] =
+    [(4, 19), (1, 11), (17, 1), (19, 3), (9, 4), (11, 5), (13, 21), (11, 15), (20, 19), (7, 6)];
 
 /// The three compared schemes.
 pub const SCHEMES: [Scheme; 3] = [Scheme::Empower, Scheme::MpMwifi, Scheme::Sp];
 
 /// Result for one flow under one scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Cell {
     pub mean_mbps: f64,
     pub std_mbps: f64,
 }
 
 /// One bar group: a flow with its three scheme measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     pub src: u32,
     pub dst: u32,
@@ -43,8 +33,11 @@ pub struct Fig11Row {
     pub cells: Vec<Fig11Cell>,
 }
 
+empower_telemetry::impl_to_json_struct!(Fig11Cell { mean_mbps, std_mbps });
+empower_telemetry::impl_to_json_struct!(Fig11Row { src, dst, cells });
+
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Config {
     /// Simulated seconds per run; statistics use the last 100 s.
     pub duration: f64,
@@ -61,6 +54,62 @@ impl Default for Fig11Config {
 /// Runs the ten isolated flows under the three schemes.
 pub fn run(net: &Network, imap: &InterferenceMap, config: &Fig11Config) -> Vec<Fig11Row> {
     run_flows(net, imap, config, &FLOWS)
+}
+
+/// Runs an explicit flow list (used by tests and ablations).
+pub fn run_flows(
+    net: &Network,
+    imap: &InterferenceMap,
+    config: &Fig11Config,
+    flows: &[(u32, u32)],
+) -> Vec<Fig11Row> {
+    run_flows_traced(net, imap, config, flows, &Telemetry::disabled())
+}
+
+/// Like [`run_flows`], with engine counters recorded on `tele`.
+pub fn run_flows_traced(
+    net: &Network,
+    imap: &InterferenceMap,
+    config: &Fig11Config,
+    flows: &[(u32, u32)],
+    tele: &Telemetry,
+) -> Vec<Fig11Row> {
+    flows
+        .iter()
+        .map(|&(s, d)| {
+            let src = NodeId(s - 1);
+            let dst = NodeId(d - 1);
+            let cells = SCHEMES
+                .iter()
+                .map(|&scheme| {
+                    let fl = [(
+                        src,
+                        dst,
+                        TrafficPattern::SaturatedUdp { start: 0.0, stop: config.duration },
+                    )];
+                    let sim_cfg =
+                        SimConfig { delta: config.delta, seed: config.seed, ..Default::default() };
+                    let (mut sim, mapping) = RunConfig::new(scheme)
+                        .telemetry(tele.clone())
+                        .build_simulation(net, imap, &fl, sim_cfg)
+                        .expect("tolerant mode cannot fail");
+                    match mapping[0] {
+                        None => Fig11Cell { mean_mbps: 0.0, std_mbps: 0.0 },
+                        Some(f) => {
+                            let report = sim.run(config.duration);
+                            let to = config.duration as usize;
+                            let from = to.saturating_sub(100);
+                            Fig11Cell {
+                                mean_mbps: report.flows[f].mean_throughput(from, to),
+                                std_mbps: report.flows[f].std_throughput(from, to),
+                            }
+                        }
+                    }
+                })
+                .collect();
+            Fig11Row { src: s, dst: d, cells }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,49 +150,4 @@ mod tests {
         assert_eq!(FLOWS[0], (4, 19));
         assert_eq!(FLOWS[9], (7, 6));
     }
-}
-
-/// Runs an explicit flow list (used by tests and ablations).
-pub fn run_flows(
-    net: &Network,
-    imap: &InterferenceMap,
-    config: &Fig11Config,
-    flows: &[(u32, u32)],
-) -> Vec<Fig11Row> {
-    flows
-        .iter()
-        .map(|&(s, d)| {
-            let src = NodeId(s - 1);
-            let dst = NodeId(d - 1);
-            let cells = SCHEMES
-                .iter()
-                .map(|&scheme| {
-                    let fl = [(
-                        src,
-                        dst,
-                        TrafficPattern::SaturatedUdp { start: 0.0, stop: config.duration },
-                    )];
-                    let sim_cfg = SimConfig {
-                        delta: config.delta,
-                        seed: config.seed,
-                        ..Default::default()
-                    };
-                    let (mut sim, mapping) = build_simulation(net, imap, &fl, scheme, sim_cfg);
-                    match mapping[0] {
-                        None => Fig11Cell { mean_mbps: 0.0, std_mbps: 0.0 },
-                        Some(f) => {
-                            let report = sim.run(config.duration);
-                            let to = config.duration as usize;
-                            let from = to.saturating_sub(100);
-                            Fig11Cell {
-                                mean_mbps: report.flows[f].mean_throughput(from, to),
-                                std_mbps: report.flows[f].std_throughput(from, to),
-                            }
-                        }
-                    }
-                })
-                .collect();
-            Fig11Row { src: s, dst: d, cells }
-        })
-        .collect()
 }

@@ -6,10 +6,10 @@
 //! figure shows the per-route rates the controller admits and the
 //! throughput the TCP receiver sees.
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{SimConfig, TrafficPattern};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 /// Phase length, seconds (500 in the paper).
 pub const PHASE_SECS: f64 = 500.0;
@@ -17,7 +17,7 @@ pub const PHASE_SECS: f64 = 500.0;
 pub const TCP_DELTA: f64 = 0.3;
 
 /// The two phases' series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Data {
     /// Phase 1 (SP-w/o-CC): received TCP throughput per second.
     pub phase1_received: Vec<f64>,
@@ -26,6 +26,12 @@ pub struct Fig12Data {
     /// Phase 2: received TCP throughput per second.
     pub phase2_received: Vec<f64>,
 }
+
+empower_telemetry::impl_to_json_struct!(Fig12Data {
+    phase1_received,
+    phase2_route_rates,
+    phase2_received,
+});
 
 /// Runs both phases for the paper's flow 9 → 13.
 pub fn run(net: &Network, imap: &InterferenceMap, seed: u64) -> Fig12Data {
@@ -40,29 +46,44 @@ pub fn run_flow(
     src_no: u32,
     dst_no: u32,
 ) -> Fig12Data {
+    run_flow_traced(net, imap, seed, src_no, dst_no, &Telemetry::disabled())
+}
+
+/// Like [`run_flow`], with engine counters recorded on `tele`.
+pub fn run_flow_traced(
+    net: &Network,
+    imap: &InterferenceMap,
+    seed: u64,
+    src_no: u32,
+    dst_no: u32,
+    tele: &Telemetry,
+) -> Fig12Data {
     let src = NodeId(src_no - 1);
     let dst = NodeId(dst_no - 1);
     let tcp = TrafficPattern::Tcp { start: 0.0, stop: PHASE_SECS, size_bytes: 0 };
     // Phase 1: plain TCP on the single best path, no controller.
-    let (mut sim1, map1) = build_simulation(
-        net,
-        imap,
-        &[(src, dst, tcp)],
-        Scheme::SpWoCc,
-        SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
-    );
+    let (mut sim1, map1) = RunConfig::new(Scheme::SpWoCc)
+        .telemetry(tele.clone())
+        .build_simulation(
+            net,
+            imap,
+            &[(src, dst, tcp)],
+            SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
+        )
+        .expect("tolerant mode cannot fail");
     let rep1 = sim1.run(PHASE_SECS);
-    let phase1_received = map1[0]
-        .map(|f| rep1.flows[f].throughput_series.clone())
-        .unwrap_or_default();
+    let phase1_received =
+        map1[0].map(|f| rep1.flows[f].throughput_series.clone()).unwrap_or_default();
     // Phase 2: the full stack.
-    let (mut sim2, map2) = build_simulation(
-        net,
-        imap,
-        &[(src, dst, tcp)],
-        Scheme::Empower,
-        SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
-    );
+    let (mut sim2, map2) = RunConfig::new(Scheme::Empower)
+        .telemetry(tele.clone())
+        .build_simulation(
+            net,
+            imap,
+            &[(src, dst, tcp)],
+            SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
+        )
+        .expect("tolerant mode cannot fail");
     let rep2 = sim2.run(PHASE_SECS);
     let (phase2_route_rates, phase2_received) = match map2[0] {
         Some(f) => (rep2.flows[f].rate_series.clone(), rep2.flows[f].throughput_series.clone()),
@@ -113,15 +134,8 @@ mod tests {
         let t = testbed22(1);
         let imap = CarrierSense::default().build_map(&t.net);
         let data = run(&t.net, &imap, 3);
-        let admitted: f64 = data
-            .phase2_route_rates
-            .iter()
-            .map(|r| mean_tail(r))
-            .sum();
+        let admitted: f64 = data.phase2_route_rates.iter().map(|r| mean_tail(r)).sum();
         let received = mean_tail(&data.phase2_received);
-        assert!(
-            received > 0.6 * admitted,
-            "received {received:.1} vs admitted {admitted:.1}"
-        );
+        assert!(received > 0.6 * admitted, "received {received:.1} vs admitted {admitted:.1}");
     }
 }

@@ -1,29 +1,19 @@
 //! §6.4 / Fig. 13: average TCP rate (± std) for ten flows, EMPoWER
 //! (δ = 0.3, multipath) vs SP-w/o-CC (plain single-path TCP).
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{SimConfig, TrafficPattern};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 use crate::fig12::TCP_DELTA;
 
 /// The ten flows of Fig. 13, 1-based paper numbering.
-pub const FLOWS: [(u32, u32); 10] = [
-    (9, 10),
-    (4, 7),
-    (21, 18),
-    (8, 6),
-    (17, 15),
-    (9, 13),
-    (4, 5),
-    (20, 17),
-    (3, 6),
-    (13, 7),
-];
+pub const FLOWS: [(u32, u32); 10] =
+    [(9, 10), (4, 7), (21, 18), (8, 6), (17, 15), (9, 13), (4, 5), (20, 17), (3, 6), (13, 7)];
 
 /// Result for one flow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     pub src: u32,
     pub dst: u32,
@@ -33,8 +23,17 @@ pub struct Fig13Row {
     pub sp_wo_cc_std: f64,
 }
 
+empower_telemetry::impl_to_json_struct!(Fig13Row {
+    src,
+    dst,
+    empower_mean,
+    empower_std,
+    sp_wo_cc_mean,
+    sp_wo_cc_std,
+});
+
 /// Configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Config {
     /// Simulated seconds per run; statistics over the last 100 s.
     pub duration: f64,
@@ -54,6 +53,17 @@ pub fn run_flows(
     config: &Fig13Config,
     flows: &[(u32, u32)],
 ) -> Vec<Fig13Row> {
+    run_flows_traced(net, imap, config, flows, &Telemetry::disabled())
+}
+
+/// Like [`run_flows`], with engine counters recorded on `tele`.
+pub fn run_flows_traced(
+    net: &Network,
+    imap: &InterferenceMap,
+    config: &Fig13Config,
+    flows: &[(u32, u32)],
+    tele: &Telemetry,
+) -> Vec<Fig13Row> {
     flows
         .iter()
         .map(|&(s, d)| {
@@ -67,7 +77,10 @@ pub fn run_flows(
                 )];
                 let sim_cfg =
                     SimConfig { delta: TCP_DELTA, seed: config.seed, ..Default::default() };
-                let (mut sim, mapping) = build_simulation(net, imap, &fl, scheme, sim_cfg);
+                let (mut sim, mapping) = RunConfig::new(scheme)
+                    .telemetry(tele.clone())
+                    .build_simulation(net, imap, &fl, sim_cfg)
+                    .expect("tolerant mode cannot fail");
                 if let Some(f) = mapping[0] {
                     let report = sim.run(config.duration);
                     let to = config.duration as usize;

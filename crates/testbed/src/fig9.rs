@@ -17,13 +17,13 @@
 //!   Flow 1-13 entirely onto Route 2 (WiFi is "avoided altogether") and
 //!   reverts after Flow 4-7 stops.
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::topology::testbed22::NODE_POSITIONS;
 use empower_model::{
     InterferenceModel, Medium, Network, NetworkBuilder, NodeId, PanelId, Point, SharedMedium,
 };
 use empower_sim::{SimConfig, TrafficPattern};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 /// Timing of the experiment, seconds.
 pub const FLOW47_START: f64 = 1950.0;
@@ -37,7 +37,7 @@ pub const PLC_1_13: f64 = 20.0;
 pub const WIFI_4_7: f64 = 45.0;
 
 /// Result: per-second series, ready for plotting/printing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Data {
     /// Rate injected on Route 1 (WiFi-PLC) of Flow 1-13, per second.
     pub route1_rate: Vec<f64>,
@@ -52,6 +52,15 @@ pub struct Fig9Data {
     /// Throughput received by node 7 (Flow 4-7), per second.
     pub flow47_received: Vec<f64>,
 }
+
+empower_telemetry::impl_to_json_struct!(Fig9Data {
+    route1_rate,
+    route2_rate,
+    total_sent,
+    received,
+    best_single_path,
+    flow47_received,
+});
 
 /// Builds the 4-node cut-out of the testbed used by the example.
 pub fn fig9_network() -> (Network, [NodeId; 4]) {
@@ -75,6 +84,11 @@ pub fn fig9_network() -> (Network, [NodeId; 4]) {
 /// Runs the experiment (several simulated thousand seconds; a couple of
 /// seconds of wall clock).
 pub fn run(seed: u64) -> Fig9Data {
+    run_traced(seed, &Telemetry::disabled())
+}
+
+/// Like [`run`], with engine counters recorded on `tele`.
+pub fn run_traced(seed: u64, tele: &Telemetry) -> Fig9Data {
     let (net, [n1, n4, n7, n13]) = fig9_network();
     let imap = SharedMedium.build_map(&net);
     let flows = [
@@ -82,7 +96,10 @@ pub fn run(seed: u64) -> Fig9Data {
         (n4, n7, TrafficPattern::SaturatedUdp { start: FLOW47_START, stop: FLOW47_STOP }),
     ];
     let config = SimConfig { seed, ..Default::default() };
-    let (mut sim, mapping) = build_simulation(&net, &imap, &flows, Scheme::Empower, config);
+    let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+        .telemetry(tele.clone())
+        .build_simulation(&net, &imap, &flows, config)
+        .expect("tolerant mode cannot fail");
     let f1 = mapping[0].expect("flow 1-13 is connected");
     let f2 = mapping[1].expect("flow 4-7 is connected");
     let report = sim.run(DURATION);
@@ -92,13 +109,10 @@ pub fn run(seed: u64) -> Fig9Data {
     // rate_series[r] is indexed by route in selection order.
     let routes = Scheme::Empower.compute_routes(&net, &imap, n1, n13, 5);
     let (idx_r1, idx_r2) = if routes.routes[0].path.hop_count() == 2 { (0, 1) } else { (1, 0) };
-    let best_single_path = Scheme::Sp
-        .compute_routes(&net, &imap, n1, n13, 5)
-        .total_rate();
+    let best_single_path = Scheme::Sp.compute_routes(&net, &imap, n1, n13, 5).total_rate();
     let route1_rate = stats1.rate_series[idx_r1].clone();
     let route2_rate = stats1.rate_series[idx_r2].clone();
-    let total_sent: Vec<f64> =
-        route1_rate.iter().zip(&route2_rate).map(|(a, b)| a + b).collect();
+    let total_sent: Vec<f64> = route1_rate.iter().zip(&route2_rate).map(|(a, b)| a + b).collect();
     Fig9Data {
         route1_rate,
         route2_rate,

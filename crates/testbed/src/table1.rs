@@ -7,13 +7,13 @@
 //! are repeated 40 times, Long and Conc 10 times in the paper; repetition
 //! counts here are configurable (each repetition re-seeds the simulator).
 
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 use empower_model::{InterferenceMap, Network, NodeId};
 use empower_sim::{SimConfig, TrafficPattern};
-use serde::{Deserialize, Serialize};
+use empower_telemetry::Telemetry;
 
 /// Which Table 1 row to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Experiment {
     Tiny,
     Short,
@@ -53,7 +53,7 @@ impl Experiment {
 }
 
 /// Mean ± std of download durations, seconds.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DurationStats {
     pub mean_secs: f64,
     pub std_secs: f64,
@@ -70,7 +70,7 @@ fn stats(durations: &[f64]) -> DurationStats {
 /// One Table 1 row: the experiment under both schemes. For Conc the row
 /// additionally carries the concurrent flow's (Flow 12-8, 25 MB total)
 /// statistics, as in the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     pub experiment: Experiment,
     pub empower: DurationStats,
@@ -79,6 +79,21 @@ pub struct Table1Row {
     pub conc_flow_wo_cc: Option<DurationStats>,
 }
 
+impl empower_telemetry::ToJson for Experiment {
+    fn to_json(&self) -> empower_telemetry::Json {
+        empower_telemetry::Json::from(self.label())
+    }
+}
+
+empower_telemetry::impl_to_json_struct!(DurationStats { mean_secs, std_secs, samples });
+empower_telemetry::impl_to_json_struct!(Table1Row {
+    experiment,
+    empower,
+    mp_wo_cc,
+    conc_flow_empower,
+    conc_flow_wo_cc,
+});
+
 /// Runs one experiment with `repetitions` per scheme.
 pub fn run_experiment(
     net: &Network,
@@ -86,6 +101,18 @@ pub fn run_experiment(
     experiment: Experiment,
     repetitions: usize,
     seed: u64,
+) -> Table1Row {
+    run_experiment_traced(net, imap, experiment, repetitions, seed, &Telemetry::disabled())
+}
+
+/// Like [`run_experiment`], with engine counters recorded on `tele`.
+pub fn run_experiment_traced(
+    net: &Network,
+    imap: &InterferenceMap,
+    experiment: Experiment,
+    repetitions: usize,
+    seed: u64,
+    tele: &Telemetry,
 ) -> Table1Row {
     let src = NodeId(6 - 1);
     let dst = NodeId(13 - 1);
@@ -111,12 +138,12 @@ pub fn run_experiment(
                     },
                 ));
             }
-            let sim_cfg = SimConfig {
-                delta: 0.05,
-                seed: seed ^ ((rep as u64) << 16),
-                ..Default::default()
-            };
-            let (mut sim, mapping) = build_simulation(net, imap, &flows, scheme, sim_cfg);
+            let sim_cfg =
+                SimConfig { delta: 0.05, seed: seed ^ ((rep as u64) << 16), ..Default::default() };
+            let (mut sim, mapping) = RunConfig::new(scheme)
+                .telemetry(tele.clone())
+                .build_simulation(net, imap, &flows, sim_cfg)
+                .expect("tolerant mode cannot fail");
             // Generous horizon: 2 GB at a few tens of Mbps finishes well
             // within an hour of simulated time.
             let horizon = (experiment.main_size() as f64 * 8.0 / 2e6).clamp(120.0, 4000.0);
@@ -176,7 +203,6 @@ mod tests {
         // continuously: without CC both flows over-drive the shared
         // mediums (queue drops + reorder losses); with CC the download
         // finishes faster. This is Table 1's Conc row in miniature.
-        use empower_core::build_simulation;
         use empower_sim::SimConfig;
         let t = testbed22(1);
         let imap = CarrierSense::default().build_map(&t.net);
@@ -194,13 +220,14 @@ mod tests {
                     TrafficPattern::SaturatedUdp { start: 0.0, stop: 400.0 },
                 ),
             ];
-            let (mut sim, mapping) = build_simulation(
-                &t.net,
-                &imap,
-                &flows,
-                scheme,
-                SimConfig { delta: 0.05, seed: 7, ..Default::default() },
-            );
+            let (mut sim, mapping) = RunConfig::new(scheme)
+                .build_simulation(
+                    &t.net,
+                    &imap,
+                    &flows,
+                    SimConfig { delta: 0.05, seed: 7, ..Default::default() },
+                )
+                .expect("tolerant mode cannot fail");
             let report = sim.run(400.0);
             let f = mapping[0].expect("connected");
             let done = report.flows[f].completions.first().copied().unwrap_or(400.0);

@@ -12,20 +12,15 @@
 use empower_core::model::topology::fig1_scenario;
 use empower_core::model::{InterferenceModel, SharedMedium};
 use empower_core::sim::TrafficPattern;
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 
 fn main() {
     let s = fig1_scenario();
     let imap = SharedMedium.build_map(&s.net);
-    let flows =
-        [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 360.0 })];
-    let (mut sim, mapping) = build_simulation(
-        &s.net,
-        &imap,
-        &flows,
-        Scheme::Empower,
-        empower_core::sim::SimConfig::default(),
-    );
+    let flows = [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 360.0 })];
+    let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+        .build_simulation(&s.net, &imap, &flows, empower_core::sim::SimConfig::default())
+        .expect("fig. 1 is connected");
     let f = mapping[0].expect("connected");
 
     // Fail the PLC link (both directions) at 120 s, restore at 240 s.

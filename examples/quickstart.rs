@@ -10,7 +10,8 @@
 
 use empower_core::model::topology::fig1_scenario;
 use empower_core::model::{InterferenceModel, SharedMedium};
-use empower_core::{evaluate_fluid, FluidEval, Scheme};
+use empower_core::telemetry::Telemetry;
+use empower_core::{RunConfig, Scheme};
 
 fn main() {
     let s = fig1_scenario();
@@ -20,7 +21,10 @@ fn main() {
     for link in s.net.links().iter().filter(|l| l.from < l.to) {
         println!(
             "  {} → {} over {:<6} {:>5.0} Mbps",
-            link.from, link.to, link.medium.label(), link.capacity_mbps
+            link.from,
+            link.to,
+            link.medium.label(),
+            link.capacity_mbps
         );
     }
 
@@ -31,10 +35,17 @@ fn main() {
         println!("  {}   R(P) = {:.1} Mbps", r.path.render(&s.net), r.nominal_rate);
     }
 
-    // 2. Run the distributed congestion controller to equilibrium.
+    // 2. Run the distributed congestion controller to equilibrium, with
+    //    telemetry recording what the controller actually did.
     let flows = [(s.gateway, s.client)];
-    let emp = evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
-    let sp = evaluate_fluid(&s.net, &imap, &flows, Scheme::Sp, &FluidEval::default());
+    let tele = Telemetry::enabled();
+    let emp = RunConfig::new(Scheme::Empower)
+        .telemetry(tele.clone())
+        .evaluate_fluid(&s.net, &imap, &flows)
+        .expect("fig. 1 is connected");
+    let sp = RunConfig::new(Scheme::Sp)
+        .evaluate_fluid(&s.net, &imap, &flows)
+        .expect("fig. 1 is connected");
 
     println!("\nConverged throughput:");
     println!("  single path (SP):  {:>6.2} Mbps", sp.flow_rates[0]);
@@ -48,5 +59,14 @@ fn main() {
             "  converged within 1% of final after {slots} slots (~{:.1} s of 100 ms ACKs)",
             slots as f64 * 0.1
         );
+    }
+
+    // 3. The telemetry registry saw the whole run.
+    println!(
+        "
+Telemetry counters:"
+    );
+    for (name, flavor, value) in &tele.snapshot().counters {
+        println!("  {name:<28} {value:>8}  [{}]", flavor.label());
     }
 }

@@ -6,9 +6,9 @@
 
 use empower_core::model::topology::residential;
 use empower_core::model::{CarrierSense, InterferenceModel};
-use empower_core::{evaluate_equilibrium, FluidEval, Scheme};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use empower_core::{RunConfig, Scheme};
+use empower_model::rng::SeedableRng;
+use empower_model::rng::StdRng;
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -16,13 +16,20 @@ fn main() {
     let topo = residential(&mut rng);
     let imap = CarrierSense::default().build_map(&topo.net);
 
-    println!("Residential topology (seed {seed}): {} nodes, {} directed links",
-        topo.net.node_count(), topo.net.link_count());
+    println!(
+        "Residential topology (seed {seed}): {} nodes, {} directed links",
+        topo.net.node_count(),
+        topo.net.link_count()
+    );
     for n in topo.net.nodes() {
         let mediums: Vec<String> = n.mediums.iter().map(|m| m.label()).collect();
         println!(
             "  {}  ({:>5.1}, {:>5.1}) m  [{}] {}",
-            n.id, n.pos.x, n.pos.y, mediums.join("+"), n.label
+            n.id,
+            n.pos.x,
+            n.pos.y,
+            mediums.join("+"),
+            n.label
         );
     }
 
@@ -31,13 +38,9 @@ fn main() {
     println!("{:<12} {:>10} {:>8} {:>40}", "scheme", "Mbps", "routes", "route detail");
     for scheme in Scheme::ALL {
         let routes = scheme.compute_routes(&topo.net, &imap, src, dst, 5);
-        let out = evaluate_equilibrium(
-            &topo.net,
-            &imap,
-            &[(src, dst)],
-            scheme,
-            &FluidEval::default(),
-        );
+        let out = RunConfig::new(scheme)
+            .evaluate_equilibrium(&topo.net, &imap, &[(src, dst)])
+            .expect("tolerant mode cannot fail");
         let detail = routes
             .routes
             .first()

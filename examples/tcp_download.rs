@@ -8,7 +8,7 @@
 use empower_core::model::topology::testbed22;
 use empower_core::model::{CarrierSense, InterferenceModel};
 use empower_core::sim::{SimConfig, TrafficPattern};
-use empower_core::{build_simulation, Scheme};
+use empower_core::{RunConfig, Scheme};
 
 fn main() {
     let arg = |i: usize, default: u32| {
@@ -21,17 +21,14 @@ fn main() {
     let dst = t.node(dst_no);
     println!("TCP bulk transfer node{src_no} → node{dst_no} on the simulated testbed\n");
 
-    for (label, scheme) in [("plain single-path TCP", Scheme::SpWoCc), ("TCP over EMPoWER", Scheme::Empower)] {
+    for (label, scheme) in
+        [("plain single-path TCP", Scheme::SpWoCc), ("TCP over EMPoWER", Scheme::Empower)]
+    {
         let routes = scheme.compute_routes(&t.net, &imap, src, dst, 5);
-        let flows =
-            [(src, dst, TrafficPattern::Tcp { start: 0.0, stop: 200.0, size_bytes: 0 })];
-        let (mut sim, mapping) = build_simulation(
-            &t.net,
-            &imap,
-            &flows,
-            scheme,
-            SimConfig { delta: 0.3, ..Default::default() },
-        );
+        let flows = [(src, dst, TrafficPattern::Tcp { start: 0.0, stop: 200.0, size_bytes: 0 })];
+        let (mut sim, mapping) = RunConfig::new(scheme)
+            .build_simulation(&t.net, &imap, &flows, SimConfig { delta: 0.3, ..Default::default() })
+            .expect("tolerant mode cannot fail");
         let Some(f) = mapping[0] else {
             println!("{label}: disconnected");
             continue;

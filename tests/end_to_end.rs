@@ -4,9 +4,7 @@
 use empower_core::model::topology::{fig1_scenario, testbed22};
 use empower_core::model::{CarrierSense, InterferenceModel, SharedMedium};
 use empower_core::sim::{SimConfig, TrafficPattern};
-use empower_core::{
-    build_simulation, evaluate_equilibrium, evaluate_fluid, FluidEval, Scheme,
-};
+use empower_core::{FluidEval, RunConfig, Scheme};
 
 #[test]
 fn three_evaluation_layers_agree_on_fig1() {
@@ -14,12 +12,13 @@ fn three_evaluation_layers_agree_on_fig1() {
     let imap = SharedMedium.build_map(&s.net);
     let flows = [(s.gateway, s.client)];
 
-    let eq = evaluate_equilibrium(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
-    let dy = evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
+    let run = RunConfig::new(Scheme::Empower);
+    let eq = run.evaluate_equilibrium(&s.net, &imap, &flows).unwrap();
+    let dy = run.evaluate_fluid(&s.net, &imap, &flows).unwrap();
     let sim_flows =
         [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 })];
     let (mut sim, mapping) =
-        build_simulation(&s.net, &imap, &sim_flows, Scheme::Empower, SimConfig::default());
+        run.build_simulation(&s.net, &imap, &sim_flows, SimConfig::default()).unwrap();
     let report = sim.run(300.0);
     let pkt = report.final_throughput(mapping[0].unwrap(), 10);
 
@@ -34,22 +33,19 @@ fn packet_sim_tracks_equilibrium_on_the_testbed() {
     let t = testbed22(1);
     let imap = CarrierSense::default().build_map(&t.net);
     let flows = [(t.node(2), t.node(11))];
-    let eq = evaluate_equilibrium(
-        &t.net,
-        &imap,
-        &flows,
-        Scheme::Empower,
-        &FluidEval { delta: 0.05, ..Default::default() },
-    );
+    let run =
+        RunConfig::from_fluid(Scheme::Empower, &FluidEval { delta: 0.05, ..Default::default() });
+    let eq = run.evaluate_equilibrium(&t.net, &imap, &flows).unwrap();
     let sim_flows =
         [(t.node(2), t.node(11), TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 })];
-    let (mut sim, mapping) = build_simulation(
-        &t.net,
-        &imap,
-        &sim_flows,
-        Scheme::Empower,
-        SimConfig { delta: 0.05, ..Default::default() },
-    );
+    let (mut sim, mapping) = run
+        .build_simulation(
+            &t.net,
+            &imap,
+            &sim_flows,
+            SimConfig { delta: 0.05, ..Default::default() },
+        )
+        .unwrap();
     let report = sim.run(300.0);
     let pkt = report.final_throughput(mapping[0].unwrap(), 10);
     assert!(eq.flow_rates[0] > 0.0);
@@ -72,13 +68,14 @@ fn two_flows_share_fairly_end_to_end() {
         (t.node(1), t.node(13), TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 }),
         (t.node(4), t.node(7), TrafficPattern::SaturatedUdp { start: 0.0, stop: 300.0 }),
     ];
-    let (mut sim, mapping) = build_simulation(
-        &t.net,
-        &imap,
-        &sim_flows,
-        Scheme::Empower,
-        SimConfig { delta: 0.05, ..Default::default() },
-    );
+    let (mut sim, mapping) = RunConfig::new(Scheme::Empower)
+        .build_simulation(
+            &t.net,
+            &imap,
+            &sim_flows,
+            SimConfig { delta: 0.05, ..Default::default() },
+        )
+        .unwrap();
     let report = sim.run(300.0);
     let t1 = report.final_throughput(mapping[0].unwrap(), 10);
     let t2 = report.final_throughput(mapping[1].unwrap(), 10);
@@ -93,14 +90,12 @@ fn all_schemes_run_end_to_end_on_the_testbed() {
     for scheme in Scheme::ALL {
         let sim_flows =
             [(t.node(3), t.node(18), TrafficPattern::SaturatedUdp { start: 0.0, stop: 60.0 })];
-        let (mut sim, mapping) =
-            build_simulation(&t.net, &imap, &sim_flows, scheme, SimConfig::default());
+        let (mut sim, mapping) = RunConfig::new(scheme)
+            .build_simulation(&t.net, &imap, &sim_flows, SimConfig::default())
+            .unwrap();
         if let Some(f) = mapping[0] {
             let report = sim.run(60.0);
-            assert!(
-                report.flows[f].delivered_bits > 0,
-                "{scheme} moved no data"
-            );
+            assert!(report.flows[f].delivered_bits > 0, "{scheme} moved no data");
         }
     }
 }
@@ -120,10 +115,10 @@ fn route_recomputation_rescues_a_single_path_flow() {
     let victim = routes.routes[0].path.links()[0];
     let mut monitor = RouteMonitor::new(&s.net, Scheme::Sp, s.gateway, s.client, &routes);
 
-    let flows =
-        [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 400.0 })];
-    let (mut sim, mapping) =
-        build_simulation(&s.net, &imap, &flows, Scheme::Sp, SimConfig::default());
+    let flows = [(s.gateway, s.client, TrafficPattern::SaturatedUdp { start: 0.0, stop: 400.0 })];
+    let (mut sim, mapping) = RunConfig::new(Scheme::Sp)
+        .build_simulation(&s.net, &imap, &flows, SimConfig::default())
+        .unwrap();
     let f = mapping[0].unwrap();
     let rev = s.net.link(victim).reverse.unwrap();
     sim.schedule_link_change(120.0, victim, 0.0);

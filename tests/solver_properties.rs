@@ -1,11 +1,19 @@
 //! Cross-validation of the optimization kernels: the simplex LP solver, the
 //! Frank–Wolfe utility maximizer and the exact MWIS branch-and-bound are
 //! checked against brute force on randomly generated small instances.
+//! Instances come from a deterministic seed sweep (the in-tree RNG
+//! replaces proptest; the failing case index is in the assertion message).
+
+// Adjacency matrices are walked by (i, j) index pairs with j > i; the
+// iterator forms clippy suggests obscure the symmetry being asserted.
+#![allow(clippy::needless_range_loop)]
 
 use empower_core::baselines::{
     max_weight_independent_set, maximal_cliques, solve_lp, ConflictGraph,
 };
-use proptest::prelude::*;
+use empower_model::rng::{Rng, SeedableRng, StdRng};
+
+const CASES: u64 = 64;
 
 /// Brute-force MWIS by enumerating all subsets (n ≤ 16).
 fn mwis_brute(adj: &[Vec<bool>], weights: &[f64]) -> f64 {
@@ -34,6 +42,18 @@ fn mwis_brute(adj: &[Vec<bool>], weights: &[f64]) -> f64 {
         }
     }
     best
+}
+
+/// Draws a random symmetric adjacency matrix on `n` vertices.
+fn random_adjacency(rng: &mut StdRng, n: usize) -> Vec<Vec<bool>> {
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            adj[i][j] = rng.gen_bool(0.5);
+            adj[j][i] = adj[i][j];
+        }
+    }
+    adj
 }
 
 /// Builds a ConflictGraph straight from an adjacency matrix (test-only
@@ -68,96 +88,78 @@ fn graph_from_matrix(adj: &[Vec<bool>]) -> ConflictGraph {
     ConflictGraph::from_interference(&imap)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Exact MWIS equals subset-enumeration brute force.
-    #[test]
-    fn mwis_matches_brute_force(
-        n in 2usize..10,
-        edges in prop::collection::vec(any::<bool>(), 45),
-        raw_weights in prop::collection::vec(0u32..100, 10),
-    ) {
-        let mut adj = vec![vec![false; n]; n];
-        let mut k = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                adj[i][j] = edges[k % edges.len()];
-                adj[j][i] = adj[i][j];
-                k += 1;
-            }
-        }
-        let weights: Vec<f64> = (0..n).map(|i| raw_weights[i] as f64 / 10.0).collect();
+/// Exact MWIS equals subset-enumeration brute force.
+#[test]
+fn mwis_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xE001);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..10);
+        let adj = random_adjacency(&mut rng, n);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0u64..100) as f64 / 10.0).collect();
         let g = graph_from_matrix(&adj);
         let (_, got) = max_weight_independent_set(&g, &weights);
         let want = mwis_brute(&adj, &weights);
-        prop_assert!((got - want).abs() < 1e-9, "mwis {got} vs brute {want}");
+        assert!((got - want).abs() < 1e-9, "case {case}: mwis {got} vs brute {want}");
     }
+}
 
-    /// Every maximal clique is a clique, is maximal, and the clique cover
-    /// includes every edge.
-    #[test]
-    fn bron_kerbosch_invariants(
-        n in 2usize..9,
-        edges in prop::collection::vec(any::<bool>(), 36),
-    ) {
-        let mut adj = vec![vec![false; n]; n];
-        let mut k = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                adj[i][j] = edges[k % edges.len()];
-                adj[j][i] = adj[i][j];
-                k += 1;
-            }
-        }
+/// Every maximal clique is a clique, is maximal, and the clique cover
+/// includes every edge.
+#[test]
+fn bron_kerbosch_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xE002);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..9);
+        let adj = random_adjacency(&mut rng, n);
         let g = graph_from_matrix(&adj);
         let cliques = maximal_cliques(&g);
         for c in &cliques {
             // Clique: all pairs adjacent.
             for (ai, &a) in c.iter().enumerate() {
                 for &b in &c[ai + 1..] {
-                    prop_assert!(g.conflicts(a, b), "non-edge in clique");
+                    assert!(g.conflicts(a, b), "case {case}: non-edge in clique");
                 }
             }
             // Maximal: no vertex outside is adjacent to all members.
             for v in 0..n {
                 if !c.contains(&v) {
                     let extends = c.iter().all(|&u| g.conflicts(u, v));
-                    prop_assert!(!extends, "clique {c:?} extensible by {v}");
+                    assert!(!extends, "case {case}: clique {c:?} extensible by {v}");
                 }
             }
         }
         for a in 0..n {
             for b in (a + 1)..n {
                 if adj[a][b] {
-                    prop_assert!(
+                    assert!(
                         cliques.iter().any(|c| c.contains(&a) && c.contains(&b)),
-                        "edge ({a},{b}) uncovered"
+                        "case {case}: edge ({a},{b}) uncovered"
                     );
                 }
             }
         }
     }
+}
 
-    /// LP optimality certificate: the simplex solution is feasible, and no
-    /// single-coordinate feasible increase improves the objective (local
-    /// optimality, which for LPs over ≤-constraints with c ≥ 0 follows
-    /// from global optimality; we additionally compare with a dense grid
-    /// on 2-variable instances below).
-    #[test]
-    fn simplex_solutions_are_feasible_and_tight(
-        c in prop::collection::vec(0.0f64..5.0, 2..5),
-        rows in prop::collection::vec(prop::collection::vec(0.1f64..3.0, 4), 1..5),
-        b in prop::collection::vec(0.5f64..4.0, 5),
-    ) {
-        let n = c.len();
-        let a: Vec<Vec<f64>> = rows.iter().map(|r| r[..n].to_vec()).collect();
-        let b = &b[..a.len()];
-        let out = solve_lp(&c, &a, b).expect("bounded: all coefficients positive");
+/// LP optimality certificate: the simplex solution is feasible, and no
+/// single-coordinate feasible increase improves the objective (local
+/// optimality, which for LPs over ≤-constraints with c ≥ 0 follows
+/// from global optimality).
+#[test]
+fn simplex_solutions_are_feasible_and_tight() {
+    let mut rng = StdRng::seed_from_u64(0xE003);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..5);
+        let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..5.0)).collect();
+        let m = rng.gen_range(1usize..5);
+        let a: Vec<Vec<f64>> =
+            (0..m).map(|_| (0..n).map(|_| rng.gen_range(0.1f64..3.0)).collect()).collect();
+        let b: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5f64..4.0)).collect();
+        let out = solve_lp(&c, &a, &b).expect("bounded: all coefficients positive");
         // Feasible.
-        for (row, &bi) in a.iter().zip(b) {
+        for (row, &bi) in a.iter().zip(&b) {
             let lhs: f64 = row.iter().zip(&out.x).map(|(ai, xi)| ai * xi).sum();
-            prop_assert!(lhs <= bi + 1e-7, "constraint violated: {lhs} > {bi}");
+            assert!(lhs <= bi + 1e-7, "case {case}: constraint violated: {lhs} > {bi}");
         }
         // No coordinate can be pushed further without violating something
         // (complementary slackness corollary for c > 0).
@@ -167,13 +169,17 @@ proptest! {
             }
             let headroom = a
                 .iter()
-                .zip(b)
+                .zip(&b)
                 .map(|(row, &bi)| {
                     let lhs: f64 = row.iter().zip(&out.x).map(|(ai, xi)| ai * xi).sum();
-                    if row[j] > 1e-12 { (bi - lhs) / row[j] } else { f64::INFINITY }
+                    if row[j] > 1e-12 {
+                        (bi - lhs) / row[j]
+                    } else {
+                        f64::INFINITY
+                    }
                 })
                 .fold(f64::INFINITY, f64::min);
-            prop_assert!(headroom < 1e-6, "variable {j} had headroom {headroom}");
+            assert!(headroom < 1e-6, "case {case}: variable {j} had headroom {headroom}");
         }
     }
 }
