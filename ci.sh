@@ -17,6 +17,9 @@ cargo fmt --check
 say "clippy, warnings are errors"
 cargo clippy --workspace --all-targets -- -D warnings
 
+say "rustdoc, warnings are errors"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 if [ "${1:-}" = "quick" ]; then
     say "tests (debug)"
     cargo test -q
@@ -26,5 +29,21 @@ else
     say "tier-1: tests"
     cargo test -q --release
 fi
+
+say "scenario smoke test (determinism)"
+# Run the example scenario twice; the manifests must be byte-identical.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+if [ "${1:-}" = "quick" ]; then
+    EMPOWER="cargo run -q --bin empower --"
+else
+    EMPOWER=target/release/empower
+fi
+$EMPOWER scenario run examples/fig12_drop.toml \
+    --metrics "$SMOKE_DIR/a.json" >/dev/null
+$EMPOWER scenario run examples/fig12_drop.toml \
+    --metrics "$SMOKE_DIR/b.json" >/dev/null
+cmp "$SMOKE_DIR/a.json" "$SMOKE_DIR/b.json" \
+    || { echo "scenario manifests differ between identical runs" >&2; exit 1; }
 
 say "ci.sh: all gates passed"

@@ -119,6 +119,16 @@ impl LinkPriceState {
         self.gamma[self.index_of(link)]
     }
 
+    /// Forgets the dual of an egress link. Called on topology changes
+    /// (link revival, node recovery): the γ learned under the old topology
+    /// prices a world that no longer exists, and the update rule (8) can
+    /// only unwind it at α per slot — resetting lets the next slots rebuild
+    /// it from fresh demand measurements.
+    pub fn reset_gamma(&mut self, link: LinkId) {
+        let i = self.index_of(link);
+        self.gamma[i] = 0.0;
+    }
+
     /// Produces this node's per-technology broadcasts for the current slot.
     pub fn make_broadcasts(&self, net: &Network) -> Vec<PriceBroadcast> {
         let mut out: Vec<PriceBroadcast> = Vec::new();

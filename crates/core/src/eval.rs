@@ -66,18 +66,6 @@ fn record_route_counts(tele: &Telemetry, route_counts: &[usize], connected: usiz
     }
 }
 
-/// Evaluates `scheme` for the given flows on one topology.
-#[deprecated(since = "0.2.0", note = "use RunConfig::evaluate_fluid")]
-pub fn evaluate_fluid(
-    net: &Network,
-    imap: &InterferenceMap,
-    flows: &[(NodeId, NodeId)],
-    scheme: Scheme,
-    params: &FluidEval,
-) -> FluidEvalResult {
-    evaluate_fluid_impl(net, imap, flows, scheme, params, &Telemetry::disabled())
-}
-
 /// The engine behind [`crate::RunConfig::evaluate_fluid`]: instruments the
 /// run on `tele` (per-flow route gauges, controller price/violation totals,
 /// convergence slots) with the virtual clock following the slot index.
@@ -159,18 +147,9 @@ pub(crate) fn evaluate_fluid_impl(
 /// restricted to the scheme's routes, so for steady-state statistics
 /// (Figs. 4–7) we can solve that program with Frank–Wolfe instead of
 /// iterating thousands of controller slots per topology. w/o-CC schemes are
-/// evaluated with the saturation model exactly as in `evaluate_fluid`.
-#[deprecated(since = "0.2.0", note = "use RunConfig::evaluate_equilibrium")]
-pub fn evaluate_equilibrium(
-    net: &Network,
-    imap: &InterferenceMap,
-    flows: &[(NodeId, NodeId)],
-    scheme: Scheme,
-    params: &FluidEval,
-) -> FluidEvalResult {
-    evaluate_equilibrium_impl(net, imap, flows, scheme, params, &Telemetry::disabled())
-}
-
+/// evaluated with the saturation model exactly as in
+/// [`crate::RunConfig::evaluate_fluid`].
+///
 /// The engine behind [`crate::RunConfig::evaluate_equilibrium`].
 pub(crate) fn evaluate_equilibrium_impl(
     net: &Network,

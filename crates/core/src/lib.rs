@@ -14,10 +14,6 @@
 //!   packet-level simulation (§6) and route monitoring (§3.2);
 //! * re-exports of the subsystem crates under stable names.
 //!
-//! The v0 free functions ([`evaluate_fluid`], [`evaluate_equilibrium`],
-//! [`build_simulation`]) still work but are deprecated in favour of
-//! [`RunConfig`].
-//!
 //! ## Quickstart
 //!
 //! ```
@@ -40,14 +36,10 @@ pub mod run;
 pub mod scheme;
 pub mod stack;
 
-#[allow(deprecated)]
-pub use eval::{evaluate_equilibrium, evaluate_fluid};
 pub use eval::{FluidEval, FluidEvalResult};
 pub use monitor::{RecomputeReason, RouteMonitor};
 pub use run::{EmpowerError, RunConfig};
 pub use scheme::Scheme;
-#[allow(deprecated)]
-pub use stack::build_simulation;
 
 /// Re-export: the network-model substrate.
 pub use empower_baselines as baselines;

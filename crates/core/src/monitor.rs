@@ -110,12 +110,29 @@ impl RouteMonitor {
         Ok(None)
     }
 
-    /// Recomputes the routes and re-baselines the monitor. Returns the new
-    /// route set (possibly empty if the flow got disconnected).
+    /// Re-samples the baseline from the current capacities of the links
+    /// already being watched, in place. Call after the routes have been
+    /// reinstalled by other means (e.g. the caller recomputed them itself,
+    /// or decided to keep them through a shift): without it, the stale
+    /// baseline re-reports the same shift on every subsequent
+    /// [`RouteMonitor::check`]. Links that no longer resolve keep their old
+    /// baseline so a later `check` still reports them.
+    pub fn rearm(&mut self, net: &Network) {
+        for (l, cap) in &mut self.baseline {
+            if let Some(link) = net.try_link(*l) {
+                *cap = link.capacity_mbps;
+            }
+        }
+    }
+
+    /// Recomputes the routes and re-baselines the monitor on them. Returns
+    /// the new route set (possibly empty if the flow got disconnected).
+    /// The configured [`RouteMonitor::shift_threshold`] is preserved.
     pub fn recompute(&mut self, net: &Network, imap: &InterferenceMap) -> RouteSet {
         let routes = self.scheme.compute_routes(net, imap, self.src, self.dst, self.n_shortest);
-        let (n, tele) = (self.n_shortest, self.tele.clone());
+        let (n, tele, threshold) = (self.n_shortest, self.tele.clone(), self.shift_threshold);
         *self = RouteMonitor::with_config(net, self.scheme, self.src, self.dst, &routes, n, tele);
+        self.shift_threshold = threshold;
         routes
     }
 
@@ -232,6 +249,45 @@ mod tests {
         let empty = empower_model::NetworkBuilder::new().build();
         let err = monitor.try_check(&empty).unwrap_err();
         assert!(matches!(err, EmpowerError::DeadLink { .. }));
+    }
+
+    #[test]
+    fn rearm_clears_a_stale_baseline_double_trigger() {
+        // Regression: the baseline is sampled only at construction, so a
+        // caller that handles a CapacityShift without calling recompute
+        // (keeping its routes) used to get the *same* shift re-reported on
+        // every subsequent check.
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let mut monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        s.net.set_capacity(s.wifi_bc, 5.0); // −83 %: triggers
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
+        // Without rearm the stale baseline keeps firing.
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
+        monitor.rearm(&s.net);
+        assert_eq!(monitor.check(&s.net), None, "re-armed baseline is quiet");
+        // And the new baseline is live: a further shift from 5 triggers.
+        s.net.set_capacity(s.wifi_bc, 30.0);
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
+    }
+
+    #[test]
+    fn recompute_preserves_a_customized_shift_threshold() {
+        // Regression: recompute used to rebuild the monitor with the
+        // default threshold, silently discarding the caller's setting.
+        let mut s = fig1_scenario();
+        let imap = SharedMedium.build_map(&s.net);
+        let routes = Scheme::Empower.compute_routes(&s.net, &imap, s.gateway, s.client, 5);
+        let mut monitor = RouteMonitor::new(&s.net, Scheme::Empower, s.gateway, s.client, &routes);
+        monitor.shift_threshold = 0.1;
+        s.net.set_capacity(s.wifi_bc, 30.0 * 0.8); // −20 %
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
+        monitor.recompute(&s.net, &imap);
+        assert!((monitor.shift_threshold - 0.1).abs() < 1e-12, "threshold survives recompute");
+        assert_eq!(monitor.check(&s.net), None);
+        s.net.set_capacity(s.wifi_bc, 30.0 * 0.8 * 0.85); // −15 % from new baseline
+        assert_eq!(monitor.check(&s.net), Some(RecomputeReason::CapacityShift));
     }
 
     #[test]

@@ -5,9 +5,6 @@
 //! the controller configuration and an optional [`Telemetry`] registry —
 //! and exposes `Result`-typed entry points for route computation, fluid /
 //! equilibrium evaluation, packet-level simulation and route monitoring.
-//! The free functions it supersedes ([`crate::evaluate_fluid`],
-//! [`crate::evaluate_equilibrium`], [`crate::build_simulation`]) are kept
-//! as deprecated wrappers.
 //!
 //! ```
 //! use empower_core::{RunConfig, Scheme};
@@ -310,14 +307,21 @@ mod tests {
     use empower_telemetry::CounterType;
 
     #[test]
-    fn run_config_matches_the_legacy_entry_point() {
+    fn run_config_matches_the_raw_evaluator() {
+        // The facade must add configuration, not change results: a default
+        // RunConfig reproduces the raw evaluator bit for bit.
         let s = fig1_scenario();
         let imap = SharedMedium.build_map(&s.net);
         let flows = [(s.gateway, s.client)];
         let new = RunConfig::new(Scheme::Empower).evaluate_fluid(&s.net, &imap, &flows).unwrap();
-        #[allow(deprecated)]
-        let old =
-            crate::evaluate_fluid(&s.net, &imap, &flows, Scheme::Empower, &FluidEval::default());
+        let old = crate::eval::evaluate_fluid_impl(
+            &s.net,
+            &imap,
+            &flows,
+            Scheme::Empower,
+            &FluidEval::default(),
+            &Telemetry::disabled(),
+        );
         assert_eq!(new.flow_rates, old.flow_rates);
         assert_eq!(new.utility, old.utility);
     }

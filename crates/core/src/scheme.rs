@@ -60,6 +60,12 @@ impl Scheme {
         }
     }
 
+    /// Parses a paper label (as produced by [`Scheme::label`], matched
+    /// case-insensitively) back into the scheme.
+    pub fn from_label(label: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.label().eq_ignore_ascii_case(label))
+    }
+
     /// Mediums the scheme may use.
     pub fn mediums(self) -> Vec<Medium> {
         match self {

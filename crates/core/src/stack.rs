@@ -7,21 +7,6 @@ use empower_telemetry::Telemetry;
 use crate::run::EmpowerError;
 use crate::scheme::Scheme;
 
-/// Builds a packet-level simulation where each `(src, dst, pattern)` flow
-/// runs under `scheme`. Disconnected flows are skipped; the returned vector
-/// maps input index → simulator flow index (or `None` if skipped).
-#[deprecated(since = "0.2.0", note = "use RunConfig::build_simulation")]
-pub fn build_simulation(
-    net: &Network,
-    imap: &InterferenceMap,
-    flows: &[(NodeId, NodeId, TrafficPattern)],
-    scheme: Scheme,
-    config: SimConfig,
-) -> (Simulation, Vec<Option<usize>>) {
-    build_simulation_impl(net, imap, flows, scheme, config, 5, &Telemetry::disabled(), false)
-        .expect("tolerant mode cannot fail")
-}
-
 /// The engine behind [`crate::RunConfig::build_simulation`]: route
 /// computation with a configurable `n`, telemetry attached to the engine
 /// before flows register, and an optional strict mode that turns a

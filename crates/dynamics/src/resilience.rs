@@ -1,0 +1,184 @@
+//! Resilience metrics: how the stack rides out a fault.
+//!
+//! Each *disruptive* compiled fault (see
+//! [`crate::injector::CompiledFault::disruptive`]) opens an episode, and
+//! the driver measures four things the paper's §6.4 recovery narrative
+//! cares about:
+//!
+//! * **time to detect** — virtual seconds from the fault to the first
+//!   [`RouteMonitor`](empower_core::RouteMonitor) trigger;
+//! * **time to reconverge** — seconds until aggregate goodput is back to
+//!   `recovery_fraction` of the pre-fault baseline (sustained for
+//!   [`RECONVERGE_WINDOW_SECS`]);
+//! * **throughput-dip area** — Mbit of goodput lost versus the baseline
+//!   between fault and reconvergence (the integral of the Fig. 12 dip);
+//! * **packets lost** — frames dropped in the network during the
+//!   transient.
+
+use empower_telemetry::impl_to_json_struct;
+
+/// Seconds of pre-fault throughput averaged into the baseline.
+pub const BASELINE_WINDOW_SECS: usize = 10;
+/// Consecutive seconds that must clear the recovery bar to count as
+/// reconverged (one good second can be a queue-drain artefact).
+pub const RECONVERGE_WINDOW_SECS: usize = 3;
+
+/// The per-fault resilience record, emitted into the `--metrics`
+/// manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMetrics {
+    /// When the fault fired (virtual seconds).
+    pub fault_at_secs: f64,
+    /// Mean aggregate goodput over the [`BASELINE_WINDOW_SECS`] before the
+    /// fault, Mb/s.
+    pub baseline_mbps: f64,
+    /// Seconds until the first route-monitor trigger at or after the
+    /// fault; `None` if no monitor fired before the horizon.
+    pub time_to_detect_secs: Option<f64>,
+    /// Seconds until goodput sustained `recovery_fraction × baseline`;
+    /// `None` if it never did before the horizon.
+    pub time_to_reconverge_secs: Option<f64>,
+    /// Goodput lost versus the baseline between fault and reconvergence
+    /// (or the horizon), Mbit.
+    pub dip_area_mbit: f64,
+    /// Frames dropped in the network during the same window.
+    pub packets_lost: u64,
+}
+
+impl_to_json_struct!(FaultMetrics {
+    fault_at_secs,
+    baseline_mbps,
+    time_to_detect_secs,
+    time_to_reconverge_secs,
+    dip_area_mbit,
+    packets_lost,
+});
+
+/// Computes one episode's metrics from the run's raw observations.
+///
+/// * `series` — aggregate goodput per whole second, `series[s]` covering
+///   `[s, s+1)`;
+/// * `detections` — route-monitor trigger times, ascending;
+/// * `drops` — `(time, cumulative packets dropped in network)` samples,
+///   ascending in time.
+pub fn episode_metrics(
+    fault_at: f64,
+    series: &[f64],
+    detections: &[f64],
+    drops: &[(f64, u64)],
+    recovery_fraction: f64,
+) -> FaultMetrics {
+    let baseline_mbps = baseline(series, fault_at);
+    let time_to_detect_secs = detections.iter().find(|&&t| t >= fault_at).map(|&t| t - fault_at);
+    let reconverged_at = reconverge_time(series, fault_at, recovery_fraction * baseline_mbps);
+    let window_end = reconverged_at.unwrap_or(series.len() as f64);
+    let dip_area_mbit = dip_area(series, fault_at, window_end, baseline_mbps);
+    let packets_lost =
+        cumulative_after(drops, window_end).saturating_sub(cumulative_before(drops, fault_at));
+    FaultMetrics {
+        fault_at_secs: fault_at,
+        baseline_mbps,
+        time_to_detect_secs,
+        time_to_reconverge_secs: reconverged_at.map(|t| t - fault_at),
+        dip_area_mbit,
+        packets_lost,
+    }
+}
+
+/// The distinct fire times of the disruptive faults, ascending — one
+/// episode each (simultaneous twin-link faults collapse into one).
+pub fn episode_times(faults: &[crate::injector::CompiledFault]) -> Vec<f64> {
+    let mut times: Vec<f64> = faults.iter().filter(|f| f.disruptive).map(|f| f.at).collect();
+    times.sort_by(f64::total_cmp);
+    times.dedup();
+    times
+}
+
+/// Mean goodput over the seconds `[fault − BASELINE_WINDOW, fault)`.
+fn baseline(series: &[f64], fault_at: f64) -> f64 {
+    let end = (fault_at.floor() as usize).min(series.len());
+    let start = end.saturating_sub(BASELINE_WINDOW_SECS);
+    if end == start {
+        return 0.0;
+    }
+    series[start..end].iter().sum::<f64>() / (end - start) as f64
+}
+
+/// First time ≥ `fault_at` where the next [`RECONVERGE_WINDOW_SECS`]
+/// seconds all exist and average at least `bar`.
+fn reconverge_time(series: &[f64], fault_at: f64, bar: f64) -> Option<f64> {
+    let from = fault_at.ceil() as usize;
+    for s in from..series.len().saturating_sub(RECONVERGE_WINDOW_SECS - 1) {
+        let window = &series[s..s + RECONVERGE_WINDOW_SECS];
+        if window.iter().sum::<f64>() / RECONVERGE_WINDOW_SECS as f64 >= bar {
+            return Some(s as f64);
+        }
+    }
+    None
+}
+
+/// `Σ max(0, baseline − series[s])` over whole seconds in
+/// `[fault_at, end)` — Mbit, since the bins are one second wide.
+fn dip_area(series: &[f64], fault_at: f64, end: f64, baseline: f64) -> f64 {
+    let from = fault_at.floor() as usize;
+    let to = (end.ceil() as usize).min(series.len());
+    series[from.min(series.len())..to].iter().map(|&r| (baseline - r).max(0.0)).sum()
+}
+
+/// The cumulative drop count just before `t` (last sample strictly before
+/// `t`, 0 before the first sample) — the episode's starting point, so
+/// drops at the fault instant itself (queue drains) are counted in.
+fn cumulative_before(drops: &[(f64, u64)], t: f64) -> u64 {
+    drops.iter().take_while(|&&(at, _)| at < t).last().map_or(0, |&(_, n)| n)
+}
+
+/// The cumulative drop count once `t` has been observed (first sample at
+/// or after `t`, falling back to the last sample) — the episode's end
+/// point; sampling is coarser than the reconvergence estimate, so the
+/// next sample is the first one that has seen the whole transient.
+fn cumulative_after(drops: &[(f64, u64)], t: f64) -> u64 {
+    drops.iter().find(|&&(at, _)| at >= t).or(drops.last()).map_or(0, |&(_, n)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_dip_and_recovery_is_measured() {
+        // 10 s at 16 Mb/s, fault at 10, five seconds at 4, back to 15.
+        let mut series = vec![16.0; 10];
+        series.extend([4.0; 5]);
+        series.extend([15.0; 10]);
+        let m = episode_metrics(10.0, &series, &[10.5], &[(9.5, 3), (16.0, 45)], 0.9);
+        assert!((m.baseline_mbps - 16.0).abs() < 1e-9);
+        assert_eq!(m.time_to_detect_secs, Some(0.5));
+        // 15 ≥ 0.9 × 16 = 14.4 first holds at s = 15.
+        assert_eq!(m.time_to_reconverge_secs, Some(5.0));
+        assert!((m.dip_area_mbit - 5.0 * 12.0).abs() < 1e-9, "{}", m.dip_area_mbit);
+        assert_eq!(m.packets_lost, 42);
+    }
+
+    #[test]
+    fn a_fault_with_no_recovery_reports_none() {
+        let mut series = vec![10.0; 5];
+        series.extend([1.0; 10]);
+        let m = episode_metrics(5.0, &series, &[], &[], 0.9);
+        assert_eq!(m.time_to_detect_secs, None);
+        assert_eq!(m.time_to_reconverge_secs, None);
+        assert!((m.dip_area_mbit - 10.0 * 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn episodes_collapse_simultaneous_twin_faults() {
+        use crate::injector::{CompiledFault, FaultAction};
+        use empower_model::LinkId;
+        let f = |at: f64, link: u32, disruptive: bool| CompiledFault {
+            at,
+            action: FaultAction::SetCapacity { link: LinkId(link), capacity_mbps: 0.0 },
+            disruptive,
+        };
+        let faults = [f(10.0, 2, true), f(10.0, 3, true), f(40.0, 2, false), f(50.0, 0, true)];
+        assert_eq!(episode_times(&faults), vec![10.0, 50.0]);
+    }
+}

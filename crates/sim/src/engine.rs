@@ -10,7 +10,7 @@ use empower_datapath::{
 use empower_model::rng::SeedableRng;
 use empower_model::rng::StdRng;
 use empower_model::rng::{exponential, normal};
-use empower_model::{InterferenceMap, LinkId, Network};
+use empower_model::{InterferenceMap, LinkId, Network, NodeId};
 
 use empower_telemetry::{Counter, Telemetry};
 
@@ -105,6 +105,9 @@ pub struct Simulation {
     ticks: u64,
     /// Flows whose FlowStart event has fired.
     started_flows: usize,
+    /// Capacity each link had when a node crash took it down (indexed by
+    /// link): restored on node recovery, `None` while the link is healthy.
+    crash_saved: Vec<Option<f64>>,
     /// Whether the initial ControlTick has been scheduled.
     control_started: bool,
     /// Optional packet-level trace sink.
@@ -135,6 +138,7 @@ impl Simulation {
             stats: Vec::new(),
             ticks: 0,
             started_flows: 0,
+            crash_saved: vec![None; l],
             control_started: false,
             trace: None,
             etel: EngineCounters::disabled(l),
@@ -209,11 +213,26 @@ impl Simulation {
         self.trace.take()
     }
 
-    /// Registers a flow; returns its index.
+    /// Resolves a path into a wire source route, or `None` when a hop's
+    /// receiving interface is gone (node removed mid-run) or the path does
+    /// not fit the 6-hop header — callers skip such routes instead of
+    /// panicking.
+    fn resolve_source_route(&self, p: &empower_model::Path) -> Option<SourceRoute> {
+        let mut hops: Vec<IfaceId> = Vec::with_capacity(p.links().len());
+        for &l in p.links() {
+            let link = self.net.try_link(l)?;
+            hops.push(self.reg.id_of(link.to, link.medium)?);
+        }
+        SourceRoute::new(&hops).ok()
+    }
+
+    /// Registers a flow; returns its index. Routes that cannot be resolved
+    /// (missing interface, more than 6 hops) are skipped.
     ///
     /// # Panics
-    /// Panics if the spec has no routes, or an open-loop flow lacks rates.
-    pub fn add_flow(&mut self, spec: FlowSpecSim) -> usize {
+    /// Panics if the spec has no usable routes, or an open-loop flow lacks
+    /// rates.
+    pub fn add_flow(&mut self, mut spec: FlowSpecSim) -> usize {
         assert!(!spec.routes.is_empty(), "flow has no routes");
         assert!(
             !self.control_started,
@@ -227,21 +246,20 @@ impl Simulation {
                 "open-loop flows need one rate per route"
             );
         }
-        let source_routes: Vec<SourceRoute> = spec
-            .routes
-            .iter()
-            .map(|p| {
-                let hops: Vec<IfaceId> = p
-                    .links()
-                    .iter()
-                    .map(|&l| {
-                        let link = self.net.link(l);
-                        self.reg.id_of(link.to, link.medium).expect("all interfaces are registered")
-                    })
-                    .collect();
-                SourceRoute::new(&hops).expect("routes fit the 6-hop header")
-            })
-            .collect();
+        let resolved: Vec<Option<SourceRoute>> =
+            spec.routes.iter().map(|p| self.resolve_source_route(p)).collect();
+        if resolved.iter().any(Option::is_none) {
+            self.etel.route_errors.inc();
+            let keep: Vec<bool> = resolved.iter().map(Option::is_some).collect();
+            let mut k = keep.iter();
+            spec.routes.retain(|_| *k.next().expect("same length"));
+            if !spec.use_cc {
+                let mut k = keep.iter();
+                spec.open_loop_rates.retain(|_| *k.next().expect("same length"));
+            }
+        }
+        let source_routes: Vec<SourceRoute> = resolved.into_iter().flatten().collect();
+        assert!(!spec.routes.is_empty(), "no route of the flow could be resolved");
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
         let mut scheduler =
             RouteScheduler::with_bucket(spec.routes.len(), 4.0 * self.cfg.frame_bits as f64 / 1e6);
@@ -320,6 +338,11 @@ impl Simulation {
         self.events.push(at, Event::LinkChange { link, capacity_mbps });
     }
 
+    /// Schedules a node crash (`up = false`) or recovery (`up = true`).
+    pub fn schedule_node_change(&mut self, at: f64, node: NodeId, up: bool) {
+        self.events.push(at, Event::NodeChange { node, up });
+    }
+
     /// Replaces a flow's routes mid-run — the §3.2 route recomputation after
     /// a failure or a large capacity shift (the caller decides *when*, e.g.
     /// via `empower_core`'s RouteMonitor).
@@ -329,29 +352,38 @@ impl Simulation {
     /// restarts fresh on the new route set, and in-flight frames of old
     /// routes still deliver or get declared lost by the normal rules.
     ///
+    /// Routes that no longer resolve (an interface vanished with its node,
+    /// or the path exceeds the 6-hop header) are skipped; if *none*
+    /// resolves the flow keeps its old routes. Returns the number of
+    /// routes actually installed (0 = nothing changed).
+    ///
     /// # Panics
     /// Panics if `routes` is empty or a route does not match the flow's
     /// endpoints.
-    pub fn replace_routes(&mut self, flow: usize, routes: Vec<empower_model::Path>) {
+    pub fn replace_routes(&mut self, flow: usize, routes: Vec<empower_model::Path>) -> usize {
         assert!(!routes.is_empty(), "a flow needs at least one route");
         for p in &routes {
             assert_eq!(p.source(&self.net), self.flows[flow].spec.src);
             assert_eq!(p.destination(&self.net), self.flows[flow].spec.dst);
         }
-        let source_routes: Vec<SourceRoute> = routes
-            .iter()
-            .map(|p| {
-                let hops: Vec<IfaceId> = p
-                    .links()
-                    .iter()
-                    .map(|&l| {
-                        let link = self.net.link(l);
-                        self.reg.id_of(link.to, link.medium).expect("registered interface")
-                    })
-                    .collect();
-                SourceRoute::new(&hops).expect("routes fit the 6-hop header")
+        let mut source_routes: Vec<SourceRoute> = Vec::with_capacity(routes.len());
+        let routes: Vec<empower_model::Path> = routes
+            .into_iter()
+            .filter(|p| match self.resolve_source_route(p) {
+                Some(sr) => {
+                    source_routes.push(sr);
+                    true
+                }
+                None => {
+                    self.etel.route_errors.inc();
+                    false
+                }
             })
             .collect();
+        if routes.is_empty() {
+            self.etel.tele.event("sim", "route_replace_failed", &[("flow", flow.into())]);
+            return 0;
+        }
         let n = routes.len();
         let caps: Vec<f64> = routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
         let max_hops = routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
@@ -388,6 +420,7 @@ impl Simulation {
         if series.len() < n {
             series.resize_with(n, || vec![0.0; len]);
         }
+        n
     }
 
     /// Runs until `duration` seconds of simulated time and returns the
@@ -433,6 +466,7 @@ impl Simulation {
                 self.flows[flow].active = false;
             }
             Event::LinkChange { link, capacity_mbps } => self.link_change(link, capacity_mbps),
+            Event::NodeChange { node, up } => self.node_change(node, up),
             Event::Release { flow, route, seq, price, created_at } => {
                 self.deliver_to_reorder(flow, route, seq, price, created_at);
             }
@@ -664,7 +698,11 @@ impl Simulation {
 
     fn tx_end(&mut self, link: LinkId) {
         let l = link.index();
-        let pkt = self.busy[l].take().expect("TxEnd without a frame on the air");
+        // A stale TxEnd: the frame that was on the air got dropped when its
+        // link (or an endpoint node) went down mid-transmission.
+        let Some(pkt) = self.busy[l].take() else {
+            return;
+        };
         if let Some(tr) = self.trace.as_mut() {
             tr.push(TraceEvent::TxEnd {
                 t: self.now,
@@ -689,7 +727,12 @@ impl Simulation {
     fn receive(&mut self, link: LinkId, mut pkt: SimPacket) {
         let node = self.net.link(link).to;
         let medium = self.net.link(link).medium;
-        let arrived_iface = self.reg.id_of(node, medium).expect("receiving interface exists");
+        let Some(arrived_iface) = self.reg.id_of(node, medium) else {
+            // The receiving interface vanished (node removal mid-run).
+            self.stats[pkt.flow].dropped_in_network += 1;
+            self.etel.route_errors.inc();
+            return;
+        };
         if pkt.header.route.is_destination(arrived_iface) {
             self.arrive_at_destination(pkt);
             return;
@@ -726,6 +769,13 @@ impl Simulation {
         let seq = pkt.header.seq;
         let price = pkt.header.price as f64;
         let delay = self.now - pkt.created_at;
+        // Stale route index (route set shrank mid-flight): the equalizer
+        // and reorder state below it no longer have this route's slot.
+        if route >= self.flows[f].spec.routes.len() {
+            self.stats[f].dropped_in_network += 1;
+            self.etel.route_errors.inc();
+            return;
+        }
         if let Some(eq) = self.flows[f].delay_eq.as_mut() {
             let hold = eq.on_arrival(route, delay);
             if hold > 1e-9 {
@@ -747,6 +797,15 @@ impl Simulation {
         price: f64,
         created_at: f64,
     ) {
+        // A packet (or delay-equalizer release) launched before a route
+        // replacement shrank the flow's route set: its route index no
+        // longer exists in the per-route receiver state. Count it as lost
+        // in the transient rather than indexing out of bounds.
+        if route >= self.flows[f].spec.routes.len() {
+            self.stats[f].dropped_in_network += 1;
+            self.etel.route_errors.inc();
+            return;
+        }
         // End-to-end latency sample: source emission to (pre-reorder)
         // arrival at the destination stack, including any delay-equalizer
         // hold that brought us here.
@@ -961,27 +1020,91 @@ impl Simulation {
     }
 
     fn link_change(&mut self, link: LinkId, capacity_mbps: f64) {
-        if let Some(tr) = self.trace.as_mut() {
-            tr.push(TraceEvent::LinkChange { t: self.now, link: link.0, capacity_mbps });
-        }
         self.etel.tele.event(
             "sim",
             "link_change",
             &[("link", link.0.into()), ("capacity_mbps", capacity_mbps.into())],
         );
+        // An explicit capacity change overrides whatever a node crash saved.
+        self.crash_saved[link.index()] = None;
+        self.apply_capacity(link, capacity_mbps);
+    }
+
+    /// Sets a link's capacity mid-run, handling the death/revival edges:
+    /// queued and in-flight frames on a dying link are dropped, a reviving
+    /// link gets its stale γ dual forgotten so prices restart from fresh
+    /// measurements instead of unwinding at α per slot.
+    fn apply_capacity(&mut self, link: LinkId, capacity_mbps: f64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::LinkChange { t: self.now, link: link.0, capacity_mbps });
+        }
+        let was_alive = self.net.link(link).is_alive();
         self.net.set_capacity(link, capacity_mbps);
         let l = link.index();
         if !self.net.link(link).is_alive() {
-            // Queued frames on a dead link are lost.
-            for pkt in self.queues[l].drain(..) {
+            // Queued frames on a dead link are lost, and so is the frame on
+            // the air (its TxEnd event goes stale and is ignored).
+            let in_flight = self.busy[l].take();
+            let freed_medium = in_flight.is_some();
+            let lost: Vec<SimPacket> = self.queues[l].drain(..).chain(in_flight).collect();
+            for pkt in lost {
                 self.stats[pkt.flow].dropped_in_network += 1;
+                self.etel.drops_dead_link.inc();
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.push(TraceEvent::Drop {
+                        t: self.now,
+                        flow: pkt.flow,
+                        seq: pkt.header.seq,
+                        where_: DropSite::DeadLink,
+                    });
+                }
+            }
+            if freed_medium {
+                // The aborted transmission freed its contention domain.
+                for cand in self.imap.domain(link).to_vec() {
+                    self.try_start(cand);
+                }
             }
         } else {
+            if !was_alive {
+                // Topology change: the γ this link's owner learned while it
+                // was dead (demand-starved or drain-priced) is stale.
+                let owner = self.net.link(link).from;
+                self.price_states[owner.index()].reset_gamma(link);
+            }
             self.try_start(link);
         }
         // Route-capacity clamps in controllers are intentionally NOT
         // updated: the controller adapts through prices, as in the paper
         // (routes are only recomputed on failures, by the caller).
+    }
+
+    fn node_change(&mut self, node: NodeId, up: bool) {
+        self.etel.tele.event(
+            "sim",
+            "node_change",
+            &[("node", node.index().into()), ("up", up.into())],
+        );
+        let adjacent: Vec<LinkId> = self
+            .net
+            .links()
+            .iter()
+            .filter(|lk| lk.from == node || lk.to == node)
+            .map(|lk| lk.id)
+            .collect();
+        for link in adjacent {
+            let l = link.index();
+            if up {
+                if let Some(cap) = self.crash_saved[l].take() {
+                    self.apply_capacity(link, cap);
+                }
+            } else {
+                if self.net.link(link).is_alive() && self.crash_saved[l].is_none() {
+                    self.crash_saved[l] = Some(self.net.link(link).capacity_mbps);
+                }
+                self.apply_capacity(link, 0.0);
+            }
+        }
     }
 
     // ------------------------------------------------------------------

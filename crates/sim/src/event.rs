@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use empower_model::LinkId;
+use empower_model::{LinkId, NodeId};
 
 /// Simulator events.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,10 @@ pub enum Event {
     ControlTick,
     /// Failure injection / capacity change.
     LinkChange { link: LinkId, capacity_mbps: f64 },
+    /// Node crash (`up = false`) or recovery (`up = true`): every link
+    /// adjacent to `node` goes down with it and comes back at the capacity
+    /// it had when the node crashed.
+    NodeChange { node: NodeId, up: bool },
     /// Delay-equalization release of a held packet into the reorder buffer.
     Release { flow: usize, route: usize, seq: u32, price: f64, created_at: f64 },
     /// A TCP acknowledgement arrives back at the sender of `flow`.

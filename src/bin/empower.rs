@@ -6,25 +6,28 @@
 //! empower evaluate residential --seed 7 0 3    # all 8 schemes, equilibrium
 //! empower simulate residential --seed 7 0 3    # packet-level run (300 s)
 //! empower topology testbed                     # the simulated 22-node floor
+//! empower scenario run   examples/fig12_drop.toml   # dynamics + faults
+//! empower scenario fluid examples/fig12_drop.toml   # quasi-static timeline
 //! ```
 //!
-//! `evaluate` and `simulate` accept `--metrics <path>`: a run manifest
-//! (seed, parameters, full counter snapshot) is written there, byte-
-//! identical across same-seed runs.
+//! `evaluate`, `simulate` and `scenario run` accept `--metrics <path>`: a
+//! run manifest (seed, parameters, resilience metrics, full counter
+//! snapshot) is written there, byte-identical across same-seed runs.
 
-use empower_core::model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
-use empower_core::model::topology::testbed22;
-use empower_core::model::{CarrierSense, InterferenceMap, InterferenceModel, Network, NodeId};
-use empower_core::sim::{SimConfig, TrafficPattern};
-use empower_core::telemetry::{Manifest, Telemetry};
 use empower_core::{RunConfig, Scheme};
-use empower_model::rng::SeedableRng;
-use empower_model::rng::StdRng;
+use empower_dynamics::{fluid_timeline, run_scenario, Scenario};
+use empower_model::rng::{SeedableRng, StdRng};
+use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
+use empower_model::topology::testbed22;
+use empower_model::{CarrierSense, InterferenceMap, InterferenceModel, Network, NodeId};
+use empower_sim::{SimConfig, TrafficPattern};
+use empower_telemetry::{CounterType, Manifest, Telemetry};
 
 fn usage() -> ! {
     eprintln!(
         "usage: empower <topology|routes|evaluate|simulate> <residential|enterprise|testbed> \
-         [--seed S] [--metrics PATH] [src dst]"
+         [--seed S] [--metrics PATH] [src dst]\n\
+         \x20      empower scenario <run|fluid> <scenario.toml|.json> [--metrics PATH]"
     );
     std::process::exit(2)
 }
@@ -74,6 +77,10 @@ fn maybe_write_manifest(args: &Args, experiment: &str, tele: &Telemetry) {
     let Some(path) = &args.metrics else { return };
     let mut m = Manifest::new(experiment);
     m.set("class", args.class.as_str()).set("seed", args.seed).attach_counters(tele);
+    write_manifest(&m, path);
+}
+
+fn write_manifest(m: &Manifest, path: &str) {
     if let Err(e) = m.write(path) {
         eprintln!("cannot write metrics to {path}: {e}");
         std::process::exit(1);
@@ -97,8 +104,145 @@ fn build(class: &str, seed: u64) -> (Network, InterferenceMap) {
     (net, imap)
 }
 
+fn load_scenario(path: &str) -> Scenario {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Scenario::parse_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fmt_opt_secs(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".to_string(), |s| format!("{s:.1} s"))
+}
+
+/// `empower scenario run <file>`: packet-level run with fault injection,
+/// route monitoring and resilience metrics.
+fn scenario_run(args: &Args) {
+    let scenario = load_scenario(&args.class);
+    let tele = Telemetry::enabled();
+    let outcome = match run_scenario(&scenario, &tele) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "scenario {:?}: {} on {}, {:.0} s horizon",
+        scenario.name,
+        scenario.run.scheme,
+        scenario.topology.kind.label(),
+        scenario.run.horizon_secs
+    );
+    println!(
+        "{} faults injected, {} route changes, {} fault episodes",
+        outcome.faults.len(),
+        outcome.reroutes.len(),
+        outcome.resilience.len()
+    );
+    for r in &outcome.reroutes {
+        println!("  t={:>7.1}  flow {}  {} → {} routes", r.at, r.flow, r.reason, r.routes);
+    }
+    println!(
+        "{:>10} {:>12} {:>10} {:>12} {:>12} {:>8}",
+        "fault", "baseline", "detect", "reconverge", "dip", "lost"
+    );
+    for m in &outcome.resilience {
+        println!(
+            "{:>8.1} s {:>7.2} Mbps {:>10} {:>12} {:>7.1} Mbit {:>8}",
+            m.fault_at_secs,
+            m.baseline_mbps,
+            fmt_opt_secs(m.time_to_detect_secs),
+            fmt_opt_secs(m.time_to_reconverge_secs),
+            m.dip_area_mbit,
+            m.packets_lost
+        );
+    }
+    let horizon = scenario.run.horizon_secs;
+    let mean =
+        outcome.aggregate_series.iter().sum::<f64>() / outcome.aggregate_series.len().max(1) as f64;
+    println!("mean aggregate goodput over {horizon:.0} s: {mean:.2} Mbps");
+
+    if let Some(path) = &args.metrics {
+        let mut m = Manifest::new("scenario");
+        m.set("name", scenario.name.as_str())
+            .set("scheme", scenario.run.scheme.label())
+            .set("topology", scenario.topology.kind.label())
+            .set("seed", scenario.run.seed)
+            .set("horizon_secs", horizon)
+            .set("faults", outcome.faults.len() as u64)
+            .set("reroutes", outcome.reroutes.len() as u64)
+            .set("resilience", &outcome.resilience[..])
+            .attach_counters(&tele);
+        write_manifest(&m, path);
+    }
+}
+
+/// `empower scenario fluid <file>`: the quasi-static segment timeline.
+fn scenario_fluid(args: &Args) {
+    let scenario = load_scenario(&args.class);
+    let tele = Telemetry::disabled();
+    let segments = match fluid_timeline(&scenario, &tele) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "scenario {:?}: {} fluid segments ({} on {})",
+        scenario.name,
+        segments.len(),
+        scenario.run.scheme,
+        scenario.topology.kind.label()
+    );
+    for s in &segments {
+        let rates: Vec<String> = s.flow_rates.iter().map(|r| format!("{r:.2}")).collect();
+        println!(
+            "  [{:>7.1}, {:>7.1})  rates [{}] Mbps  utility {:.3}",
+            s.from_secs,
+            s.to_secs,
+            rates.join(", "),
+            s.utility
+        );
+    }
+    if let Some(path) = &args.metrics {
+        let mut m = Manifest::new("scenario-fluid");
+        m.set("name", scenario.name.as_str())
+            .set("scheme", scenario.run.scheme.label())
+            .set("segments", &segments[..]);
+        write_manifest(&m, path);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "scenario" {
+        // Here `class` is the sub-action and the first endpoint slot held
+        // the file path; reparse positionally.
+        let argv: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+        let (action, file) = match (argv.get(1), argv.get(2)) {
+            (Some(a), Some(f)) => (a.clone(), f.clone()),
+            _ => usage(),
+        };
+        let args = Args { class: file, ..args };
+        match action.as_str() {
+            "run" => scenario_run(&args),
+            "fluid" => scenario_fluid(&args),
+            _ => usage(),
+        }
+        return;
+    }
     let (net, imap) = build(&args.class, args.seed);
     match args.command.as_str() {
         "topology" => {
@@ -155,11 +299,8 @@ fn main() {
                 // Counters aggregate across the eight schemes; the rates
                 // themselves go in as manifest keys.
                 for (label, rate) in &rates {
-                    tele.counter(
-                        format!("eval/{label}/mbps_x100"),
-                        empower_core::telemetry::CounterType::Gauge,
-                    )
-                    .set((rate * 100.0).round() as u64);
+                    tele.counter(format!("eval/{label}/mbps_x100"), CounterType::Gauge)
+                        .set((rate * 100.0).round() as u64);
                 }
             }
             maybe_write_manifest(&args, "evaluate", &tele);
