@@ -20,6 +20,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 say "rustdoc, warnings are errors"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
+say "empower-lint (determinism & invariant gate)"
+# Domain lints (D001-D006, DESIGN.md §7): hash containers, wall-clock
+# time, ambient-entropy RNGs, partial_cmp().unwrap(), library panics,
+# missing #![forbid(unsafe_code)]. Exits nonzero on any violation.
+cargo run -q -p empower-lint
+
 if [ "${1:-}" = "quick" ]; then
     say "tests (debug)"
     cargo test -q

@@ -80,13 +80,17 @@ fn bron_kerbosch(
         out.push(clique);
         return;
     }
-    // Pivot: vertex of P ∪ X with the most neighbors in P.
-    let pivot = p
+    // Pivot: vertex of P ∪ X with the most neighbors in P. The early
+    // return above fired if P ∪ X was empty, but degrade to "no work"
+    // rather than panicking if that ever changes.
+    let Some(pivot) = p
         .iter()
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&v| g.conflicts(u, v)).count())
-        .expect("P ∪ X non-empty");
+    else {
+        return;
+    };
     let candidates: Vec<usize> = p.iter().copied().filter(|&v| !g.conflicts(pivot, v)).collect();
     let mut p = p;
     let mut x = x;

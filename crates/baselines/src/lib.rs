@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-baselines
 //!
 //! The comparison schemes of the paper's evaluation (§5.2.2):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation of destination-side delay equalization (§6.4).
 //!
 //! TCP over two routes with different lengths suffers when the fast route's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation of the constraint margin δ (Eq. (3)).
 //!
 //! §6.4: for TCP "the value δ = 0.3 is found to improve performance in all

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation of the utility family (§4: "a chosen performance/fairness
 //! tradeoff").
 //!

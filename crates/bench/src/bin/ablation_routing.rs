@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablations of the routing design choices called out in DESIGN.md:
 //!
 //! * `n-shortest` width `n` (the paper picks 5): total nominal capacity of

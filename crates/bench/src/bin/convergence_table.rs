@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! §5.2.2 convergence comparison: slots to reach steady state (throughput
 //! within 1 % of final) for EMPoWER's distributed controller vs the
 //! backpressure scheme.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 10: testbed-wide evaluation over random station pairs.
 //!
 //! Left plot: CDF of `T_X / T_EMPoWER` for MP-2bp, SP, SP-bf, SP-WiFi,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 11: mean ± std of the converged throughput (last 100 s, one sample
 //! per second) for ten selected flows under EMPoWER, MP-mWiFi and SP.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 12 (dynamic variant): the capacity-drop recovery story driven by
 //! a scenario file instead of hand-coded phases.
 //!

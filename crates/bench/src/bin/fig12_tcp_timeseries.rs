@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 12: TCP over EMPoWER for Flow 9-13 — plain single-path TCP
 //! (SP-w/o-CC) for the first phase, the full stack (δ = 0.3, two routes,
 //! delay equalization) for the second.

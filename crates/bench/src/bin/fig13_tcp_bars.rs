@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 13: average TCP rate (± std over the last 100 s) for ten flows,
 //! EMPoWER (δ = 0.3) vs plain single-path TCP.
 //!

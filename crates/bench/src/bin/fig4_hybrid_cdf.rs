@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 4: CDF of flow throughput `T_X` for EMPoWER, SP, SP-WiFi and
 //! MP-mWiFi on the residential and enterprise topologies (one saturated
 //! flow per run). MP-WiFi is omitted from the figure because it coincides

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 5: CDF of `T_MP-mWiFi / T_EMPoWER` restricted to the *worst flows*
 //! — the bottom 20 % of runs by `min(T_MP-mWiFi, T_EMPoWER)`, excluding
 //! runs where neither scheme has connectivity.

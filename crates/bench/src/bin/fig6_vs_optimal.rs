@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 6: CDF of `T_X / T_optimal` for conservative opt, EMPoWER, MP-2bp,
 //! MP-w/o-CC and SP (one saturated flow per run).
 //!

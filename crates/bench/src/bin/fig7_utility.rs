@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 7: CDF of `U_X / U_optimal` with three competing saturated flows
 //! between random pairs, `U_X = Σ_f log(1 + x_f)`.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 9: the §6.2 worked example — time evolution of the rates injected
 //! on both routes of Flow 1-13 and of its received throughput, while
 //! Flow 4-7 switches on (t = 1950 s) and off (t = 3950 s).

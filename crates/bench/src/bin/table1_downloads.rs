@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 1: download times for the Tiny / Short / Long / Conc experiments,
 //! EMPoWER vs MP-w/o-CC.
 //!

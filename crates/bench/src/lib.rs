@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-bench
 //!
 //! The benchmark harness of the reproduction: one binary per table/figure

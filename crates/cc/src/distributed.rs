@@ -226,6 +226,8 @@ impl LinkPriceState {
     }
 
     fn index_of(&self, link: LinkId) -> usize {
+        // empower-lint: allow(D005) — internal helper; the egress set is
+        // fixed at construction and every caller passes a member of it.
         self.egress.iter().position(|&e| e == link).expect("link is an egress of this node")
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-cc
 //!
 //! The congestion-control algorithms of EMPoWER (§4 of the paper).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-core
 //!
 //! The public facade of the EMPoWER reproduction. It ties together the

@@ -87,6 +87,8 @@ impl RouteMonitor {
     /// from a different network) — use [`RouteMonitor::try_check`] to get
     /// an [`EmpowerError::DeadLink`] instead.
     pub fn check(&self, net: &Network) -> Option<RecomputeReason> {
+        // empower-lint: allow(D005) — documented panicking convenience
+        // wrapper (see `# Panics` above); `try_check` is the fallible form.
         self.try_check(net).expect("baseline links exist in this network")
     }
 

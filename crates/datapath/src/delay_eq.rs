@@ -30,13 +30,13 @@ impl DelayEqualizer {
     /// Records an observed one-way delay for `route` and returns the hold
     /// time to apply to this packet before releasing it upward.
     pub fn on_arrival(&mut self, route: usize, delay_secs: f64) -> f64 {
-        let est = &mut self.est_delay[route];
-        *est = Some(match *est {
+        let updated = match self.est_delay[route] {
             None => delay_secs,
             Some(e) => (1.0 - self.ewma) * e + self.ewma * delay_secs,
-        });
+        };
+        self.est_delay[route] = Some(updated);
         let slowest = self.est_delay.iter().flatten().fold(0.0_f64, |a, &b| a.max(b));
-        (slowest - self.est_delay[route].expect("just set")).clamp(0.0, self.max_hold_secs)
+        (slowest - updated).clamp(0.0, self.max_hold_secs)
     }
 
     /// Current delay estimate of a route.

@@ -7,7 +7,7 @@
 //! forwarding in the simulator is never ambiguous — a real deployment would
 //! simply re-roll its locally-administered MAC.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use empower_model::{Medium, Network, NodeId};
 
@@ -52,8 +52,8 @@ fn short_hash(mac: &[u8; 6]) -> u16 {
 /// Bidirectional map between (node, medium) interfaces and their 2-byte ids.
 #[derive(Debug, Clone, Default)]
 pub struct IfaceRegistry {
-    by_iface: HashMap<(NodeId, Medium), IfaceId>,
-    by_id: HashMap<IfaceId, (NodeId, Medium)>,
+    by_iface: BTreeMap<(NodeId, Medium), IfaceId>,
+    by_id: BTreeMap<IfaceId, (NodeId, Medium)>,
 }
 
 impl IfaceRegistry {

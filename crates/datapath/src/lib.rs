@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-datapath
 //!
 //! The layer-2.5 datapath of EMPoWER (§6.1): everything that sits between

@@ -73,11 +73,13 @@ impl ReorderBuffer {
         }
         self.pending.insert(seq, ());
         if self.pending.len() > self.capacity {
-            // Memory bound: force delivery up to the oldest buffered packet.
-            let oldest = *self.pending.keys().next().expect("non-empty");
-            while self.next_seq < oldest {
-                out.push(ReorderEvent::Lost(self.next_seq));
-                self.next_seq += 1;
+            // Memory bound: force delivery up to the oldest buffered packet
+            // (the over-capacity buffer is necessarily non-empty).
+            if let Some(&oldest) = self.pending.keys().next() {
+                while self.next_seq < oldest {
+                    out.push(ReorderEvent::Lost(self.next_seq));
+                    self.next_seq += 1;
+                }
             }
         }
         self.drain(&mut out);

@@ -152,6 +152,8 @@ pub fn run_scenario_on(
         .collect();
     let (mut sim, flow_mapping) = config
         .build_simulation(net, imap, &flows, sim_config)
+        // empower-lint: allow(D005) — the RunConfig built above leaves
+        // strict connectivity off, which is build_simulation's only error.
         .expect("strict connectivity is off; build cannot fail");
     injector::schedule(&mut sim, &faults);
 

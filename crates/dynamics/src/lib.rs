@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Scenario-driven network dynamics and fault injection for the EMPoWER
 //! reproduction.
 //!

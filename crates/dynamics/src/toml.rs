@@ -113,10 +113,14 @@ fn open_table<'a>(
         let Json::Obj(pairs) = node else {
             return err(line, format!("{seg:?} is not a table"));
         };
-        if !pairs.iter().any(|(k, _)| k == seg) {
-            pairs.push((seg.clone(), Json::Obj(Vec::new())));
-        }
-        let slot = pairs.iter_mut().find(|(k, _)| k == seg).map(|(_, v)| v).expect("just ensured");
+        let idx = match pairs.iter().position(|(k, _)| k == seg) {
+            Some(i) => i,
+            None => {
+                pairs.push((seg.clone(), Json::Obj(Vec::new())));
+                pairs.len() - 1
+            }
+        };
+        let slot = &mut pairs[idx].1;
         node = match slot {
             // A table header inside an array-of-tables targets its latest
             // element.
@@ -132,7 +136,9 @@ fn open_table<'a>(
 
 /// Appends a fresh element to the array-of-tables at `path`.
 fn push_array_table(root: &mut Json, path: &[String], line: usize) -> Result<(), TomlError> {
-    let (last, parents) = path.split_last().expect("non-empty path");
+    let Some((last, parents)) = path.split_last() else {
+        return err(line, "array of tables needs a non-empty name");
+    };
     let parent = open_table(root, parents, line)?;
     let Json::Obj(pairs) = parent else {
         return err(line, "parent of an array of tables must be a table");

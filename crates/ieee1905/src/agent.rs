@@ -12,7 +12,7 @@
 //! [`empower_model::Network`], so the whole routing/congestion-control
 //! stack can run on *discovered* state rather than ground truth.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use empower_model::{Medium, Network, NetworkBuilder, NodeId};
 
@@ -52,7 +52,7 @@ pub struct TopologyAgent {
     al_mac: AlMacAddress,
     config: AgentConfig,
     /// Neighbor database: (neighbor AL MAC, medium) → last heard, seconds.
-    neighbors: HashMap<(AlMacAddress, Medium), f64>,
+    neighbors: BTreeMap<(AlMacAddress, Medium), f64>,
     last_discovery: Option<f64>,
     next_msg_id: u16,
 }
@@ -64,7 +64,7 @@ impl TopologyAgent {
             node,
             al_mac: AlMacAddress::for_node(node),
             config,
-            neighbors: HashMap::new(),
+            neighbors: BTreeMap::new(),
             last_discovery: None,
             next_msg_id: 0,
         }

@@ -7,7 +7,7 @@
 //! caller error. Reassembly collects fragments per (source, message id)
 //! until the last-fragment flag arrives, tolerating reordering.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cmdu::{Cmdu, CmduError, MessageType};
 use crate::tlv::Tlv;
@@ -24,18 +24,20 @@ pub fn fragment(cmdu: &Cmdu, mtu: usize) -> Vec<Cmdu> {
     assert!(mtu > HEADER + EOM, "mtu {mtu} cannot hold a CMDU at all");
     let budget = mtu - HEADER - EOM;
 
-    let mut fragments: Vec<Vec<Tlv>> = vec![Vec::new()];
+    let mut fragments: Vec<Vec<Tlv>> = Vec::new();
+    let mut current: Vec<Tlv> = Vec::new();
     let mut used = 0usize;
     for tlv in &cmdu.tlvs {
         let size = 3 + tlv.value.len();
         assert!(size <= budget, "single TLV of {size} B exceeds the {mtu} B MTU");
         if used + size > budget {
-            fragments.push(Vec::new());
+            fragments.push(std::mem::take(&mut current));
             used = 0;
         }
         used += size;
-        fragments.last_mut().expect("non-empty").push(tlv.clone());
+        current.push(tlv.clone());
     }
+    fragments.push(current);
 
     let count = fragments.len();
     fragments
@@ -56,13 +58,14 @@ pub fn fragment(cmdu: &Cmdu, mtu: usize) -> Vec<Cmdu> {
 ///
 /// The sender key is whatever uniquely identifies the transmitting device
 /// for the caller (e.g. the AL MAC); reassembly state for incomplete
-/// messages is bounded by [`Defragmenter::MAX_PENDING`].
+/// messages is bounded by [`Defragmenter::MAX_PENDING`]. Keys are `Ord`
+/// so pending-state iteration order is deterministic.
 #[derive(Debug, Default)]
-pub struct Defragmenter<K: std::hash::Hash + Eq + Clone> {
-    pending: HashMap<(K, u16), Vec<Option<Cmdu>>>,
+pub struct Defragmenter<K: Ord + Clone> {
+    pending: BTreeMap<(K, u16), Vec<Option<Cmdu>>>,
 }
 
-impl<K: std::hash::Hash + Eq + Clone> Defragmenter<K> {
+impl<K: Ord + Clone> Defragmenter<K> {
     /// Cap on simultaneously reassembling messages (oldest-insert eviction
     /// is deliberately NOT implemented; hitting the cap drops the new
     /// message, which a retransmitted discovery cycle recovers from).
@@ -70,7 +73,7 @@ impl<K: std::hash::Hash + Eq + Clone> Defragmenter<K> {
 
     /// A fresh defragmenter.
     pub fn new() -> Self {
-        Defragmenter { pending: HashMap::new() }
+        Defragmenter { pending: BTreeMap::new() }
     }
 
     /// Feeds one received fragment; returns the reassembled CMDU once all
@@ -95,10 +98,17 @@ impl<K: std::hash::Hash + Eq + Clone> Defragmenter<K> {
         if slots[..=last_idx].iter().any(Option::is_none) {
             return Ok(None);
         }
-        let mut slots = self.pending.remove(&key).expect("present");
+        let Some(mut slots) = self.pending.remove(&key) else {
+            return Ok(None);
+        };
         slots.truncate(last_idx + 1);
-        let mut parts = slots.into_iter().map(|s| s.expect("checked"));
-        let mut whole = parts.next().expect("at least one fragment");
+        // Every slot up to `last_idx` was just verified filled, so
+        // flattening loses nothing; the empty case cannot occur (slot
+        // `last_idx` itself is filled) and degrades to "keep waiting".
+        let mut parts = slots.into_iter().flatten();
+        let Some(mut whole) = parts.next() else {
+            return Ok(None);
+        };
         for part in parts {
             whole.tlvs.extend(part.tlvs);
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-ieee1905
 //!
 //! A working subset of **IEEE 1905.1-2013** — the "Convergent Digital Home

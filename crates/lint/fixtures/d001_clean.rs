@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,7 @@
+// empower-lint: allow(D001) — fixture: keys-only lookup, order never escapes
+use std::collections::HashMap;
+
+pub struct Table {
+    // empower-lint: allow(D001) — fixture: membership checks only
+    pub map: HashMap<u32, u32>,
+}

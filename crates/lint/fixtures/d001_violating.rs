@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

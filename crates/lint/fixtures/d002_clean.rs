@@ -1,0 +1,3 @@
+pub fn elapsed_virtual(now_secs: f64, start_secs: f64) -> f64 {
+    now_secs - start_secs
+}

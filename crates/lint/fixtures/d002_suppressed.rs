@@ -1,0 +1,6 @@
+pub fn elapsed_wall() {
+    // empower-lint: allow(D002) — fixture: progress display only, never
+    // feeds back into simulated state
+    let t = std::time::Instant::now();
+    let _ = t;
+}

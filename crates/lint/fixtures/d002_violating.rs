@@ -1,0 +1,4 @@
+pub fn elapsed_wall() {
+    let t = std::time::Instant::now();
+    let _ = t;
+}

@@ -1,0 +1,4 @@
+pub fn roll(seed: u64) -> u32 {
+    let mut r = StdRng::seed_from_u64(seed);
+    r.gen()
+}

@@ -1,0 +1,6 @@
+pub fn roll() -> u32 {
+    // empower-lint: allow(D003) — fixture: one-off salt for a log file
+    // name, never reaches simulated state
+    let mut r = thread_rng();
+    r.gen()
+}

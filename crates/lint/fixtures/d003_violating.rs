@@ -1,0 +1,4 @@
+pub fn roll() -> u32 {
+    let mut r = thread_rng();
+    r.gen()
+}

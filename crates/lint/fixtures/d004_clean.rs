@@ -1,0 +1,3 @@
+pub fn largest(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::total_cmp)
+}

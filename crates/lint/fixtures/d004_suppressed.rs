@@ -1,0 +1,5 @@
+pub fn largest(xs: &[f64]) -> Option<f64> {
+    // empower-lint: allow(D004) — fixture: inputs are validated finite at
+    // the API boundary
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,3 @@
+pub fn largest(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,9 @@
+pub fn get(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn must(x: Option<u32>) -> Result<u32, MissingValue> {
+    x.ok_or(MissingValue)
+}
+
+pub struct MissingValue;

@@ -1,0 +1,4 @@
+pub fn get(x: Option<u32>) -> u32 {
+    // empower-lint: allow(D005) — fixture: caller contract guarantees Some
+    x.unwrap()
+}

@@ -1,0 +1,11 @@
+pub fn get(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("set")
+}
+
+pub fn boom() {
+    panic!("unreachable by construction")
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! A well-formed crate root.
+
+pub fn noop() {}

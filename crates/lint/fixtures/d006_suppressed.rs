@@ -1,0 +1,4 @@
+// empower-lint: allow(D006) — fixture: FFI shim crate, unsafe is its job
+//! A crate root exempted from the unsafe-code ban.
+
+pub fn noop() {}

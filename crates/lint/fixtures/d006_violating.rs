@@ -1,0 +1,3 @@
+//! A crate root that forgot to forbid unsafe code.
+
+pub fn noop() {}

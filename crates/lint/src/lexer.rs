@@ -1,0 +1,398 @@
+//! A minimal Rust lexer: just enough structure for the determinism lints.
+//!
+//! The workspace is deliberately dependency-free, so instead of `syn` the
+//! lint walks a token stream produced here. The lexer understands every
+//! construct that could make a naive text scan lie about code: line and
+//! (nested) block comments, string / raw-string / byte-string literals,
+//! char literals vs. lifetimes, numeric literals and raw identifiers.
+//! Everything the rules match on — identifiers and punctuation — comes out
+//! with its 1-based source line, and comments are collected separately so
+//! the suppression-pragma parser can see them.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// The token classes the rules care about. String/char/number literals are
+/// consumed but not emitted: no lint matches on their contents, and keeping
+/// them out means `"HashMap"` in a doc string can never trip D001.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    Punct(char),
+}
+
+/// A comment with its 1-based starting line (pragmas live here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Convenience for rules: the identifier text at `idx`, if any.
+    pub fn ident(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Convenience for rules: true if the token at `idx` is punct `c`.
+    pub fn punct(&self, idx: usize, c: char) -> bool {
+        matches!(self.tokens.get(idx).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` (one `.rs` file) into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                // Bytes, not chars: comments may contain multi-byte UTF-8
+                // (the pragma em-dash), so decode once at the end.
+                let mut bytes = Vec::new();
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                    bytes.push(c);
+                }
+                out.comments
+                    .push(Comment { line, text: String::from_utf8_lossy(&bytes).into_owned() });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut bytes = Vec::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(c), _) => {
+                            bytes.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments
+                    .push(Comment { line, text: String::from_utf8_lossy(&bytes).into_owned() });
+            }
+            b'"' => consume_string(&mut cur),
+            b'\'' => consume_char_or_lifetime(&mut cur, &mut out, line),
+            b if b.is_ascii_digit() => consume_number(&mut cur),
+            b if is_ident_start(b) => {
+                let ident = consume_ident(&mut cur);
+                match ident.as_str() {
+                    // Possible string/byte/raw prefixes.
+                    "r" | "b" | "br" | "rb" => {
+                        prefix_follow(&mut cur, &mut out, ident, line);
+                    }
+                    _ => out.tokens.push(Token { line, kind: TokKind::Ident(ident) }),
+                }
+            }
+            other => {
+                cur.bump();
+                out.tokens.push(Token { line, kind: TokKind::Punct(other as char) });
+            }
+        }
+    }
+    out
+}
+
+fn consume_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(b) = cur.peek() {
+        if is_ident_continue(b) {
+            s.push(b as char);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// A `"..."` literal with escapes; the opening quote is at the cursor.
+fn consume_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// A raw string `r##"..."##` — the cursor sits on the first `#` or `"`.
+fn consume_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return; // not actually a raw string; nothing sensible to do
+    }
+    cur.bump();
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut n = 0usize;
+                while n < hashes && cur.peek() == Some(b'#') {
+                    n += 1;
+                    cur.bump();
+                }
+                if n == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After lexing an ident `r`/`b`/`br`/`rb`, decide whether a literal (or a
+/// raw identifier) follows and consume it, otherwise emit the ident.
+fn prefix_follow(cur: &mut Cursor, out: &mut Lexed, ident: String, line: u32) {
+    let raw = ident.contains('r');
+    match cur.peek() {
+        Some(b'"') if raw => consume_raw_string(cur),
+        Some(b'"') => consume_string(cur),
+        Some(b'#') if raw => {
+            // Either a raw string `r#"` / `r##"` or a raw identifier
+            // `r#match`.
+            let mut off = 0usize;
+            while cur.peek_at(off) == Some(b'#') {
+                off += 1;
+            }
+            match cur.peek_at(off) {
+                Some(b'"') => consume_raw_string(cur),
+                Some(c) if off == 1 && is_ident_start(c) => {
+                    cur.bump(); // the '#'
+                    let id = consume_ident(cur);
+                    out.tokens.push(Token { line, kind: TokKind::Ident(id) });
+                }
+                _ => out.tokens.push(Token { line, kind: TokKind::Ident(ident) }),
+            }
+        }
+        Some(b'\'') if ident == "b" => {
+            // Byte char literal b'x'.
+            cur.bump();
+            consume_char_body(cur);
+        }
+        _ => out.tokens.push(Token { line, kind: TokKind::Ident(ident) }),
+    }
+}
+
+/// The cursor sits just past the opening `'` of a char literal.
+fn consume_char_body(cur: &mut Cursor) {
+    match cur.bump() {
+        Some(b'\\') => {
+            cur.bump();
+            // Escapes like \u{1F600} contain braces; skip to the quote.
+            while let Some(b) = cur.peek() {
+                cur.bump();
+                if b == b'\'' {
+                    return;
+                }
+            }
+        }
+        Some(_) if cur.peek() == Some(b'\'') => {
+            cur.bump();
+        }
+        _ => {}
+    }
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime); cursor on the `'`.
+fn consume_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => consume_char_body(cur),
+        Some(c) if is_ident_start(c) => {
+            // Could be 'x' (char) or 'label (lifetime). Look past the
+            // identifier run: a closing quote means char literal.
+            let mut off = 0usize;
+            while cur.peek_at(off).is_some_and(is_ident_continue) {
+                off += 1;
+            }
+            if cur.peek_at(off) == Some(b'\'') {
+                for _ in 0..=off {
+                    cur.bump();
+                }
+            } else {
+                // Lifetime: consume the name, emit nothing (no rule needs
+                // lifetimes, and a stray `'` punct would confuse matching).
+                let _ = consume_ident(cur);
+                let _ = line;
+                let _ = &out;
+            }
+        }
+        Some(_) => consume_char_body(cur),
+        None => {}
+    }
+}
+
+/// Numeric literal: digits, underscores, type suffixes, hex/oct/bin, a
+/// decimal point followed by a digit, and `e±` exponents.
+fn consume_number(cur: &mut Cursor) {
+    let mut prev = 0u8;
+    while let Some(b) = cur.peek() {
+        let continues = b.is_ascii_alphanumeric()
+            || b == b'_'
+            || (b == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()))
+            || ((b == b'+' || b == b'-')
+                && (prev == b'e' || prev == b'E')
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()));
+        if !continues {
+            break;
+        }
+        prev = b;
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_carry_lines() {
+        let l = lex("let x = 1;\nlet y = x;\n");
+        assert_eq!(l.tokens[0], Token { line: 1, kind: TokKind::Ident("let".into()) });
+        let y = l.tokens.iter().find(|t| t.kind == TokKind::Ident("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap\"; /* HashMap */\n";
+        assert!(idents(src).iter().all(|i| i != "HashMap"));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r####"let s = r#"HashMap "quoted" inside"#; let t = r"x"; done"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"done".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\n'; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // Neither the lifetime name nor char contents leak as idents.
+        assert!(!ids.contains(&"x".to_string()) || src.contains("(x:"));
+        assert!(!ids.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let after = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let".to_string(), "after".to_string()]);
+    }
+
+    #[test]
+    fn numbers_do_not_emit_idents() {
+        let ids = idents("let x = 0x1f + 1_000u64 + 1.5e-3 + 2e+9; a..b");
+        assert!(!ids.contains(&"x1f".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ids = idents("let a = b\"HashMap\"; let c = b'H'; let r = br#\"Hash\"#; tail");
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("Hash")));
+    }
+
+    #[test]
+    fn raw_identifiers_come_through() {
+        let ids = idents("let r#match = 1; r#match");
+        assert_eq!(ids.iter().filter(|i| i.as_str() == "match").count(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+//! # empower-lint
+//!
+//! The workspace's determinism & invariant static-analysis gate.
+//!
+//! The EMPoWER stack promises that seed-identical runs produce
+//! byte-identical telemetry manifests (ci.sh compares two runs of the same
+//! scenario). That promise is only as strong as the code conventions
+//! backing it, so this crate machine-checks them. It walks every `.rs`
+//! file of the workspace with a self-contained lexer (the build is
+//! dependency-free by design — no `syn`) and enforces six domain lints:
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | D001 | `HashMap`/`HashSet` in deterministic, non-test code |
+//! | D002 | wall-clock time (`Instant::now`, `SystemTime`) outside bench |
+//! | D003 | RNG construction from ambient entropy (`thread_rng`, …) |
+//! | D004 | float ordering via `partial_cmp().unwrap()` |
+//! | D005 | `unwrap()`/`expect()`/`panic!` in library non-test code |
+//! | D006 | missing `#![forbid(unsafe_code)]` in a crate root |
+//!
+//! Intentional exceptions are documented in place:
+//!
+//! ```text
+//! // empower-lint: allow(D001) — keys-only lookup table, never iterated
+//! ```
+//!
+//! A pragma without a reason is itself an error (P001). See DESIGN.md §7
+//! for each rule's rationale and the suppression policy.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p empower-lint            # lint the workspace, exit 1 on findings
+//! cargo run -p empower-lint -- --json  # machine-readable output
+//! ```
+//!
+//! The library surface ([`lint_source`], [`lint_workspace`]) is what the
+//! fixture tests and the binary share.
+
+mod lexer;
+mod report;
+mod rules;
+mod walk;
+
+pub use lexer::{lex, Lexed, TokKind, Token};
+pub use report::Report;
+pub use rules::{lint_source, FileContext, Rule, Violation, ALL_RULES};
+pub use walk::{lint_workspace, WalkError};

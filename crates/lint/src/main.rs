@@ -1,0 +1,67 @@
+#![forbid(unsafe_code)]
+//! `empower-lint` — the workspace determinism & invariant gate.
+//!
+//! ```text
+//! empower-lint [--json] [ROOT]
+//! ```
+//!
+//! Lints every workspace `.rs` file under `ROOT` (default: the current
+//! directory, or its nearest ancestor containing `crates/`). Exit codes:
+//! 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use empower_lint::lint_workspace;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: empower-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("empower-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("empower-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The nearest ancestor of the current directory that contains `crates/`
+/// (so `cargo run -p empower-lint` works from anywhere in the repo).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

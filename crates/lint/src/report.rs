@@ -1,0 +1,128 @@
+//! Rendering lint results: rustc-style text diagnostics with a per-rule
+//! summary, or a machine-readable JSON document (`--json`) built on the
+//! telemetry crate's deterministic [`Json`] value type.
+
+use empower_telemetry::Json;
+
+use crate::rules::{Rule, Violation, ALL_RULES};
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Human-readable rendering: one `file:line: rule: message` diagnostic
+    /// per violation, then a per-rule summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        if self.ok() {
+            out.push_str(&format!(
+                "empower-lint: clean — {} files, 0 violations\n",
+                self.files_scanned
+            ));
+        } else {
+            let mut parts = Vec::new();
+            for r in ALL_RULES {
+                let n = self.count(r);
+                if n > 0 {
+                    parts.push(format!("{r}: {n} ({})", r.describe()));
+                }
+            }
+            out.push_str(&format!(
+                "empower-lint: {} violation{} in {} files\n  {}\n",
+                self.violations.len(),
+                if self.violations.len() == 1 { "" } else { "s" },
+                self.files_scanned,
+                parts.join("\n  ")
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering for machine consumption (CI annotations, dashboards).
+    pub fn render_json(&self) -> String {
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("file", Json::Str(v.file.clone())),
+                    ("line", Json::UInt(v.line as u64)),
+                    ("rule", Json::Str(v.rule.name().to_string())),
+                    ("message", Json::Str(v.message.clone())),
+                ])
+            })
+            .collect();
+        let summary: Vec<(&str, Json)> = ALL_RULES
+            .iter()
+            .filter(|&&r| self.count(r) > 0)
+            .map(|&r| (r.name(), Json::UInt(self.count(r) as u64)))
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(self.ok())),
+            ("files_scanned", Json::UInt(self.files_scanned as u64)),
+            ("violations", Json::Arr(violations)),
+            ("summary", Json::obj(summary)),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: Rule::D001,
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "`HashMap` in deterministic crate".into(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn text_has_file_line_rule() {
+        let txt = report().render_text();
+        assert!(txt.contains("crates/x/src/lib.rs:7: D001:"));
+        assert!(txt.contains("D001: 1"));
+    }
+
+    #[test]
+    fn json_round_trips_and_carries_counts() {
+        let j = Json::parse(&report().render_json()).expect("valid JSON");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("files_scanned").and_then(Json::as_u64), Some(3));
+        let summary = j.get("summary").expect("summary");
+        assert_eq!(summary.get("D001").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let r = Report { violations: Vec::new(), files_scanned: 5 };
+        assert!(r.ok());
+        assert!(r.render_text().contains("clean"));
+        let j = Json::parse(&r.render_json()).expect("valid JSON");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

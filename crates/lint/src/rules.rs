@@ -1,0 +1,659 @@
+//! The domain lint rules (D001–D006) and the suppression-pragma machinery.
+//!
+//! Every rule is deliberately *syntactic*: the lexer guarantees that
+//! comments and string literals cannot produce false positives, test-only
+//! regions (`#[cfg(test)]` / `#[test]` items) are excluded, and anything
+//! the rules cannot see (e.g. a `HashMap` hidden behind a type alias) is a
+//! documented limitation, not a soundness requirement — the gate's job is
+//! to keep the *existing* determinism contract from regressing silently.
+
+use std::fmt;
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Nondeterministic collection (`HashMap`/`HashSet`) in a deterministic
+    /// crate.
+    D001,
+    /// Wall-clock time (`Instant::now` / `SystemTime`) outside the bench
+    /// harness.
+    D002,
+    /// RNG construction not derived from a passed-in seed.
+    D003,
+    /// Float ordering via `partial_cmp().unwrap()/.expect()` instead of
+    /// `total_cmp`.
+    D004,
+    /// `unwrap()` / `expect()` / `panic!` in a library crate's non-test
+    /// code.
+    D005,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    D006,
+    /// A malformed suppression pragma (unknown rule id or missing reason).
+    P001,
+}
+
+/// All enforceable rules, in report order.
+pub const ALL_RULES: [Rule; 7] =
+    [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005, Rule::D006, Rule::P001];
+
+impl Rule {
+    /// The canonical `Dxxx` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+            Rule::D005 => "D005",
+            Rule::D006 => "D006",
+            Rule::P001 => "P001",
+        }
+    }
+
+    /// Parses a `Dxxx` name (as written in a pragma).
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// One-line description used in summaries.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D001 => "nondeterministic collection iteration (HashMap/HashSet)",
+            Rule::D002 => "wall-clock time outside the bench harness",
+            Rule::D003 => "RNG not derived from a passed-in seed",
+            Rule::D004 => "float ordering via partial_cmp().unwrap()",
+            Rule::D005 => "unwrap()/expect()/panic! in library non-test code",
+            Rule::D006 => "missing #![forbid(unsafe_code)] in crate root",
+            Rule::P001 => "malformed empower-lint pragma",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// What the walker knows about a file before the rules run.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Repo-relative path, used verbatim in diagnostics.
+    pub path: String,
+    /// Cargo package name, e.g. `empower-sim`.
+    pub crate_name: String,
+    /// True for `lib.rs` and `main.rs`/`src/bin/*.rs` roots (D006 scope).
+    pub is_crate_root: bool,
+    /// True for binary targets (`src/bin/**`, `main.rs`) — CLI surfaces may
+    /// fail fast, so D005 does not apply.
+    pub is_bin: bool,
+}
+
+/// Crates whose whole purpose is wall-clock measurement: D002 exempt.
+const WALL_CLOCK_CRATES: [&str; 1] = ["empower-bench"];
+
+/// Crates exempt from the no-panic rule: the bench harness aborts on
+/// malformed sweeps by design, and the testbed binaries are figure
+/// reproduction scripts, not servable library surface.
+const PANIC_EXEMPT_CRATES: [&str; 1] = ["empower-bench"];
+
+/// Lints `src` as the file described by `ctx`. This is the whole analysis
+/// for one file; the binary's walker and the fixture tests both call it.
+pub fn lint_source(ctx: &FileContext, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let mut out = Vec::new();
+    let pragmas = collect_pragmas(ctx, &lexed, &mut out);
+    let test_lines = test_line_spans(&lexed);
+    let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if pragmas.suppresses(rule, line) {
+            return;
+        }
+        out.push(Violation { rule, file: ctx.path.clone(), line, message });
+    };
+
+    // --- Token-stream rules -------------------------------------------
+    for i in 0..lexed.tokens.len() {
+        let line = lexed.tokens[i].line;
+        let TokKind::Ident(ident) = &lexed.tokens[i].kind else { continue };
+        if in_test(line) {
+            continue;
+        }
+        match ident.as_str() {
+            // D001 — any appearance of a hash container in non-test code.
+            // Iteration-site detection would need type inference; banning
+            // the type forces either an ordered container or a pragma that
+            // documents why iteration order cannot escape.
+            "HashMap" | "HashSet" => push(
+                Rule::D001,
+                line,
+                format!(
+                    "`{ident}` in deterministic crate `{}` — use BTreeMap/BTreeSet (or \
+                     document why iteration order cannot escape with `// empower-lint: \
+                     allow(D001) — <reason>`)",
+                    ctx.crate_name
+                ),
+            ),
+            // D002 — wall-clock reads.
+            "Instant" | "SystemTime" => {
+                if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+                    continue;
+                }
+                // `Instant` as a bare ident could be a re-export; both the
+                // type and `::now` construction are equally off-limits in
+                // deterministic crates, so flag the ident itself.
+                push(
+                    Rule::D002,
+                    line,
+                    format!(
+                        "wall-clock `{ident}` outside the bench harness — simulated \
+                         components must take time from the virtual clock"
+                    ),
+                );
+            }
+            // D003 — entropy-seeded RNG construction.
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => push(
+                Rule::D003,
+                line,
+                format!(
+                    "`{ident}` constructs an RNG from ambient entropy — derive every \
+                     RNG from a seed carried by the scenario/config"
+                ),
+            ),
+            // D004 — partial_cmp(..).unwrap()/.expect(..).
+            "partial_cmp" => {
+                if let Some((term_line, method)) = call_then_unwrap(&lexed, i) {
+                    push(
+                        Rule::D004,
+                        term_line,
+                        format!(
+                            "`partial_cmp(..).{method}()` — use `f64::total_cmp` for \
+                             deterministic, panic-free float ordering"
+                        ),
+                    );
+                }
+            }
+            // D005 — panicking operators in library code.
+            "unwrap" | "expect" => {
+                if ctx.is_bin || PANIC_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+                    continue;
+                }
+                // Only method calls: `.unwrap(` / `.expect(`. This leaves
+                // `unwrap_or`/`unwrap_or_else` (total) and local idents
+                // alone; the lexer split means we must look at neighbors.
+                let method_call = i > 0
+                    && lexed.punct(i - 1, '.')
+                    && lexed.punct(i + 1, '(')
+                    // `.unwrap()` after `partial_cmp` is already D004;
+                    // don't double-report the same token.
+                    && !follows_partial_cmp(&lexed, i)
+                    // `.expect(..)?` propagates an error instead of
+                    // panicking — a same-named fallible method (e.g. a
+                    // parser's `expect(token)`), not `Option::expect`.
+                    && !call_propagates(&lexed, i);
+                if method_call {
+                    push(
+                        Rule::D005,
+                        line,
+                        format!(
+                            "`.{ident}()` in library crate `{}` — return the crate's \
+                             error type (or justify the invariant with a pragma)",
+                            ctx.crate_name
+                        ),
+                    );
+                }
+            }
+            "panic" => {
+                if ctx.is_bin || PANIC_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+                    continue;
+                }
+                if lexed.punct(i + 1, '!') {
+                    push(
+                        Rule::D005,
+                        line,
+                        format!(
+                            "`panic!` in library crate `{}` — route the failure through \
+                             an error type",
+                            ctx.crate_name
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- D006: crate roots must forbid unsafe code --------------------
+    if ctx.is_crate_root && !has_forbid_unsafe(&lexed) && !pragmas.suppresses(Rule::D006, 1) {
+        out.push(Violation {
+            rule: Rule::D006,
+            file: ctx.path.clone(),
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// True when the `.unwrap`/`.expect` at ident index `i` closes a
+/// `partial_cmp(...)` call (so D004 owns the diagnostic).
+fn follows_partial_cmp(lexed: &Lexed, i: usize) -> bool {
+    // Walk back over `)` ... `(` to the ident that owns the call.
+    if i < 2 || !lexed.punct(i - 2, ')') {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut j = i - 2;
+    loop {
+        match &lexed.tokens[j].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j >= 1 && lexed.ident(j - 1) == Some("partial_cmp");
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+}
+
+/// True when the call starting at ident index `i` (with `(` at `i + 1`) is
+/// immediately followed by `?` — error propagation, not a panic site.
+fn call_propagates(lexed: &Lexed, i: usize) -> bool {
+    if !lexed.punct(i + 1, '(') {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < lexed.tokens.len() {
+        match &lexed.tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return lexed.punct(j + 1, '?');
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// If ident index `i` starts a call `ident(...)` whose value is immediately
+/// `.unwrap()`d or `.expect(..)`ed, returns the line of the terminal method
+/// and its name.
+fn call_then_unwrap(lexed: &Lexed, i: usize) -> Option<(u32, &'static str)> {
+    if !lexed.punct(i + 1, '(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < lexed.tokens.len() {
+        match &lexed.tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j + 2 >= lexed.tokens.len() || !lexed.punct(j + 1, '.') {
+        return None;
+    }
+    match lexed.ident(j + 2) {
+        Some("unwrap") if lexed.punct(j + 3, '(') => Some((lexed.tokens[j + 2].line, "unwrap")),
+        Some("expect") if lexed.punct(j + 3, '(') => Some((lexed.tokens[j + 2].line, "expect")),
+        _ => None,
+    }
+}
+
+/// True if the token stream contains the inner attribute
+/// `#![forbid(unsafe_code)]` (possibly alongside other forbids).
+fn has_forbid_unsafe(lexed: &Lexed) -> bool {
+    for i in 0..lexed.tokens.len() {
+        if lexed.punct(i, '#')
+            && lexed.punct(i + 1, '!')
+            && lexed.punct(i + 2, '[')
+            && lexed.ident(i + 3) == Some("forbid")
+        {
+            // Scan the attribute body for `unsafe_code`.
+            let mut j = i + 4;
+            while j < lexed.tokens.len() && !lexed.punct(j, ']') {
+                if lexed.ident(j) == Some("unsafe_code") {
+                    return true;
+                }
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Line spans (inclusive) of test-only items: any item annotated
+/// `#[cfg(test)]`, `#[test]`, or `#[bench]`, including the whole body of a
+/// `#[cfg(test)] mod tests { ... }`.
+fn test_line_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(lexed.punct(i, '#') && lexed.punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's identifiers up to the matching `]`.
+        let start_line = toks[i].line;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => depth -= 1,
+                TokKind::Ident(s) => idents.push(s.as_str()),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr =
+            (idents.contains(&"test") || idents.contains(&"bench")) && !idents.contains(&"not");
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while lexed.punct(j, '#') && lexed.punct(j + 1, '[') {
+            let mut d = 1usize;
+            j += 2;
+            while j < toks.len() && d > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The item body: first `{` at depth 0 (fn/mod/impl/struct), or a
+        // `;` first for `use`/unit items.
+        let mut body_depth = 0usize;
+        let mut end_line = start_line;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct(';') if body_depth == 0 => {
+                    end_line = toks[j].line;
+                    break;
+                }
+                TokKind::Punct('{') => body_depth += 1,
+                TokKind::Punct('}') => {
+                    body_depth -= 1;
+                    if body_depth == 0 {
+                        end_line = toks[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        i = j + 1;
+    }
+    spans
+}
+
+/// Parsed suppression pragmas for one file.
+#[derive(Debug, Default)]
+struct Pragmas {
+    /// (rule, first line, last line): the inclusive line range a pragma
+    /// suppresses — its own line through the first line after the comment
+    /// block it opens (so a pragma whose explanation wraps onto further
+    /// `//` lines still covers the code beneath).
+    line_allows: Vec<(Rule, u32, u32)>,
+    /// Whole-file allowances.
+    file_allows: Vec<Rule>,
+}
+
+impl Pragmas {
+    fn suppresses(&self, rule: Rule, line: u32) -> bool {
+        self.file_allows.contains(&rule)
+            || self.line_allows.iter().any(|&(r, lo, hi)| r == rule && lo <= line && line <= hi)
+    }
+}
+
+/// The pragma grammar, kept deliberately rigid so suppressions stay
+/// greppable and always carry a reason:
+///
+/// ```text
+/// // empower-lint: allow(D001) — iteration order never escapes: keys only
+/// // empower-lint: allow-file(D002, D003) — bench-only helper module
+/// ```
+///
+/// A pragma on its own line covers the comment block it opens plus the
+/// first line after it (so explanations may wrap onto further comment
+/// lines); a trailing pragma covers its own line. The em-dash may be
+/// written `—`, `--`, or `-`.
+fn collect_pragmas(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Violation>) -> Pragmas {
+    const TAG: &str = "empower-lint:";
+    let mut pragmas = Pragmas::default();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find(TAG) else { continue };
+        let rest = c.text[pos + TAG.len()..].trim_start();
+        let mut bad = |msg: String| {
+            out.push(Violation {
+                rule: Rule::P001,
+                file: ctx.path.clone(),
+                line: c.line,
+                message: msg,
+            });
+        };
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            bad(format!(
+                "unrecognized pragma `{}` (expected `allow(..)` or `allow-file(..)`)",
+                rest.trim()
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            bad("pragma rule list is not closed with `)`".to_string());
+            continue;
+        };
+        let Some(list) = rest.strip_prefix('(').map(|r| &r[..close - 1]) else {
+            bad("pragma is missing its `(rule, ..)` list".to_string());
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for part in list.split(',') {
+            match Rule::parse(part.trim()) {
+                Some(r) => rules.push(r),
+                None => {
+                    bad(format!("unknown rule `{}` in pragma", part.trim()));
+                    ok = false;
+                }
+            }
+        }
+        // The reason is mandatory: a separator dash plus non-empty text.
+        let after = rest[close + 1..].trim_start();
+        let reason = ["—", "--", "-"]
+            .iter()
+            .find_map(|d| after.strip_prefix(d))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            bad("pragma carries no reason — write `… — <why this site is sound>`".to_string());
+            ok = false;
+        }
+        if !ok {
+            continue;
+        }
+        // Extend coverage through contiguous comment lines, so a pragma
+        // whose reason wraps still reaches the code line beneath it.
+        let mut end = c.line;
+        while lexed.comments.iter().any(|other| other.line == end + 1) {
+            end += 1;
+        }
+        for r in rules {
+            if file_wide {
+                pragmas.file_allows.push(r);
+            } else {
+                pragmas.line_allows.push((r, c.line, end + 1));
+            }
+        }
+    }
+    pragmas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileContext {
+        FileContext {
+            path: "crates/x/src/lib.rs".into(),
+            crate_name: "empower-x".into(),
+            is_crate_root: false,
+            is_bin: false,
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        lint_source(&ctx(), src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hash_containers_are_flagged_outside_tests() {
+        assert_eq!(rules_of("use std::collections::HashMap;\n"), vec![Rule::D001]);
+        assert!(rules_of("#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n").is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_line_and_next() {
+        let src = "// empower-lint: allow(D001) — probe-order only, never iterated\n\
+                   use std::collections::HashMap;\n";
+        assert!(rules_of(src).is_empty());
+        let trailing =
+            "use std::collections::HashMap; // empower-lint: allow(D001) — not iterated\n";
+        assert!(rules_of(trailing).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_itself_a_violation() {
+        let src = "// empower-lint: allow(D001)\nuse std::collections::HashMap;\n";
+        let got = rules_of(src);
+        assert!(got.contains(&Rule::P001));
+        assert!(got.contains(&Rule::D001), "a reasonless pragma must not suppress");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_d004_not_d005() {
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n";
+        assert_eq!(rules_of(src), vec![Rule::D004]);
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b).expect(\"finite\"); }\n";
+        assert_eq!(rules_of(src), vec![Rule::D004]);
+    }
+
+    #[test]
+    fn defining_partial_cmp_is_fine() {
+        let src = "impl PartialOrd for X { fn partial_cmp(&self, o: &X) -> Option<Ordering> \
+                   { self.v.partial_cmp(&o.v) } }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        assert!(rules_of("fn f(x: Option<u32>) -> u32 { x.unwrap_or(1) }\n").is_empty());
+        assert_eq!(rules_of("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"), vec![Rule::D005]);
+    }
+
+    #[test]
+    fn propagated_expect_is_not_flagged() {
+        // A fallible same-named method (e.g. a parser's `expect(token)`)
+        // whose error is propagated with `?` is not a panic site.
+        assert!(
+            rules_of("fn f(p: &mut P) -> Result<(), E> { p.expect(b'[')?; Ok(()) }\n").is_empty()
+        );
+        assert_eq!(
+            rules_of("fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n"),
+            vec![Rule::D005]
+        );
+    }
+
+    #[test]
+    fn pragma_reason_may_wrap_onto_following_comment_lines() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // empower-lint: allow(D005) — a reason that wraps\n\
+                   // onto a second comment line before the code.\n\
+                   x.unwrap()\n}\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_entropy() {
+        assert_eq!(rules_of("fn f() { let t = Instant::now(); }\n"), vec![Rule::D002]);
+        assert_eq!(rules_of("fn f() { let r = thread_rng(); }\n"), vec![Rule::D003]);
+        let bench = FileContext { crate_name: "empower-bench".into(), ..ctx() };
+        assert!(lint_source(&bench, "fn f() { let t = Instant::now(); }\n").is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_forbid_unsafe() {
+        let root = FileContext { is_crate_root: true, ..ctx() };
+        let got = lint_source(&root, "pub fn f() {}\n");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, Rule::D006);
+        assert!(lint_source(&root, "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn bins_may_panic_but_not_use_hash_containers() {
+        let bin = FileContext { is_bin: true, ..ctx() };
+        let src = "fn main() { let x: Option<u32> = None; x.unwrap(); }\n";
+        assert!(lint_source(&bin, src).is_empty());
+        assert_eq!(lint_source(&bin, "use std::collections::HashSet;\n")[0].rule, Rule::D001);
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_of(src), vec![Rule::D005]);
+    }
+}

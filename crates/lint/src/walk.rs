@@ -1,0 +1,139 @@
+//! The workspace walker: finds every lintable `.rs` file, classifies it
+//! (crate name, crate root, binary target), and runs the rules.
+//!
+//! Scope policy — what is *not* linted, and why:
+//!
+//! * `tests/`, `benches/` directories — test scaffolding may use hash
+//!   containers and unwrap freely (same as `#[cfg(test)]` modules);
+//! * `fixtures/` directories — the lint's own violating fixture corpus;
+//! * `target/`, hidden directories — build artifacts.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::Report;
+use crate::rules::{lint_source, FileContext};
+
+/// Why the walk itself (not the lint) failed.
+#[derive(Debug)]
+pub enum WalkError {
+    /// The root does not look like the workspace (no `crates/` directory).
+    NotAWorkspace(PathBuf),
+    /// Filesystem error while walking or reading.
+    Io(PathBuf, io::Error),
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::NotAWorkspace(p) => {
+                write!(f, "{} does not contain a `crates/` directory", p.display())
+            }
+            WalkError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Directory names that are never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "tests", "benches", "fixtures"];
+
+/// Lints the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`). Files are visited in sorted path order, so the
+/// report itself is deterministic.
+pub fn lint_workspace(root: &Path) -> Result<Report, WalkError> {
+    if !root.join("crates").is_dir() {
+        return Err(WalkError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut contexts: Vec<FileContext> = Vec::new();
+    for dir in read_dir_sorted(&root.join("crates"))?.into_iter().filter(|p| p.is_dir()) {
+        let crate_name = format!(
+            "empower-{}",
+            dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        );
+        let mut files = Vec::new();
+        collect_rs(&dir.join("src"), &mut files)?;
+        contexts.extend(files.iter().map(|f| classify(f, root, &crate_name)));
+    }
+    // The workspace root package (`empower-repro`).
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    contexts.extend(files.iter().map(|f| classify(f, root, "empower-repro")));
+
+    contexts.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut report = Report::default();
+    for ctx in contexts {
+        let src = fs::read_to_string(root.join(&ctx.path))
+            .map_err(|e| WalkError::Io(root.join(&ctx.path), e))?;
+        report.violations.extend(lint_source(&ctx, &src));
+        report.files_scanned += 1;
+    }
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Builds the [`FileContext`] for one file. Crate roots are `src/lib.rs`
+/// and every binary root (`src/main.rs`, `src/bin/*.rs`) — each is the root
+/// of its own compilation unit, so D006 applies to all of them.
+fn classify(file: &Path, root: &Path, crate_name: &str) -> FileContext {
+    let rel = file.strip_prefix(root).unwrap_or(file).to_string_lossy().replace('\\', "/");
+    let is_bin = rel.contains("src/bin/") || rel.ends_with("src/main.rs");
+    let is_crate_root = is_bin || rel.ends_with("src/lib.rs");
+    FileContext { path: rel, crate_name: crate_name.to_string(), is_crate_root, is_bin }
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, WalkError> {
+    let rd = fs::read_dir(dir).map_err(|e| WalkError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| WalkError::Io(dir.to_path_buf(), e))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`] and
+/// hidden directories.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in read_dir_sorted(dir)? {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_roots_and_bins() {
+        let root = Path::new("/repo");
+        let lib = classify(Path::new("/repo/crates/sim/src/lib.rs"), root, "empower-sim");
+        assert!(lib.is_crate_root && !lib.is_bin);
+        assert_eq!(lib.path, "crates/sim/src/lib.rs");
+        let module = classify(Path::new("/repo/crates/sim/src/engine.rs"), root, "empower-sim");
+        assert!(!module.is_crate_root && !module.is_bin);
+        let bin = classify(Path::new("/repo/src/bin/empower.rs"), root, "empower-repro");
+        assert!(bin.is_crate_root && bin.is_bin);
+    }
+
+    #[test]
+    fn missing_workspace_is_reported() {
+        let err = lint_workspace(Path::new("/definitely/not/here")).unwrap_err();
+        assert!(matches!(err, WalkError::NotAWorkspace(_)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Fixture-driven integration tests: for every rule there is a violating
+//! file, a clean file, and a pragma-suppressed file under
+//! `crates/lint/fixtures/`. The workspace walker skips `fixtures/`
+//! directories, so these files never reach the real gate; here each is fed
+//! through [`lint_source`] and the reported `(rule, line)` pairs are
+//! asserted exactly.
+
+#![forbid(unsafe_code)]
+
+use empower_lint::{lint_source, FileContext, Rule, Violation};
+
+/// Lints `src` as a module of a deterministic library crate.
+fn lint_module(src: &str) -> Vec<Violation> {
+    let ctx = FileContext {
+        path: "crates/model/src/fixture.rs".to_string(),
+        crate_name: "empower-model".to_string(),
+        is_crate_root: false,
+        is_bin: false,
+    };
+    lint_source(&ctx, src)
+}
+
+/// Lints `src` as the root (`lib.rs`) of a deterministic library crate.
+fn lint_root(src: &str) -> Vec<Violation> {
+    let ctx = FileContext {
+        path: "crates/model/src/lib.rs".to_string(),
+        crate_name: "empower-model".to_string(),
+        is_crate_root: true,
+        is_bin: false,
+    };
+    lint_source(&ctx, src)
+}
+
+fn rule_lines(violations: &[Violation]) -> Vec<(Rule, u32)> {
+    violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn d001_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d001_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D001, 1), (Rule::D001, 3), (Rule::D001, 4)]);
+    assert!(lint_module(include_str!("../fixtures/d001_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d001_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d002_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d002_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D002, 2)]);
+    assert!(lint_module(include_str!("../fixtures/d002_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d002_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d003_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d003_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D003, 2)]);
+    assert!(lint_module(include_str!("../fixtures/d003_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d003_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d004_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d004_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D004, 2)]);
+    assert!(lint_module(include_str!("../fixtures/d004_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d004_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d005_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d005_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D005, 2), (Rule::D005, 6), (Rule::D005, 10)]);
+    assert!(lint_module(include_str!("../fixtures/d005_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d005_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d006_fixtures() {
+    let v = lint_root(include_str!("../fixtures/d006_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D006, 1)]);
+    assert!(lint_root(include_str!("../fixtures/d006_clean.rs")).is_empty());
+    assert!(lint_root(include_str!("../fixtures/d006_suppressed.rs")).is_empty());
+    // The same file as a non-root module is not D006's business.
+    assert!(lint_module(include_str!("../fixtures/d006_violating.rs")).is_empty());
+}
+
+#[test]
+fn p001_reasonless_pragma_reports_and_does_not_suppress() {
+    let v = lint_module(include_str!("../fixtures/p001_reasonless.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::P001, 2), (Rule::D005, 3)]);
+}
+
+#[test]
+fn diagnostics_carry_the_fixture_path() {
+    let v = lint_module(include_str!("../fixtures/d005_violating.rs"));
+    let rendered = v[0].to_string();
+    assert!(
+        rendered.starts_with("crates/model/src/fixture.rs:2: D005:"),
+        "unexpected diagnostic format: {rendered}"
+    );
+}
+
+/// The standing gate itself: the real workspace must lint clean. This is
+/// the same invariant ci.sh enforces via the binary; failing here points
+/// straight at the offending file:line.
+#[test]
+fn workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let report = empower_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(report.ok(), "workspace has lint violations:\n{}", report.render_text());
+}

@@ -81,11 +81,12 @@ impl Network {
     /// Minimum cost `d_l` over the *alive* egress links of `node`, used as
     /// the non-switching channel-switching cost `w_ns(u) = min_{l∈L(u)} d_l`
     /// of §3.1. Returns `None` when the node has no alive egress link.
+    ///
+    /// Costs are `capacity⁻¹`-derived and alive links have positive
+    /// capacity, so they are never NaN; `total_cmp` makes the ordering
+    /// total (and panic-free) regardless.
     pub fn min_egress_cost(&self, node: NodeId) -> Option<f64> {
-        self.out_links(node)
-            .filter(|l| l.is_alive())
-            .map(|l| l.cost())
-            .min_by(|a, b| a.partial_cmp(b).expect("costs are finite for alive links"))
+        self.out_links(node).filter(|l| l.is_alive()).map(|l| l.cost()).min_by(f64::total_cmp)
     }
 
     /// Sets the capacity of a link (used by `update(P, G)` and by failure

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-model
 //!
 //! Network-model substrate for the EMPoWER reproduction (Henri et al.,

@@ -91,6 +91,8 @@ impl Path {
 
     /// The destination node.
     pub fn destination(&self, net: &Network) -> NodeId {
+        // empower-lint: allow(D005) — `Path::new` rejects empty link
+        // lists (`PathError::Empty`), so `links` is always non-empty.
         net.link(*self.links.last().expect("paths are non-empty")).to
     }
 
@@ -136,15 +138,19 @@ impl Path {
     }
 
     /// The bottleneck link `l₀ = argmin_{l∈P} R(l, P)`.
+    ///
+    /// Rate limits come from capacities and idle fractions, both finite
+    /// and non-negative, so NaN cannot occur; `total_cmp` keeps the
+    /// ordering total (and panic-free) regardless.
     pub fn bottleneck(&self, net: &Network, imap: &InterferenceMap) -> LinkId {
         *self
             .links
             .iter()
             .min_by(|&&a, &&b| {
-                self.rate_limit_at(net, imap, a)
-                    .partial_cmp(&self.rate_limit_at(net, imap, b))
-                    .expect("rates are finite")
+                self.rate_limit_at(net, imap, a).total_cmp(&self.rate_limit_at(net, imap, b))
             })
+            // empower-lint: allow(D005) — `Path::new` rejects empty link
+            // lists (`PathError::Empty`), so `links` is always non-empty.
             .expect("paths are non-empty")
     }
 

@@ -5,7 +5,7 @@
 //! paths; the paper uses `n = 5`, "which enables route diversity while
 //! limiting the number of possible combinations to be explored".
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use empower_model::{Network, Path};
 
@@ -35,11 +35,13 @@ pub fn k_shortest_paths(
     // Candidate pool; kept sorted on extraction. Deduplicated by link
     // sequence.
     let mut candidates: Vec<DijkstraOutcome> = Vec::new();
-    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
     seen.insert(accepted[0].path.links().iter().map(|l| l.0).collect());
 
     while accepted.len() < k {
-        let prev = accepted.last().expect("at least one accepted path").path.clone();
+        // `accepted` starts with the first shortest path and only grows.
+        let Some(last) = accepted.last() else { break };
+        let prev = last.path.clone();
         let prev_nodes = prev.nodes(net);
 
         for spur_idx in 0..prev.hop_count() {
@@ -90,15 +92,18 @@ pub fn k_shortest_paths(
         if candidates.is_empty() {
             break;
         }
-        // Extract the cheapest candidate (stable tie-break on links).
-        let best_idx = candidates
+        // Extract the cheapest candidate (stable tie-break on links); the
+        // emptiness check above makes the `min_by` always succeed.
+        let Some(best_idx) = candidates
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
                 a.weight.total_cmp(&b.weight).then_with(|| a.path.links().cmp(b.path.links()))
             })
             .map(|(i, _)| i)
-            .expect("non-empty candidates");
+        else {
+            break;
+        };
         accepted.push(candidates.swap_remove(best_idx));
     }
     accepted

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-routing
 //!
 //! The multipath-routing algorithm of EMPoWER (§3 of the paper).

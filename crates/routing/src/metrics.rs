@@ -80,6 +80,10 @@ impl LinkMetric {
     /// Recomputes a single link's weight after its capacity changed. Only
     /// exact for capacity-local metrics (ETT, hop count); the interference-
     /// aware baselines must be rebuilt instead.
+    ///
+    /// # Panics
+    /// Panics for any other metric kind — a silent no-op would leave a
+    /// stale weight in place, which is worse than failing loudly.
     pub fn refresh_link(&mut self, net: &Network, link: LinkId) {
         match self.kind {
             MetricKind::Ett => self.weights[link.index()] = net.link(link).cost(),
@@ -87,6 +91,8 @@ impl LinkMetric {
                 self.weights[link.index()] =
                     if net.link(link).is_alive() { 1.0 } else { f64::INFINITY }
             }
+            // empower-lint: allow(D005) — documented caller-contract
+            // panic; a silent no-op would corrupt route weights.
             _ => panic!("refresh_link is only supported for ETT and hop count"),
         }
     }

@@ -1,7 +1,7 @@
 //! Route queries: source/destination plus the restrictions a scheme or a
 //! k-shortest-path spur computation imposes.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use empower_model::{LinkId, Medium, Network, NodeId};
 
@@ -18,9 +18,9 @@ pub struct RouteQuery {
     /// If set, only links on these mediums are considered.
     pub allowed_mediums: Option<Vec<Medium>>,
     /// Links that must not be used.
-    pub banned_links: HashSet<LinkId>,
+    pub banned_links: BTreeSet<LinkId>,
     /// Nodes that must not be traversed (source exempt).
-    pub banned_nodes: HashSet<NodeId>,
+    pub banned_nodes: BTreeSet<NodeId>,
 }
 
 impl RouteQuery {
@@ -30,8 +30,8 @@ impl RouteQuery {
             src,
             dst,
             allowed_mediums: None,
-            banned_links: HashSet::new(),
-            banned_nodes: HashSet::new(),
+            banned_links: BTreeSet::new(),
+            banned_nodes: BTreeSet::new(),
         }
     }
 

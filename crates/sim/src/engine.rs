@@ -1,6 +1,6 @@
 //! The discrete-event engine: MAC, forwarding, control plane, applications.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use empower_cc::{FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
 use empower_datapath::{
@@ -64,7 +64,7 @@ struct TcpFlow {
     sender: TcpSender,
     receiver: TcpReceiver,
     /// Map wire sequence → TCP segment id at the destination.
-    wire_to_tcp: HashMap<u32, u32>,
+    wire_to_tcp: BTreeMap<u32, u32>,
     /// One-way ACK-path delay, seconds.
     ack_delay: f64,
     /// Time of the currently scheduled RTO check (stale events ignored).
@@ -251,11 +251,19 @@ impl Simulation {
         if resolved.iter().any(Option::is_none) {
             self.etel.route_errors.inc();
             let keep: Vec<bool> = resolved.iter().map(Option::is_some).collect();
-            let mut k = keep.iter();
-            spec.routes.retain(|_| *k.next().expect("same length"));
+            let mut i = 0;
+            spec.routes.retain(|_| {
+                let keep_it = keep.get(i).copied().unwrap_or(false);
+                i += 1;
+                keep_it
+            });
             if !spec.use_cc {
-                let mut k = keep.iter();
-                spec.open_loop_rates.retain(|_| *k.next().expect("same length"));
+                let mut i = 0;
+                spec.open_loop_rates.retain(|_| {
+                    let keep_it = keep.get(i).copied().unwrap_or(false);
+                    i += 1;
+                    keep_it
+                });
             }
         }
         let source_routes: Vec<SourceRoute> = resolved.into_iter().flatten().collect();
@@ -294,7 +302,7 @@ impl Simulation {
             TcpFlow {
                 sender: TcpSender::new(TcpConfig::default(), total),
                 receiver: TcpReceiver::new(),
-                wire_to_tcp: HashMap::new(),
+                wire_to_tcp: BTreeMap::new(),
                 ack_delay,
                 rto_check_at: None,
             }
@@ -442,7 +450,7 @@ impl Simulation {
             if at > until {
                 break;
             }
-            let (at, event) = self.events.pop().expect("peeked");
+            let Some((at, event)) = self.events.pop() else { break };
             debug_assert!(at + 1e-9 >= self.now, "time went backwards");
             self.now = at;
             self.etel.tele.set_now(at);
@@ -539,8 +547,9 @@ impl Simulation {
             return;
         }
         // File flows stop offering once the goal is met.
-        if self.flows[f].current_file_frames.is_some()
-            && self.flows[f].file_frames_delivered >= self.flows[f].current_file_frames.unwrap()
+        if self.flows[f]
+            .current_file_frames
+            .is_some_and(|goal| self.flows[f].file_frames_delivered >= goal)
         {
             return; // completion handling re-arms emission
         }
@@ -663,7 +672,8 @@ impl Simulation {
             return;
         }
         let l = link.index();
-        let pkt = self.queues[l].pop_front().expect("checked non-empty");
+        // `can_start` verified the queue is non-empty.
+        let Some(pkt) = self.queues[l].pop_front() else { return };
         self.etel.mac_grants.inc();
         let mut duration = self.net.link(link).tx_time_secs(pkt.size_bits);
         if self.cfg.saturation_penalty > 0.0 {
@@ -985,7 +995,8 @@ impl Simulation {
                 Some(a) => a.route_prices,
                 None => vec![None; self.flows[f].spec.routes.len()],
             };
-            let rates = self.flows[f].controller.as_mut().expect("checked above").on_ack(&prices);
+            let Some(controller) = self.flows[f].controller.as_mut() else { continue };
+            let rates = controller.on_ack(&prices);
             self.flows[f].scheduler.set_rates(&rates.per_route);
         }
         // 5. Once per second: sample injected rates.
@@ -1151,9 +1162,10 @@ impl Simulation {
                 // admitted rate; the segment stays queued.
             }
             RouteChoice::Route(r) => {
-                let tcp_seq = self.flows[f].tcp_backlog.pop_front().expect("checked");
-                let wire_seq = self.flows[f].scheduler.next_seq();
-                self.send_on_route(f, r, wire_seq, PacketKind::TcpData, Some(tcp_seq));
+                if let Some(tcp_seq) = self.flows[f].tcp_backlog.pop_front() {
+                    let wire_seq = self.flows[f].scheduler.next_seq();
+                    self.send_on_route(f, r, wire_seq, PacketKind::TcpData, Some(tcp_seq));
+                }
             }
         }
         if !self.flows[f].tcp_backlog.is_empty() {
@@ -1203,7 +1215,7 @@ impl Simulation {
             }
         };
         if retransmit {
-            let at = self.flows[f].tcp.as_ref().expect("tcp flow").rto_check_at;
+            let at = self.flows[f].tcp.as_ref().and_then(|t| t.rto_check_at);
             if let Some(at) = at {
                 self.events.push(at, Event::TcpRtoCheck { flow: f });
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-sim
 //!
 //! A deterministic discrete-event packet simulator for hybrid local

@@ -63,6 +63,14 @@ impl Json {
         }
     }
 
+    /// The value as bool for boolean variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as &str for string variants.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -489,10 +497,13 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
+                    // Consume one UTF-8 character; `peek` returned `Some`,
+                    // so `rest` is non-empty.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

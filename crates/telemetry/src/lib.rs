@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-telemetry
 //!
 //! Zero-dependency, deterministic observability for the EMPoWER stack:
@@ -53,7 +54,7 @@ pub use manifest::Manifest;
 pub use trace::{TraceBuffer, TraceRecord};
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use counter::CounterEntry;
@@ -61,7 +62,7 @@ use counter::CounterEntry;
 struct Inner {
     clock: Cell<f64>,
     counters: RefCell<Vec<CounterEntry>>,
-    index: RefCell<HashMap<String, usize>>,
+    index: RefCell<BTreeMap<String, usize>>,
     trace: RefCell<trace::TraceBuffer>,
 }
 
@@ -99,7 +100,7 @@ impl Telemetry {
             inner: Some(Rc::new(Inner {
                 clock: Cell::new(0.0),
                 counters: RefCell::new(Vec::new()),
-                index: RefCell::new(HashMap::new()),
+                index: RefCell::new(BTreeMap::new()),
                 trace: RefCell::new(trace::TraceBuffer::new(cap)),
             })),
         }

@@ -92,6 +92,8 @@ pub fn run_flows_traced(
                     let (mut sim, mapping) = RunConfig::new(scheme)
                         .telemetry(tele.clone())
                         .build_simulation(net, imap, &fl, sim_cfg)
+                        // empower-lint: allow(D005) — RunConfig defaults to tolerant
+                        // connectivity, which is build_simulation's only error path.
                         .expect("tolerant mode cannot fail");
                     match mapping[0] {
                         None => Fig11Cell { mean_mbps: 0.0, std_mbps: 0.0 },

@@ -70,6 +70,8 @@ pub fn run_flow_traced(
             &[(src, dst, tcp)],
             SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
         )
+        // empower-lint: allow(D005) — RunConfig defaults to tolerant
+        // connectivity, which is build_simulation's only error path.
         .expect("tolerant mode cannot fail");
     let rep1 = sim1.run(PHASE_SECS);
     let phase1_received =
@@ -83,6 +85,8 @@ pub fn run_flow_traced(
             &[(src, dst, tcp)],
             SimConfig { delta: TCP_DELTA, seed, ..Default::default() },
         )
+        // empower-lint: allow(D005) — RunConfig defaults to tolerant
+        // connectivity, which is build_simulation's only error path.
         .expect("tolerant mode cannot fail");
     let rep2 = sim2.run(PHASE_SECS);
     let (phase2_route_rates, phase2_received) = match map2[0] {

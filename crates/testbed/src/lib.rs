@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # empower-testbed
 //!
 //! The simulated stand-in for the paper's 22-node hybrid testbed (§6) and

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `empower` — command-line front end to the reproduction.
 //!
 //! ```text

@@ -1,2 +1,3 @@
+#![forbid(unsafe_code)]
 //! Workspace root crate: re-exports the public facade for examples and integration tests.
 pub use empower_core as core;
