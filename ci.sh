@@ -27,13 +27,25 @@ say "empower-lint (determinism & invariant gate)"
 cargo run -q -p empower-lint
 
 if [ "${1:-}" = "quick" ]; then
-    say "tests (debug)"
-    cargo test -q
+    say "tests (debug, equivalence corpus trimmed)"
+    # The §3.2 equivalence property test sweeps 50 random topologies by
+    # default; 12 keep the quick loop fast while still crossing both
+    # topology classes and the restricted-medium query.
+    EMPOWER_EQUIV_TOPOLOGIES=12 cargo test -q
 else
     say "tier-1: release build"
     cargo build --release
     say "tier-1: tests"
     cargo test -q --release
+    say "perf gate: exploration-tree counters vs checked-in budget"
+    # Deterministic counter gate (DESIGN.md §8): fails when the pinned
+    # seeded workload expands more tree nodes than the budget allows or
+    # the baseline/optimized expansion ratio drops below its floor. No
+    # wall-clock thresholds, so no flakiness.
+    PERF_JSON="$(mktemp)"
+    target/release/bench_routing --quick \
+        --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
+    rm -f "$PERF_JSON"
 fi
 
 say "scenario smoke test (determinism)"

@@ -1,0 +1,244 @@
+#![forbid(unsafe_code)]
+//! Perf harness for the §3.2 exploration engine: the incremental
+//! branch-and-bound [`Explorer`] vs the retained exhaustive cloning
+//! reference (the pre-optimization implementation) on a pinned seeded
+//! Fig. 4-style workload (random residential + enterprise topologies, one
+//! query per sampled flow).
+//!
+//! Reports deterministic work counters (tree nodes expanded, Yen
+//! invocations, subtrees pruned, clone bytes avoided) for both engines,
+//! asserts bit-identical route sets on every query, measures wall-clock
+//! min/median/p95 for both, and writes `BENCH_routing.json` (default at
+//! the current directory, `--json` overrides).
+//!
+//! With `--budget <file>` the binary acts as CI's perf-regression gate:
+//! the run fails if the optimized engine expands more tree nodes than the
+//! checked-in budget allows, or if the baseline/optimized expansion ratio
+//! drops below the budgeted floor.
+
+use empower_bench::harness::{bench_stats, BenchStats};
+use empower_bench::BenchArgs;
+use empower_model::rng::{SeedableRng, StdRng};
+use empower_model::topology::random::{generate, RandomTopologyConfig, TopologyClass};
+use empower_model::{CarrierSense, InterferenceMap, InterferenceModel, Network};
+use empower_routing::{
+    best_combination_reference_counted, Explorer, MultipathConfig, RouteQuery, SearchStats,
+};
+use empower_telemetry::{Json, ToJson};
+
+/// Queries per topology.
+const FLOWS: usize = 2;
+
+struct Counters {
+    nodes_expanded: u64,
+    ksp_invocations: u64,
+    subtrees_pruned: u64,
+    incumbent_updates: u64,
+    clone_bytes_avoided: u64,
+}
+
+impl From<SearchStats> for Counters {
+    fn from(s: SearchStats) -> Self {
+        Counters {
+            nodes_expanded: s.nodes_expanded,
+            ksp_invocations: s.ksp_invocations,
+            subtrees_pruned: s.subtrees_pruned,
+            incumbent_updates: s.incumbent_updates,
+            clone_bytes_avoided: s.clone_bytes_avoided,
+        }
+    }
+}
+
+empower_telemetry::impl_to_json_struct!(Counters {
+    nodes_expanded,
+    ksp_invocations,
+    subtrees_pruned,
+    incumbent_updates,
+    clone_bytes_avoided
+});
+
+struct Report {
+    seed: u64,
+    topologies: u64,
+    queries: u64,
+    optimized: Counters,
+    baseline: Counters,
+    /// baseline / optimized tree-node expansions.
+    expansion_ratio: f64,
+    optimized_timing: BenchStats,
+    baseline_timing: BenchStats,
+    /// baseline / optimized wall-clock (min-batch estimate).
+    speedup_min: f64,
+}
+
+empower_telemetry::impl_to_json_struct!(Report {
+    seed,
+    topologies,
+    queries,
+    optimized,
+    baseline,
+    expansion_ratio,
+    optimized_timing,
+    baseline_timing,
+    speedup_min
+});
+
+/// The pinned workload: alternating-class random topologies with sampled
+/// flow endpoints, exactly the §5.1 instance family the figures sweep.
+fn build_workload(
+    base_seed: u64,
+    count: usize,
+) -> Vec<(Network, InterferenceMap, Vec<RouteQuery>)> {
+    (0..count)
+        .map(|i| {
+            let class =
+                if i % 2 == 0 { TopologyClass::Residential } else { TopologyClass::Enterprise };
+            let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+            let topo = generate(&mut rng, &RandomTopologyConfig::new(class));
+            let imap = CarrierSense::default().build_map(&topo.net);
+            let queries = (0..FLOWS)
+                .map(|_| {
+                    let (src, dst) = topo.sample_flow(&mut rng);
+                    RouteQuery::new(src, dst)
+                })
+                .collect();
+            (topo.net, imap, queries)
+        })
+        .collect()
+}
+
+fn gate(report: &Report, budget_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(budget_path)
+        .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
+    let budget =
+        Json::parse(&text).map_err(|e| format!("cannot parse budget {budget_path}: {e:?}"))?;
+    let max_nodes = budget
+        .get("max_nodes_expanded")
+        .and_then(|v| v.as_u64())
+        .ok_or("budget lacks max_nodes_expanded")?;
+    let min_ratio = budget
+        .get("min_expansion_ratio")
+        .and_then(|v| v.as_f64())
+        .ok_or("budget lacks min_expansion_ratio")?;
+    if report.optimized.nodes_expanded > max_nodes {
+        return Err(format!(
+            "perf regression: {} tree nodes expanded exceeds budget {max_nodes}",
+            report.optimized.nodes_expanded
+        ));
+    }
+    if report.expansion_ratio < min_ratio {
+        return Err(format!(
+            "perf regression: baseline/optimized expansion ratio {:.2} below budgeted {min_ratio}",
+            report.expansion_ratio
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Counter corpus: pinned by (seed, size); the perf budget is calibrated
+    // against the quick size, which is also what CI runs.
+    let topo_count = args.sweep(40, 8);
+    let workload = build_workload(args.seed, topo_count);
+    let config = MultipathConfig::default();
+
+    // Counters + equivalence over the whole workload.
+    let mut explorer = Explorer::new();
+    let mut baseline = SearchStats::default();
+    let mut queries = 0u64;
+    for (net, imap, qs) in &workload {
+        for q in qs {
+            queries += 1;
+            let opt = explorer.best_combination(net, imap, q, &config);
+            let (reference, stats) = best_combination_reference_counted(net, imap, q, &config);
+            baseline.nodes_expanded += stats.nodes_expanded;
+            baseline.ksp_invocations += stats.ksp_invocations;
+            baseline.incumbent_updates += stats.incumbent_updates;
+            assert_eq!(opt.len(), reference.len(), "route-count mismatch vs reference");
+            for (a, b) in opt.routes.iter().zip(&reference.routes) {
+                assert_eq!(a.path.links(), b.path.links(), "route mismatch vs reference");
+                assert_eq!(
+                    a.nominal_rate.to_bits(),
+                    b.nominal_rate.to_bits(),
+                    "rate bits mismatch vs reference"
+                );
+            }
+        }
+    }
+    let optimized = explorer.stats();
+    let expansion_ratio = baseline.nodes_expanded as f64 / (optimized.nodes_expanded.max(1)) as f64;
+
+    // Wall-clock: one iteration = the full quick-size workload (both
+    // engines timed on the same instances).
+    let timed: Vec<_> = workload.iter().take(8).collect();
+    let optimized_timing = bench_stats(|| {
+        let mut ex = Explorer::new();
+        let mut total = 0.0f64;
+        for (net, imap, qs) in &timed {
+            for q in qs {
+                total += ex.best_combination(net, imap, q, &config).total_rate();
+            }
+        }
+        total
+    });
+    let baseline_timing = bench_stats(|| {
+        let mut total = 0.0f64;
+        for (net, imap, qs) in &timed {
+            for q in qs {
+                total += best_combination_reference_counted(net, imap, q, &config).0.total_rate();
+            }
+        }
+        total
+    });
+    let speedup_min = baseline_timing.min_ns / optimized_timing.min_ns.max(1e-9);
+
+    let report = Report {
+        seed: args.seed,
+        topologies: workload.len() as u64,
+        queries,
+        optimized: optimized.into(),
+        baseline: baseline.into(),
+        expansion_ratio,
+        optimized_timing,
+        baseline_timing,
+        speedup_min,
+    };
+
+    println!(
+        "== bench_routing — §3.2 exploration engine, {} topologies / {queries} queries ==",
+        report.topologies
+    );
+    println!(
+        "tree nodes expanded:   optimized {:>10}   baseline {:>10}   ratio {expansion_ratio:.1}x",
+        report.optimized.nodes_expanded, report.baseline.nodes_expanded
+    );
+    println!(
+        "ksp invocations:       optimized {:>10}   baseline {:>10}",
+        report.optimized.ksp_invocations, report.baseline.ksp_invocations
+    );
+    println!(
+        "subtrees pruned:       {:>10}    clone bytes avoided: {}",
+        report.optimized.subtrees_pruned, report.optimized.clone_bytes_avoided
+    );
+    println!(
+        "wall-clock (min):      optimized {:>10.2} ms  baseline {:>10.2} ms  speedup {speedup_min:.1}x",
+        optimized_timing.min_ns / 1e6,
+        baseline_timing.min_ns / 1e6
+    );
+
+    let json_path = args.json.clone().unwrap_or_else(|| "BENCH_routing.json".to_string());
+    std::fs::write(&json_path, report.to_json().to_string_pretty())
+        .expect("write BENCH_routing.json");
+    eprintln!("(report written to {json_path})");
+
+    if let Some(budget_path) = &args.budget {
+        match gate(&report, budget_path) {
+            Ok(()) => println!("perf gate: OK (budget {budget_path})"),
+            Err(msg) => {
+                eprintln!("perf gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! +68 % (enterprise) over WiFi alone, and ≈ +39 % / +31 % over
 //! single-path hybrid.
 
-use empower_bench::sweep::{run_one_traced, SweepRun};
+use empower_bench::sweep::{run_sweep_parallel, SweepRun};
 use empower_bench::{cdf_line, mean, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
@@ -34,9 +34,8 @@ fn main() {
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
         let label = format!("{class:?}");
         println!("== Fig. 4 — {label} topology, {runs} runs ==");
-        let data: Vec<SweepRun> = (0..runs)
-            .map(|i| run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele))
-            .collect();
+        let data: Vec<SweepRun> =
+            run_sweep_parallel(class, args.seed, runs, 1, &SCHEMES, &params, args.jobs, &tele);
 
         let rates =
             |si: usize| -> Vec<f64> { data.iter().map(|r| r.scheme_rates[si][0]).collect() };

@@ -8,7 +8,7 @@
 //! more than 1.7×; and in 6 % (residential) / 19 % (enterprise) of the
 //! worst flows PLC/WiFi has connectivity where multi-channel WiFi has none.
 
-use empower_bench::sweep::run_one_traced;
+use empower_bench::sweep::run_sweep_parallel;
 use empower_bench::{cdf_line, fraction, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
@@ -34,13 +34,12 @@ fn main() {
     for class in [TopologyClass::Residential, TopologyClass::Enterprise] {
         let label = format!("{class:?}");
         println!("== Fig. 5 — worst flows, {label} topology, {runs} runs ==");
-        let pairs: Vec<(f64, f64)> = (0..runs)
-            .map(|i| {
-                let r = run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele);
-                (r.scheme_rates[1][0], r.scheme_rates[0][0]) // (mwifi, empower)
-            })
-            .filter(|&(a, b)| a > 1e-9 || b > 1e-9) // drop doubly-disconnected
-            .collect();
+        let pairs: Vec<(f64, f64)> =
+            run_sweep_parallel(class, args.seed, runs, 1, &SCHEMES, &params, args.jobs, &tele)
+                .iter()
+                .map(|r| (r.scheme_rates[1][0], r.scheme_rates[0][0])) // (mwifi, empower)
+                .filter(|&(a, b)| a > 1e-9 || b > 1e-9) // drop doubly-disconnected
+                .collect();
         // Bottom 20 % by min(T_mwifi, T_empower).
         let mut sorted = pairs.clone();
         sorted.sort_by(|x, y| x.0.min(x.1).total_cmp(&y.0.min(y.1)));

@@ -6,7 +6,7 @@
 //! (residential) / 85 % (enterprise) of runs; within 15 % of *optimal* in
 //! 99 % / 83 % of runs; and it clearly dominates SP, MP-2bp and MP-w/o-CC.
 
-use empower_bench::sweep::run_one_traced;
+use empower_bench::sweep::run_sweep_parallel;
 use empower_bench::{cdf_line, fraction, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
@@ -32,8 +32,8 @@ fn main() {
         let label = format!("{class:?}");
         println!("== Fig. 6 — T_X / T_optimal, {label} topology, {runs} runs ==");
         let mut ratios: Vec<Vec<f64>> = Vec::new();
-        for i in 0..runs {
-            let r = run_one_traced(class, args.seed + i as u64, 1, &SCHEMES, &params, &tele);
+        for r in run_sweep_parallel(class, args.seed, runs, 1, &SCHEMES, &params, args.jobs, &tele)
+        {
             let opt = r.optimal.flow_rates[0];
             if opt <= 1e-9 {
                 continue; // disconnected pair: no reference

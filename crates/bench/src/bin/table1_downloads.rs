@@ -15,11 +15,17 @@
 //! Absolute values depend on the (simulated) link capacities; the shape to
 //! reproduce is EMPoWER ≤ MP-w/o-CC on every row, with the gap widening
 //! for long flows and under concurrency.
+//!
+//! `--jobs N` fans the `(scheme, repetition)` grid out over the
+//! deterministic parallel runner; every repetition is independently seeded,
+//! and results/counters merge in grid order, so the table, JSON dump and
+//! manifest are byte-identical for any job count.
 
-use empower_bench::BenchArgs;
+use empower_bench::{parallel::run_indexed, BenchArgs};
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::table1::{run_experiment_traced, Experiment};
+use empower_telemetry::Telemetry;
+use empower_testbed::table1::{row_from_samples, run_repetition, Experiment, SCHEMES};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -31,7 +37,30 @@ fn main() {
     let mut rows = Vec::new();
     for exp in Experiment::ALL {
         let reps = args.runs.unwrap_or(if args.quick { 2 } else { exp.paper_repetitions() });
-        let row = run_experiment_traced(&t.net, &imap, exp, reps, args.seed, &tele);
+        // Work item i = (scheme i / reps, repetition i % reps): the same
+        // scheme-major order the serial loop runs, so index-ordered merge
+        // reproduces it exactly.
+        let enabled = tele.is_enabled();
+        let cells = run_indexed(args.jobs, SCHEMES.len() * reps, |i| {
+            let item_tele = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+            let cell = run_repetition(
+                &t.net,
+                &imap,
+                exp,
+                SCHEMES[i / reps],
+                i % reps,
+                args.seed,
+                &item_tele,
+            );
+            (cell, item_tele.snapshot())
+        });
+        let mut samples = vec![(Vec::new(), Vec::new()); SCHEMES.len()];
+        for (i, ((main, conc), snap)) in cells.into_iter().enumerate() {
+            tele.merge_snapshot(&snap);
+            samples[i / reps].0.extend(main);
+            samples[i / reps].1.extend(conc);
+        }
+        let row = row_from_samples(exp, &samples[0], &samples[1]);
         println!(
             "{:<26}{:>11.1} ± {:>4.1}{:>11.1} ± {:>4.1}",
             exp.label(),

@@ -29,10 +29,39 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-/// Runs `f` repeatedly and prints a `name  min/median/mean` line. The
-/// closure's return value is passed through `std::hint::black_box` so the
-/// optimizer cannot delete the work.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+/// Wall-clock timing summary of one benchmarked kernel, nanoseconds per
+/// iteration across the timed batches. JSON-able so perf harness binaries
+/// can dump machine-readable results next to the printed table.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Fastest batch (least-noise estimate; the number to compare runs by).
+    pub min_ns: f64,
+    /// Median batch.
+    pub median_ns: f64,
+    /// 95th-percentile batch (tail noise).
+    pub p95_ns: f64,
+    /// Mean over all batches.
+    pub mean_ns: f64,
+    /// Iterations per timed batch (auto-calibrated).
+    pub batch: u64,
+    /// Number of timed batches.
+    pub batches: u64,
+}
+
+empower_telemetry::impl_to_json_struct!(BenchStats {
+    min_ns,
+    median_ns,
+    p95_ns,
+    mean_ns,
+    batch,
+    batches
+});
+
+/// Runs `f` repeatedly (warm-up, then auto-calibrated timed batches) and
+/// returns the per-iteration timing summary. The closure's return value is
+/// passed through `std::hint::black_box` so the optimizer cannot delete
+/// the work.
+pub fn bench_stats<T>(mut f: impl FnMut() -> T) -> BenchStats {
     // Warm up (fills caches, triggers lazy init).
     let start = Instant::now();
     let mut warm_iters = 0u64;
@@ -56,13 +85,26 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
     }
     samples.sort_by(f64::total_cmp);
-    let min = samples[0];
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p95_idx = ((samples.len() - 1) as f64 * 0.95).round() as usize;
+    BenchStats {
+        min_ns: samples[0],
+        median_ns: samples[samples.len() / 2],
+        p95_ns: samples[p95_idx.min(samples.len() - 1)],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        batch,
+        batches: BATCHES as u64,
+    }
+}
+
+/// Runs `f` via [`bench_stats`] and prints a `name  min/median/mean` line.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    let s = bench_stats(f);
     println!(
-        "{name:<40} min {:>10}   median {:>10}   mean {:>10}   ({batch} iters x {BATCHES} batches)",
-        fmt_ns(min),
-        fmt_ns(median),
-        fmt_ns(mean),
+        "{name:<40} min {:>10}   median {:>10}   mean {:>10}   ({} iters x {} batches)",
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.mean_ns),
+        s.batch,
+        s.batches,
     );
 }

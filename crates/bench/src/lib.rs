@@ -26,12 +26,25 @@ pub struct BenchArgs {
     pub metrics: Option<String>,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for the deterministic parallel sweep runner
+    /// (`parallel::run_indexed`); 1 = serial.
+    pub jobs: usize,
+    /// Perf-budget file for regression-gate binaries (`bench_routing`).
+    pub budget: Option<String>,
 }
 
 impl BenchArgs {
     /// Parses `std::env::args()`.
     pub fn parse() -> Self {
-        let mut args = BenchArgs { runs: None, quick: false, json: None, metrics: None, seed: 1 };
+        let mut args = BenchArgs {
+            runs: None,
+            quick: false,
+            json: None,
+            metrics: None,
+            seed: 1,
+            jobs: 1,
+            budget: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -47,9 +60,16 @@ impl BenchArgs {
                     args.seed =
                         it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer")
                 }
+                "--jobs" => {
+                    args.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a positive integer")
+                }
+                "--budget" => args.budget = Some(it.next().expect("--budget needs a path")),
                 other => panic!(
                     "unknown argument {other} \
-                     (try --runs N | --quick | --json F | --metrics F | --seed S)"
+                     (try --runs N | --quick | --json F | --metrics F | --seed S | --jobs J | --budget F)"
                 ),
             }
         }
@@ -163,4 +183,5 @@ mod tests {
     }
 }
 pub mod harness;
+pub mod parallel;
 pub mod sweep;

@@ -1,0 +1,65 @@
+//! Deterministic parallel execution for embarrassingly-parallel sweeps.
+//!
+//! The model: a sweep is a list of *work items* addressed by index (e.g.
+//! `(seed, query)` pairs). A fixed pool of `jobs` scoped threads pulls
+//! indices from an atomic cursor, each item is computed independently, and
+//! the results are collected **in index order** — so every aggregate
+//! downstream (JSON dumps, manifests, printed tables) is byte-identical to
+//! a serial run. Determinism holds because (a) each item's computation is
+//! itself deterministic and shares no mutable state, and (b) the only
+//! thing scheduling can reorder is *completion*, which the index-ordered
+//! collection erases.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Computes `f(0..count)` on `jobs` worker threads and returns the results
+/// in index order. `jobs <= 1` runs serially on the caller's thread
+/// (identical results, no pool).
+pub fn run_indexed<T: Send>(jobs: usize, count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(count);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool filled every index")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let serial = run_indexed(1, 100, |i| i * i);
+        let parallel = run_indexed(4, 100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[7], 49);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(16, 0, |i| i), Vec::<usize>::new());
+    }
+}

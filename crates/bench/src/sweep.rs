@@ -165,6 +165,41 @@ pub fn run_one_traced(
     SweepRun { seed, scheme_rates, scheme_utility, optimal, conservative }
 }
 
+/// Runs the sweep `seed = base_seed + index` for `index ∈ 0..count` on
+/// `jobs` worker threads (see [`crate::parallel::run_indexed`]) and returns
+/// the runs in index order — byte-identical to a serial loop for any `jobs`.
+///
+/// `Telemetry` is single-threaded by design (`Rc`-based), so each work item
+/// records on its own registry inside the worker and only the `Send`-able
+/// [`empower_telemetry::CounterSnapshot`] crosses threads; snapshots merge
+/// into `tele` in index order (monotone counters add, gauges last-write-win),
+/// which reproduces exactly the registry a serial run would build.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_parallel(
+    class: TopologyClass,
+    base_seed: u64,
+    count: usize,
+    flow_count: usize,
+    schemes: &[Scheme],
+    params: &FluidEval,
+    jobs: usize,
+    tele: &Telemetry,
+) -> Vec<SweepRun> {
+    let enabled = tele.is_enabled();
+    let results = crate::parallel::run_indexed(jobs, count, |i| {
+        let item_tele = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        let run =
+            run_one_traced(class, base_seed + i as u64, flow_count, schemes, params, &item_tele);
+        (run, item_tele.snapshot())
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for (run, snap) in results {
+        tele.merge_snapshot(&snap);
+        out.push(run);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,62 @@
+#![forbid(unsafe_code)]
+//! Determinism gate for the parallel sweep runner (DESIGN.md §8): for the
+//! same seeds, `run_sweep_parallel` must produce byte-identical results and
+//! byte-identical manifests for ANY job count. A violation here means a
+//! figure regenerated on a different machine (or with a different `--jobs`)
+//! would silently change — exactly the class of bug the deterministic
+//! telemetry subsystem exists to rule out.
+
+use empower_bench::sweep::{run_sweep_parallel, SweepRun};
+use empower_core::{FluidEval, Scheme};
+use empower_model::topology::random::TopologyClass;
+use empower_telemetry::{Manifest, Telemetry, ToJson};
+
+const SCHEMES: [Scheme; 2] = [Scheme::Empower, Scheme::Sp];
+const RUNS: usize = 4;
+const SEED: u64 = 0xD1CE;
+
+/// Renders a run list to the exact JSON bytes `--out` would dump, so
+/// float comparisons are bitwise, not epsilon-based.
+fn render(runs: &[SweepRun]) -> String {
+    runs.iter().map(|r| r.to_json().to_string_pretty()).collect::<Vec<_>>().join("\n")
+}
+
+fn sweep(jobs: usize, tele: &Telemetry) -> Vec<SweepRun> {
+    run_sweep_parallel(
+        TopologyClass::Residential,
+        SEED,
+        RUNS,
+        1,
+        &SCHEMES,
+        &FluidEval::default(),
+        jobs,
+        tele,
+    )
+}
+
+#[test]
+fn parallel_sweep_matches_serial_bytes_and_manifest() {
+    let serial_tele = Telemetry::enabled();
+    let serial = sweep(1, &serial_tele);
+    assert_eq!(serial.len(), RUNS);
+
+    for jobs in [2, 4] {
+        let par_tele = Telemetry::enabled();
+        let parallel = sweep(jobs, &par_tele);
+        assert_eq!(
+            render(&serial),
+            render(&parallel),
+            "jobs={jobs} changed sweep results vs serial"
+        );
+
+        let mut m_serial = Manifest::new("determinism_gate");
+        m_serial.set("seed", SEED).set("runs", RUNS).attach_counters(&serial_tele);
+        let mut m_par = Manifest::new("determinism_gate");
+        m_par.set("seed", SEED).set("runs", RUNS).attach_counters(&par_tele);
+        assert_eq!(
+            m_serial.render(),
+            m_par.render(),
+            "jobs={jobs} changed the counter manifest vs serial"
+        );
+    }
+}

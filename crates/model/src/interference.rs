@@ -94,11 +94,25 @@ impl InterferenceModel for SharedMedium {
     }
 }
 
+/// Bits per packed incidence word.
+const WORD_BITS: usize = 64;
+
 /// Precomputed interference domains: `domains[l]` is `I_l`, sorted by id and
 /// always containing `l` itself.
+///
+/// Besides the sorted id lists, the map keeps a packed bit-matrix of the
+/// interference relation (`stride` words per link), so membership tests
+/// (`interferes`), per-path incidence masks and domain unions are bitwise
+/// instead of per-link scans — these are the inner loops of `update(P, G)`
+/// and of the §3.2 exploration tree.
 #[derive(Debug, Clone)]
 pub struct InterferenceMap {
     domains: Vec<Vec<LinkId>>,
+    /// Row-major packed incidence matrix: bit `b` of row `l` (words
+    /// `[l·stride, (l+1)·stride)`) is set iff links `l` and `b` interfere.
+    words: Vec<u64>,
+    /// Words per row: `⌈link_count / 64⌉`.
+    stride: usize,
 }
 
 impl InterferenceMap {
@@ -120,10 +134,18 @@ impl InterferenceMap {
                 }
             }
         }
+        let stride = links.len().div_ceil(WORD_BITS);
+        let mut words = vec![0u64; links.len() * stride];
         for d in &mut domains {
             d.sort_unstable();
         }
-        InterferenceMap { domains }
+        for (l, d) in domains.iter().enumerate() {
+            let row = &mut words[l * stride..(l + 1) * stride];
+            for m in d {
+                row[m.index() / WORD_BITS] |= 1u64 << (m.index() % WORD_BITS);
+            }
+        }
+        InterferenceMap { domains, words, stride }
     }
 
     /// The interference domain `I_l` of `link` (sorted, contains `link`).
@@ -131,14 +153,22 @@ impl InterferenceMap {
         &self.domains[link.index()]
     }
 
+    /// The packed bitset row of `I_l`: bit `b` set iff link `b ∈ I_l`.
+    pub fn domain_words(&self, link: LinkId) -> &[u64] {
+        &self.words[link.index() * self.stride..(link.index() + 1) * self.stride]
+    }
+
     /// Number of links covered by the map.
     pub fn link_count(&self) -> usize {
         self.domains.len()
     }
 
-    /// True if `a` and `b` interfere.
+    /// True if `a` and `b` interfere. O(1): one bit test.
+    #[inline]
     pub fn interferes(&self, a: LinkId, b: LinkId) -> bool {
-        self.domains[a.index()].binary_search(&b).is_ok()
+        debug_assert!(b.index() < self.domains.len());
+        self.words[a.index() * self.stride + b.index() / WORD_BITS] >> (b.index() % WORD_BITS) & 1
+            != 0
     }
 
     /// Iterates over `I_l ∩ P` for a path given as a slice of link ids —
@@ -149,6 +179,50 @@ impl InterferenceMap {
         path: &'a [LinkId],
     ) -> impl Iterator<Item = LinkId> + 'a {
         path.iter().copied().filter(move |&p| self.interferes(link, p))
+    }
+
+    /// Bitmask over *path positions*: bit `j` is set iff `path[j] ∈ I_l`.
+    /// The mask drives [`crate::Path::residual_idle_fraction_masked`];
+    /// positions beyond 64 hops are unsupported (the routing header caps
+    /// routes at 6 hops, see `MAX_ROUTE_HOPS` in `empower-routing`).
+    #[inline]
+    pub fn incidence_mask(&self, link: LinkId, path: &[LinkId]) -> u64 {
+        debug_assert!(path.len() <= WORD_BITS, "paths longer than 64 hops are unsupported");
+        let mut mask = 0u64;
+        for (j, &p) in path.iter().enumerate() {
+            mask |= (self.interferes(link, p) as u64) << j;
+        }
+        mask
+    }
+
+    /// Writes `⋃_{l∈links} I_l` into `out` as a packed bitset (`stride`
+    /// words). Reuses `out`'s allocation; iterate it with
+    /// [`InterferenceMap::iter_links`] to visit the union in ascending id
+    /// order — the same order a sorted set of the union would produce.
+    pub fn union_domains_into(&self, links: &[LinkId], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.stride, 0);
+        for &l in links {
+            for (o, w) in out.iter_mut().zip(self.domain_words(l)) {
+                *o |= w;
+            }
+        }
+    }
+
+    /// Iterates the link ids whose bits are set in a packed word slice, in
+    /// ascending id order.
+    pub fn iter_links(words: &[u64]) -> impl Iterator<Item = LinkId> + '_ {
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(LinkId((wi * WORD_BITS) as u32 + bit))
+            })
+        })
     }
 }
 
@@ -261,6 +335,57 @@ mod tests {
         for l in net.links() {
             let d = map.domain(l.id);
             assert!(d.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bitset_rows_agree_with_domain_lists() {
+        let (net, _) = line_net();
+        for map in [CarrierSense::default().build_map(&net), SharedMedium.build_map(&net)] {
+            for a in net.links() {
+                let from_bits: Vec<LinkId> =
+                    InterferenceMap::iter_links(map.domain_words(a.id)).collect();
+                assert_eq!(from_bits, map.domain(a.id), "row {} disagrees", a.id);
+                for b in net.links() {
+                    assert_eq!(
+                        map.interferes(a.id, b.id),
+                        map.domain(a.id).binary_search(&b.id).is_ok()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_domains_matches_sorted_set_union() {
+        let (net, ids) = line_net();
+        let map = CarrierSense::default().build_map(&net);
+        let path = vec![ids[0], ids[4]];
+        let mut words = Vec::new();
+        map.union_domains_into(&path, &mut words);
+        let got: Vec<LinkId> = InterferenceMap::iter_links(&words).collect();
+        let mut want: Vec<LinkId> =
+            path.iter().flat_map(|&l| map.domain(l).iter().copied()).collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+        // Reuse keeps the buffer correct.
+        map.union_domains_into(&[ids[1]], &mut words);
+        let got: Vec<LinkId> = InterferenceMap::iter_links(&words).collect();
+        assert_eq!(got, map.domain(ids[1]));
+    }
+
+    #[test]
+    fn incidence_mask_mirrors_domain_intersect() {
+        let (net, ids) = line_net();
+        let map = CarrierSense::default().build_map(&net);
+        let path = vec![ids[0], ids[1], ids[4]];
+        for l in net.links() {
+            let mask = map.incidence_mask(l.id, &path);
+            let from_mask: Vec<LinkId> =
+                (0..path.len()).filter(|&j| mask >> j & 1 != 0).map(|j| path[j]).collect();
+            let from_scan: Vec<LinkId> = map.domain_intersect(l.id, &path).collect();
+            assert_eq!(from_mask, from_scan, "link {}", l.id);
         }
     }
 }

@@ -44,4 +44,4 @@ pub use interference::{CarrierSense, InterferenceMap, InterferenceModel, SharedM
 pub use link::Link;
 pub use medium::Medium;
 pub use node::Node;
-pub use path::Path;
+pub use path::{Path, PathIncidence};

@@ -44,6 +44,23 @@ impl std::fmt::Display for PathError {
 
 impl std::error::Error for PathError {}
 
+/// Precomputed self-interference incidence of one path (see
+/// [`Path::incidence`]): `masks[i]` has bit `j` set iff hop `j` belongs to
+/// the interference domain of hop `i`. Valid only for the path (and the
+/// interference map) it was computed from; capacities may change freely —
+/// interference is geometric and capacity-independent.
+#[derive(Debug, Clone, Default)]
+pub struct PathIncidence {
+    masks: Vec<u64>,
+}
+
+impl PathIncidence {
+    /// The per-hop incidence masks.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+}
+
 impl Path {
     /// Builds a validated path from a sequence of link ids.
     pub fn new(net: &Network, links: Vec<LinkId>) -> Result<Self, PathError> {
@@ -164,9 +181,21 @@ impl Path {
         link: LinkId,
         rate: f64,
     ) -> f64 {
+        self.residual_idle_fraction_masked(net, imap.incidence_mask(link, &self.links), rate)
+    }
+
+    /// [`Path::residual_idle_fraction`] with the `I_l ∩ P` membership
+    /// precomputed as a bitmask over path positions (bit `j` ⇔ `links[j] ∈
+    /// I_l`, see [`InterferenceMap::incidence_mask`]) — the bitwise airtime
+    /// accounting `update(P, G)` runs per affected link. Evaluation order is
+    /// path order, so results are bit-identical to the scanning form.
+    pub fn residual_idle_fraction_masked(&self, net: &Network, mask: u64, rate: f64) -> f64 {
         let mut used = 0.0;
-        for l in imap.domain_intersect(link, &self.links) {
-            let cost = net.link(l).cost();
+        let mut rest = mask;
+        while rest != 0 {
+            let j = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let cost = net.link(self.links[j]).cost();
             if cost.is_finite() {
                 used += rate * cost;
             } else {
@@ -174,6 +203,44 @@ impl Path {
             }
         }
         (1.0 - used).clamp(0.0, 1.0)
+    }
+
+    /// Precomputes this path's *self*-incidence — for every hop `i` the
+    /// bitmask of hops `j` with `links[j] ∈ I_{links[i]}` — so repeated
+    /// capacity evaluations ([`Path::capacity_with`]) are pure bit-loops
+    /// with no interference-map queries.
+    pub fn incidence(&self, imap: &InterferenceMap) -> PathIncidence {
+        PathIncidence {
+            masks: self.links.iter().map(|&l| imap.incidence_mask(l, &self.links)).collect(),
+        }
+    }
+
+    /// `R(P)` evaluated from a precomputed [`PathIncidence`]; bit-identical
+    /// to [`Path::capacity`] (same per-hop summation order).
+    pub fn capacity_with(&self, net: &Network, inc: &PathIncidence) -> f64 {
+        debug_assert_eq!(inc.masks.len(), self.links.len(), "incidence from another path");
+        inc.masks
+            .iter()
+            .map(|&mask| {
+                let mut sum = 0.0;
+                let mut rest = mask;
+                while rest != 0 {
+                    let j = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let cost = net.link(self.links[j]).cost();
+                    if !cost.is_finite() {
+                        return 0.0;
+                    }
+                    sum += cost;
+                }
+                if sum <= 0.0 {
+                    0.0
+                } else {
+                    1.0 / sum
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
     }
 
     /// Sum of link costs `Σ d_l` — the raw (CSC-free) path weight.
@@ -301,5 +368,38 @@ mod tests {
         let p = Path::new(&net, vec![ids[0], ids[2]]).unwrap();
         net.set_capacity(ids[2], 0.0);
         assert_eq!(p.capacity(&net, &imap), 0.0);
+    }
+
+    #[test]
+    fn capacity_with_incidence_is_bit_identical() {
+        let (mut net, ids) = fig1();
+        let imap = SharedMedium.build_map(&net);
+        for links in [vec![ids[0], ids[2]], vec![ids[1], ids[2]]] {
+            let p = Path::new(&net, links).unwrap();
+            let inc = p.incidence(&imap);
+            assert_eq!(p.capacity_with(&net, &inc).to_bits(), p.capacity(&net, &imap).to_bits());
+            // Incidence survives capacity changes (interference is
+            // geometric), including a dead link on the path.
+            net.set_capacity(ids[2], 17.0);
+            assert_eq!(p.capacity_with(&net, &inc).to_bits(), p.capacity(&net, &imap).to_bits());
+            net.set_capacity(ids[2], 0.0);
+            assert_eq!(p.capacity_with(&net, &inc), 0.0);
+            net.set_capacity(ids[2], 30.0);
+        }
+    }
+
+    #[test]
+    fn masked_residual_matches_scanning_residual() {
+        let (net, ids) = fig1();
+        let imap = SharedMedium.build_map(&net);
+        let p = Path::new(&net, vec![ids[0], ids[2]]).unwrap();
+        let rate = p.capacity(&net, &imap);
+        for l in net.links() {
+            let mask = imap.incidence_mask(l.id, p.links());
+            assert_eq!(
+                p.residual_idle_fraction_masked(&net, mask, rate).to_bits(),
+                p.residual_idle_fraction(&net, &imap, l.id, rate).to_bits()
+            );
+        }
     }
 }

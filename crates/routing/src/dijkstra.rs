@@ -156,6 +156,56 @@ pub fn shortest_path_with_budget(
     initial_ingress: Option<Medium>,
     max_hops: usize,
 ) -> Option<DijkstraOutcome> {
+    let mut scratch = DijkstraScratch::new();
+    shortest_path_with_scratch(net, metric, csc, query, initial_ingress, max_hops, &mut scratch)
+}
+
+/// Reusable Dijkstra working memory: the per-state distance and predecessor
+/// tables plus the frontier heap. One instance amortizes the allocations
+/// across the thousands of single-path searches a §3.2 exploration tree (or
+/// a topology sweep) performs; results are identical to the allocating
+/// entry points.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    pred: Vec<Option<(usize, LinkId)>>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Per-node non-switching channel cost `w_ns(u)` for [`CscMode::Paper`],
+    /// precomputed once per search. `w_ns` deliberately ignores Yen's
+    /// temporary bans (see [`RouteQuery::min_permitted_egress_cost`]), so it
+    /// is a function of the graph and the query's medium restriction only —
+    /// caching it replaces an out-degree scan per same-medium edge
+    /// relaxation with an indexed load, bit-identically.
+    w_ns: Vec<f64>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets for a state space of `states` entries.
+    fn reset(&mut self, states: usize) {
+        self.dist.clear();
+        self.dist.resize(states, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(states, None);
+        self.heap.clear();
+    }
+}
+
+/// [`shortest_path_with_budget`] running on caller-provided scratch
+/// buffers (allocation-free after warm-up).
+pub fn shortest_path_with_scratch(
+    net: &Network,
+    metric: &LinkMetric,
+    csc: CscMode,
+    query: &RouteQuery,
+    initial_ingress: Option<Medium>,
+    max_hops: usize,
+    scratch: &mut DijkstraScratch,
+) -> Option<DijkstraOutcome> {
     if query.src == query.dst || max_hops == 0 {
         return None;
     }
@@ -174,9 +224,21 @@ pub fn shortest_path_with_budget(
     let state_of = |node: usize, ingress: Option<usize>, hops: usize| {
         (node * (k + 1) + ingress.map_or(0, |m| m + 1)) * (h + 1) + hops
     };
-    let mut dist = vec![f64::INFINITY; states];
-    let mut pred: Vec<Option<(usize, LinkId)>> = vec![None; states];
-    let mut heap = BinaryHeap::new();
+    scratch.reset(states);
+    if csc == CscMode::Paper {
+        // Same fold as `min_permitted_egress_cost`, computed once per node
+        // instead of once per same-medium relaxation.
+        scratch.w_ns.clear();
+        scratch.w_ns.extend((0..net.node_count()).map(|n| {
+            let w = query.min_permitted_egress_cost(net, empower_model::NodeId(n as u32));
+            if w.is_finite() {
+                w
+            } else {
+                0.0
+            }
+        }));
+    }
+    let DijkstraScratch { dist, pred, heap, w_ns } = scratch;
 
     let start = state_of(query.src.index(), initial_ingress.map(&medium_idx), 0);
     dist[start] = 0.0;
@@ -207,6 +269,9 @@ pub fn shortest_path_with_budget(
             let switch_cost = match ingress {
                 // No CSC at the source.
                 None => 0.0,
+                // Paper mode reads the precomputed `w_ns` table (switching
+                // is free, staying costs the node's best egress time).
+                Some(m_in) if csc == CscMode::Paper && m_in == link.medium => w_ns[node],
                 Some(m_in) => {
                     csc.cost(net, query, empower_model::NodeId(node as u32), m_in, link.medium)
                 }

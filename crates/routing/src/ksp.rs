@@ -7,13 +7,38 @@
 
 use std::collections::BTreeSet;
 
-use empower_model::{Network, Path};
+use empower_model::{LinkId, Network, Path};
 
 use crate::dijkstra::{
-    path_weight, shortest_path, shortest_path_with_budget, CscMode, DijkstraOutcome, MAX_ROUTE_HOPS,
+    path_weight, shortest_path_with_scratch, CscMode, DijkstraOutcome, DijkstraScratch,
+    MAX_ROUTE_HOPS,
 };
 use crate::metrics::LinkMetric;
 use crate::query::RouteQuery;
+
+/// Reusable working memory for [`k_shortest_paths_into`]: the Dijkstra
+/// scratch, the candidate pool, the duplicate-suppression set, and the
+/// lexicographic index over accepted paths that powers the prefix-range
+/// spur-ban lookup. One workspace amortizes all allocations across the many
+/// KSP invocations an exploration tree performs.
+#[derive(Debug, Default)]
+pub struct KspWorkspace {
+    dijkstra: DijkstraScratch,
+    candidates: Vec<DijkstraOutcome>,
+    seen: BTreeSet<Vec<u32>>,
+    /// Indices into the accepted list, sorted lexicographically by link
+    /// sequence. Accepted paths sharing a root prefix form a contiguous
+    /// range here, so the per-spur ban scan narrows a `[lo, hi)` window
+    /// instead of re-scanning every accepted path at every spur index.
+    order: Vec<usize>,
+}
+
+impl KspWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Computes up to `k` shortest loopless paths for `query`, cheapest first.
 ///
@@ -26,59 +51,120 @@ pub fn k_shortest_paths(
     query: &RouteQuery,
     k: usize,
 ) -> Vec<DijkstraOutcome> {
-    let mut accepted: Vec<DijkstraOutcome> = Vec::new();
-    let Some(first) = shortest_path(net, metric, csc, query) else {
-        return accepted;
+    let mut ws = KspWorkspace::new();
+    let mut out = Vec::new();
+    k_shortest_paths_into(net, metric, csc, query, k, &mut ws, &mut out);
+    out
+}
+
+/// [`k_shortest_paths`] writing into `out` and running on caller-provided
+/// working memory. The accepted sequence is identical to the allocating
+/// entry point.
+pub fn k_shortest_paths_into(
+    net: &Network,
+    metric: &LinkMetric,
+    csc: CscMode,
+    query: &RouteQuery,
+    k: usize,
+    ws: &mut KspWorkspace,
+    out: &mut Vec<DijkstraOutcome>,
+) {
+    out.clear();
+    ws.candidates.clear();
+    ws.seen.clear();
+    ws.order.clear();
+    if k == 0 {
+        return;
+    }
+    let Some(first) =
+        shortest_path_with_scratch(net, metric, csc, query, None, MAX_ROUTE_HOPS, &mut ws.dijkstra)
+    else {
+        return;
     };
-    accepted.push(first);
+    ws.seen.insert(first.path.links().iter().map(|l| l.0).collect());
+    push_ordered(out, &mut ws.order, first);
 
-    // Candidate pool; kept sorted on extraction. Deduplicated by link
-    // sequence.
-    let mut candidates: Vec<DijkstraOutcome> = Vec::new();
-    let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
-    seen.insert(accepted[0].path.links().iter().map(|l| l.0).collect());
+    // One spur query per accepted path: the banned sets are edited in place
+    // (tracked inserts, removed before the next spur index) instead of
+    // cloning the query's BTreeSets for every spur.
+    let mut spur_query = query.clone();
+    let mut added_nodes: Vec<empower_model::NodeId> = Vec::new();
+    let mut added_links: Vec<LinkId> = Vec::new();
 
-    while accepted.len() < k {
-        // `accepted` starts with the first shortest path and only grows.
-        let Some(last) = accepted.last() else { break };
-        let prev = last.path.clone();
-        let prev_nodes = prev.nodes(net);
+    while out.len() < k {
+        // `out` starts with the first shortest path and only grows.
+        let Some(last_idx) = out.len().checked_sub(1) else { break };
+        let prev_links: Vec<LinkId> = out[last_idx].path.links().to_vec();
+        let prev_nodes = out[last_idx].path.nodes(net);
 
-        for spur_idx in 0..prev.hop_count() {
+        // Accepted paths sharing the (empty) root prefix: all of them.
+        let mut lo = 0usize;
+        let mut hi = ws.order.len();
+        debug_assert!(added_nodes.is_empty());
+
+        for spur_idx in 0..prev_links.len() {
             let spur_node = prev_nodes[spur_idx];
-            let root_links = &prev.links()[..spur_idx];
+            let root_links = &prev_links[..spur_idx];
 
-            let mut spur_query = query.clone();
             spur_query.src = spur_node;
             // Ban the next link of every *accepted* path sharing this root,
             // so the spur leg must deviate here. (Banning pending
             // candidates' links too would over-constrain the search and
             // break the weight ordering — duplicates are handled by the
-            // `seen` set instead.)
-            for known in accepted.iter().map(|o| &o.path) {
-                if known.links().len() > spur_idx && &known.links()[..spur_idx] == root_links {
-                    spur_query.banned_links.insert(known.links()[spur_idx]);
+            // `seen` set instead.) `order[lo..hi]` is exactly the accepted
+            // paths whose first `spur_idx` links equal `root_links`; within
+            // it, equal next-links are contiguous, so the distinct bans fall
+            // out of a single sorted sweep.
+            debug_assert!(ws.order[lo..hi]
+                .iter()
+                .all(|&i| out[i].path.links().starts_with(root_links)));
+            for &i in &ws.order[lo..hi] {
+                let known = out[i].path.links();
+                if let Some(&next) = known.get(spur_idx) {
+                    if spur_query.banned_links.insert(next) {
+                        added_links.push(next);
+                    }
                 }
             }
-            // Ban the root's interior nodes to keep the total path loopless.
-            for &node in &prev_nodes[..spur_idx] {
-                spur_query.banned_nodes.insert(node);
+            // Ban the root's interior nodes to keep the total path loopless;
+            // the set grows by exactly one node per spur index.
+            if spur_idx > 0 && spur_query.banned_nodes.insert(prev_nodes[spur_idx - 1]) {
+                added_nodes.push(prev_nodes[spur_idx - 1]);
             }
 
             let ingress = (spur_idx > 0).then(|| net.link(root_links[spur_idx - 1]).medium);
             // The spliced path must respect the header's 6-hop cap, so the
             // spur leg's budget shrinks by the root's length.
             let budget = MAX_ROUTE_HOPS - spur_idx;
-            let Some(spur) =
-                shortest_path_with_budget(net, metric, csc, &spur_query, ingress, budget)
-            else {
+            let spur = shortest_path_with_scratch(
+                net,
+                metric,
+                csc,
+                &spur_query,
+                ingress,
+                budget,
+                &mut ws.dijkstra,
+            );
+            for l in added_links.drain(..) {
+                spur_query.banned_links.remove(&l);
+            }
+
+            // Narrow the prefix window for the next spur index: keep only
+            // the accepted paths whose link at `spur_idx` matches `prev`'s.
+            let target = prev_links[spur_idx];
+            lo += ws.order[lo..hi]
+                .partition_point(|&i| out[i].path.links().get(spur_idx) < Some(&target));
+            hi = lo
+                + ws.order[lo..hi]
+                    .partition_point(|&i| out[i].path.links().get(spur_idx) <= Some(&target));
+
+            let Some(spur) = spur else {
                 continue;
             };
-
             let mut links = root_links.to_vec();
             links.extend_from_slice(spur.path.links());
             let key: Vec<u32> = links.iter().map(|l| l.0).collect();
-            if !seen.insert(key) {
+            if !ws.seen.insert(key) {
                 continue;
             }
             let Ok(path) = Path::new(net, links) else {
@@ -86,15 +172,20 @@ pub fn k_shortest_paths(
             };
             debug_assert!(path.hop_count() <= MAX_ROUTE_HOPS, "budgeted spur overran the cap");
             let weight = path_weight(net, metric, csc, query, path.links());
-            candidates.push(DijkstraOutcome { path, weight });
+            ws.candidates.push(DijkstraOutcome { path, weight });
+        }
+        // Reset the banned-node set for the next accepted path.
+        for node in added_nodes.drain(..) {
+            spur_query.banned_nodes.remove(&node);
         }
 
-        if candidates.is_empty() {
+        if ws.candidates.is_empty() {
             break;
         }
         // Extract the cheapest candidate (stable tie-break on links); the
         // emptiness check above makes the `min_by` always succeed.
-        let Some(best_idx) = candidates
+        let Some(best_idx) = ws
+            .candidates
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
@@ -104,14 +195,27 @@ pub fn k_shortest_paths(
         else {
             break;
         };
-        accepted.push(candidates.swap_remove(best_idx));
+        let best = ws.candidates.swap_remove(best_idx);
+        push_ordered(out, &mut ws.order, best);
     }
-    accepted
+    ws.candidates.clear();
+    ws.seen.clear();
+    ws.order.clear();
+}
+
+/// Appends `outcome` to `out` and inserts its index into `order`, keeping
+/// `order` sorted lexicographically by link sequence.
+fn push_ordered(out: &mut Vec<DijkstraOutcome>, order: &mut Vec<usize>, outcome: DijkstraOutcome) {
+    let idx = out.len();
+    let pos = order.partition_point(|&i| out[i].path.links() < outcome.path.links());
+    out.push(outcome);
+    order.insert(pos, idx);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dijkstra::shortest_path;
     use empower_model::topology::{fig1_scenario, fig3_scenario};
     use empower_model::Medium;
 
@@ -201,6 +305,27 @@ mod tests {
         for o in &paths {
             for &l in o.path.links() {
                 assert_eq!(s.net.link(l).medium, Medium::WIFI1);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        // The same workspace serving two different queries must reproduce
+        // the fresh-workspace output of each, in order, bit for bit.
+        let s = fig3_scenario();
+        let metric = LinkMetric::ett(&s.net);
+        let q1 = RouteQuery::new(s.source, s.dest);
+        let q2 = RouteQuery::new(s.dest, s.source);
+        let mut ws = KspWorkspace::new();
+        let mut got = Vec::new();
+        for q in [&q1, &q2, &q1] {
+            k_shortest_paths_into(&s.net, &metric, CscMode::Paper, q, 10, &mut ws, &mut got);
+            let fresh = k_shortest_paths(&s.net, &metric, CscMode::Paper, q, 10);
+            assert_eq!(got.len(), fresh.len());
+            for (a, b) in got.iter().zip(&fresh) {
+                assert_eq!(a.path.links(), b.path.links());
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
             }
         }
     }

@@ -35,9 +35,14 @@ pub mod query;
 pub mod update;
 
 pub use baselines::{mp_2bp, single_path_route};
-pub use dijkstra::{path_weight, shortest_path, CscMode, DijkstraOutcome, MAX_ROUTE_HOPS};
-pub use ksp::k_shortest_paths;
+pub use dijkstra::{
+    path_weight, shortest_path, CscMode, DijkstraOutcome, DijkstraScratch, MAX_ROUTE_HOPS,
+};
+pub use ksp::{k_shortest_paths, k_shortest_paths_into, KspWorkspace};
 pub use metrics::{LinkMetric, MetricKind};
-pub use multipath::{best_combination, MultipathConfig, RouteAllocation, RouteSet};
+pub use multipath::{
+    best_combination, best_combination_reference, best_combination_reference_counted, Explorer,
+    MultipathConfig, RouteAllocation, RouteSet, SearchStats,
+};
 pub use query::RouteQuery;
-pub use update::{path_rate, update_multigraph};
+pub use update::{path_rate, update_multigraph, update_multigraph_logged, UndoLog, UpdateScratch};

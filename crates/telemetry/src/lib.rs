@@ -195,6 +195,22 @@ impl Telemetry {
         CounterSnapshot { counters }
     }
 
+    /// Folds a snapshot taken from another registry (e.g. a per-work-item
+    /// registry inside a parallel sweep worker) into this one. Monotone
+    /// flavors (packets / bytes / errors) **add** — they commute, so any
+    /// merge order gives the serial totals — while gauges **set** (last
+    /// write wins): merging worker snapshots in work-item index order then
+    /// reproduces exactly the value a serial run would have left behind.
+    pub fn merge_snapshot(&self, snap: &CounterSnapshot) {
+        for (name, flavor, value) in &snap.counters {
+            let c = self.counter(name.clone(), *flavor);
+            match flavor {
+                CounterType::Gauge => c.set(*value),
+                _ => c.add(*value),
+            }
+        }
+    }
+
     /// The trace records currently in the ring (oldest first).
     pub fn trace_records(&self) -> Vec<TraceRecord> {
         self.inner.as_ref().map_or_else(Vec::new, |i| i.trace.borrow().clone_records())
@@ -407,6 +423,24 @@ mod tests {
             (tele.snapshot(), tele.trace_jsonl())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_snapshot_adds_monotone_and_sets_gauges() {
+        let worker_a = Telemetry::enabled();
+        worker_a.counter("sweep/runs", CounterType::Packets).add(3);
+        worker_a.counter("fig4/coincide", CounterType::Gauge).set(7);
+        let worker_b = Telemetry::enabled();
+        worker_b.counter("sweep/runs", CounterType::Packets).add(2);
+        worker_b.counter("fig4/coincide", CounterType::Gauge).set(9);
+        let main = Telemetry::enabled();
+        main.counter("sweep/runs", CounterType::Packets).inc();
+        // Index-order merge: the serial run would end with b's gauge value.
+        main.merge_snapshot(&worker_a.snapshot());
+        main.merge_snapshot(&worker_b.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.value("sweep/runs"), Some(6));
+        assert_eq!(snap.value("fig4/coincide"), Some(9));
     }
 
     #[test]

@@ -114,68 +114,96 @@ pub fn run_experiment_traced(
     seed: u64,
     tele: &Telemetry,
 ) -> Table1Row {
-    let src = NodeId(6 - 1);
-    let dst = NodeId(13 - 1);
     let mut results: Vec<(Vec<f64>, Vec<f64>)> = Vec::new(); // per scheme: (main, conc-total)
-    for scheme in [Scheme::Empower, Scheme::MpWoCc] {
+    for scheme in SCHEMES {
         let mut main_durations = Vec::new();
         let mut conc_durations = Vec::new();
         for rep in 0..repetitions {
-            let mut flows = vec![(
-                src,
-                dst,
-                TrafficPattern::FileDownload { start: 0.0, size_bytes: experiment.main_size() },
-            )];
-            if experiment == Experiment::Conc {
-                flows.push((
-                    NodeId(12 - 1),
-                    NodeId(8 - 1),
-                    TrafficPattern::PoissonFiles {
-                        start: 0.0,
-                        count: 5,
-                        size_bytes: 5_000_000,
-                        mean_gap_secs: 60.0,
-                    },
-                ));
-            }
-            let sim_cfg =
-                SimConfig { delta: 0.05, seed: seed ^ ((rep as u64) << 16), ..Default::default() };
-            let (mut sim, mapping) = RunConfig::new(scheme)
-                .telemetry(tele.clone())
-                .build_simulation(net, imap, &flows, sim_cfg)
-                // empower-lint: allow(D005) — RunConfig defaults to tolerant
-                // connectivity, which is build_simulation's only error path.
-                .expect("tolerant mode cannot fail");
-            // Generous horizon: 2 GB at a few tens of Mbps finishes well
-            // within an hour of simulated time.
-            let horizon = (experiment.main_size() as f64 * 8.0 / 2e6).clamp(120.0, 4000.0);
-            let report = sim.run(horizon);
-            if let Some(f) = mapping[0] {
-                if let Some(&d) = report.flows[f].completions.first() {
-                    main_durations.push(d);
-                }
-            }
-            if experiment == Experiment::Conc {
-                if let Some(f) = mapping[1] {
-                    // The paper reports the total time for the 25 MB of
-                    // concurrent files: sum of the five download times.
-                    let total: f64 = report.flows[f].completions.iter().sum();
-                    if report.flows[f].completions.len() == 5 {
-                        conc_durations.push(total);
-                    }
-                }
-            }
+            let (main, conc) = run_repetition(net, imap, experiment, scheme, rep, seed, tele);
+            main_durations.extend(main);
+            conc_durations.extend(conc);
         }
         results.push((main_durations, conc_durations));
     }
-    let (emp_main, emp_conc) = &results[0];
-    let (wo_main, wo_conc) = &results[1];
+    row_from_samples(experiment, &results[0], &results[1])
+}
+
+/// The two schemes of Table 1, in row order (EMPoWER first).
+pub const SCHEMES: [Scheme; 2] = [Scheme::Empower, Scheme::MpWoCc];
+
+/// One `(scheme, repetition)` cell of a Table 1 experiment — the
+/// independently-seeded unit a parallel runner can fan out over. Returns
+/// `(main download duration, concurrent-flow total)`; either is `None` when
+/// the corresponding download did not complete within the horizon.
+pub fn run_repetition(
+    net: &Network,
+    imap: &InterferenceMap,
+    experiment: Experiment,
+    scheme: Scheme,
+    rep: usize,
+    seed: u64,
+    tele: &Telemetry,
+) -> (Option<f64>, Option<f64>) {
+    let src = NodeId(6 - 1);
+    let dst = NodeId(13 - 1);
+    let mut flows = vec![(
+        src,
+        dst,
+        TrafficPattern::FileDownload { start: 0.0, size_bytes: experiment.main_size() },
+    )];
+    if experiment == Experiment::Conc {
+        flows.push((
+            NodeId(12 - 1),
+            NodeId(8 - 1),
+            TrafficPattern::PoissonFiles {
+                start: 0.0,
+                count: 5,
+                size_bytes: 5_000_000,
+                mean_gap_secs: 60.0,
+            },
+        ));
+    }
+    let sim_cfg =
+        SimConfig { delta: 0.05, seed: seed ^ ((rep as u64) << 16), ..Default::default() };
+    let (mut sim, mapping) = RunConfig::new(scheme)
+        .telemetry(tele.clone())
+        .build_simulation(net, imap, &flows, sim_cfg)
+        // empower-lint: allow(D005) — RunConfig defaults to tolerant
+        // connectivity, which is build_simulation's only error path.
+        .expect("tolerant mode cannot fail");
+    // Generous horizon: 2 GB at a few tens of Mbps finishes well
+    // within an hour of simulated time.
+    let horizon = (experiment.main_size() as f64 * 8.0 / 2e6).clamp(120.0, 4000.0);
+    let report = sim.run(horizon);
+    let main = mapping[0].and_then(|f| report.flows[f].completions.first().copied());
+    let conc = (experiment == Experiment::Conc)
+        .then(|| {
+            mapping[1].and_then(|f| {
+                // The paper reports the total time for the 25 MB of
+                // concurrent files: sum of the five download times.
+                (report.flows[f].completions.len() == 5)
+                    .then(|| report.flows[f].completions.iter().sum::<f64>())
+            })
+        })
+        .flatten();
+    (main, conc)
+}
+
+/// Assembles a [`Table1Row`] from per-scheme sample lists (each a
+/// `(main durations, concurrent-flow totals)` pair, EMPoWER first) —
+/// the aggregation half of [`run_experiment_traced`], usable directly by a
+/// parallel runner that collected the samples itself.
+pub fn row_from_samples(
+    experiment: Experiment,
+    empower: &(Vec<f64>, Vec<f64>),
+    mp_wo_cc: &(Vec<f64>, Vec<f64>),
+) -> Table1Row {
     Table1Row {
         experiment,
-        empower: stats(emp_main),
-        mp_wo_cc: stats(wo_main),
-        conc_flow_empower: (experiment == Experiment::Conc).then(|| stats(emp_conc)),
-        conc_flow_wo_cc: (experiment == Experiment::Conc).then(|| stats(wo_conc)),
+        empower: stats(&empower.0),
+        mp_wo_cc: stats(&mp_wo_cc.0),
+        conc_flow_empower: (experiment == Experiment::Conc).then(|| stats(&empower.1)),
+        conc_flow_wo_cc: (experiment == Experiment::Conc).then(|| stats(&mp_wo_cc.1)),
     }
 }
 
