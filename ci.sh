@@ -27,11 +27,21 @@ say "empower-lint (determinism & invariant gate)"
 cargo run -q -p empower-lint
 
 if [ "${1:-}" = "quick" ]; then
-    say "tests (debug, equivalence corpus trimmed)"
+    say "tests (debug, equivalence corpora trimmed)"
     # The §3.2 equivalence property test sweeps 50 random topologies by
     # default; 12 keep the quick loop fast while still crossing both
-    # topology classes and the restricted-medium query.
-    EMPOWER_EQUIV_TOPOLOGIES=12 cargo test -q
+    # topology classes and the restricted-medium query. The simulator
+    # engine-equivalence corpus is likewise trimmed to its Fig. 1 prefix
+    # plus the first dynamics scenarios; CI's full mode runs everything.
+    EMPOWER_EQUIV_TOPOLOGIES=12 EMPOWER_SIM_EQUIV_SCENARIOS=14 cargo test -q
+    say "perf gate: simulator hot-path counters vs checked-in budget"
+    # Counter-only in quick mode (EMPOWER_SIM_SKIP_TIMING): wall-clock
+    # batches of an unoptimized debug build prove nothing, but the
+    # deterministic allocation counters gate exactly the same way.
+    PERF_JSON="$(mktemp)"
+    EMPOWER_SIM_SKIP_TIMING=1 cargo run -q -p empower-bench --bin bench_sim -- \
+        --quick --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
+    rm -f "$PERF_JSON"
 else
     say "tier-1: release build"
     cargo build --release
@@ -44,6 +54,14 @@ else
     # wall-clock thresholds, so no flakiness.
     PERF_JSON="$(mktemp)"
     target/release/bench_routing --quick \
+        --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
+    rm -f "$PERF_JSON"
+    say "perf gate: simulator hot-path counters vs checked-in budget"
+    # Also re-proves engine equivalence on the corpus prefix and reports
+    # the optimized/reference event-dispatch throughput (informational;
+    # only the deterministic counters gate).
+    PERF_JSON="$(mktemp)"
+    target/release/bench_sim --quick \
         --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
     rm -f "$PERF_JSON"
 fi

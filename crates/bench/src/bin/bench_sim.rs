@@ -1,0 +1,273 @@
+#![forbid(unsafe_code)]
+//! Perf harness for the PR-5 zero-allocation simulator hot path: the
+//! timer-wheel + bitset-MAC + packet-slab [`Simulation`] vs the retained
+//! pre-optimization [`ReferenceSimulation`] on the pinned equivalence
+//! corpus (`empower_sim::corpus`).
+//!
+//! Asserts byte-identical reports, traces and telemetry manifests on every
+//! corpus scenario, reports deterministic work counters for both engines
+//! (events dispatched, interference-domain probes, hot-path allocations,
+//! slab reuse, bytes not allocated), measures wall-clock event-dispatch
+//! throughput for both, and writes `BENCH_sim.json` (default at the
+//! current directory, `--json` overrides).
+//!
+//! With `--budget <file>` the binary acts as CI's perf-regression gate:
+//! the run fails if the optimized engine's steady-state hot-path
+//! allocations exceed the checked-in budget, or the reference/optimized
+//! allocation ratio drops below the budgeted floor. Both gated numbers are
+//! deterministic counters — no wall-clock flakiness.
+
+use empower_bench::harness::{bench_stats, BenchStats};
+use empower_bench::BenchArgs;
+use empower_sim::corpus::{corpus, run_scenario, run_scenario_plain, CorpusScenario};
+use empower_sim::{ReferenceSimulation, SimPerfStats, Simulation};
+use empower_telemetry::{Json, ToJson};
+
+/// Scenarios timed by `bench_stats` (shortened below so one iteration
+/// stays well under a batch): the 22-node testbed, whose interference
+/// domains span hundreds of links — the regime the per-frame domain walks
+/// and clones of the reference engine are priced in.
+const TIMED: &[&str] = &["testbed_pair_1_4_13", "testbed_tcp_1_13"];
+/// Duration override for the timed subset, seconds.
+const TIMED_SECS: f64 = 12.0;
+
+struct Counters {
+    events_dispatched: u64,
+    domain_probes: u64,
+    hot_allocs: u64,
+    slab_hits: u64,
+    slab_grows: u64,
+    bytes_not_allocated: u64,
+}
+
+impl From<SimPerfStats> for Counters {
+    fn from(p: SimPerfStats) -> Self {
+        Counters {
+            events_dispatched: p.events_dispatched,
+            domain_probes: p.domain_probes,
+            hot_allocs: p.hot_allocs,
+            slab_hits: p.slab_hits,
+            slab_grows: p.slab_grows,
+            bytes_not_allocated: p.bytes_not_allocated,
+        }
+    }
+}
+
+empower_telemetry::impl_to_json_struct!(Counters {
+    events_dispatched,
+    domain_probes,
+    hot_allocs,
+    slab_hits,
+    slab_grows,
+    bytes_not_allocated
+});
+
+struct Report {
+    seed: u64,
+    scenarios: u64,
+    optimized: Counters,
+    reference: Counters,
+    /// reference / optimized steady-state hot-path allocations.
+    alloc_ratio: f64,
+    /// reference / optimized interference-domain probe work.
+    probe_ratio: f64,
+    optimized_timing: BenchStats,
+    reference_timing: BenchStats,
+    /// Events dispatched per wall-clock second, median batch.
+    optimized_events_per_sec: f64,
+    reference_events_per_sec: f64,
+    /// optimized / reference median event-dispatch throughput.
+    event_throughput_ratio: f64,
+}
+
+empower_telemetry::impl_to_json_struct!(Report {
+    seed,
+    scenarios,
+    optimized,
+    reference,
+    alloc_ratio,
+    probe_ratio,
+    optimized_timing,
+    reference_timing,
+    optimized_events_per_sec,
+    reference_events_per_sec,
+    event_throughput_ratio
+});
+
+fn gate(report: &Report, budget_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(budget_path)
+        .map_err(|e| format!("cannot read budget {budget_path}: {e}"))?;
+    let budget =
+        Json::parse(&text).map_err(|e| format!("cannot parse budget {budget_path}: {e:?}"))?;
+    let max_allocs = budget
+        .get("sim_max_hot_allocs")
+        .and_then(|v| v.as_u64())
+        .ok_or("budget lacks sim_max_hot_allocs")?;
+    let min_ratio = budget
+        .get("sim_min_alloc_ratio")
+        .and_then(|v| v.as_f64())
+        .ok_or("budget lacks sim_min_alloc_ratio")?;
+    if report.optimized.hot_allocs > max_allocs {
+        return Err(format!(
+            "perf regression: {} steady-state hot-path allocations exceed budget {max_allocs}",
+            report.optimized.hot_allocs
+        ));
+    }
+    if report.alloc_ratio < min_ratio {
+        return Err(format!(
+            "perf regression: reference/optimized alloc ratio {:.1} below budgeted {min_ratio}",
+            report.alloc_ratio
+        ));
+    }
+    Ok(())
+}
+
+fn add(total: &mut Counters, p: SimPerfStats) {
+    total.events_dispatched += p.events_dispatched;
+    total.domain_probes += p.domain_probes;
+    total.hot_allocs += p.hot_allocs;
+    total.slab_hits += p.slab_hits;
+    total.slab_grows += p.slab_grows;
+    total.bytes_not_allocated += p.bytes_not_allocated;
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let all = corpus();
+    // Counter corpus: quick = the fast Fig. 1 prefix CI gates on (the
+    // budget is calibrated against it), full = every scenario.
+    let count = args.sweep(all.len(), 10).min(all.len());
+    let scenarios = &all[..count];
+
+    // Equivalence + counters over the corpus. The instrumented runs prove
+    // byte-identical behavior (report, trace, manifest); the plain runs
+    // accumulate the hot-path work counters the gate reads, with trace and
+    // telemetry detached exactly as in the timed section.
+    let mut optimized = Counters::from(SimPerfStats::default());
+    let mut reference = Counters::from(SimPerfStats::default());
+    for s in scenarios {
+        let opt = run_scenario::<Simulation>(s);
+        let refr = run_scenario::<ReferenceSimulation>(s);
+        assert_eq!(opt.report, refr.report, "{}: SimReport diverged", s.name);
+        assert_eq!(opt.trace, refr.trace, "{}: packet trace diverged", s.name);
+        assert_eq!(opt.manifest, refr.manifest, "{}: manifest diverged", s.name);
+        let (opt_rep, opt_perf) = run_scenario_plain::<Simulation>(s);
+        let (ref_rep, ref_perf) = run_scenario_plain::<ReferenceSimulation>(s);
+        assert_eq!(opt_rep, ref_rep, "{}: plain-run SimReport diverged", s.name);
+        assert_eq!(
+            opt_perf.events_dispatched, ref_perf.events_dispatched,
+            "{}: engines dispatched different event counts",
+            s.name
+        );
+        add(&mut optimized, opt_perf);
+        add(&mut reference, ref_perf);
+    }
+    let alloc_ratio = reference.hot_allocs as f64 / optimized.hot_allocs.max(1) as f64;
+    let probe_ratio = reference.domain_probes as f64 / optimized.domain_probes.max(1) as f64;
+
+    // Wall-clock: one iteration = the shortened timed subset, no trace, no
+    // telemetry (the steady-state configuration). Both engines run the same
+    // instances and dispatch identical event sequences. CI's quick (debug)
+    // invocation sets EMPOWER_SIM_SKIP_TIMING: the gate only reads the
+    // deterministic counters above, so unoptimized wall-clock batches would
+    // be minutes of noise for nothing.
+    let skip_timing = std::env::var_os("EMPOWER_SIM_SKIP_TIMING").is_some();
+    let timed: Vec<CorpusScenario> = all
+        .iter()
+        .filter(|s| TIMED.contains(&s.name))
+        .map(|s| CorpusScenario { duration: TIMED_SECS, ..*s })
+        .collect();
+    let zero =
+        BenchStats { min_ns: 0.0, median_ns: 0.0, p95_ns: 0.0, mean_ns: 0.0, batch: 0, batches: 0 };
+    let events_per_iter: u64 = if skip_timing {
+        0
+    } else {
+        timed.iter().map(|s| run_scenario_plain::<Simulation>(s).1.events_dispatched).sum()
+    };
+    let optimized_timing = if skip_timing {
+        zero
+    } else {
+        bench_stats(|| {
+            let mut ev = 0u64;
+            for s in &timed {
+                ev += run_scenario_plain::<Simulation>(s).1.events_dispatched;
+            }
+            ev
+        })
+    };
+    let reference_timing = if skip_timing {
+        zero
+    } else {
+        bench_stats(|| {
+            let mut ev = 0u64;
+            for s in &timed {
+                ev += run_scenario_plain::<ReferenceSimulation>(s).1.events_dispatched;
+            }
+            ev
+        })
+    };
+    let per_sec = |t: &BenchStats| events_per_iter as f64 / (t.median_ns / 1e9).max(1e-12);
+    let optimized_events_per_sec = if skip_timing { 0.0 } else { per_sec(&optimized_timing) };
+    let reference_events_per_sec = if skip_timing { 0.0 } else { per_sec(&reference_timing) };
+    let event_throughput_ratio = if skip_timing {
+        0.0
+    } else {
+        optimized_events_per_sec / reference_events_per_sec.max(1e-12)
+    };
+
+    let report = Report {
+        seed: args.seed,
+        scenarios: count as u64,
+        optimized,
+        reference,
+        alloc_ratio,
+        probe_ratio,
+        optimized_timing,
+        reference_timing,
+        optimized_events_per_sec,
+        reference_events_per_sec,
+        event_throughput_ratio,
+    };
+
+    println!("== bench_sim — zero-allocation simulator hot path, {count} corpus scenarios ==");
+    println!(
+        "events dispatched:     {:>12}   (identical on both engines)",
+        report.optimized.events_dispatched
+    );
+    println!(
+        "hot-path allocations:  optimized {:>10}   reference {:>10}   ratio {alloc_ratio:.1}x",
+        report.optimized.hot_allocs, report.reference.hot_allocs
+    );
+    println!(
+        "domain probes:         optimized {:>10}   reference {:>10}   ratio {probe_ratio:.1}x",
+        report.optimized.domain_probes, report.reference.domain_probes
+    );
+    println!(
+        "slab:                  {:>10} hits / {} grows    bytes not allocated: {}",
+        report.optimized.slab_hits,
+        report.optimized.slab_grows,
+        report.optimized.bytes_not_allocated
+    );
+    if skip_timing {
+        println!("event throughput:      (skipped: EMPOWER_SIM_SKIP_TIMING is set)");
+    } else {
+        println!(
+            "event throughput:      optimized {:>10.0}/s  reference {:>10.0}/s  ratio {event_throughput_ratio:.1}x  (median)",
+            optimized_events_per_sec, reference_events_per_sec
+        );
+    }
+
+    let json_path = args.json.clone().unwrap_or_else(|| "BENCH_sim.json".to_string());
+    std::fs::write(&json_path, report.to_json().to_string_pretty()).expect("write BENCH_sim.json");
+    eprintln!("(report written to {json_path})");
+
+    if let Some(budget_path) = &args.budget {
+        match gate(&report, budget_path) {
+            Ok(()) => println!("perf gate: OK (budget {budget_path})"),
+            Err(msg) => {
+                eprintln!("perf gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

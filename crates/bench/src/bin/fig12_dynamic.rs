@@ -5,14 +5,17 @@
 //! Loads `examples/fig12_drop.toml` — a saturated EMPoWER flow on the
 //! Fig. 1 network whose gateway↔extender WiFi link collapses to a tenth
 //! of its capacity at t = 40 s and recovers at t = 80 s — runs it through
-//! the dynamics driver, and prints the aggregate goodput series with the
-//! fault and reroute marks. The qualitative shape to look for is the
-//! paper's §6.4 narrative: a sharp dip on the drop, partial recovery once
-//! the route monitor reroutes onto PLC, and a return to the pre-fault
-//! level after the link comes back.
+//! the dynamics driver under `--runs` seeds (`--jobs` worker threads,
+//! byte-identical to serial), prints the base seed's goodput series with
+//! the fault and reroute marks, and summarizes the resilience metrics
+//! across seeds. The qualitative shape to look for is the paper's §6.4
+//! narrative: a sharp dip on the drop, partial recovery once the route
+//! monitor reroutes onto PLC, and a return to the pre-fault level after
+//! the link comes back.
 
+use empower_bench::sweep::run_dynamics_sweep;
 use empower_bench::{mean, BenchArgs};
-use empower_dynamics::{run_scenario, Scenario};
+use empower_dynamics::{FaultMetrics, Scenario};
 
 fn load_scenario(seed: u64) -> Scenario {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fig12_drop.toml");
@@ -25,9 +28,12 @@ fn load_scenario(seed: u64) -> Scenario {
 fn main() {
     let args = BenchArgs::parse();
     let scenario = load_scenario(args.seed);
+    let runs = args.sweep(8, 2);
     let tele = args.telemetry();
-    println!("== Fig. 12 (dynamic) — {} ==", scenario.name);
-    let outcome = run_scenario(&scenario, &tele).expect("example scenario runs");
+    println!("== Fig. 12 (dynamic) — {}, {runs} seeds ==", scenario.name);
+    let outcomes = run_dynamics_sweep(&scenario, args.seed, runs, args.jobs, &tele)
+        .expect("example scenario runs");
+    let outcome = &outcomes[0];
 
     let fault_at = outcome
         .resilience
@@ -35,7 +41,7 @@ fn main() {
         .map(|m| m.fault_at_secs)
         .expect("the scenario has one fault episode");
     let step = if args.quick { 20 } else { 5 };
-    println!("{:>6} {:>10}   (fault at {fault_at:.0} s)", "t[s]", "Mbps");
+    println!("{:>6} {:>10}   (seed {}, fault at {fault_at:.0} s)", "t[s]", "Mbps", args.seed);
     for (s, r) in outcome.aggregate_series.iter().enumerate() {
         if s % step != 0 {
             continue;
@@ -54,7 +60,7 @@ fn main() {
         println!("{s:>6} {r:>10.2}{mark}");
     }
 
-    // The three phases of the paper's recovery narrative.
+    // The three phases of the paper's recovery narrative, on the base seed.
     let series = &outcome.aggregate_series;
     let pre = mean(&series[20..40]);
     let degraded = mean(&series[50..80]);
@@ -63,10 +69,13 @@ fn main() {
         "\nphase means: pre-fault {pre:.2} Mbps, degraded {degraded:.2} Mbps, \
          recovered {recovered:.2} Mbps"
     );
-    for m in &outcome.resilience {
+    let episodes: Vec<FaultMetrics> =
+        outcomes.iter().flat_map(|o| o.resilience.iter().cloned()).collect();
+    for (i, m) in episodes.iter().enumerate() {
         println!(
-            "episode at {:.0} s: baseline {:.2} Mbps, detect {}, reconverge {}, \
+            "seed {}, episode at {:.0} s: baseline {:.2} Mbps, detect {}, reconverge {}, \
              dip {:.1} Mbit, {} packets lost",
+            args.seed + i as u64,
             m.fault_at_secs,
             m.baseline_mbps,
             m.time_to_detect_secs.map_or("—".into(), |d| format!("{d:.1} s")),
@@ -75,17 +84,25 @@ fn main() {
             m.packets_lost
         );
     }
+    let dips: Vec<f64> = episodes.iter().map(|m| m.dip_area_mbit).collect();
+    let recovered_seeds = episodes.iter().filter(|m| m.time_to_reconverge_secs.is_some()).count();
+    println!(
+        "across {runs} seeds: mean dip {:.1} Mbit, reconverged on {recovered_seeds}/{}",
+        mean(&dips),
+        episodes.len()
+    );
     let shape_ok = degraded < pre && recovered > degraded;
     println!(
         "qualitative Fig. 12 shape (dip on drop, recovery after reroute): {}",
         if shape_ok { "yes" } else { "NO" }
     );
 
-    args.maybe_dump(&outcome.resilience);
+    args.maybe_dump(&episodes);
     let mut m = args.manifest("fig12_dynamic");
     m.set("scenario", scenario.name.as_str())
         .set("scheme", scenario.run.scheme.label())
         .set("horizon_secs", scenario.run.horizon_secs)
-        .set("resilience", &outcome.resilience[..]);
+        .set("runs", runs as u64)
+        .set("resilience", &episodes[..]);
     args.maybe_write_manifest(m, &tele);
 }

@@ -5,10 +5,11 @@
 //! Paper's claim: with δ = 0.3, EMPoWER improves TCP performance on every
 //! one of the ten flows, generally without increasing variance.
 
+use empower_bench::sweep::run_fig13_parallel;
 use empower_bench::BenchArgs;
 use empower_model::topology::testbed22;
 use empower_model::{CarrierSense, InterferenceModel};
-use empower_testbed::fig13::{run_flows_traced, Fig13Config, FLOWS};
+use empower_testbed::fig13::{Fig13Config, FLOWS};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,7 +20,7 @@ fn main() {
     println!("== Fig. 13 — TCP rate, mean ± std (Mbps), δ = 0.3 ==");
     let flows =
         if args.quick { &FLOWS[..args.runs.unwrap_or(3).min(FLOWS.len())] } else { &FLOWS[..] };
-    let rows = run_flows_traced(&t.net, &imap, &config, flows, &tele);
+    let rows = run_fig13_parallel(&t.net, &imap, &config, flows, args.jobs, &tele);
     println!("{:<8}{:>20}{:>20}", "flow", "EMPoWER", "SP-w/o-CC");
     let mut wins = 0;
     for r in &rows {

@@ -7,7 +7,7 @@
 //! beats MP-2bp even though its route selection optimizes a single flow's
 //! throughput.
 
-use empower_bench::sweep::run_one_traced;
+use empower_bench::sweep::run_sweep_parallel;
 use empower_bench::{cdf_line, BenchArgs};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
@@ -33,8 +33,8 @@ fn main() {
         let label = format!("{class:?}");
         println!("== Fig. 7 — U_X / U_optimal, 3 flows, {label} topology, {runs} runs ==");
         let mut ratios: Vec<Vec<f64>> = Vec::new();
-        for i in 0..runs {
-            let r = run_one_traced(class, args.seed + i as u64, 3, &SCHEMES, &params, &tele);
+        for r in run_sweep_parallel(class, args.seed, runs, 3, &SCHEMES, &params, args.jobs, &tele)
+        {
             let opt = r.optimal.utility;
             if opt <= 1e-9 {
                 continue;

@@ -200,6 +200,64 @@ pub fn run_sweep_parallel(
     out
 }
 
+/// Runs `scenario` under `count` seeds (`run.seed = base_seed + index`) on
+/// `jobs` worker threads and returns the outcomes in index order —
+/// byte-identical to a serial loop for any `jobs`, with the same per-item
+/// telemetry snapshot/merge discipline as [`run_sweep_parallel`].
+///
+/// # Errors
+/// The first [`empower_dynamics::ScenarioError`] any seed produced (they
+/// all address the same topology, so one failing means all do).
+pub fn run_dynamics_sweep(
+    scenario: &empower_dynamics::Scenario,
+    base_seed: u64,
+    count: usize,
+    jobs: usize,
+    tele: &Telemetry,
+) -> Result<Vec<empower_dynamics::ScenarioOutcome>, empower_dynamics::ScenarioError> {
+    let enabled = tele.is_enabled();
+    let results = crate::parallel::run_indexed(jobs, count, |i| {
+        let item_tele = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        let mut item = scenario.clone();
+        item.run.seed = base_seed + i as u64;
+        empower_dynamics::run_scenario(&item, &item_tele).map(|out| (out, item_tele.snapshot()))
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        let (run, snap) = r?;
+        tele.merge_snapshot(&snap);
+        out.push(run);
+    }
+    Ok(out)
+}
+
+/// Runs the Fig. 13 testbed flow list on `jobs` worker threads (one work
+/// item per flow — each flow is an independent pair of simulations) and
+/// returns the rows in flow order — byte-identical to
+/// [`empower_testbed::fig13::run_flows_traced`] for any `jobs`.
+pub fn run_fig13_parallel(
+    net: &Network,
+    imap: &InterferenceMap,
+    config: &empower_testbed::fig13::Fig13Config,
+    flows: &[(u32, u32)],
+    jobs: usize,
+    tele: &Telemetry,
+) -> Vec<empower_testbed::fig13::Fig13Row> {
+    let enabled = tele.is_enabled();
+    let results = crate::parallel::run_indexed(jobs, flows.len(), |i| {
+        let item_tele = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        let rows =
+            empower_testbed::fig13::run_flows_traced(net, imap, config, &flows[i..=i], &item_tele);
+        (rows, item_tele.snapshot())
+    });
+    let mut out = Vec::with_capacity(flows.len());
+    for (rows, snap) in results {
+        tele.merge_snapshot(&snap);
+        out.extend(rows);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,9 +6,11 @@
 //! would silently change — exactly the class of bug the deterministic
 //! telemetry subsystem exists to rule out.
 
-use empower_bench::sweep::{run_sweep_parallel, SweepRun};
+use empower_bench::sweep::{run_dynamics_sweep, run_fig13_parallel, run_sweep_parallel, SweepRun};
 use empower_core::{FluidEval, Scheme};
 use empower_model::topology::random::TopologyClass;
+use empower_model::topology::testbed22;
+use empower_model::{CarrierSense, InterferenceModel};
 use empower_telemetry::{Manifest, Telemetry, ToJson};
 
 const SCHEMES: [Scheme; 2] = [Scheme::Empower, Scheme::Sp];
@@ -32,6 +34,91 @@ fn sweep(jobs: usize, tele: &Telemetry) -> Vec<SweepRun> {
         jobs,
         tele,
     )
+}
+
+/// A shortened Fig. 12-style capacity-drop scenario (same shape as
+/// `examples/fig12_drop.toml`, 24 s instead of 120 s) for the dynamics
+/// sweep gate.
+const DROP_SCENARIO: &str = r#"
+schema = 1
+name = "determinism drop"
+
+[topology]
+kind = "fig1"
+
+[run]
+scheme = "EMPoWER"
+seed = 1
+horizon_secs = 24.0
+poll_secs = 0.5
+recovery_fraction = 0.6
+
+[[flows]]
+src = 0
+dst = 2
+pattern = "saturated"
+start = 0.0
+stop = 24.0
+
+[[events]]
+at = 8.0
+kind = "capacity"
+link = 2
+capacity_mbps = 1.5
+both = true
+
+[[events]]
+at = 16.0
+kind = "link_up"
+link = 2
+both = true
+"#;
+
+fn counter_manifest(tele: &Telemetry) -> String {
+    let mut m = Manifest::new("determinism_gate");
+    m.set("seed", SEED).attach_counters(tele);
+    m.render()
+}
+
+#[test]
+fn parallel_dynamics_sweep_matches_serial_bytes_and_manifest() {
+    let scenario =
+        empower_dynamics::Scenario::parse_str(DROP_SCENARIO).expect("inline scenario parses");
+    let serial_tele = Telemetry::enabled();
+    let serial = run_dynamics_sweep(&scenario, SEED, 3, 1, &serial_tele).expect("scenario runs");
+    let par_tele = Telemetry::enabled();
+    let parallel = run_dynamics_sweep(&scenario, SEED, 3, 2, &par_tele).expect("scenario runs");
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "jobs=2 changed dynamics outcomes vs serial"
+    );
+    assert_eq!(
+        counter_manifest(&serial_tele),
+        counter_manifest(&par_tele),
+        "jobs=2 changed the dynamics counter manifest vs serial"
+    );
+}
+
+#[test]
+fn parallel_fig13_rows_match_serial_bytes_and_manifest() {
+    let t = testbed22(SEED);
+    let imap = CarrierSense::default().build_map(&t.net);
+    let config = empower_testbed::fig13::Fig13Config { duration: 20.0, seed: SEED };
+    let flows = &empower_testbed::fig13::FLOWS[..3];
+    let serial_tele = Telemetry::enabled();
+    let serial = run_fig13_parallel(&t.net, &imap, &config, flows, 1, &serial_tele);
+    let par_tele = Telemetry::enabled();
+    let parallel = run_fig13_parallel(&t.net, &imap, &config, flows, 2, &par_tele);
+    let render = |rows: &[empower_testbed::fig13::Fig13Row]| {
+        rows.iter().map(|r| r.to_json().to_string_pretty()).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(render(&serial), render(&parallel), "jobs=2 changed Fig. 13 rows vs serial");
+    assert_eq!(
+        counter_manifest(&serial_tele),
+        counter_manifest(&par_tele),
+        "jobs=2 changed the Fig. 13 counter manifest vs serial"
+    );
 }
 
 #[test]

@@ -131,10 +131,21 @@ impl LinkPriceState {
 
     /// Produces this node's per-technology broadcasts for the current slot.
     pub fn make_broadcasts(&self, net: &Network) -> Vec<PriceBroadcast> {
-        let mut out: Vec<PriceBroadcast> = Vec::new();
+        let mut out = Vec::new();
+        self.make_broadcasts_into(net, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`LinkPriceState::make_broadcasts`]:
+    /// appends this node's broadcasts to `out`, so one reused vector can
+    /// collect a whole network's worth per slot. Per-medium aggregation
+    /// only merges into entries appended by *this* call — broadcasts from
+    /// previously appended nodes are never touched.
+    pub fn make_broadcasts_into(&self, net: &Network, out: &mut Vec<PriceBroadcast>) {
+        let start = out.len();
         for (i, &l) in self.egress.iter().enumerate() {
             let medium = net.link(l).medium;
-            match out.iter_mut().find(|b| b.medium == medium) {
+            match out[start..].iter_mut().find(|b| b.medium == medium) {
                 Some(b) => {
                     b.airtime_demand += self.demand[i];
                     b.gamma_sum += self.gamma[i];
@@ -148,7 +159,6 @@ impl LinkPriceState {
                 }),
             }
         }
-        out
     }
 
     /// One slot of Eq. (7)+(8): combines own demands with overheard
@@ -229,6 +239,139 @@ impl LinkPriceState {
         // empower-lint: allow(D005) — internal helper; the egress set is
         // fixed at construction and every caller passes a member of it.
         self.egress.iter().position(|&e| e == link).expect("link is an egress of this node")
+    }
+}
+
+/// Precomputed index plan over the concatenated broadcast vector.
+///
+/// The *layout* of the broadcast vector produced by calling
+/// [`LinkPriceState::make_broadcasts_into`] for a fixed slice of states in a
+/// fixed order never changes during a run: it depends only on each node's
+/// egress set and the links' media, neither of which topology dynamics
+/// touch (dead links keep their slot with zero demand). The plan exploits
+/// that to replace the per-slot `(from, medium)` membership scans — an
+/// `O(egress × broadcasts × |domain nodes|)` pass per node — with direct
+/// indexed sums, and to drop the per-slot scratch vector
+/// [`LinkPriceState::update_gammas_with_tcp_margin`] allocates.
+///
+/// Every floating-point sum iterates in ascending broadcast-vector order,
+/// exactly like the scanning originals, so the planned variants are
+/// **bit-identical** to them (asserted in this module's tests).
+#[derive(Debug, Clone)]
+pub struct BroadcastPlan {
+    /// Per state, per egress link: ascending indices into the broadcast
+    /// vector of the `(node, medium)` entries in the link's overhearing set.
+    indices: Vec<Vec<Vec<u32>>>,
+    /// Per [`LinkId`] index: the link's position in its owner's egress list.
+    egress_pos: Vec<u32>,
+    /// Expected broadcast-vector length (for debug sanity checks).
+    len: usize,
+}
+
+impl BroadcastPlan {
+    /// Builds the plan for `states`, which must be the exact slice (same
+    /// order) whose broadcasts are later concatenated per slot.
+    pub fn new(net: &Network, states: &[LinkPriceState]) -> Self {
+        // Reproduce the layout make_broadcasts_into generates: per state,
+        // one entry per distinct egress medium, in first-seen order.
+        let mut layout: Vec<(NodeId, Medium)> = Vec::new();
+        for s in states {
+            let start = layout.len();
+            for &l in &s.egress {
+                let medium = net.link(l).medium;
+                if !layout[start..].iter().any(|&(_, m)| m == medium) {
+                    layout.push((s.node, medium));
+                }
+            }
+        }
+        let indices = states
+            .iter()
+            .map(|s| {
+                s.overheard
+                    .iter()
+                    .map(|(nodes, _)| {
+                        layout
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, nm)| nodes.contains(nm))
+                            .map(|(i, _)| i as u32)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut egress_pos = vec![0u32; net.link_count()];
+        for s in states {
+            for (pos, &l) in s.egress.iter().enumerate() {
+                egress_pos[l.index()] = pos as u32;
+            }
+        }
+        BroadcastPlan { indices, egress_pos, len: layout.len() }
+    }
+
+    /// Planned, allocation-free equivalent of calling
+    /// [`LinkPriceState::update_gammas_with_tcp_margin`] on every state:
+    /// one slot of Eq. (7)+(8) for the whole network. Returns the total
+    /// airtime-margin violations, like summing the per-state calls.
+    pub fn update_gammas_with_tcp_margin(
+        &self,
+        states: &mut [LinkPriceState],
+        broadcasts: &[PriceBroadcast],
+        alpha: f64,
+        delta: f64,
+        delta_tcp: f64,
+    ) -> usize {
+        debug_assert_eq!(broadcasts.len(), self.len, "broadcast layout changed under the plan");
+        debug_assert_eq!(states.len(), self.indices.len());
+        let mut violations = 0;
+        for (s, rows) in states.iter_mut().zip(&self.indices) {
+            for (i, row) in rows.iter().enumerate() {
+                let mut external = 0.0;
+                let mut tcp = s.tcp_receiver;
+                for &bi in row {
+                    let b = &broadcasts[bi as usize];
+                    external += b.airtime_demand;
+                    tcp |= b.tcp_receiver;
+                }
+                let internal: f64 = s.overheard[i].1.iter().map(|&j| s.demand[j]).sum();
+                let yl = external + internal;
+                let d = if tcp { delta_tcp } else { delta };
+                let g = &mut s.gamma[i];
+                *g = (*g + alpha * (yl - (1.0 - d))).max(0.0);
+                if yl > 1.0 - d {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Planned equivalent of [`LinkPriceState::price_contribution`] for the
+    /// state at `state_index` (the owner of `link`).
+    pub fn price_contribution(
+        &self,
+        net: &Network,
+        states: &[LinkPriceState],
+        broadcasts: &[PriceBroadcast],
+        state_index: usize,
+        link: LinkId,
+    ) -> f64 {
+        // Empty = no slot has broadcast yet (or the scheme never does, e.g.
+        // plain single-path TCP): the scanning original sums to zero there.
+        debug_assert!(
+            broadcasts.len() == self.len || broadcasts.is_empty(),
+            "broadcast layout changed under the plan"
+        );
+        let s = &states[state_index];
+        debug_assert_eq!(net.link(link).from, s.node, "state is not the owner of the link");
+        let i = self.egress_pos[link.index()] as usize;
+        let external: f64 = if broadcasts.is_empty() {
+            0.0
+        } else {
+            self.indices[state_index][i].iter().map(|&bi| broadcasts[bi as usize].gamma_sum).sum()
+        };
+        let internal: f64 = s.overheard[i].1.iter().map(|&j| s.gamma[j]).sum();
+        net.link(link).cost() * (external + internal)
     }
 }
 
@@ -373,6 +516,58 @@ mod tests {
         let wifi = bs.iter().find(|b| b.medium == empower_model::Medium::WIFI1).unwrap();
         assert!((plc.airtime_demand - 0.3).abs() < 1e-12);
         assert!((wifi.airtime_demand - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planned_slot_updates_are_bit_identical_to_scanning() {
+        use empower_model::topology::testbed22;
+        use empower_model::CarrierSense;
+        // The 22-node testbed under carrier-sense interference: large,
+        // irregular overhearing sets — the regime the plan is for.
+        let net = testbed22(3).net;
+        let imap = CarrierSense::default().build_map(&net);
+        let mut scanning: Vec<LinkPriceState> =
+            net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
+        let mut planned = scanning.clone();
+        let plan = BroadcastPlan::new(&net, &scanning);
+        // Deterministic pseudo-demands, a TCP receiver, and several slots so
+        // gammas accumulate through the nonlinearity.
+        for slot in 0..5u64 {
+            for s in scanning.iter_mut().chain(planned.iter_mut()) {
+                s.set_tcp_receiver(s.node().index() == 4);
+                let egress: Vec<LinkId> = s.egress.clone();
+                for (k, l) in egress.into_iter().enumerate() {
+                    let d = ((slot + 1) * (k as u64 * 7 + l.index() as u64 * 13 + 1) % 97) as f64
+                        / 97.0;
+                    s.set_demand(l, d);
+                }
+            }
+            let mut bcast = Vec::new();
+            for s in &scanning {
+                s.make_broadcasts_into(&net, &mut bcast);
+            }
+            let mut viol_scan = 0;
+            for s in scanning.iter_mut() {
+                viol_scan += s.update_gammas_with_tcp_margin(&bcast, 0.02, 0.05, 0.3);
+            }
+            let viol_plan =
+                plan.update_gammas_with_tcp_margin(&mut planned, &bcast, 0.02, 0.05, 0.3);
+            assert_eq!(viol_scan, viol_plan, "slot {slot}: violation counts diverged");
+            for (a, b) in scanning.iter().zip(&planned) {
+                assert_eq!(a.gamma, b.gamma, "slot {slot}: gammas diverged at node {:?}", a.node);
+            }
+            // Price contributions from the updated gammas, every link.
+            for l in 0..net.link_count() {
+                let link = LinkId(l as u32);
+                let owner = net.link(link).from.index();
+                let direct = scanning[owner].price_contribution(&net, &bcast, link);
+                let fast = plan.price_contribution(&net, &planned, &bcast, owner, link);
+                assert!(
+                    direct.to_bits() == fast.to_bits(),
+                    "slot {slot} link {l}: {direct} vs {fast}"
+                );
+            }
+        }
     }
 
     #[test]

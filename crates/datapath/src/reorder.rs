@@ -63,13 +63,21 @@ impl ReorderBuffer {
     /// Accepts a packet that arrived on `route` with sequence `seq` and
     /// returns everything releasable, in order.
     pub fn accept(&mut self, route: usize, seq: u32) -> Vec<ReorderEvent> {
+        let mut out = Vec::new();
+        self.accept_into(route, seq, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ReorderBuffer::accept`]: appends the
+    /// releasable events to `out` (which the caller typically clears and
+    /// reuses across packets). A stale duplicate appends nothing.
+    pub fn accept_into(&mut self, route: usize, seq: u32, out: &mut Vec<ReorderEvent>) {
         let hi = &mut self.highest_per_route[route];
         if hi.is_none_or(|h| seq > h) {
             *hi = Some(seq);
         }
-        let mut out = Vec::new();
         if seq < self.next_seq {
-            return out; // stale duplicate
+            return; // stale duplicate
         }
         self.pending.insert(seq, ());
         if self.pending.len() > self.capacity {
@@ -82,8 +90,7 @@ impl ReorderBuffer {
                 }
             }
         }
-        self.drain(&mut out);
-        out
+        self.drain(out);
     }
 
     /// Applies the all-routes-passed loss rule and releases in-order data.
@@ -182,6 +189,19 @@ mod tests {
         assert!(forced.contains(&Lost(0)));
         assert!(forced.contains(&Deliver(9)));
         assert!(b.buffered() <= 8);
+    }
+
+    #[test]
+    fn accept_into_matches_accept_and_reuses_the_buffer() {
+        let mut a = ReorderBuffer::new(2);
+        let mut b = ReorderBuffer::new(2);
+        let mut out = Vec::new();
+        let arrivals = [(0, 1u32), (1, 0), (0, 2), (1, 4), (0, 3), (0, 3), (1, 6)];
+        for (r, s) in arrivals {
+            out.clear();
+            b.accept_into(r, s, &mut out);
+            assert_eq!(a.accept(r, s), out, "route {r} seq {s}");
+        }
     }
 
     #[test]

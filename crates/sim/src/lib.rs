@@ -22,20 +22,25 @@
 //! optional delay equalization for TCP.
 
 pub mod config;
+pub mod corpus;
 pub mod engine;
 pub mod event;
 pub mod flow;
 mod metrics;
 pub mod packet;
+pub mod perf;
+pub mod reference;
 pub mod stats;
 pub mod tcp;
 pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, ReferenceEventQueue};
 pub use flow::{FlowSpecSim, TrafficPattern};
-pub use packet::SimPacket;
+pub use packet::{PacketId, PacketSlab, SimPacket};
+pub use perf::SimPerfStats;
+pub use reference::ReferenceSimulation;
 pub use stats::{FlowStats, SimReport};
 pub use tcp::TcpConfig;
 pub use trace::{DropSite, Trace, TraceEvent};

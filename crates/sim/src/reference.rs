@@ -1,17 +1,24 @@
-//! The discrete-event engine: MAC, forwarding, control plane, applications.
+//! The retained pre-optimization engine: a verbatim copy of the
+//! simulator as it stood before the zero-allocation hot-path rework
+//! (binary-heap event queue, per-frame `domain(link)` slice scans and
+//! `.to_vec()` clones, by-value `SimPacket` queues, per-tick scratch
+//! allocations).
 //!
-//! This is the optimized, allocation-free-in-steady-state engine: events
-//! live in a timer wheel ([`crate::event::EventQueue`]), MAC contention is
-//! decided by word-level AND of interference-domain bitsets against a busy
-//! bitmask, packets are pooled in a free-list slab ([`PacketSlab`]) and
-//! referenced by 4-byte [`PacketId`] handles, and every per-frame/per-tick
-//! scratch vector is reused across calls. Results are bit-identical to
-//! [`crate::ReferenceSimulation`] (the retained pre-optimization engine),
-//! enforced by the seeded corpus in `crates/sim/tests/equivalence.rs`.
+//! [`ReferenceSimulation`] is the correctness oracle for
+//! [`crate::Simulation`]: the equivalence corpus
+//! (`crates/sim/tests/equivalence.rs`) runs both engines over ≥ 20 seeded
+//! scenarios and requires byte-identical `SimReport`s, traces and
+//! telemetry manifests. It is also the baseline `bench_sim` measures the
+//! optimized engine against, so it carries the same deterministic
+//! [`SimPerfStats`] work counters (instrumented at the allocation sites
+//! the rework removed).
+//!
+//! Keep this file semantically frozen — fix bugs in both engines or in
+//! neither.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use empower_cc::{BroadcastPlan, FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
+use empower_cc::{FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
 use empower_datapath::{
     AckCollector, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry, ReorderBuffer,
     ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
@@ -24,26 +31,14 @@ use empower_model::{InterferenceMap, LinkId, Network, NodeId};
 use empower_telemetry::{Counter, Telemetry};
 
 use crate::config::SimConfig;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, ReferenceEventQueue};
 use crate::flow::{FlowSpecSim, TrafficPattern};
 use crate::metrics::EngineCounters;
-use crate::packet::{PacketId, PacketKind, PacketSlab, SimPacket};
+use crate::packet::{PacketKind, SimPacket};
 use crate::perf::SimPerfStats;
 use crate::stats::{FlowStats, SimReport};
 use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
 use crate::trace::{DropSite, Trace, TraceEvent};
-
-/// Sets bit `i` in a packed word array.
-#[inline]
-fn set_bit(words: &mut [u64], i: usize) {
-    words[i / 64] |= 1u64 << (i % 64);
-}
-
-/// Clears bit `i` in a packed word array.
-#[inline]
-fn clear_bit(words: &mut [u64], i: usize) {
-    words[i / 64] &= !(1u64 << (i % 64));
-}
 
 /// One flow's live state inside the engine.
 struct FlowRuntime {
@@ -93,51 +88,28 @@ struct TcpFlow {
     rto_check_at: Option<f64>,
 }
 
-/// The simulator.
-pub struct Simulation {
+/// The pre-optimization simulator (see the module docs).
+pub struct ReferenceSimulation {
     net: Network,
     imap: InterferenceMap,
     reg: IfaceRegistry,
     cfg: SimConfig,
     rng: StdRng,
-    events: EventQueue,
+    events: ReferenceEventQueue,
     now: f64,
-    /// Pooled packet storage; queues and the busy table hold handles.
-    slab: PacketSlab,
-    /// Per-link FIFO queues of slab handles.
-    queues: Vec<VecDeque<PacketId>>,
+    /// Per-link FIFO queues.
+    queues: Vec<VecDeque<SimPacket>>,
     /// Frame currently on the air per link.
-    busy: Vec<Option<PacketId>>,
-    /// Packed mirror of `busy`: bit `l` set iff link `l` is transmitting.
-    busy_words: Vec<u64>,
-    /// Bit `l` set iff `queues[l]` is non-empty.
-    backlog_words: Vec<u64>,
-    /// Bit `l` set iff link `l` is alive (capacity > 0).
-    alive_words: Vec<u64>,
-    /// Per-link saturation-penalty domain sums, recomputed once per
-    /// control tick (its inputs only change there): exactly
-    /// `Σ_{i ∈ I_l} penalty_demand[i]`, in domain order, so `try_start`
-    /// reads one f64 instead of re-summing per frame.
-    domain_penalty: Vec<f64>,
+    busy: Vec<Option<SimPacket>>,
     last_start: Vec<f64>,
     /// Bits enqueued per link since the last control tick (demand).
     demand_bits: Vec<f64>,
-    /// EWMA-smoothed per-link airtime demand. Raw per-slot demand is
-    /// quantized to whole frames and therefore noisy (σ ≈ 0.1–0.2 of a
-    /// domain's budget at 12 kB frames); feeding it raw into the γ update's
-    /// positive-part recursion turns γ into a reflected random walk whose
-    /// mean grows with the noise, strangling the rates. Smoothing over a
-    /// few slots removes the bias at the cost of ~half a second of control
-    /// lag — exactly what a real driver's airtime statistics do.
+    /// EWMA-smoothed per-link airtime demand (see the optimized engine for
+    /// the rationale).
     last_demand: Vec<f64>,
-    /// Slow-EWMA demand driving the saturation penalty: persistent
-    /// overdrive must trigger it, single-slot quantization spikes must not.
+    /// Slow-EWMA demand driving the saturation penalty.
     penalty_demand: Vec<f64>,
     price_states: Vec<LinkPriceState>,
-    /// Precomputed broadcast-vector index plan (fixed for the whole run):
-    /// replaces the per-slot `(node, medium)` membership scans of the
-    /// reference engine with direct indexed sums, bit-identically.
-    bcast_plan: BroadcastPlan,
     broadcasts: Vec<PriceBroadcast>,
     flows: Vec<FlowRuntime>,
     stats: Vec<FlowStats>,
@@ -155,51 +127,25 @@ pub struct Simulation {
     etel: EngineCounters,
     /// Deterministic hot-path work counters.
     perf: SimPerfStats,
-    /// Reused candidate buffer for `tx_end`/`apply_capacity` domain scans.
-    scratch_links: Vec<LinkId>,
-    /// Reused reorder-result buffer for `deliver_to_reorder`.
-    scratch_reorder: Vec<ReorderEvent>,
-    /// Reused TCP-ACK buffer for `deliver_to_reorder`.
-    scratch_acks: Vec<u32>,
-    /// Reused per-node TCP-receiver flags for `control_tick`.
-    scratch_tcp_nodes: Vec<bool>,
-    /// Reused no-ack price vector for controller steps.
-    scratch_prices: Vec<Option<f64>>,
-    /// Reused broadcast buffer for the first `control_tick` collect.
-    scratch_broadcasts: Vec<PriceBroadcast>,
 }
 
-impl Simulation {
+impl ReferenceSimulation {
     /// Creates an empty simulation over `net`.
     pub fn new(net: Network, imap: InterferenceMap, cfg: SimConfig) -> Self {
         let reg = IfaceRegistry::for_network(&net);
         let l = net.link_count();
-        let price_states: Vec<LinkPriceState> =
+        let price_states =
             net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
-        let bcast_plan = BroadcastPlan::new(&net, &price_states);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let stride = l.div_ceil(64);
-        let mut alive_words = vec![0u64; stride.max(1)];
-        for lk in net.links() {
-            if lk.is_alive() {
-                set_bit(&mut alive_words, lk.id.index());
-            }
-        }
-        Simulation {
+        ReferenceSimulation {
             reg,
-            slab: PacketSlab::new(),
             queues: vec![VecDeque::new(); l],
             busy: vec![None; l],
-            busy_words: vec![0u64; stride.max(1)],
-            backlog_words: vec![0u64; stride.max(1)],
-            alive_words,
-            domain_penalty: vec![0.0; l],
             last_start: vec![-1.0; l],
             demand_bits: vec![0.0; l],
             last_demand: vec![0.0; l],
             penalty_demand: vec![0.0; l],
             price_states,
-            bcast_plan,
             broadcasts: Vec::new(),
             flows: Vec::new(),
             stats: Vec::new(),
@@ -210,13 +156,7 @@ impl Simulation {
             trace: None,
             etel: EngineCounters::disabled(l),
             perf: SimPerfStats::default(),
-            scratch_links: Vec::new(),
-            scratch_reorder: Vec::new(),
-            scratch_acks: Vec::new(),
-            scratch_tcp_nodes: Vec::new(),
-            scratch_prices: Vec::new(),
-            scratch_broadcasts: Vec::new(),
-            events: EventQueue::new(),
+            events: ReferenceEventQueue::new(),
             now: 0.0,
             net,
             imap,
@@ -225,49 +165,14 @@ impl Simulation {
         }
     }
 
-    /// The deterministic work counters accumulated so far. The slab's
-    /// reuse/growth tallies are folded in; growth events are the engine's
-    /// only steady-state hot-path allocations, so they double as
-    /// `hot_allocs`.
-    pub fn perf_stats(&self) -> SimPerfStats {
-        let mut p = self.perf;
-        p.slab_hits = self.slab.hits();
-        p.slab_grows = self.slab.grows();
-        p.hot_allocs = self.slab.grows();
-        p
-    }
-
     /// Read access to the network (capacities may change via failures).
     pub fn network(&self) -> &Network {
         &self.net
     }
 
-    /// Diagnostic: the worst per-domain airtime demand observed at the last
-    /// control tick, with the link whose domain it is.
-    pub fn debug_worst_domain(&self) -> (f64, LinkId) {
-        let mut worst = (0.0, LinkId(0));
-        for l in 0..self.net.link_count() {
-            let y: f64 = self
-                .imap
-                .domain(LinkId(l as u32))
-                .iter()
-                .map(|&i| self.last_demand[i.index()])
-                .sum();
-            if y > worst.0 {
-                worst = (y, LinkId(l as u32));
-            }
-        }
-        worst
-    }
-
-    /// Diagnostic: last tick's airtime demand of one link.
-    pub fn debug_link_demand(&self, link: LinkId) -> f64 {
-        self.last_demand[link.index()]
-    }
-
-    /// Diagnostic: the route prices a flow's controller currently believes.
-    pub fn debug_flow_prices(&self, flow: usize) -> Option<Vec<f64>> {
-        self.flows[flow].controller.as_ref().map(|c| c.believed_prices().to_vec())
+    /// The deterministic work counters accumulated so far.
+    pub fn perf_stats(&self) -> SimPerfStats {
+        self.perf
     }
 
     /// Attaches a packet-level trace sink (e.g. `Trace::bounded(100_000)`).
@@ -275,11 +180,7 @@ impl Simulation {
         self.trace = Some(trace);
     }
 
-    /// Attaches a telemetry registry: MAC, queue, datapath and control-
-    /// plane counters register immediately, and the registry's virtual
-    /// clock follows simulated time from here on. Flows registered before
-    /// the attach get their per-flow counters retroactively; attach before
-    /// [`Simulation::add_flow`] for hygiene.
+    /// Attaches a telemetry registry (see [`crate::Simulation::attach_telemetry`]).
     pub fn attach_telemetry(&mut self, tele: Telemetry) {
         self.etel = EngineCounters::attach(tele, self.net.link_count());
         for f in 0..self.flows.len() {
@@ -437,19 +338,7 @@ impl Simulation {
         self.events.push(at, Event::NodeChange { node, up });
     }
 
-    /// Replaces a flow's routes mid-run — the §3.2 route recomputation after
-    /// a failure or a large capacity shift (the caller decides *when*, e.g.
-    /// via `empower_core`'s RouteMonitor).
-    ///
-    /// The wire sequence counter and the destination's expected sequence
-    /// survive (the reorder buffer is re-keyed, not reset), the controller
-    /// restarts fresh on the new route set, and in-flight frames of old
-    /// routes still deliver or get declared lost by the normal rules.
-    ///
-    /// Routes that no longer resolve (an interface vanished with its node,
-    /// or the path exceeds the 6-hop header) are skipped; if *none*
-    /// resolves the flow keeps its old routes. Returns the number of
-    /// routes actually installed (0 = nothing changed).
+    /// Replaces a flow's routes mid-run (see [`crate::Simulation::replace_routes`]).
     ///
     /// # Panics
     /// Panics if `routes` is empty or a route does not match the flow's
@@ -525,8 +414,7 @@ impl Simulation {
     }
 
     /// Advances the simulation to time `until` and pauses, leaving all
-    /// state intact — callers can inspect the network, recompute routes
-    /// ([`Simulation::replace_routes`]) or inject changes, then resume.
+    /// state intact.
     pub fn run_until(&mut self, until: f64) {
         if !self.control_started {
             self.control_started = true;
@@ -677,11 +565,9 @@ impl Simulation {
         let first = self.flows[f].first_links[r];
         // The source adds its own price contribution for the first hop.
         let src_node = self.flows[f].spec.src;
-        let contribution = self.bcast_plan.price_contribution(
+        let contribution = self.price_states[src_node.index()].price_contribution(
             &self.net,
-            &self.price_states,
             &self.broadcasts,
-            src_node.index(),
             first,
         );
         header.add_price(contribution);
@@ -707,26 +593,21 @@ impl Simulation {
             kind,
         };
         self.stats[f].sent_frames += 1;
-        let id = self.slab.insert(pkt);
-        self.enqueue_link(first, id);
+        self.enqueue_link(first, pkt);
     }
 
     // ------------------------------------------------------------------
     // MAC
     // ------------------------------------------------------------------
 
-    fn enqueue_link(&mut self, link: LinkId, id: PacketId) {
+    fn enqueue_link(&mut self, link: LinkId, pkt: SimPacket) {
         let l = link.index();
         // Demand is the *offered* airtime (Eq. (7) measures what flows try
         // to push, which is what the prices must react to), so count the
         // frame even when the queue then drops it.
-        self.demand_bits[l] += self.slab.get(id).size_bits as f64;
+        self.demand_bits[l] += pkt.size_bits as f64;
         if !self.net.link(link).is_alive() || self.queues[l].len() >= self.cfg.queue_frames {
-            let (flow, seq) = {
-                let pkt = self.slab.get(id);
-                (pkt.flow, pkt.header.seq)
-            };
-            self.stats[flow].dropped_in_network += 1;
+            self.stats[pkt.flow].dropped_in_network += 1;
             let alive = self.net.link(link).is_alive();
             if alive {
                 self.etel.drops_overflow.inc();
@@ -735,13 +616,16 @@ impl Simulation {
             }
             if let Some(tr) = self.trace.as_mut() {
                 let site = if alive { DropSite::QueueOverflow } else { DropSite::DeadLink };
-                tr.push(TraceEvent::Drop { t: self.now, flow, seq, where_: site });
+                tr.push(TraceEvent::Drop {
+                    t: self.now,
+                    flow: pkt.flow,
+                    seq: pkt.header.seq,
+                    where_: site,
+                });
             }
-            self.slab.release(id);
             return;
         }
-        self.queues[l].push_back(id);
-        set_bit(&mut self.backlog_words, l);
+        self.queues[l].push_back(pkt);
         self.etel.queue_hwm[l].record_max(self.queues[l].len() as u64);
         self.try_start(link);
     }
@@ -751,14 +635,14 @@ impl Simulation {
         if self.busy[l].is_some() || self.queues[l].is_empty() || !self.net.link(link).is_alive() {
             return false;
         }
-        // Word-level domain-occupancy test: one AND per 64 links, early
-        // exit on the first busy hit. One probe per word examined.
-        let words = self.imap.domain_words(link);
+        // Element-wise interference-domain scan with early exit — the work
+        // the bitset engine replaces with word ANDs. One probe per element
+        // visited.
         let mut probes = 0u64;
         let mut clear = true;
-        for (wi, &d) in words.iter().enumerate() {
+        for &i in self.imap.domain(link) {
             probes += 1;
-            if d & self.busy_words[wi] != 0 {
+            if self.busy[i.index()].is_some() {
                 clear = false;
                 break;
             }
@@ -783,20 +667,15 @@ impl Simulation {
         }
         let l = link.index();
         // `can_start` verified the queue is non-empty.
-        let Some(id) = self.queues[l].pop_front() else { return };
-        if self.queues[l].is_empty() {
-            clear_bit(&mut self.backlog_words, l);
-        }
+        let Some(pkt) = self.queues[l].pop_front() else { return };
         self.etel.mac_grants.inc();
-        let size_bits = self.slab.get(id).size_bits;
-        let mut duration = self.net.link(link).tx_time_secs(size_bits);
+        let mut duration = self.net.link(link).tx_time_secs(pkt.size_bits);
         if self.cfg.saturation_penalty > 0.0 {
             // CSMA saturation rolloff (see SimConfig::saturation_penalty):
             // collisions and back-off waste airtime once the domain's
-            // offered load exceeds what it can carry. The domain sum is
-            // precomputed per control tick (`domain_penalty`) — its inputs
-            // only change there.
-            let y: f64 = self.domain_penalty[l];
+            // offered load exceeds what it can carry.
+            let y: f64 =
+                self.imap.domain(link).iter().map(|&i| self.penalty_demand[i.index()]).sum();
             // Tolerance band: a controlled flow rides y ≈ 1 − δ (exactly
             // 1.0 when δ = 0) with measurement jitter; only *persistent*
             // overdrive pays (the penalty demand is slow-smoothed).
@@ -808,7 +687,6 @@ impl Simulation {
             }
         }
         if let Some(tr) = self.trace.as_mut() {
-            let pkt = self.slab.get(id);
             tr.push(TraceEvent::TxStart {
                 t: self.now,
                 link: link.0,
@@ -817,8 +695,7 @@ impl Simulation {
                 bits: pkt.size_bits,
             });
         }
-        self.busy[l] = Some(id);
-        set_bit(&mut self.busy_words, l);
+        self.busy[l] = Some(pkt);
         self.last_start[l] = self.now;
         self.events.push(self.now + duration, Event::TxEnd { link });
     }
@@ -827,12 +704,10 @@ impl Simulation {
         let l = link.index();
         // A stale TxEnd: the frame that was on the air got dropped when its
         // link (or an endpoint node) went down mid-transmission.
-        let Some(id) = self.busy[l].take() else {
+        let Some(pkt) = self.busy[l].take() else {
             return;
         };
-        clear_bit(&mut self.busy_words, l);
         if let Some(tr) = self.trace.as_mut() {
-            let pkt = self.slab.get(id);
             tr.push(TraceEvent::TxEnd {
                 t: self.now,
                 link: link.0,
@@ -840,92 +715,65 @@ impl Simulation {
                 seq: pkt.header.seq,
             });
         }
-        self.receive(link, id);
+        self.receive(link, pkt);
         // Give the freed medium to the longest-waiting backlogged contender
         // (round-robin-fair CSMA without collisions), then everyone else
-        // that still fits. Candidates are pre-filtered to the *eligible*
-        // domain members (backlogged ∧ alive ∧ idle) by word AND — links
-        // the filter skips could never have started or counted a deferral
-        // (their status cannot change inside this loop), so grants and
-        // deferral counts match the reference exactly.
-        let mut cands = std::mem::take(&mut self.scratch_links);
-        cands.clear();
-        {
-            let words = self.imap.domain_words(link);
-            for (wi, &d) in words.iter().enumerate() {
-                let mut m =
-                    d & self.backlog_words[wi] & self.alive_words[wi] & !self.busy_words[wi];
-                while m != 0 {
-                    let bit = m.trailing_zeros() as usize;
-                    cands.push(LinkId((wi * 64 + bit) as u32));
-                    m &= m - 1;
-                }
-            }
-        }
-        self.perf.bytes_not_allocated += std::mem::size_of_val(self.imap.domain(link)) as u64;
-        cands.sort_by(|a, b| {
+        // that still fits.
+        self.perf.hot_allocs += 1; // the domain clone below
+        let mut candidates: Vec<LinkId> = self.imap.domain(link).to_vec();
+        candidates.sort_by(|a, b| {
             self.last_start[a.index()].total_cmp(&self.last_start[b.index()]).then_with(|| a.cmp(b))
         });
-        for &cand in &cands {
+        for cand in candidates {
             self.try_start(cand);
         }
-        self.scratch_links = cands;
     }
 
-    fn receive(&mut self, link: LinkId, id: PacketId) {
+    fn receive(&mut self, link: LinkId, mut pkt: SimPacket) {
         let node = self.net.link(link).to;
         let medium = self.net.link(link).medium;
-        let flow = self.slab.get(id).flow;
         let Some(arrived_iface) = self.reg.id_of(node, medium) else {
             // The receiving interface vanished (node removal mid-run).
-            self.stats[flow].dropped_in_network += 1;
+            self.stats[pkt.flow].dropped_in_network += 1;
             self.etel.route_errors.inc();
-            self.slab.release(id);
             return;
         };
-        if self.slab.get(id).header.route.is_destination(arrived_iface) {
-            self.arrive_at_destination(id);
+        if pkt.header.route.is_destination(arrived_iface) {
+            self.arrive_at_destination(pkt);
             return;
         }
-        let Some(next_iface) = self.slab.get(id).header.route.next_hop_after(arrived_iface) else {
+        let Some(next_iface) = pkt.header.route.next_hop_after(arrived_iface) else {
             // Mis-routed (e.g. stale route after failure): drop.
-            self.stats[flow].dropped_in_network += 1;
+            self.stats[pkt.flow].dropped_in_network += 1;
             self.etel.route_errors.inc();
-            self.slab.release(id);
             return;
         };
         let Some((nnode, nmedium)) = self.reg.iface_of(next_iface) else {
-            self.stats[flow].dropped_in_network += 1;
+            self.stats[pkt.flow].dropped_in_network += 1;
             self.etel.route_errors.inc();
-            self.slab.release(id);
             return;
         };
         let Some(next_link) = self.net.find_link(node, nnode, nmedium).map(|l| l.id) else {
-            self.stats[flow].dropped_in_network += 1;
+            self.stats[pkt.flow].dropped_in_network += 1;
             self.etel.route_errors.inc();
-            self.slab.release(id);
             return;
         };
         // Forwarding node adds its price contribution (Eq. (9)).
-        let contribution = self.bcast_plan.price_contribution(
+        let contribution = self.price_states[node.index()].price_contribution(
             &self.net,
-            &self.price_states,
             &self.broadcasts,
-            node.index(),
             next_link,
         );
-        self.slab.get_mut(id).header.add_price(contribution);
-        self.enqueue_link(next_link, id);
+        pkt.header.add_price(contribution);
+        self.enqueue_link(next_link, pkt);
     }
 
-    fn arrive_at_destination(&mut self, id: PacketId) {
-        let (f, route, seq, price_f32, created_at) = {
-            let pkt = self.slab.get(id);
-            (pkt.flow, pkt.route, pkt.header.seq, pkt.header.price, pkt.created_at)
-        };
-        self.slab.release(id);
-        let price = price_f32 as f64;
-        let delay = self.now - created_at;
+    fn arrive_at_destination(&mut self, pkt: SimPacket) {
+        let f = pkt.flow;
+        let route = pkt.route;
+        let seq = pkt.header.seq;
+        let price = pkt.header.price as f64;
+        let delay = self.now - pkt.created_at;
         // Stale route index (route set shrank mid-flight): the equalizer
         // and reorder state below it no longer have this route's slot.
         if route >= self.flows[f].spec.routes.len() {
@@ -936,21 +784,20 @@ impl Simulation {
         if let Some(eq) = self.flows[f].delay_eq.as_mut() {
             let hold = eq.on_arrival(route, delay);
             if hold > 1e-9 {
-                // The f32 price round-trips losslessly through the event.
                 self.events.push(
                     self.now + hold,
                     Event::Release {
                         flow: f as u32,
                         route: route as u16,
                         seq,
-                        price: price_f32,
-                        created_at,
+                        price: pkt.header.price,
+                        created_at: pkt.created_at,
                     },
                 );
                 return;
             }
         }
-        self.deliver_to_reorder(f, route, seq, price, created_at);
+        self.deliver_to_reorder(f, route, seq, price, pkt.created_at);
     }
 
     fn deliver_to_reorder(
@@ -981,19 +828,15 @@ impl Simulation {
             st.delay_max_secs = delay;
         }
         self.flows[f].acks.observe_price(route, price);
-        let mut events = std::mem::take(&mut self.scratch_reorder);
-        events.clear();
-        self.flows[f].reorder.accept_into(route, seq, &mut events);
+        let events = self.flows[f].reorder.accept(route, seq);
         if !events.is_empty() {
             self.etel.reorder_flushes.inc();
-            self.perf.bytes_not_allocated +=
-                (events.len() * std::mem::size_of::<ReorderEvent>()) as u64;
+            self.perf.hot_allocs += 1; // the reorder result vector
         }
         let mut delivered_now = 0u64;
-        let mut tcp_acks = std::mem::take(&mut self.scratch_acks);
-        tcp_acks.clear();
-        for ev in &events {
-            match *ev {
+        let mut tcp_acks: Vec<u32> = Vec::new();
+        for ev in events {
+            match ev {
                 ReorderEvent::Deliver(s) => {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.push(TraceEvent::Deliver { t: self.now, flow: f, seq: s });
@@ -1028,21 +871,18 @@ impl Simulation {
             self.flows[f].file_frames_delivered += delivered_now;
             self.check_file_completion(f);
         }
+        if !tcp_acks.is_empty() {
+            self.perf.hot_allocs += 1; // the TCP-ACK scratch vector
+        }
         if let Some(tcp) = self.flows[f].tcp.as_ref() {
             let ack_delay = tcp.ack_delay;
-            if !tcp_acks.is_empty() {
-                self.perf.bytes_not_allocated +=
-                    (tcp_acks.len() * std::mem::size_of::<u32>()) as u64;
-            }
-            for &ack in &tcp_acks {
+            for ack in tcp_acks {
                 self.events.push(
                     self.now + ack_delay,
                     Event::TcpAckArrival { flow: f as u32, ack_seq: ack, dup: false },
                 );
             }
         }
-        self.scratch_reorder = events;
-        self.scratch_acks = tcp_acks;
     }
 
     fn check_file_completion(&mut self, f: usize) {
@@ -1118,26 +958,11 @@ impl Simulation {
             self.penalty_demand[l] = 0.05 * noisy + 0.95 * self.penalty_demand[l];
             self.demand_bits[l] = 0.0;
         }
-        // Per-domain saturation-penalty sums for the coming slot: one pass
-        // here instead of a domain walk on every frame start.
-        if self.cfg.saturation_penalty > 0.0 {
-            for l in 0..self.net.link_count() {
-                let y: f64 = self
-                    .imap
-                    .domain(LinkId(l as u32))
-                    .iter()
-                    .map(|&i| self.penalty_demand[i.index()])
-                    .sum();
-                self.domain_penalty[l] = y;
-            }
-        }
         // 2. TCP piggyback (§6.4): destinations of active TCP flows flag
         //    themselves; the flag rides on their price broadcasts and
         //    tightens the airtime budget across their contention domains.
-        let mut tcp_nodes = std::mem::take(&mut self.scratch_tcp_nodes);
-        tcp_nodes.clear();
-        tcp_nodes.resize(self.net.node_count(), false);
-        self.perf.bytes_not_allocated += self.net.node_count() as u64;
+        self.perf.hot_allocs += 1; // the tcp_nodes scratch vector
+        let mut tcp_nodes = vec![false; self.net.node_count()];
         for fl in &self.flows {
             if fl.active && fl.spec.pattern.is_tcp() {
                 tcp_nodes[fl.spec.dst.index()] = true;
@@ -1146,36 +971,25 @@ impl Simulation {
         for s in self.price_states.iter_mut() {
             s.set_tcp_receiver(tcp_nodes[s.node().index()]);
         }
-        self.scratch_tcp_nodes = tcp_nodes;
         // 3. Broadcast, overhear, update duals.
-        let mut bcast = std::mem::take(&mut self.scratch_broadcasts);
-        bcast.clear();
-        for s in &self.price_states {
-            s.make_broadcasts_into(&self.net, &mut bcast);
-        }
-        self.perf.bytes_not_allocated +=
-            (bcast.len() * std::mem::size_of::<PriceBroadcast>()) as u64;
+        self.perf.hot_allocs += 1; // the broadcast collect
+        let broadcasts: Vec<PriceBroadcast> =
+            self.price_states.iter().flat_map(|s| s.make_broadcasts(&self.net)).collect();
         let alpha = self.cfg.cc.alpha;
         let delta = self.cfg.delta;
         let delta_tcp = self.cfg.tcp_delta.max(delta);
-        let margin_violations = self.bcast_plan.update_gammas_with_tcp_margin(
-            &mut self.price_states,
-            &bcast,
-            alpha,
-            delta,
-            delta_tcp,
-        );
-        self.scratch_broadcasts = bcast;
+        let mut margin_violations = 0usize;
+        for s in self.price_states.iter_mut() {
+            margin_violations +=
+                s.update_gammas_with_tcp_margin(&broadcasts, alpha, delta, delta_tcp);
+        }
         self.etel.ctrl_ticks.inc();
         self.etel.cc_price_updates.add(self.net.link_count() as u64);
         self.etel.cc_margin_violations.add(margin_violations as u64);
         // 3. Fresh broadcasts carry the updated γ sums for the coming slot.
-        self.broadcasts.clear();
-        for s in &self.price_states {
-            s.make_broadcasts_into(&self.net, &mut self.broadcasts);
-        }
-        self.perf.bytes_not_allocated +=
-            (self.broadcasts.len() * std::mem::size_of::<PriceBroadcast>()) as u64;
+        self.perf.hot_allocs += 1; // the second broadcast collect
+        self.broadcasts =
+            self.price_states.iter().flat_map(|s| s.make_broadcasts(&self.net)).collect();
         // 4. ACKs and controller steps.
         for f in 0..self.flows.len() {
             if self.flows[f].controller.is_none() {
@@ -1185,41 +999,32 @@ impl Simulation {
             if ack.is_some() {
                 self.flows[f].acks_sent.inc();
             }
-            let rates = match ack {
-                Some(a) => {
-                    let Some(controller) = self.flows[f].controller.as_mut() else { continue };
-                    controller.on_ack(&a.route_prices)
-                }
+            let prices: Vec<Option<f64>> = match ack {
+                Some(a) => a.route_prices,
                 None => {
-                    let routes = self.flows[f].spec.routes.len();
-                    self.scratch_prices.clear();
-                    self.scratch_prices.resize(routes, None);
-                    self.perf.bytes_not_allocated +=
-                        (routes * std::mem::size_of::<Option<f64>>()) as u64;
-                    let prices = &self.scratch_prices;
-                    let Some(controller) = self.flows[f].controller.as_mut() else { continue };
-                    controller.on_ack(prices)
+                    self.perf.hot_allocs += 1; // the no-ack price vector
+                    vec![None; self.flows[f].spec.routes.len()]
                 }
             };
+            let Some(controller) = self.flows[f].controller.as_mut() else { continue };
+            let rates = controller.on_ack(&prices);
             self.flows[f].scheduler.set_rates(&rates.per_route);
         }
         // 5. Once per second: sample injected rates.
         let per_sec = (1.0 / slot).round() as u64;
         if self.ticks.is_multiple_of(per_sec) {
             for f in 0..self.flows.len() {
-                let active = self.flows[f].active;
-                let fl = &self.flows[f];
-                let rates: &[f64] = match fl.controller.as_ref() {
-                    Some(c) => c.rates(),
-                    None => &fl.spec.open_loop_rates,
+                self.perf.hot_allocs += 1; // the rate snapshot clone
+                let rates: Vec<f64> = match self.flows[f].controller.as_ref() {
+                    Some(c) => c.rates().to_vec(),
+                    None => self.flows[f].spec.open_loop_rates.clone(),
                 };
-                self.perf.bytes_not_allocated += std::mem::size_of_val(rates) as u64;
                 let series = &mut self.stats[f].rate_series;
                 if series.is_empty() {
                     *series = vec![Vec::new(); rates.len()];
                 }
                 for (r, &x) in rates.iter().enumerate() {
-                    series[r].push(if active { x } else { 0.0 });
+                    series[r].push(if self.flows[f].active { x } else { 0.0 });
                 }
             }
         }
@@ -1259,40 +1064,31 @@ impl Simulation {
         let was_alive = self.net.link(link).is_alive();
         self.net.set_capacity(link, capacity_mbps);
         let l = link.index();
-        let alive_now = self.net.link(link).is_alive();
-        if alive_now {
-            set_bit(&mut self.alive_words, l);
-        } else {
-            clear_bit(&mut self.alive_words, l);
-        }
-        if !alive_now {
+        if !self.net.link(link).is_alive() {
             // Queued frames on a dead link are lost, and so is the frame on
             // the air (its TxEnd event goes stale and is ignored).
             let in_flight = self.busy[l].take();
-            if in_flight.is_some() {
-                clear_bit(&mut self.busy_words, l);
-            }
             let freed_medium = in_flight.is_some();
-            let lost = self.queues[l].len() + usize::from(freed_medium);
-            self.perf.bytes_not_allocated += (lost * std::mem::size_of::<SimPacket>()) as u64;
-            while let Some(id) = self.queues[l].pop_front() {
-                self.drop_dead(id);
-            }
-            clear_bit(&mut self.backlog_words, l);
-            if let Some(id) = in_flight {
-                self.drop_dead(id);
+            self.perf.hot_allocs += 1; // the lost-frame collect
+            let lost: Vec<SimPacket> = self.queues[l].drain(..).chain(in_flight).collect();
+            for pkt in lost {
+                self.stats[pkt.flow].dropped_in_network += 1;
+                self.etel.drops_dead_link.inc();
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.push(TraceEvent::Drop {
+                        t: self.now,
+                        flow: pkt.flow,
+                        seq: pkt.header.seq,
+                        where_: DropSite::DeadLink,
+                    });
+                }
             }
             if freed_medium {
                 // The aborted transmission freed its contention domain.
-                let mut cands = std::mem::take(&mut self.scratch_links);
-                cands.clear();
-                cands.extend_from_slice(self.imap.domain(link));
-                self.perf.bytes_not_allocated +=
-                    (cands.len() * std::mem::size_of::<LinkId>()) as u64;
-                for &cand in &cands {
+                self.perf.hot_allocs += 1; // the domain clone below
+                for cand in self.imap.domain(link).to_vec() {
                     self.try_start(cand);
                 }
-                self.scratch_links = cands;
             }
         } else {
             if !was_alive {
@@ -1306,21 +1102,6 @@ impl Simulation {
         // Route-capacity clamps in controllers are intentionally NOT
         // updated: the controller adapts through prices, as in the paper
         // (routes are only recomputed on failures, by the caller).
-    }
-
-    /// Drops one slab-held frame that died with its link: stats, telemetry,
-    /// trace, then the slot goes back to the free list.
-    fn drop_dead(&mut self, id: PacketId) {
-        let (flow, seq) = {
-            let pkt = self.slab.get(id);
-            (pkt.flow, pkt.header.seq)
-        };
-        self.stats[flow].dropped_in_network += 1;
-        self.etel.drops_dead_link.inc();
-        if let Some(tr) = self.trace.as_mut() {
-            tr.push(TraceEvent::Drop { t: self.now, flow, seq, where_: DropSite::DeadLink });
-        }
-        self.slab.release(id);
     }
 
     fn node_change(&mut self, node: NodeId, up: bool) {
@@ -1454,306 +1235,5 @@ impl Simulation {
             }
             self.tcp_pump(f);
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use empower_model::topology::fig1_scenario;
-    use empower_model::{InterferenceModel, Path, SharedMedium};
-
-    fn fig1_sim() -> (Simulation, Vec<Path>) {
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
-        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
-        let sim = Simulation::new(s.net, imap, SimConfig::default());
-        (sim, vec![route1, route2])
-    }
-
-    #[test]
-    fn empower_flow_reaches_the_multipath_optimum() {
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 300.0));
-        let report = sim.run(300.0);
-        let t = report.final_throughput(0, 10);
-        // Paper optimum: 16.67 Mbps. The packet sim pays real queueing and
-        // slot granularity; expect within ~10 %.
-        assert!(t > 15.0 && t < 17.5, "throughput {t}");
-    }
-
-    #[test]
-    fn single_route_flow_saturates_the_path() {
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        sim.add_flow(FlowSpecSim::saturated(src, dst, vec![routes[0].clone()], 60.0));
-        let report = sim.run(60.0);
-        let t = report.final_throughput(0, 10);
-        assert!(t > 8.5 && t < 10.5, "throughput {t}"); // R(P) = 10
-    }
-
-    #[test]
-    fn open_loop_overload_collapses() {
-        // Drive the 2-hop WiFi route at 3× capacity without CC: goodput
-        // lands well below the 10 Mbps a paced source would get.
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[1].source(sim.network());
-        let dst = routes[1].destination(sim.network());
-        sim.add_flow(FlowSpecSim {
-            src,
-            dst,
-            routes: vec![routes[1].clone()],
-            use_cc: false,
-            open_loop_rates: vec![30.0],
-            pattern: TrafficPattern::SaturatedUdp { start: 0.0, stop: 60.0 },
-            delay_equalization: false,
-        });
-        let report = sim.run(60.0);
-        let t = report.final_throughput(0, 10);
-        // The frame-fair MAC caps goodput at the path capacity; the damage
-        // of over-driving shows as sustained queue drops (and, with
-        // contending flows, wasted shared airtime).
-        assert!(t < 10.8, "goodput {t} cannot exceed R(P)");
-        assert!(report.flows[0].dropped_in_network > 1000, "sustained queue drops");
-    }
-
-    #[test]
-    fn file_download_completes_and_records_duration() {
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        sim.add_flow(FlowSpecSim {
-            src,
-            dst,
-            routes,
-            use_cc: true,
-            open_loop_rates: Vec::new(),
-            // 5 MB at ~16 Mbps ≈ 2.5 s + ramp.
-            pattern: TrafficPattern::FileDownload { start: 0.0, size_bytes: 5_000_000 },
-            delay_equalization: false,
-        });
-        let report = sim.run(120.0);
-        assert_eq!(report.flows[0].completions.len(), 1);
-        let dur = report.flows[0].completions[0];
-        assert!(dur > 2.0 && dur < 60.0, "duration {dur}");
-    }
-
-    #[test]
-    fn two_contending_flows_share_the_wifi_medium() {
-        // Flow A on the 1-hop WiFi a→b link, flow B on the 1-hop WiFi b→c
-        // link: same domain, so rates must sum to ≲ the Lemma-1 region.
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
-        let wifi_bc = Path::new(&s.net, vec![s.wifi_bc]).unwrap();
-        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
-        let a_src = s.gateway;
-        let a_dst = s.extender;
-        sim.add_flow(FlowSpecSim::saturated(a_src, a_dst, vec![wifi_ab], 120.0));
-        sim.add_flow(FlowSpecSim::saturated(s.extender, s.client, vec![wifi_bc], 120.0));
-        let report = sim.run(120.0);
-        let ta = report.final_throughput(0, 10);
-        let tb = report.final_throughput(1, 10);
-        // Airtime feasibility: ta/15 + tb/30 ≤ 1 (+ tolerance).
-        assert!(ta / 15.0 + tb / 30.0 < 1.08, "ta {ta} tb {tb}");
-        assert!(ta > 3.0 && tb > 3.0, "both make progress: {ta}, {tb}");
-    }
-
-    #[test]
-    fn link_failure_kills_the_route_traffic() {
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        let plc_link = routes[0].links()[0];
-        sim.add_flow(FlowSpecSim::saturated(src, dst, vec![routes[0].clone()], 60.0));
-        sim.schedule_link_change(30.0, plc_link, 0.0);
-        let report = sim.run(60.0);
-        let before = report.flows[0].mean_throughput(20, 29);
-        let after = report.flows[0].mean_throughput(40, 59);
-        assert!(before > 8.0, "before {before}");
-        assert!(after < 0.5, "after {after}");
-    }
-
-    #[test]
-    fn tcp_transfers_over_empower() {
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        sim.add_flow(FlowSpecSim {
-            src,
-            dst,
-            routes,
-            use_cc: true,
-            open_loop_rates: Vec::new(),
-            pattern: TrafficPattern::Tcp { start: 0.0, stop: 120.0, size_bytes: 0 },
-            delay_equalization: true,
-        });
-        let report = sim.run(120.0);
-        let t = report.final_throughput(0, 20);
-        assert!(t > 8.0, "TCP throughput {t}");
-        // TCP over two routes beats the best single route (10 Mbps)...
-        assert!(t > 10.0, "multipath TCP gain: {t}");
-    }
-
-    #[test]
-    fn external_interference_is_respected_not_squeezed() {
-        // §4.3: "except during a short transition phase, non-EMPoWER
-        // clients are not affected by EMPoWER clients". An external node
-        // half-loads the WiFi a→b link; the EMPoWER flow must leave that
-        // traffic intact and fill only the residual region.
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        let wifi_ab = routes[1].links()[0];
-        let ext = FlowSpecSim::external(sim.network(), wifi_ab, 7.5, 0.0, 300.0);
-        let ext_idx = sim.add_flow(ext);
-        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 300.0));
-        let report = sim.run(300.0);
-        let ext_thpt = report.final_throughput(ext_idx, 30);
-        // The external source keeps (almost) its full 7.5 Mbps.
-        assert!(ext_thpt > 7.0, "external throughput {ext_thpt}");
-        // And the EMPoWER flow still exploits the residual WiFi airtime
-        // on top of the PLC route (strictly more than PLC-only, strictly
-        // less than the uncontended 16.7 optimum).
-        let emp = report.final_throughput(1, 10);
-        assert!(emp > 10.5, "EMPoWER should still use residual WiFi: {emp}");
-        assert!(emp < 15.0, "but cannot take what the external node holds: {emp}");
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let (mut sim, routes) = fig1_sim();
-            let src = routes[0].source(sim.network());
-            let dst = routes[0].destination(sim.network());
-            sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 30.0));
-            let r = sim.run(30.0);
-            (r.flows[0].delivered_bits, r.flows[0].sent_frames)
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn mac_never_violates_interference() {
-        // White-box check: during a busy run, at no point are two
-        // interfering links on the air together. We verify post-hoc via the
-        // invariant embedded in try_start by running with debug assertions
-        // and asserting global progress.
-        let (mut sim, routes) = fig1_sim();
-        let src = routes[0].source(sim.network());
-        let dst = routes[0].destination(sim.network());
-        sim.add_flow(FlowSpecSim::saturated(src, dst, routes, 20.0));
-        let report = sim.run(20.0);
-        assert!(report.flows[0].delivered_bits > 0);
-    }
-}
-
-#[cfg(test)]
-mod trace_tests {
-    use super::*;
-    use crate::trace::{Trace, TraceEvent};
-    use empower_model::topology::fig1_scenario;
-    use empower_model::{InterferenceModel, Path, SharedMedium};
-
-    #[test]
-    fn trace_records_the_life_of_a_flow() {
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let route1 = Path::new(&s.net, vec![s.plc_ab, s.wifi_bc]).unwrap();
-        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
-        sim.add_flow(FlowSpecSim::saturated(s.gateway, s.client, vec![route1], 10.0));
-        sim.attach_trace(Trace::bounded(50_000));
-        let report = sim.run(10.0);
-        let trace = sim.take_trace().expect("trace attached");
-        let events = trace.events();
-        assert!(!events.is_empty());
-        // Conservation: every Deliver seq was first seen in a TxStart.
-        let started: std::collections::HashSet<u32> = events
-            .iter()
-            .filter_map(|e| match e {
-                TraceEvent::TxStart { seq, .. } => Some(*seq),
-                _ => None,
-            })
-            .collect();
-        let mut delivered = 0u64;
-        for e in events {
-            if let TraceEvent::Deliver { seq, .. } = e {
-                assert!(started.contains(seq), "delivered seq {seq} never transmitted");
-                delivered += 1;
-            }
-        }
-        let frames = report.flows[0].delivered_bits / SimConfig::default().frame_bits;
-        assert_eq!(delivered, frames, "trace deliveries match stats");
-    }
-
-    #[test]
-    fn trace_airtime_respects_wall_clock() {
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let route2 = Path::new(&s.net, vec![s.wifi_ab, s.wifi_bc]).unwrap();
-        let wifi_ab = s.wifi_ab;
-        let mut sim = Simulation::new(s.net, imap, SimConfig::default());
-        sim.add_flow(FlowSpecSim::saturated(s.gateway, s.client, vec![route2], 20.0));
-        sim.attach_trace(Trace::new());
-        sim.run(20.0);
-        let trace = sim.take_trace().unwrap();
-        let airtime = trace.airtime_on(wifi_ab);
-        assert!(airtime > 0.0);
-        assert!(airtime <= 20.0, "airtime {airtime} exceeds the run length");
-    }
-}
-
-#[cfg(test)]
-mod tcp_margin_tests {
-    use super::*;
-    use empower_model::topology::fig1_scenario;
-    use empower_model::{InterferenceModel, Path, SharedMedium};
-
-    /// §6.4: the δ = 0.3 budget applies exactly in the contention domain of
-    /// a TCP receiver — UDP flows sharing that domain keep their airtime
-    /// sum at ≤ 0.7, leaving TCP its headroom.
-    #[test]
-    fn udp_in_a_tcp_domain_respects_the_tcp_margin() {
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
-        let wifi_bc = Path::new(&s.net, vec![s.wifi_bc]).unwrap();
-        let mut sim = Simulation::new(s.net.clone(), imap.clone(), SimConfig::default());
-        // UDP flow on wifi a→b; TCP flow on wifi b→c: same WiFi domain.
-        let udp = sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 300.0));
-        sim.add_flow(FlowSpecSim {
-            src: s.extender,
-            dst: s.client,
-            routes: vec![wifi_bc],
-            use_cc: true,
-            open_loop_rates: Vec::new(),
-            pattern: TrafficPattern::Tcp { start: 0.0, stop: 300.0, size_bytes: 0 },
-            delay_equalization: true,
-        });
-        let report = sim.run(300.0);
-        let t_udp = report.final_throughput(udp, 20);
-        let t_tcp = report.final_throughput(1, 20);
-        // Both progress, and the joint WiFi airtime honours the 0.7 budget
-        // the TCP piggyback imposes on the whole domain.
-        let airtime = t_udp / 15.0 + t_tcp / 30.0;
-        assert!(t_udp > 2.0 && t_tcp > 2.0, "udp {t_udp}, tcp {t_tcp}");
-        assert!(airtime < 0.76, "domain airtime {airtime:.2} exceeds the TCP budget");
-    }
-
-    /// Without any TCP flow the default margin applies (airtime → ~1).
-    #[test]
-    fn udp_alone_keeps_the_default_margin() {
-        let s = fig1_scenario();
-        let imap = SharedMedium.build_map(&s.net);
-        let wifi_ab = Path::new(&s.net, vec![s.wifi_ab]).unwrap();
-        let mut sim = Simulation::new(s.net.clone(), imap, SimConfig::default());
-        let udp = sim.add_flow(FlowSpecSim::saturated(s.gateway, s.extender, vec![wifi_ab], 200.0));
-        let report = sim.run(200.0);
-        let t_udp = report.final_throughput(udp, 20);
-        assert!(t_udp > 13.0, "no TCP around: full budget, got {t_udp}");
     }
 }
