@@ -33,7 +33,12 @@ if [ "${1:-}" = "quick" ]; then
     # topology classes and the restricted-medium query. The simulator
     # engine-equivalence corpus is likewise trimmed to its Fig. 1 prefix
     # plus the first dynamics scenarios; CI's full mode runs everything.
-    EMPOWER_EQUIV_TOPOLOGIES=12 EMPOWER_SIM_EQUIV_SCENARIOS=14 cargo test -q
+    # --workspace: the repo root is itself a package, so a bare
+    # `cargo test` would cover only the root crate's suites and skip the
+    # member-crate gates (sim equivalence corpus, datapath graph tests,
+    # bench determinism tests).
+    EMPOWER_EQUIV_TOPOLOGIES=12 EMPOWER_SIM_EQUIV_SCENARIOS=14 \
+        cargo test -q --workspace
     say "perf gate: simulator hot-path counters vs checked-in budget"
     # Counter-only in quick mode (EMPOWER_SIM_SKIP_TIMING): wall-clock
     # batches of an unoptimized debug build prove nothing, but the
@@ -44,9 +49,12 @@ if [ "${1:-}" = "quick" ]; then
     rm -f "$PERF_JSON"
 else
     say "tier-1: release build"
-    cargo build --release
+    # --workspace on both: a bare invocation at the repo root covers only
+    # the root package, skipping the member-crate gates and the bench
+    # binaries the perf gates below execute.
+    cargo build --release --workspace
     say "tier-1: tests"
-    cargo test -q --release
+    cargo test -q --release --workspace
     say "perf gate: exploration-tree counters vs checked-in budget"
     # Deterministic counter gate (DESIGN.md §8): fails when the pinned
     # seeded workload expands more tree nodes than the budget allows or
@@ -81,5 +89,43 @@ $EMPOWER scenario run examples/fig12_drop.toml \
     --metrics "$SMOKE_DIR/b.json" >/dev/null
 cmp "$SMOKE_DIR/a.json" "$SMOKE_DIR/b.json" \
     || { echo "scenario manifests differ between identical runs" >&2; exit 1; }
+
+if [ "${EMPOWER_SKIP_NET:-}" = "1" ]; then
+    say "udp loopback smoke test skipped (EMPOWER_SKIP_NET=1)"
+else
+    say "udp loopback smoke test (forwarding graph over real sockets)"
+    # Two OS processes forward 64 real EMPoWER frames over 127.0.0.1
+    # through the same graph nodes the simulator drives (DESIGN.md §10).
+    # Sandboxes without loopback sockets can set EMPOWER_SKIP_NET=1.
+    if [ "${1:-}" = "quick" ]; then
+        UDP_FWD="cargo run -q -p empower-datapath --example udp_forward --"
+    else
+        cargo build -q --release -p empower-datapath --example udp_forward
+        UDP_FWD=target/release/examples/udp_forward
+    fi
+    UDP_ADDR="127.0.0.1:${EMPOWER_UDP_PORT:-9310}"
+    RECV_LOG="$SMOKE_DIR/udp_recv.log"
+    $UDP_FWD recv "$UDP_ADDR" >"$RECV_LOG" 2>&1 &
+    RECV_PID=$!
+    # Wait until the receiver owns the socket before offering frames.
+    i=0
+    until grep -q '^listening' "$RECV_LOG" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "udp receiver never came up:" >&2
+            cat "$RECV_LOG" >&2
+            kill "$RECV_PID" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    $UDP_FWD send "$UDP_ADDR" >/dev/null
+    wait "$RECV_PID" \
+        || { echo "udp receiver failed:" >&2; cat "$RECV_LOG" >&2; exit 1; }
+    grep -q 'delivered 64 of 64 frames, in order: yes' "$RECV_LOG" \
+        || { echo "udp loopback delivery check failed:" >&2; cat "$RECV_LOG" >&2; exit 1; }
+    grep -q 'route prices \[Some(0.25), Some(0.5)\]' "$RECV_LOG" \
+        || { echo "udp loopback ack price check failed:" >&2; cat "$RECV_LOG" >&2; exit 1; }
+fi
 
 say "ci.sh: all gates passed"

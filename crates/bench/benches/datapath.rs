@@ -2,7 +2,7 @@
 //! codec (touched on every forwarded frame) and the reorder buffer.
 
 use empower_bench::harness::bench;
-use empower_datapath::{EmpowerHeader, IfaceId, ReorderBuffer, SourceRoute};
+use empower_datapath::{EmpowerHeader, IfaceId, ReorderConfig, SourceRoute, HEADER_LEN};
 
 fn main() {
     let route = SourceRoute::new(&[IfaceId(11), IfaceId(22), IfaceId(33), IfaceId(44)]).unwrap();
@@ -16,11 +16,18 @@ fn main() {
         buf.len()
     });
 
-    let bytes = header.to_bytes();
-    bench("header/decode", || EmpowerHeader::decode(&mut bytes.as_slice()).unwrap());
+    let mut fixed = [0u8; HEADER_LEN];
+    bench("header/encode_into", || {
+        header.encode_into(&mut fixed);
+        fixed[0]
+    });
+
+    let mut bytes = [0u8; HEADER_LEN];
+    header.encode_into(&mut bytes);
+    bench("header/decode", || EmpowerHeader::decode(&mut &bytes[..]).unwrap());
 
     bench("reorder/two_route_interleave_1k", || {
-        let mut buf = ReorderBuffer::new(2);
+        let mut buf = ReorderConfig::for_routes(2).build();
         let mut delivered = 0usize;
         // Route 0 carries even seqs, route 1 odd, slightly skewed.
         for s in 0..1000u32 {

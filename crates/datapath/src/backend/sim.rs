@@ -1,0 +1,106 @@
+//! In-memory loopback backend.
+//!
+//! A [`SimBackend`] pair shares two frame queues: what one side sends the
+//! other receives, in order, with optional deterministic loss injection.
+//! Tests and the simulator use it to drive the exact node code the UDP
+//! backend runs, without sockets.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use super::{IoError, PacketIo};
+
+type FrameQueue = Rc<RefCell<VecDeque<Vec<u8>>>>;
+
+/// One side of an in-memory loopback pair.
+pub struct SimBackend {
+    tx: FrameQueue,
+    rx: FrameQueue,
+    sent: u64,
+    drop_every: Option<u64>,
+}
+
+impl SimBackend {
+    /// A connected pair: frames sent on either side arrive at the other.
+    pub fn pair() -> (SimBackend, SimBackend) {
+        let ab: FrameQueue = Rc::new(RefCell::new(VecDeque::new()));
+        let ba: FrameQueue = Rc::new(RefCell::new(VecDeque::new()));
+        (
+            SimBackend { tx: Rc::clone(&ab), rx: Rc::clone(&ba), sent: 0, drop_every: None },
+            SimBackend { tx: ba, rx: ab, sent: 0, drop_every: None },
+        )
+    }
+
+    /// Deterministic loss injection: silently drops every `k`-th sent
+    /// frame (the k-th, 2k-th, …). `k = 0` disables.
+    pub fn drop_every(mut self, k: u64) -> Self {
+        self.drop_every = (k > 0).then_some(k);
+        self
+    }
+
+    /// Frames waiting to be received on this side.
+    pub fn pending(&self) -> usize {
+        self.rx.borrow().len()
+    }
+}
+
+impl PacketIo for SimBackend {
+    fn send(&mut self, frame: &[u8]) -> Result<(), IoError> {
+        self.sent += 1;
+        if let Some(k) = self.drop_every {
+            if self.sent.is_multiple_of(k) {
+                return Ok(()); // the wire ate it
+            }
+        }
+        self.tx.borrow_mut().push_back(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<Option<usize>, IoError> {
+        let Some(frame) = self.rx.borrow_mut().pop_front() else {
+            return Ok(None);
+        };
+        if buf.len() < frame.len() {
+            return Err(IoError(format!("recv buffer too small: {} < {}", buf.len(), frame.len())));
+        }
+        buf[..frame.len()].copy_from_slice(&frame);
+        Ok(Some(frame.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_the_pair_in_order() {
+        let (mut a, mut b) = SimBackend::pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"back").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(b.recv(&mut buf).unwrap(), Some(3));
+        assert_eq!(&buf[..3], b"one");
+        assert_eq!(b.recv(&mut buf).unwrap(), Some(3));
+        assert_eq!(&buf[..3], b"two");
+        assert_eq!(b.recv(&mut buf).unwrap(), None);
+        assert_eq!(a.recv(&mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"back");
+    }
+
+    #[test]
+    fn drop_every_k_loses_exactly_the_kth_frames() {
+        let (mut a, mut b) = SimBackend::pair();
+        a = a.drop_every(3);
+        for i in 0..9u8 {
+            a.send(&[i]).unwrap();
+        }
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4];
+        while let Some(n) = b.recv(&mut buf).unwrap() {
+            got.push(buf[..n].to_vec());
+        }
+        assert_eq!(got, vec![vec![0], vec![1], vec![3], vec![4], vec![6], vec![7]]);
+    }
+}

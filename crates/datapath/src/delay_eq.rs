@@ -10,6 +10,8 @@
 //! per arriving packet, the artificial hold time that aligns its total
 //! latency with the currently slowest route.
 
+use crate::config::DelayEqConfig;
+
 /// Per-flow destination-side delay equalizer.
 #[derive(Debug, Clone)]
 pub struct DelayEqualizer {
@@ -22,9 +24,26 @@ pub struct DelayEqualizer {
 }
 
 impl DelayEqualizer {
+    /// Builds an equalizer from its typed configuration (the
+    /// non-deprecated construction path; see [`DelayEqConfig`]).
+    pub(crate) fn from_config(cfg: &DelayEqConfig) -> Self {
+        DelayEqualizer {
+            ewma: cfg.smoothing(),
+            max_hold_secs: cfg.hold_cap(),
+            est_delay: vec![None; cfg.routes()],
+        }
+    }
+
     /// Equalizer for `route_count` routes.
+    #[deprecated(note = "use `DelayEqConfig::for_routes(n).build()`")]
     pub fn new(route_count: usize) -> Self {
-        DelayEqualizer { ewma: 0.1, max_hold_secs: 0.5, est_delay: vec![None; route_count] }
+        Self::from_config(&DelayEqConfig::for_routes(route_count))
+    }
+
+    /// Control-plane handler behind `CtrlMsg::ReplaceRoutes`: fresh
+    /// estimates for a new route set, keeping the tuning knobs.
+    pub(crate) fn rekey(&mut self, route_count: usize) {
+        self.est_delay = vec![None; route_count];
     }
 
     /// Records an observed one-way delay for `route` and returns the hold
@@ -51,14 +70,14 @@ mod tests {
 
     #[test]
     fn single_route_never_holds() {
-        let mut eq = DelayEqualizer::new(1);
+        let mut eq = DelayEqConfig::for_routes(1).build();
         assert_eq!(eq.on_arrival(0, 0.02), 0.0);
         assert_eq!(eq.on_arrival(0, 0.05), 0.0);
     }
 
     #[test]
     fn fast_route_is_held_to_match_slow_route() {
-        let mut eq = DelayEqualizer::new(2);
+        let mut eq = DelayEqConfig::for_routes(2).build();
         // Prime both estimates.
         eq.on_arrival(0, 0.010); // fast
         eq.on_arrival(1, 0.100); // slow
@@ -70,7 +89,7 @@ mod tests {
 
     #[test]
     fn hold_is_capped() {
-        let mut eq = DelayEqualizer::new(2);
+        let mut eq = DelayEqConfig::for_routes(2).build();
         eq.on_arrival(1, 10.0); // pathological straggler
         let hold = eq.on_arrival(0, 0.01);
         assert_eq!(hold, eq.max_hold_secs);
@@ -78,7 +97,7 @@ mod tests {
 
     #[test]
     fn estimates_track_with_ewma() {
-        let mut eq = DelayEqualizer::new(1);
+        let mut eq = DelayEqConfig::for_routes(1).build();
         eq.on_arrival(0, 0.1);
         for _ in 0..200 {
             eq.on_arrival(0, 0.02);
@@ -89,7 +108,7 @@ mod tests {
 
     #[test]
     fn equalized_delays_converge() {
-        let mut eq = DelayEqualizer::new(2);
+        let mut eq = DelayEqConfig::for_routes(2).build();
         let mut total0 = 0.0;
         let mut total1 = 0.0;
         for _ in 0..500 {

@@ -1,0 +1,636 @@
+//! The per-flow forwarding graph.
+//!
+//! The datapath is structured as a chain of typed nodes
+//! (`Decap → RouteChoice → PriceStamp → DelayEq → Reorder → Encap`, see
+//! [`crate::nodes`]) over a shared packet [`Pool`](crate::pool::Pool):
+//! packets move through the graph as 4-byte [`PktHandle`]s, each node
+//! mutates the pooled packet in place and returns a [`Disposition`], and
+//! per-node telemetry counters (`<scope>/<node>/{in,out,drops}`) record
+//! every step. Control-plane changes — new rate vectors from the
+//! congestion controller, route replacement after a failure, probe-floor
+//! tuning — arrive as typed [`CtrlMsg`] values posted to the graph and
+//! drained at [`FlowGraph::tick`], replacing the ad-hoc `&mut` setter
+//! sprawl the stages used to expose.
+//!
+//! Handle ownership: the graph releases a packet's pool slot when a node
+//! drops it; a node that returns [`Disposition::Consumed`] has taken
+//! ownership (released the slot itself or parked the handle for later
+//! re-injection); [`Disposition::Next`] passes ownership to the next node,
+//! and off the end of the chain back to the driver.
+
+use empower_telemetry::{Counter, CounterType, Scope};
+
+use empower_model::rng::StdRng;
+
+use crate::ack::Ack;
+use crate::config::DatapathConfig;
+use crate::header::SourceRoute;
+use crate::nodes::{
+    DecapNode, DelayEqNode, EncapNode, PriceStampNode, ReorderNode, RouteChoiceNode,
+};
+use crate::pool::{PktHandle, PktPool};
+use crate::reorder::ReorderEvent;
+
+/// A typed control-plane message, posted to a graph and drained (in post
+/// order, to every node) at the next [`FlowGraph::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// New per-route rates `x_r` (Mbps) from the congestion controller.
+    SetRates(Vec<f64>),
+    /// New price-probing floor, Mbps (zero disables probing).
+    SetProbeFloor(f64),
+    /// Replace the flow's route set (route recomputation after a failure,
+    /// §3.2). Stages re-key: the scheduler zeroes its rates but keeps the
+    /// wire sequence counter; the reorder buffer keeps buffered packets but
+    /// restarts its per-route high-water marks.
+    ReplaceRoutes(Vec<SourceRoute>),
+}
+
+/// Why a node dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The token bucket is empty: the flow's admitted rate is exhausted.
+    NoTokens,
+    /// The header's source route is not in the flow's route table.
+    NoRoute,
+    /// The frame failed to parse as an EMPoWER packet.
+    Malformed,
+    /// The packet references a route index retired by a route replacement.
+    Stale,
+}
+
+/// What a node did with the packet it was handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Pass the packet to the next node in the chain.
+    Next,
+    /// The node took ownership (delivered upward, parked for re-injection):
+    /// the chain ends here, successfully.
+    Consumed,
+    /// Drop the packet; the graph releases its pool slot.
+    Drop(DropReason),
+}
+
+/// Where a full chain run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainResult {
+    /// The packet ran off the end of the chain; the driver owns the handle
+    /// (and, after an `Encap` tail, finds the wire frame in the outbox).
+    Egress(PktHandle),
+    /// A node consumed the packet.
+    Consumed,
+    /// A node dropped the packet (slot already released).
+    Dropped(DropReason),
+}
+
+/// Side-channel outputs a node hands back to the driver, with reusable
+/// buffers so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Reorder releases (deliveries and loss declarations), in order.
+    pub reorder: Vec<ReorderEvent>,
+    /// Set by `DelayEq` when it consumes a packet: re-inject after this
+    /// many seconds.
+    pub hold_secs: Option<f64>,
+    /// The serialized wire frame produced by `Encap`.
+    pub frame: Vec<u8>,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Clears all outputs, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.reorder.clear();
+        self.hold_secs = None;
+        self.frame.clear();
+    }
+}
+
+/// Everything a node sees besides its own state: the driver's clock, the
+/// shared packet pool, the deterministic RNG, the current hop's price
+/// contribution, and the outbox for side-channel outputs.
+#[derive(Debug)]
+pub struct GraphCtx<'a> {
+    /// Current time, seconds of the driver's clock.
+    pub now: f64,
+    /// The shared packet pool handles point into.
+    pub pool: &'a mut PktPool,
+    /// Deterministic RNG (route draws).
+    pub rng: &'a mut StdRng,
+    /// The current hop's price contribution (Eq. (9) summand), consumed by
+    /// `PriceStamp`.
+    pub price_contribution: f64,
+    /// Side-channel outputs back to the driver.
+    pub out: &'a mut Outbox,
+}
+
+/// One stage of the forwarding graph.
+///
+/// Object-safe so drivers can extend the chain with [`GraphNode::Custom`]
+/// stages; the built-in nodes live in [`crate::nodes`].
+pub trait Node {
+    /// Short stable name, used as the telemetry scope segment.
+    fn name(&self) -> &'static str;
+    /// Processes one pooled packet (see the module docs for the handle-
+    /// ownership contract).
+    fn process(&mut self, pkt: PktHandle, ctx: &mut GraphCtx<'_>) -> Disposition;
+    /// Reacts to a control-plane message; the default ignores it.
+    fn handle_ctrl(&mut self, _msg: &CtrlMsg) {}
+}
+
+/// A node slotted into a [`FlowGraph`]: the built-in stages as enum
+/// variants (static dispatch on the hot path), or a boxed custom stage.
+pub enum GraphNode {
+    /// Ingress parsing.
+    Decap(DecapNode),
+    /// Admission + route selection.
+    RouteChoice(RouteChoiceNode),
+    /// Price accumulation.
+    PriceStamp(PriceStampNode),
+    /// Destination-side delay equalization.
+    DelayEq(DelayEqNode),
+    /// Destination-side reordering + ACKs.
+    Reorder(ReorderNode),
+    /// Egress framing.
+    Encap(EncapNode),
+    /// A driver-provided stage.
+    Custom(Box<dyn Node>),
+}
+
+impl GraphNode {
+    fn as_node_mut(&mut self) -> &mut dyn Node {
+        match self {
+            GraphNode::Decap(n) => n,
+            GraphNode::RouteChoice(n) => n,
+            GraphNode::PriceStamp(n) => n,
+            GraphNode::DelayEq(n) => n,
+            GraphNode::Reorder(n) => n,
+            GraphNode::Encap(n) => n,
+            GraphNode::Custom(n) => n.as_mut(),
+        }
+    }
+
+    /// The stage's telemetry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphNode::Decap(n) => n.name(),
+            GraphNode::RouteChoice(n) => n.name(),
+            GraphNode::PriceStamp(n) => n.name(),
+            GraphNode::DelayEq(n) => n.name(),
+            GraphNode::Reorder(n) => n.name(),
+            GraphNode::Encap(n) => n.name(),
+            GraphNode::Custom(n) => n.name(),
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-node telemetry bundle: `<scope>/<node>/{in,out,drops}`.
+/// No-op counters (zero-cost) when the graph is built without a scope.
+#[derive(Debug, Clone)]
+pub struct NodeCounters {
+    /// Packets handed to the node.
+    pub pkts_in: Counter,
+    /// Packets the node passed on or consumed successfully.
+    pub pkts_out: Counter,
+    /// Packets the node dropped.
+    pub drops: Counter,
+}
+
+impl NodeCounters {
+    /// Registers the bundle under `scope/<node>` — or builds no-op
+    /// counters when `scope` is `None`.
+    pub fn for_node(scope: Option<&Scope>, node: &str) -> Self {
+        match scope {
+            Some(s) => {
+                let ns = s.scope(node);
+                NodeCounters {
+                    pkts_in: ns.counter("in", CounterType::Packets),
+                    pkts_out: ns.counter("out", CounterType::Packets),
+                    drops: ns.counter("drops", CounterType::Packets),
+                }
+            }
+            None => NodeCounters {
+                pkts_in: Counter::noop(),
+                pkts_out: Counter::noop(),
+                drops: Counter::noop(),
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GraphEntry {
+    node: GraphNode,
+    tele: NodeCounters,
+}
+
+/// An ordered chain of nodes plus the control-plane mailbox.
+#[derive(Debug, Default)]
+pub struct FlowGraph {
+    nodes: Vec<GraphEntry>,
+    ctrl: Vec<CtrlMsg>,
+}
+
+impl FlowGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        FlowGraph { nodes: Vec::new(), ctrl: Vec::new() }
+    }
+
+    /// Appends a node, registering its telemetry bundle under `scope`
+    /// (no-op counters when `None`), and returns its slot index.
+    pub fn push(&mut self, node: GraphNode, scope: Option<&Scope>) -> usize {
+        let tele = NodeCounters::for_node(scope, node.name());
+        self.nodes.push(GraphEntry { node, tele });
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes in the chain.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the chain has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mutable access to the node in `slot`.
+    pub fn node_mut(&mut self, slot: usize) -> &mut GraphNode {
+        &mut self.nodes[slot].node
+    }
+
+    /// Runs one packet through the single node in `slot`, maintaining the
+    /// node's counters and releasing the pool slot on a drop.
+    pub fn step(&mut self, slot: usize, pkt: PktHandle, ctx: &mut GraphCtx<'_>) -> Disposition {
+        let entry = &mut self.nodes[slot];
+        entry.tele.pkts_in.inc();
+        let d = entry.node.as_node_mut().process(pkt, ctx);
+        match d {
+            Disposition::Next | Disposition::Consumed => entry.tele.pkts_out.inc(),
+            Disposition::Drop(_) => {
+                entry.tele.drops.inc();
+                ctx.pool.release(pkt);
+            }
+        }
+        d
+    }
+
+    /// Runs one packet through the chain from `entry` to the end.
+    pub fn run_from(
+        &mut self,
+        entry: usize,
+        pkt: PktHandle,
+        ctx: &mut GraphCtx<'_>,
+    ) -> ChainResult {
+        for slot in entry..self.nodes.len() {
+            match self.step(slot, pkt, ctx) {
+                Disposition::Next => {}
+                Disposition::Consumed => return ChainResult::Consumed,
+                Disposition::Drop(r) => return ChainResult::Dropped(r),
+            }
+        }
+        ChainResult::Egress(pkt)
+    }
+
+    /// Runs one packet through the whole chain.
+    pub fn run(&mut self, pkt: PktHandle, ctx: &mut GraphCtx<'_>) -> ChainResult {
+        self.run_from(0, pkt, ctx)
+    }
+
+    /// Posts a control-plane message for the next [`FlowGraph::tick`].
+    pub fn post(&mut self, msg: CtrlMsg) {
+        self.ctrl.push(msg);
+    }
+
+    /// Drains posted control messages, delivering each (in post order) to
+    /// every node in chain order. The mailbox's capacity is kept.
+    pub fn tick(&mut self) {
+        let msgs = std::mem::take(&mut self.ctrl);
+        for msg in &msgs {
+            for entry in &mut self.nodes {
+                entry.node.as_node_mut().handle_ctrl(msg);
+            }
+        }
+        self.ctrl = msgs;
+        self.ctrl.clear();
+    }
+}
+
+/// Outcome of offering a packet to a [`FlowDatapath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The token bucket refused the packet (pool slot already released).
+    Dropped,
+    /// Admitted: the pooled packet carries a fresh header (route + wire
+    /// sequence number); `route` is the chosen route's flow-local index.
+    Admitted {
+        /// Handle of the admitted packet.
+        pkt: PktHandle,
+        /// Chosen route index.
+        route: usize,
+    },
+}
+
+/// A complete per-flow datapath assembled as a [`FlowGraph`]:
+/// `RouteChoice → PriceStamp → [DelayEq] → Reorder`, with typed entry
+/// points for drivers that interleave the stages with their own event
+/// loop (the simulator) and for control-plane updates.
+#[derive(Debug)]
+pub struct FlowDatapath {
+    graph: FlowGraph,
+    route_choice: usize,
+    price_stamp: usize,
+    delay_eq: Option<usize>,
+    reorder: usize,
+}
+
+impl FlowDatapath {
+    /// Assembles the datapath for one flow over `routes`, registering
+    /// per-node telemetry under `scope` (or no-op counters when `None`).
+    pub fn new(cfg: &DatapathConfig, routes: Vec<SourceRoute>, scope: Option<&Scope>) -> Self {
+        let mut graph = FlowGraph::new();
+        let route_choice =
+            graph.push(GraphNode::RouteChoice(RouteChoiceNode::new(&cfg.scheduler, routes)), scope);
+        let price_stamp = graph.push(GraphNode::PriceStamp(PriceStampNode), scope);
+        let delay_eq = cfg
+            .delay_eq
+            .as_ref()
+            .map(|d| graph.push(GraphNode::DelayEq(DelayEqNode::new(d)), scope));
+        let reorder = graph.push(GraphNode::Reorder(ReorderNode::new(&cfg.reorder)), scope);
+        FlowDatapath { graph, route_choice, price_stamp, delay_eq, reorder }
+    }
+
+    fn route_choice_node(&mut self) -> &mut RouteChoiceNode {
+        match self.graph.node_mut(self.route_choice) {
+            GraphNode::RouteChoice(n) => n,
+            _ => unreachable!("route_choice slot holds the RouteChoice node"),
+        }
+    }
+
+    fn reorder_node(&mut self) -> &mut ReorderNode {
+        match self.graph.node_mut(self.reorder) {
+            GraphNode::Reorder(n) => n,
+            _ => unreachable!("reorder slot holds the Reorder node"),
+        }
+    }
+
+    /// Posts a control-plane message; it takes effect at the next
+    /// [`FlowDatapath::tick`].
+    pub fn post(&mut self, msg: CtrlMsg) {
+        self.graph.post(msg);
+    }
+
+    /// Drains posted control messages into the nodes.
+    pub fn tick(&mut self) {
+        self.graph.tick();
+    }
+
+    /// Current total admitted rate, Mbps.
+    pub fn total_rate(&mut self) -> f64 {
+        self.route_choice_node().total_rate()
+    }
+
+    /// Number of routes the datapath is keyed for.
+    pub fn route_count(&mut self) -> usize {
+        self.route_choice_node().route_count()
+    }
+
+    /// Offers one `size_bits`-bit packet at `now`: allocates a pooled
+    /// packet and runs the `RouteChoice` stage (token bucket + weighted
+    /// route draw). On admission the packet carries a fresh header; on
+    /// refusal the slot is already released.
+    pub fn admit(
+        &mut self,
+        pool: &mut PktPool,
+        rng: &mut StdRng,
+        now: f64,
+        size_bits: u64,
+        out: &mut Outbox,
+    ) -> AdmitOutcome {
+        let pkt = pool.insert_with(|p| {
+            p.reset();
+            p.size_bits = size_bits;
+            p.created_at = now;
+        });
+        out.clear();
+        let mut ctx = GraphCtx { now, pool, rng, price_contribution: 0.0, out };
+        match self.graph.step(self.route_choice, pkt, &mut ctx) {
+            Disposition::Next => {
+                let route = ctx.pool.get(pkt).route;
+                AdmitOutcome::Admitted { pkt, route }
+            }
+            _ => AdmitOutcome::Dropped,
+        }
+    }
+
+    /// Admits a packet onto an explicit route, bypassing the token bucket
+    /// and its telemetry: the open-loop TCP path (no congestion control)
+    /// pins route 0 without consuming tokens or RNG draws.
+    pub fn admit_direct(
+        &mut self,
+        pool: &mut PktPool,
+        now: f64,
+        size_bits: u64,
+        route: usize,
+    ) -> PktHandle {
+        let pkt = pool.insert_with(|p| {
+            p.reset();
+            p.size_bits = size_bits;
+            p.created_at = now;
+        });
+        let rc = self.route_choice_node();
+        rc.assign(pool.get_mut(pkt), route);
+        pkt
+    }
+
+    /// Runs the `PriceStamp` stage: accumulates this hop's price
+    /// contribution into the pooled packet's header.
+    pub fn stamp(
+        &mut self,
+        pool: &mut PktPool,
+        rng: &mut StdRng,
+        now: f64,
+        pkt: PktHandle,
+        contribution: f64,
+        out: &mut Outbox,
+    ) {
+        let mut ctx = GraphCtx { now, pool, rng, price_contribution: contribution, out };
+        let _ = self.graph.step(self.price_stamp, pkt, &mut ctx);
+    }
+
+    /// Runs the `DelayEq` stage's core: records `route`'s observed one-way
+    /// delay and returns the hold to apply before release (0 when the
+    /// datapath has no delay equalization).
+    pub fn arrival_hold(&mut self, route: usize, delay_secs: f64) -> f64 {
+        let Some(slot) = self.delay_eq else {
+            return 0.0;
+        };
+        match self.graph.node_mut(slot) {
+            GraphNode::DelayEq(n) => n.hold_for(route, delay_secs),
+            _ => unreachable!("delay_eq slot holds the DelayEq node"),
+        }
+    }
+
+    /// Runs the `Reorder` stage's core on a (route, seq, price) arrival;
+    /// see [`ReorderNode::accept`]. Returns the in-order deliveries.
+    pub fn accept(
+        &mut self,
+        route: usize,
+        seq: u32,
+        price: f64,
+        out: &mut Vec<ReorderEvent>,
+    ) -> u64 {
+        self.reorder_node().accept(route, seq, price, out)
+    }
+
+    /// Number of routes the reorder stage is keyed for (lags the route
+    /// table only within a tick).
+    pub fn reorder_route_count(&mut self) -> usize {
+        self.reorder_node().route_count()
+    }
+
+    /// The paced price acknowledgement, when one is due.
+    pub fn maybe_ack(&mut self, now: f64) -> Option<Ack> {
+        self.reorder_node().maybe_ack(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::iface_id::IfaceId;
+    use empower_model::rng::SeedableRng;
+    use empower_telemetry::Telemetry;
+
+    fn route(ids: &[u16]) -> SourceRoute {
+        let hops: Vec<IfaceId> = ids.iter().map(|&i| IfaceId(i)).collect();
+        SourceRoute::new(&hops).unwrap()
+    }
+
+    fn two_route_dp(scope: Option<&Scope>) -> FlowDatapath {
+        let cfg = DatapathConfig::for_routes(2)
+            .scheduler(SchedulerConfig::for_routes(2).initial_rates(&[10.0, 10.0]));
+        FlowDatapath::new(&cfg, vec![route(&[1, 2]), route(&[3, 4])], scope)
+    }
+
+    #[test]
+    fn admitted_packets_flow_source_to_destination() {
+        let mut dp = two_route_dp(None);
+        let mut pool = PktPool::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Outbox::new();
+        let mut events = Vec::new();
+        let mut delivered = 0u64;
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += 0.01;
+            match dp.admit(&mut pool, &mut rng, t, 12_000, &mut out) {
+                AdmitOutcome::Dropped => {}
+                AdmitOutcome::Admitted { pkt, route } => {
+                    dp.stamp(&mut pool, &mut rng, t, pkt, 0.01, &mut out);
+                    let h = pool.get(pkt).header;
+                    pool.release(pkt);
+                    events.clear();
+                    delivered += dp.accept(route, h.seq, f64::from(h.price), &mut events);
+                }
+            }
+        }
+        assert!(delivered > 0, "packets flowed end to end");
+        assert_eq!(pool.live(), 0, "every handle released");
+        let ack = dp.maybe_ack(t).expect("ack due");
+        assert_eq!(ack.delivered_packets, delivered);
+    }
+
+    #[test]
+    fn ctrl_msgs_take_effect_at_tick_not_post() {
+        let mut dp = two_route_dp(None);
+        dp.post(CtrlMsg::SetRates(vec![1.0, 3.0]));
+        assert_eq!(dp.total_rate(), 20.0, "posted rates are not live yet");
+        dp.tick();
+        assert_eq!(dp.total_rate(), 4.0);
+    }
+
+    #[test]
+    fn replace_routes_rekeys_every_stage() {
+        let mut dp = two_route_dp(None);
+        let new_routes = vec![route(&[5, 6]), route(&[7, 8]), route(&[9, 10])];
+        dp.post(CtrlMsg::ReplaceRoutes(new_routes));
+        dp.post(CtrlMsg::SetRates(vec![1.0, 1.0, 1.0]));
+        dp.tick();
+        assert_eq!(dp.route_count(), 3);
+        assert_eq!(dp.reorder_route_count(), 3);
+        assert_eq!(dp.total_rate(), 3.0);
+    }
+
+    #[test]
+    fn per_node_counters_register_under_the_scope() {
+        let tel = Telemetry::enabled();
+        let scope = tel.scope("flow/0");
+        let mut dp = two_route_dp(Some(&scope));
+        let mut pool = PktPool::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Outbox::new();
+        let mut admitted = 0;
+        let mut t = 0.0;
+        for _ in 0..20 {
+            t += 0.01;
+            if let AdmitOutcome::Admitted { pkt, .. } =
+                dp.admit(&mut pool, &mut rng, t, 12_000, &mut out)
+            {
+                admitted += 1;
+                pool.release(pkt);
+            }
+        }
+        let snap = tel.snapshot();
+        let rc_in = snap.value("flow/0/route_choice/in").unwrap_or(0);
+        let rc_out = snap.value("flow/0/route_choice/out").unwrap_or(0);
+        let rc_drops = snap.value("flow/0/route_choice/drops").unwrap_or(0);
+        assert_eq!(rc_in, 20);
+        assert_eq!(rc_out, admitted);
+        assert_eq!(rc_in, rc_out + rc_drops);
+    }
+
+    #[test]
+    fn custom_nodes_slot_into_the_chain() {
+        struct CountingTap(u64);
+        impl Node for CountingTap {
+            fn name(&self) -> &'static str {
+                "tap"
+            }
+            fn process(&mut self, _pkt: PktHandle, _ctx: &mut GraphCtx<'_>) -> Disposition {
+                self.0 += 1;
+                Disposition::Next
+            }
+        }
+        let mut graph = FlowGraph::new();
+        graph.push(GraphNode::Custom(Box::new(CountingTap(0))), None);
+        let mut pool = PktPool::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Outbox::new();
+        let pkt = pool.insert_with(|p| p.reset());
+        let mut ctx = GraphCtx {
+            now: 0.0,
+            pool: &mut pool,
+            rng: &mut rng,
+            price_contribution: 0.0,
+            out: &mut out,
+        };
+        assert_eq!(graph.run(pkt, &mut ctx), ChainResult::Egress(pkt));
+        match graph.node_mut(0) {
+            GraphNode::Custom(_) => {}
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+}

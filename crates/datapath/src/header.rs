@@ -44,6 +44,14 @@ pub struct SourceRoute {
     len: u8,
 }
 
+impl Default for SourceRoute {
+    /// The empty (zero-hop) route — invalid on the wire, used as the
+    /// pool's reset value.
+    fn default() -> Self {
+        SourceRoute { hops: [IfaceId::EMPTY; MAX_HOPS], len: 0 }
+    }
+}
+
 impl SourceRoute {
     /// Builds a route from ingress interface ids.
     pub fn new(hops: &[IfaceId]) -> Result<Self, HeaderError> {
@@ -94,7 +102,7 @@ impl SourceRoute {
 }
 
 /// The layer-2.5 header carried by every EMPoWER data packet.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EmpowerHeader {
     pub route: SourceRoute,
     /// Accumulated route price `q_r` (§4.2); f32 on the wire (4 bytes).
@@ -118,7 +126,20 @@ impl EmpowerHeader {
         buf.put_u32(self.seq);
     }
 
+    /// Serializes into a caller-provided fixed buffer — the hot-path
+    /// encoder: no allocation, no cursor bookkeeping, the type system
+    /// guarantees the length.
+    pub fn encode_into(&self, out: &mut [u8; HEADER_LEN]) {
+        for i in 0..MAX_HOPS {
+            out[2 * i..2 * i + 2].copy_from_slice(&self.route.hops[i].0.to_be_bytes());
+        }
+        out[12..16].copy_from_slice(&self.price.to_bits().to_be_bytes());
+        out[16..20].copy_from_slice(&self.seq.to_be_bytes());
+    }
+
     /// Serializes to a fresh vector.
+    #[deprecated(note = "allocates a fresh Vec per packet; use `encode_into` (fixed buffer) or \
+                `encode` (appending sink) instead")]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(HEADER_LEN);
         self.encode(&mut v);
@@ -163,7 +184,12 @@ mod tests {
     #[test]
     fn header_is_exactly_20_bytes() {
         let h = EmpowerHeader::new(route(&[10, 20, 30]), 42);
-        assert_eq!(h.to_bytes().len(), HEADER_LEN);
+        let mut fixed = [0u8; HEADER_LEN];
+        h.encode_into(&mut fixed);
+        let mut appended = Vec::new();
+        h.encode(&mut appended);
+        assert_eq!(appended.len(), HEADER_LEN);
+        assert_eq!(appended.as_slice(), &fixed, "both encoders produce the same bytes");
     }
 
     #[test]
@@ -171,7 +197,8 @@ mod tests {
         let mut h = EmpowerHeader::new(route(&[7, 9]), 0xdead_beef);
         h.add_price(0.125);
         h.add_price(0.5);
-        let bytes = h.to_bytes();
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode_into(&mut bytes);
         let back = EmpowerHeader::decode(&mut bytes.as_slice()).unwrap();
         assert_eq!(back, h);
         assert_eq!(back.route.len(), 2);
@@ -182,7 +209,8 @@ mod tests {
     #[test]
     fn six_hop_route_fits() {
         let h = EmpowerHeader::new(route(&[1, 2, 3, 4, 5, 6]), 1);
-        let bytes = h.to_bytes();
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode_into(&mut bytes);
         let back = EmpowerHeader::decode(&mut bytes.as_slice()).unwrap();
         assert_eq!(back.route.len(), 6);
     }
@@ -196,14 +224,16 @@ mod tests {
     #[test]
     fn truncated_input_is_rejected() {
         let h = EmpowerHeader::new(route(&[1]), 5);
-        let bytes = h.to_bytes();
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode_into(&mut bytes);
         let err = EmpowerHeader::decode(&mut &bytes[..HEADER_LEN - 1]).unwrap_err();
         assert_eq!(err, HeaderError::Truncated { got: HEADER_LEN - 1 });
     }
 
     #[test]
     fn gap_in_route_is_rejected() {
-        let mut bytes = EmpowerHeader::new(route(&[1, 2]), 5).to_bytes();
+        let mut bytes = [0u8; HEADER_LEN];
+        EmpowerHeader::new(route(&[1, 2]), 5).encode_into(&mut bytes);
         // Zero hop 0, leaving hop 1 set: a gap at the front.
         bytes[0] = 0;
         bytes[1] = 0;

@@ -20,17 +20,37 @@
 //! greater than S on all routes", tracks the latest `q_r` per route, and
 //! acknowledges every 100 ms over the best single path.
 
+//!
+//! Since the forwarding-graph redesign the datapath is assembled from
+//! typed nodes over a pooled packet store (see [`graph`] and [`nodes`]),
+//! configured through builders ([`config`]) and driven by pluggable
+//! packet I/O backends ([`backend`]): the discrete-event simulator and a
+//! real UDP socket run the same stage code.
+
 pub mod ack;
+pub mod backend;
+pub mod config;
 pub mod delay_eq;
+pub mod graph;
 pub mod header;
 pub mod iface_id;
+pub mod nodes;
+pub mod pool;
 pub mod reorder;
 pub mod scheduler;
 pub mod wire;
 
 pub use ack::{Ack, AckCollector, ACK_INTERVAL_SECS};
+pub use backend::{DestEndpoint, IoError, PacketIo, SourceEndpoint};
+pub use config::{DatapathConfig, DelayEqConfig, ReorderConfig, SchedulerConfig};
 pub use delay_eq::DelayEqualizer;
+pub use graph::{
+    AdmitOutcome, ChainResult, CtrlMsg, Disposition, DropReason, FlowDatapath, FlowGraph, GraphCtx,
+    GraphNode, Node, NodeCounters, Outbox,
+};
 pub use header::{EmpowerHeader, HeaderError, SourceRoute, HEADER_LEN, MAX_HOPS};
 pub use iface_id::{IfaceId, IfaceRegistry};
+pub use nodes::{DecapNode, DelayEqNode, EncapNode, PriceStampNode, ReorderNode, RouteChoiceNode};
+pub use pool::{Handle, Packet, PktHandle, PktPool, Pool};
 pub use reorder::{ReorderBuffer, ReorderEvent};
 pub use scheduler::{RouteChoice, RouteScheduler};

@@ -1,0 +1,194 @@
+//! Pooled packet storage shared by the forwarding graph and its drivers.
+//!
+//! The free-list slab pattern proved out in the simulator's hot path
+//! (PR 5): slots are recycled through a LIFO free list, so after warm-up
+//! the steady-state packet churn performs no heap allocation — `insert`
+//! overwrites a freed slot in place and `release` just pushes the index
+//! back. Queues and node pipelines hold 4-byte [`Handle`]s instead of
+//! moving packet-sized structs around.
+//!
+//! [`Pool`] is generic so both the graph's wire packets ([`Packet`]) and
+//! the simulator's frames pool through the same code; `empower-sim`
+//! re-exports its `PacketSlab`/`PacketId` as aliases of `Pool`/[`Handle`].
+
+use crate::header::EmpowerHeader;
+
+/// Handle into a [`Pool`]: 4 bytes, `Copy`, index-stable for the life of
+/// the pooled item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle(pub u32);
+
+/// Free-list slab pooling `T` storage.
+#[derive(Debug, Default)]
+pub struct Pool<T> {
+    slots: Vec<T>,
+    free: Vec<u32>,
+    hits: u64,
+    grows: u64,
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Pool { slots: Vec::new(), free: Vec::new(), hits: 0, grows: 0 }
+    }
+
+    /// Stores `item`, reusing a freed slot when one exists. Note that this
+    /// *overwrites* the recycled slot (dropping whatever buffers the old
+    /// value owned); use [`Pool::insert_with`] to recycle in place.
+    pub fn insert(&mut self, item: T) -> Handle {
+        if let Some(idx) = self.free.pop() {
+            self.hits += 1;
+            self.slots[idx as usize] = item;
+            Handle(idx)
+        } else {
+            self.grows += 1;
+            let idx = self.slots.len() as u32;
+            self.slots.push(item);
+            Handle(idx)
+        }
+    }
+
+    /// Returns `h`'s slot to the free list. The slot's contents stay in
+    /// place until a later insert reuses them; reading through a released
+    /// handle is a logic error the debug assertion catches.
+    pub fn release(&mut self, h: Handle) {
+        debug_assert!(!self.free.contains(&h.0), "double release of {h:?}");
+        self.free.push(h.0);
+    }
+
+    /// Read access to a live item.
+    pub fn get(&self, h: Handle) -> &T {
+        &self.slots[h.0 as usize]
+    }
+
+    /// Write access to a live item.
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        &mut self.slots[h.0 as usize]
+    }
+
+    /// Inserts that reused a freed slot (no allocation).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Inserts that grew the pool (one allocation-class event each).
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Items currently live (inserted and not yet released).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+impl<T: Default> Pool<T> {
+    /// Allocates a slot and initializes it **in place** via `init`: a
+    /// recycled slot is *not* overwritten with a fresh `T` first, so any
+    /// heap buffers the old value owned (e.g. [`Packet::payload`]
+    /// capacity) survive for reuse. `init` is responsible for resetting
+    /// every field it cares about.
+    pub fn insert_with(&mut self, init: impl FnOnce(&mut T)) -> Handle {
+        let h = if let Some(idx) = self.free.pop() {
+            self.hits += 1;
+            Handle(idx)
+        } else {
+            self.grows += 1;
+            let idx = self.slots.len() as u32;
+            self.slots.push(T::default());
+            Handle(idx)
+        };
+        init(&mut self.slots[h.0 as usize]);
+        h
+    }
+}
+
+/// One packet moving through the forwarding graph: the wire header, the
+/// flow-local route index it rides, bookkeeping for delay accounting, and
+/// a payload buffer whose capacity is recycled by the pool.
+#[derive(Debug, Clone, Default)]
+pub struct Packet {
+    /// The 20-byte layer-2.5 wire header.
+    pub header: EmpowerHeader,
+    /// Flow-local route index (assigned by `RouteChoice` at the source,
+    /// recovered by `Decap` at the destination).
+    pub route: usize,
+    /// Emission time at the source, seconds of the driver's clock.
+    pub created_at: f64,
+    /// Frame size on the wire, bits (header + payload).
+    pub size_bits: u64,
+    /// Application payload (post-`Decap`: without the wire header).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Resets every field for slot recycling, keeping the payload buffer's
+    /// capacity. [`Pool::insert_with`] initializers call this first.
+    pub fn reset(&mut self) {
+        self.header = EmpowerHeader::default();
+        self.route = 0;
+        self.created_at = 0.0;
+        self.size_bits = 0;
+        self.payload.clear();
+    }
+}
+
+/// The forwarding graph's packet pool.
+pub type PktPool = Pool<Packet>;
+/// Handle to a packet in a [`PktPool`].
+pub type PktHandle = Handle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_recycle_lifo() {
+        let mut pool: Pool<u64> = Pool::new();
+        let a = pool.insert(1);
+        let b = pool.insert(2);
+        assert_eq!(pool.grows(), 2);
+        assert_eq!(pool.live(), 2);
+        pool.release(a);
+        let c = pool.insert(3);
+        assert_eq!(c, a, "freed slot is reused LIFO");
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(*pool.get(c), 3);
+        assert_eq!(*pool.get(b), 2);
+    }
+
+    #[test]
+    fn insert_with_keeps_payload_capacity() {
+        let mut pool: PktPool = Pool::new();
+        let h = pool.insert_with(|p| {
+            p.reset();
+            p.payload.extend_from_slice(&[0u8; 256]);
+        });
+        let cap = pool.get(h).payload.capacity();
+        assert!(cap >= 256);
+        pool.release(h);
+        let h2 = pool.insert_with(|p| p.reset());
+        assert_eq!(h2, h);
+        assert_eq!(pool.get(h2).payload.len(), 0);
+        assert_eq!(pool.get(h2).payload.capacity(), cap, "buffer capacity survives recycling");
+    }
+
+    #[test]
+    fn steady_state_churn_stops_growing() {
+        let mut pool: PktPool = Pool::new();
+        let mut live = Vec::new();
+        for i in 0..10_000u32 {
+            live.push(pool.insert_with(Packet::reset));
+            if live.len() > 8 {
+                pool.release(live.remove(0));
+            }
+            if i == 100 {
+                // After warm-up the pool never grows again.
+                assert!(pool.grows() <= 9 + 1);
+            }
+        }
+        assert!(pool.grows() <= 10, "steady-state churn must not grow the pool");
+        assert!(pool.hits() > 9_000);
+    }
+}

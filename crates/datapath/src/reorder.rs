@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::config::ReorderConfig;
+
 /// What the reorder buffer releases to the upper layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReorderEvent {
@@ -32,14 +34,21 @@ pub struct ReorderBuffer {
 }
 
 impl ReorderBuffer {
-    /// Creates a buffer for a flow using `route_count` routes.
-    pub fn new(route_count: usize) -> Self {
+    /// Builds a buffer from its typed configuration (the non-deprecated
+    /// construction path; see [`ReorderConfig`]).
+    pub(crate) fn from_config(cfg: &ReorderConfig) -> Self {
         ReorderBuffer {
             next_seq: 0,
             pending: BTreeMap::new(),
-            highest_per_route: vec![None; route_count],
-            capacity: 4096,
+            highest_per_route: vec![None; cfg.routes()],
+            capacity: cfg.cap(),
         }
+    }
+
+    /// Creates a buffer for a flow using `route_count` routes.
+    #[deprecated(note = "use `ReorderConfig::for_routes(n).build()`")]
+    pub fn new(route_count: usize) -> Self {
+        Self::from_config(&ReorderConfig::for_routes(route_count))
     }
 
     /// Number of packets currently buffered out of order.
@@ -52,11 +61,23 @@ impl ReorderBuffer {
         self.next_seq
     }
 
+    /// Number of routes the buffer is currently keyed for.
+    pub fn route_count(&self) -> usize {
+        self.highest_per_route.len()
+    }
+
     /// Re-keys the buffer for a new route set (route recomputation after a
     /// failure, §3.2): the expected sequence number and any buffered
     /// packets survive; the per-route high-water marks restart, so the
     /// loss rule waits until every *new* route has carried traffic.
+    #[deprecated(note = "post `CtrlMsg::ReplaceRoutes` to the graph instead")]
     pub fn reset_routes(&mut self, route_count: usize) {
+        self.rekey(route_count);
+    }
+
+    /// Control-plane handler behind `CtrlMsg::ReplaceRoutes` (see the
+    /// deprecated [`ReorderBuffer::reset_routes`] for semantics).
+    pub(crate) fn rekey(&mut self, route_count: usize) {
         self.highest_per_route = vec![None; route_count];
     }
 
@@ -121,7 +142,7 @@ mod tests {
 
     #[test]
     fn in_order_delivery_is_immediate() {
-        let mut b = ReorderBuffer::new(2);
+        let mut b = ReorderConfig::for_routes(2).build();
         assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
         assert_eq!(b.accept(1, 1), vec![Deliver(1)]);
         assert_eq!(b.accept(0, 2), vec![Deliver(2)]);
@@ -130,7 +151,7 @@ mod tests {
 
     #[test]
     fn out_of_order_waits_for_the_gap() {
-        let mut b = ReorderBuffer::new(2);
+        let mut b = ReorderConfig::for_routes(2).build();
         // seq 1 arrives on route 0 before seq 0: route 1 hasn't passed 0
         // yet, so 0 may still arrive there — hold 1.
         assert_eq!(b.accept(0, 1), vec![]);
@@ -140,7 +161,7 @@ mod tests {
 
     #[test]
     fn loss_declared_when_all_routes_passed() {
-        let mut b = ReorderBuffer::new(2);
+        let mut b = ReorderConfig::for_routes(2).build();
         // seq 0 never arrives; both routes deliver beyond it.
         assert_eq!(b.accept(0, 1), vec![]);
         assert_eq!(b.accept(1, 2), vec![Lost(0), Deliver(1), Deliver(2)]);
@@ -148,7 +169,7 @@ mod tests {
 
     #[test]
     fn single_route_losses_resolve_immediately_on_next_packet() {
-        let mut b = ReorderBuffer::new(1);
+        let mut b = ReorderConfig::for_routes(1).build();
         assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
         // 1 lost; 2 arrives on the only route → 1 declared lost.
         assert_eq!(b.accept(0, 2), vec![Lost(1), Deliver(2)]);
@@ -156,7 +177,7 @@ mod tests {
 
     #[test]
     fn slow_route_defers_loss_declaration() {
-        let mut b = ReorderBuffer::new(2);
+        let mut b = ReorderConfig::for_routes(2).build();
         // Route 0 races ahead; route 1 is silent: nothing can be declared.
         assert_eq!(b.accept(0, 5), vec![]);
         assert_eq!(b.accept(0, 6), vec![]);
@@ -171,15 +192,14 @@ mod tests {
 
     #[test]
     fn duplicates_are_ignored() {
-        let mut b = ReorderBuffer::new(1);
+        let mut b = ReorderConfig::for_routes(1).build();
         assert_eq!(b.accept(0, 0), vec![Deliver(0)]);
         assert_eq!(b.accept(0, 0), vec![]);
     }
 
     #[test]
     fn capacity_bound_forces_progress() {
-        let mut b = ReorderBuffer::new(2);
-        b.capacity = 8;
+        let mut b = ReorderConfig::for_routes(2).capacity(8).build();
         // Fill beyond capacity with a hole at 0 (route 1 stays behind).
         let mut forced = Vec::new();
         for s in 1..=9 {
@@ -193,8 +213,8 @@ mod tests {
 
     #[test]
     fn accept_into_matches_accept_and_reuses_the_buffer() {
-        let mut a = ReorderBuffer::new(2);
-        let mut b = ReorderBuffer::new(2);
+        let mut a = ReorderConfig::for_routes(2).build();
+        let mut b = ReorderConfig::for_routes(2).build();
         let mut out = Vec::new();
         let arrivals = [(0, 1u32), (1, 0), (0, 2), (1, 4), (0, 3), (0, 3), (1, 6)];
         for (r, s) in arrivals {
@@ -206,7 +226,7 @@ mod tests {
 
     #[test]
     fn interleaved_two_route_stream_delivers_everything_in_order() {
-        let mut b = ReorderBuffer::new(2);
+        let mut b = ReorderConfig::for_routes(2).build();
         let mut delivered = Vec::new();
         // Route 0 gets even seqs, route 1 odd. Each route is FIFO (packets
         // on one route cannot overtake each other), but the two routes

@@ -9,6 +9,8 @@
 
 use empower_model::rng::Rng;
 
+use crate::config::SchedulerConfig;
+
 /// Outcome of offering one packet to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteChoice {
@@ -40,42 +42,76 @@ pub struct RouteScheduler {
 }
 
 impl RouteScheduler {
+    /// Builds a scheduler from its typed configuration (the non-deprecated
+    /// construction path; see [`SchedulerConfig`]).
+    pub(crate) fn from_config(cfg: &SchedulerConfig) -> Self {
+        assert!(cfg.bucket_depth() > 0.0);
+        let mut s = RouteScheduler {
+            rates: vec![0.0; cfg.routes()],
+            tokens: 0.0,
+            bucket_depth: cfg.bucket_depth(),
+            last_refill: 0.0,
+            next_seq: 0,
+            probe_floor: cfg.probe_floor().max(0.0),
+        };
+        if let Some(rates) = cfg.rates() {
+            s.apply_rates(rates);
+        }
+        s
+    }
+
     /// Creates a scheduler for `route_count` routes, all rates zero, with a
     /// default bucket depth sized for ~4 × 12 kbit frames.
+    #[deprecated(note = "use `SchedulerConfig::for_routes(n).build()`")]
     pub fn new(route_count: usize) -> Self {
-        Self::with_bucket(route_count, 0.05)
+        Self::from_config(&SchedulerConfig::for_routes(route_count))
     }
 
     /// Creates a scheduler with an explicit token-bucket depth in megabits.
     /// The depth must hold at least one frame or everything is dropped; the
     /// simulator sizes it to a few aggregated frames.
+    #[deprecated(note = "use `SchedulerConfig::for_routes(n).bucket_depth_mb(d).build()`")]
     pub fn with_bucket(route_count: usize, bucket_depth_mb: f64) -> Self {
-        assert!(bucket_depth_mb > 0.0);
-        RouteScheduler {
-            rates: vec![0.0; route_count],
-            tokens: 0.0,
-            bucket_depth: bucket_depth_mb,
-            last_refill: 0.0,
-            next_seq: 0,
-            probe_floor: 0.25,
-        }
+        Self::from_config(
+            &SchedulerConfig::for_routes(route_count).bucket_depth_mb(bucket_depth_mb),
+        )
     }
 
     /// Overrides the price-probing floor (Mbps). Zero disables probing.
+    #[deprecated(note = "configure via `SchedulerConfig::probe_floor_mbps`, or post \
+                `CtrlMsg::SetProbeFloor` to the graph mid-flow")]
     pub fn set_probe_floor(&mut self, floor_mbps: f64) {
-        self.probe_floor = floor_mbps.max(0.0);
+        self.apply_probe_floor(floor_mbps);
     }
 
     /// Re-keys the scheduler for a new route set, zeroing the rates but
     /// preserving the token bucket and — crucially — the wire sequence
     /// counter (the destination's reorder buffer lives across route
     /// recomputations).
+    #[deprecated(note = "post `CtrlMsg::ReplaceRoutes` to the graph instead")]
     pub fn reset_routes(&mut self, route_count: usize) {
-        self.rates = vec![0.0; route_count];
+        self.rekey(route_count);
     }
 
     /// Updates the per-route rates from the congestion controller.
+    #[deprecated(note = "post `CtrlMsg::SetRates` to the graph instead")]
     pub fn set_rates(&mut self, rates: &[f64]) {
+        self.apply_rates(rates);
+    }
+
+    /// Control-plane handler behind `CtrlMsg::SetProbeFloor`.
+    pub(crate) fn apply_probe_floor(&mut self, floor_mbps: f64) {
+        self.probe_floor = floor_mbps.max(0.0);
+    }
+
+    /// Control-plane handler behind `CtrlMsg::ReplaceRoutes` (see
+    /// the deprecated [`RouteScheduler::reset_routes`] for semantics).
+    pub(crate) fn rekey(&mut self, route_count: usize) {
+        self.rates = vec![0.0; route_count];
+    }
+
+    /// Control-plane handler behind `CtrlMsg::SetRates`.
+    pub(crate) fn apply_rates(&mut self, rates: &[f64]) {
         assert_eq!(rates.len(), self.rates.len());
         self.rates.copy_from_slice(rates);
     }
@@ -129,15 +165,14 @@ mod tests {
 
     #[test]
     fn zero_rate_drops_everything() {
-        let mut s = RouteScheduler::new(2);
+        let mut s = SchedulerConfig::for_routes(2).build();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(s.offer(&mut rng, 0.0, 12000), RouteChoice::Drop);
     }
 
     #[test]
     fn route_choice_is_proportional_to_rates() {
-        let mut s = RouteScheduler::new(2);
-        s.set_rates(&[30.0, 10.0]);
+        let mut s = SchedulerConfig::for_routes(2).initial_rates(&[30.0, 10.0]).build();
         let mut rng = StdRng::seed_from_u64(2);
         let mut counts = [0usize; 2];
         let mut t = 0.0;
@@ -153,8 +188,7 @@ mod tests {
 
     #[test]
     fn token_bucket_enforces_the_total_rate() {
-        let mut s = RouteScheduler::new(1);
-        s.set_rates(&[10.0]); // 10 Mbps
+        let mut s = SchedulerConfig::for_routes(1).initial_rates(&[10.0]).build(); // 10 Mbps
         let mut rng = StdRng::seed_from_u64(3);
         // Offer 1500 B packets every 0.5 ms for 1 s → offered 24 Mbps.
         let mut sent_bits = 0u64;
@@ -171,7 +205,7 @@ mod tests {
 
     #[test]
     fn sequence_numbers_increment() {
-        let mut s = RouteScheduler::new(1);
+        let mut s = SchedulerConfig::for_routes(1).build();
         assert_eq!(s.next_seq(), 0);
         assert_eq!(s.next_seq(), 1);
         assert_eq!(s.next_seq(), 2);
@@ -179,8 +213,7 @@ mod tests {
 
     #[test]
     fn probe_floor_keeps_quiet_routes_sampled() {
-        let mut s = RouteScheduler::new(2);
-        s.set_rates(&[0.0, 20.0]);
+        let mut s = SchedulerConfig::for_routes(2).initial_rates(&[0.0, 20.0]).build();
         let mut rng = StdRng::seed_from_u64(9);
         let mut t = 0.0;
         let mut probe_hits = 0;
@@ -196,9 +229,8 @@ mod tests {
 
     #[test]
     fn rate_updates_take_effect() {
-        let mut s = RouteScheduler::new(2);
-        s.set_probe_floor(0.0);
-        s.set_rates(&[0.0, 5.0]);
+        let mut s = SchedulerConfig::for_routes(2).probe_floor_mbps(0.0).build();
+        s.apply_rates(&[0.0, 5.0]);
         let mut rng = StdRng::seed_from_u64(4);
         let mut t = 0.0;
         for _ in 0..100 {

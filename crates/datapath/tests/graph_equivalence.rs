@@ -1,0 +1,132 @@
+//! The forwarding graph against the raw stage structs: identical
+//! decision streams (admitted routes + wire sequence numbers, reorder
+//! events, paced ACKs, delay-equalizer holds) under the same seeds, and
+//! the PR 5 allocation discipline — the graph's steady state must not
+//! allocate per packet (the pool's growth counter freezes after warm-up).
+//!
+//! The *simulator-level* gate lives in `crates/sim/tests/equivalence.rs`
+//! (byte-identical `SimReport`s + telemetry manifests over the seeded
+//! corpus); this one isolates the datapath crate itself.
+
+use empower_datapath::{
+    AckCollector, AdmitOutcome, DatapathConfig, DelayEqConfig, FlowDatapath, IfaceId, Outbox,
+    PktPool, ReorderConfig, ReorderEvent, RouteChoice, SchedulerConfig, SourceRoute,
+};
+use empower_model::rng::{SeedableRng, StdRng};
+
+fn route(ids: &[u16]) -> SourceRoute {
+    let hops: Vec<IfaceId> = ids.iter().map(|&i| IfaceId(i)).collect();
+    SourceRoute::new(&hops).unwrap()
+}
+
+fn routes() -> Vec<SourceRoute> {
+    vec![route(&[1, 2]), route(&[3, 4])]
+}
+
+fn sched_cfg() -> SchedulerConfig {
+    SchedulerConfig::for_routes(2).initial_rates(&[3.0, 5.0])
+}
+
+#[test]
+fn graph_decisions_match_the_raw_stage_structs() {
+    let cfg = DatapathConfig::for_routes(2).scheduler(sched_cfg()).with_delay_eq();
+    let mut dp = FlowDatapath::new(&cfg, routes(), None);
+    let mut raw_sched = sched_cfg().build();
+    let mut raw_reorder = ReorderConfig::for_routes(2).build();
+    let mut raw_acks = AckCollector::new(2);
+    let mut raw_eq = DelayEqConfig::for_routes(2).build();
+
+    // Same seed, same offered load: the full (route, seq) admission
+    // stream must match draw for draw.
+    let mut rng_graph = StdRng::seed_from_u64(99);
+    let mut rng_raw = StdRng::seed_from_u64(99);
+    let mut pool = PktPool::new();
+    let mut out = Outbox::new();
+    let mut graph_stream: Vec<(usize, u32)> = Vec::new();
+    let mut raw_stream: Vec<(usize, u32)> = Vec::new();
+    // 12 kbit frames fit the default bucket depth; 1 ms pacing offers
+    // 12 Mbps against 8 Mbps admitted, so both admissions and refusals
+    // appear in the stream.
+    let bits = 12_000;
+    let mut now = 0.0;
+    for _ in 0..500 {
+        now += 0.001;
+        match dp.admit(&mut pool, &mut rng_graph, now, bits, &mut out) {
+            AdmitOutcome::Admitted { pkt, route } => {
+                graph_stream.push((route, pool.get(pkt).header.seq));
+                pool.release(pkt);
+            }
+            AdmitOutcome::Dropped => {}
+        }
+        match raw_sched.offer(&mut rng_raw, now, bits) {
+            RouteChoice::Route(r) => raw_stream.push((r, raw_sched.next_seq())),
+            RouteChoice::Drop => {}
+        }
+    }
+    assert!(graph_stream.len() > 100, "the load admits plenty of packets");
+    assert_eq!(graph_stream, raw_stream, "admission decisions diverged");
+
+    // Replay the admitted stream into both receive sides with a
+    // deterministic loss pattern: reorder events, delivery counts and the
+    // paced ACK must match.
+    let mut graph_events: Vec<ReorderEvent> = Vec::new();
+    let mut raw_events: Vec<ReorderEvent> = Vec::new();
+    let mut graph_delivered = 0u64;
+    for &(r, seq) in &graph_stream {
+        if seq % 17 == 3 {
+            continue; // network loss
+        }
+        let price = 0.1 * (r as f64 + 1.0);
+        graph_delivered += dp.accept(r, seq, price, &mut graph_events);
+        raw_acks.observe_price(r, price);
+        for ev in raw_reorder.accept(r, seq) {
+            if matches!(ev, ReorderEvent::Deliver(_)) {
+                raw_acks.count_delivery();
+            }
+            raw_events.push(ev);
+        }
+    }
+    assert_eq!(graph_events, raw_events, "reorder streams diverged");
+    assert!(graph_delivered > 0);
+    let graph_ack = dp.maybe_ack(1000.0).expect("ack due");
+    let raw_ack = raw_acks.maybe_ack(1000.0).expect("ack due");
+    assert_eq!(graph_ack, raw_ack, "paced ACKs diverged");
+
+    // Delay equalization: the graph's hold matches the raw equalizer's
+    // for the same delay observations.
+    for i in 0..200u32 {
+        let r = (i % 2) as usize;
+        let delay = 0.010 + 0.005 * f64::from(i % 7);
+        assert_eq!(dp.arrival_hold(r, delay), raw_eq.on_arrival(r, delay), "arrival {i}");
+    }
+}
+
+#[test]
+fn graph_steady_state_does_not_allocate_per_packet() {
+    let cfg = DatapathConfig::for_routes(2).scheduler(sched_cfg());
+    let mut dp = FlowDatapath::new(&cfg, routes(), None);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut pool = PktPool::new();
+    let mut out = Outbox::new();
+    let mut now = 0.0;
+    let mut warm_grows = 0;
+    let mut admitted = 0u64;
+    for i in 0..10_000 {
+        now += 0.001;
+        if let AdmitOutcome::Admitted { pkt, .. } =
+            dp.admit(&mut pool, &mut rng, now, 12_000, &mut out)
+        {
+            dp.stamp(&mut pool, &mut rng, now, pkt, 0.25, &mut out);
+            admitted += 1;
+            pool.release(pkt);
+        }
+        if i == 100 {
+            warm_grows = pool.grows();
+        }
+    }
+    assert!(admitted > 5_000, "the load admits a steady stream");
+    // The pool's growth counter is the graph's only allocation-class
+    // event; after warm-up it must freeze while packets keep churning.
+    assert_eq!(pool.grows(), warm_grows, "graph steady state allocated per packet");
+    assert!(pool.hits() > 5_000, "slots recycle");
+}

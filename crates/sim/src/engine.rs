@@ -13,8 +13,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use empower_cc::{BroadcastPlan, FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
 use empower_datapath::{
-    AckCollector, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry, ReorderBuffer,
-    ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
+    AdmitOutcome, CtrlMsg, DatapathConfig, EmpowerHeader, FlowDatapath, IfaceId, IfaceRegistry,
+    Outbox, PktHandle, PktPool, PriceStampNode, ReorderEvent, SchedulerConfig, SourceRoute,
+    HEADER_LEN,
 };
 use empower_model::rng::SeedableRng;
 use empower_model::rng::StdRng;
@@ -48,14 +49,13 @@ fn clear_bit(words: &mut [u64], i: usize) {
 /// One flow's live state inside the engine.
 struct FlowRuntime {
     spec: FlowSpecSim,
-    source_routes: Vec<SourceRoute>,
     /// First link of each route (the source's egress).
     first_links: Vec<LinkId>,
-    scheduler: RouteScheduler,
+    /// The flow's forwarding graph (`RouteChoice → PriceStamp → [DelayEq]
+    /// → Reorder`); the event loop interleaves its stages with MAC and
+    /// propagation events through the typed entry points.
+    dp: FlowDatapath,
     controller: Option<FlowController<ProportionalFair>>,
-    reorder: ReorderBuffer,
-    acks: AckCollector,
-    delay_eq: Option<DelayEqualizer>,
     active: bool,
     /// Remaining frame goal of the current file (None = not a file flow).
     current_file_frames: Option<u64>,
@@ -104,6 +104,12 @@ pub struct Simulation {
     now: f64,
     /// Pooled packet storage; queues and the busy table hold handles.
     slab: PacketSlab,
+    /// Pool backing the flows' forwarding graphs. Source-side packets are
+    /// transient (admitted, stamped, serialized into [`SimPacket`]s,
+    /// released), so after warm-up this pool stops growing too.
+    dp_pool: PktPool,
+    /// Reused per-stage outbox for the forwarding graphs.
+    dp_out: Outbox,
     /// Per-link FIFO queues of slab handles.
     queues: Vec<VecDeque<PacketId>>,
     /// Frame currently on the air per link.
@@ -188,6 +194,8 @@ impl Simulation {
         Simulation {
             reg,
             slab: PacketSlab::new(),
+            dp_pool: PktPool::new(),
+            dp_out: Outbox::new(),
             queues: vec![VecDeque::new(); l],
             busy: vec![None; l],
             busy_words: vec![0u64; stride.max(1)],
@@ -242,32 +250,11 @@ impl Simulation {
         &self.net
     }
 
-    /// Diagnostic: the worst per-domain airtime demand observed at the last
-    /// control tick, with the link whose domain it is.
-    pub fn debug_worst_domain(&self) -> (f64, LinkId) {
-        let mut worst = (0.0, LinkId(0));
-        for l in 0..self.net.link_count() {
-            let y: f64 = self
-                .imap
-                .domain(LinkId(l as u32))
-                .iter()
-                .map(|&i| self.last_demand[i.index()])
-                .sum();
-            if y > worst.0 {
-                worst = (y, LinkId(l as u32));
-            }
-        }
-        worst
-    }
-
-    /// Diagnostic: last tick's airtime demand of one link.
-    pub fn debug_link_demand(&self, link: LinkId) -> f64 {
-        self.last_demand[link.index()]
-    }
-
-    /// Diagnostic: the route prices a flow's controller currently believes.
-    pub fn debug_flow_prices(&self, flow: usize) -> Option<Vec<f64>> {
-        self.flows[flow].controller.as_ref().map(|c| c.believed_prices().to_vec())
+    /// A read-only diagnostic view over the running simulation. The engine
+    /// surface proper stays construction + schedule + run; everything
+    /// observational lives on [`SimInspector`].
+    pub fn inspect(&self) -> SimInspector<'_> {
+        SimInspector { sim: self }
     }
 
     /// Attaches a packet-level trace sink (e.g. `Trace::bounded(100_000)`).
@@ -355,15 +342,15 @@ impl Simulation {
         let source_routes: Vec<SourceRoute> = resolved.into_iter().flatten().collect();
         assert!(!spec.routes.is_empty(), "no route of the flow could be resolved");
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
-        let mut scheduler =
-            RouteScheduler::with_bucket(spec.routes.len(), 4.0 * self.cfg.frame_bits as f64 / 1e6);
+        let mut sched_cfg = SchedulerConfig::for_routes(spec.routes.len())
+            .bucket_depth_mb(4.0 * self.cfg.frame_bits as f64 / 1e6);
         let controller = if spec.use_cc {
             let caps: Vec<f64> =
                 spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
             let max_hops = spec.routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
             Some(FlowController::new(ProportionalFair, self.cfg.cc_config(), caps, max_hops))
         } else {
-            scheduler.set_rates(&spec.open_loop_rates);
+            sched_cfg = sched_cfg.initial_rates(&spec.open_loop_rates);
             None
         };
         let tcp = spec.pattern.is_tcp().then(|| {
@@ -394,19 +381,22 @@ impl Simulation {
             }
         });
         let route_count = spec.routes.len();
-        let delay_eq = spec.delay_equalization.then(|| DelayEqualizer::new(route_count));
+        let mut dp_cfg = DatapathConfig::for_routes(route_count).scheduler(sched_cfg);
+        if spec.delay_equalization {
+            dp_cfg = dp_cfg.with_delay_eq();
+        }
+        // No telemetry scope: the engine keeps its own (manifest-stable)
+        // per-flow counters; per-node graph counters are for standalone
+        // backends.
+        let dp = FlowDatapath::new(&dp_cfg, source_routes, None);
         let start = spec.pattern.start_time();
         let stop = spec.pattern.stop_time();
         let idx = self.flows.len();
         self.flows.push(FlowRuntime {
             spec,
-            source_routes,
             first_links,
-            scheduler,
+            dp,
             controller,
-            reorder: ReorderBuffer::new(route_count),
-            acks: AckCollector::new(route_count),
-            delay_eq,
             active: false,
             current_file_frames: None,
             file_frames_delivered: 0,
@@ -483,9 +473,12 @@ impl Simulation {
         let max_hops = routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
         let fl = &mut self.flows[flow];
         fl.first_links = routes.iter().map(|p| p.links()[0]).collect();
-        fl.source_routes = source_routes;
         fl.spec.routes = routes;
-        fl.scheduler.reset_routes(n);
+        // Re-key every stage of the forwarding graph in one control
+        // message: the scheduler's token bucket and wire sequence counter
+        // survive, the reorder stage keeps its expected sequence, the
+        // ACK collector and delay equalizer restart fresh.
+        fl.dp.post(CtrlMsg::ReplaceRoutes(source_routes));
         if fl.controller.is_some() {
             fl.controller =
                 Some(FlowController::new(ProportionalFair, self.cfg.cc_config(), caps, max_hops));
@@ -494,13 +487,9 @@ impl Simulation {
             // capacity.
             fl.spec.open_loop_rates =
                 fl.spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
-            fl.scheduler.set_rates(&fl.spec.open_loop_rates);
+            fl.dp.post(CtrlMsg::SetRates(fl.spec.open_loop_rates.clone()));
         }
-        fl.reorder.reset_routes(n);
-        fl.acks = AckCollector::new(n);
-        if fl.delay_eq.is_some() {
-            fl.delay_eq = Some(DelayEqualizer::new(n));
-        }
+        fl.dp.tick();
         fl.route_frames = self.etel.flow_route_counters(flow, n);
         self.etel.tele.event(
             "sim",
@@ -647,33 +636,39 @@ impl Simulation {
             return; // completion handling re-arms emission
         }
         let bits = self.cfg.frame_bits;
-        let choice = self.flows[f].scheduler.offer(&mut self.rng, self.now, bits);
-        match choice {
-            RouteChoice::Drop => {
+        let outcome = self.flows[f].dp.admit(
+            &mut self.dp_pool,
+            &mut self.rng,
+            self.now,
+            bits,
+            &mut self.dp_out,
+        );
+        match outcome {
+            AdmitOutcome::Dropped => {
                 self.stats[f].dropped_at_source += 1;
                 self.etel.drops_source.inc();
             }
-            RouteChoice::Route(r) => {
-                let seq = self.flows[f].scheduler.next_seq();
-                self.send_on_route(f, r, seq, PacketKind::Data, None);
+            AdmitOutcome::Admitted { pkt, route } => {
+                self.send_admitted(f, pkt, route, PacketKind::Data, None);
             }
         }
-        let rate = self.flows[f].scheduler.total_rate().max(1.0);
+        let rate = self.flows[f].dp.total_rate().max(1.0);
         let interval = bits as f64 / 1e6 / rate;
         self.schedule_emit(f, interval);
     }
 
-    /// Builds a frame and enqueues it on the first link of route `r`.
-    fn send_on_route(
+    /// Takes an admitted graph packet through the `PriceStamp` stage,
+    /// serializes it into a [`SimPacket`] and enqueues it on the first link
+    /// of route `r` (the graph pool slot is recycled immediately — on the
+    /// wire the frame lives in the slab).
+    fn send_admitted(
         &mut self,
         f: usize,
+        pkt: PktHandle,
         r: usize,
-        wire_seq: u32,
         kind: PacketKind,
         tcp_seq: Option<u32>,
     ) {
-        let src_route = self.flows[f].source_routes[r];
-        let mut header = EmpowerHeader::new(src_route, wire_seq);
         let first = self.flows[f].first_links[r];
         // The source adds its own price contribution for the first hop.
         let src_node = self.flows[f].spec.src;
@@ -684,14 +679,25 @@ impl Simulation {
             src_node.index(),
             first,
         );
-        header.add_price(contribution);
+        self.flows[f].dp.stamp(
+            &mut self.dp_pool,
+            &mut self.rng,
+            self.now,
+            pkt,
+            contribution,
+            &mut self.dp_out,
+        );
+        let header = self.dp_pool.get(pkt).header;
+        self.dp_pool.release(pkt);
+        let wire_seq = header.seq;
         if self.etel.enabled() {
             // Exercise the real 20-byte wire codec on every emitted frame:
             // an encode/decode round-trip failure is a datapath bug the
             // counters must surface (the disabled path skips this).
             self.flows[f].route_frames[r].inc();
-            let bytes = header.to_bytes();
-            if EmpowerHeader::decode(&mut bytes.as_slice()).is_err() {
+            let mut bytes = [0u8; HEADER_LEN];
+            header.encode_into(&mut bytes);
+            if EmpowerHeader::decode(&mut &bytes[..]).is_err() {
                 self.etel.header_decode_errors.inc();
             }
         }
@@ -906,7 +912,8 @@ impl Simulation {
             self.slab.release(id);
             return;
         };
-        // Forwarding node adds its price contribution (Eq. (9)).
+        // Forwarding node adds its price contribution (Eq. (9)) — the
+        // same stage logic the graph's `PriceStamp` node runs.
         let contribution = self.bcast_plan.price_contribution(
             &self.net,
             &self.price_states,
@@ -914,7 +921,7 @@ impl Simulation {
             node.index(),
             next_link,
         );
-        self.slab.get_mut(id).header.add_price(contribution);
+        PriceStampNode::apply(&mut self.slab.get_mut(id).header, contribution);
         self.enqueue_link(next_link, id);
     }
 
@@ -933,22 +940,20 @@ impl Simulation {
             self.etel.route_errors.inc();
             return;
         }
-        if let Some(eq) = self.flows[f].delay_eq.as_mut() {
-            let hold = eq.on_arrival(route, delay);
-            if hold > 1e-9 {
-                // The f32 price round-trips losslessly through the event.
-                self.events.push(
-                    self.now + hold,
-                    Event::Release {
-                        flow: f as u32,
-                        route: route as u16,
-                        seq,
-                        price: price_f32,
-                        created_at,
-                    },
-                );
-                return;
-            }
+        let hold = self.flows[f].dp.arrival_hold(route, delay);
+        if hold > 1e-9 {
+            // The f32 price round-trips losslessly through the event.
+            self.events.push(
+                self.now + hold,
+                Event::Release {
+                    flow: f as u32,
+                    route: route as u16,
+                    seq,
+                    price: price_f32,
+                    created_at,
+                },
+            );
+            return;
         }
         self.deliver_to_reorder(f, route, seq, price, created_at);
     }
@@ -980,16 +985,16 @@ impl Simulation {
         if delay > st.delay_max_secs {
             st.delay_max_secs = delay;
         }
-        self.flows[f].acks.observe_price(route, price);
         let mut events = std::mem::take(&mut self.scratch_reorder);
         events.clear();
-        self.flows[f].reorder.accept_into(route, seq, &mut events);
+        // The graph's `Reorder` stage: price observation, the all-routes
+        // loss rule, delivery counting for the paced ACKs.
+        let delivered_now = self.flows[f].dp.accept(route, seq, price, &mut events);
         if !events.is_empty() {
             self.etel.reorder_flushes.inc();
             self.perf.bytes_not_allocated +=
                 (events.len() * std::mem::size_of::<ReorderEvent>()) as u64;
         }
-        let mut delivered_now = 0u64;
         let mut tcp_acks = std::mem::take(&mut self.scratch_acks);
         tcp_acks.clear();
         for ev in &events {
@@ -998,8 +1003,6 @@ impl Simulation {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.push(TraceEvent::Deliver { t: self.now, flow: f, seq: s });
                     }
-                    self.flows[f].acks.count_delivery();
-                    delivered_now += 1;
                     if let Some(tcp) = self.flows[f].tcp.as_mut() {
                         if let Some(ts) = tcp.wire_to_tcp.remove(&s) {
                             tcp_acks.push(tcp.receiver.on_segment(ts));
@@ -1181,7 +1184,7 @@ impl Simulation {
             if self.flows[f].controller.is_none() {
                 continue;
             }
-            let ack = self.flows[f].acks.maybe_ack(self.now);
+            let ack = self.flows[f].dp.maybe_ack(self.now);
             if ack.is_some() {
                 self.flows[f].acks_sent.inc();
             }
@@ -1201,7 +1204,10 @@ impl Simulation {
                     controller.on_ack(prices)
                 }
             };
-            self.flows[f].scheduler.set_rates(&rates.per_route);
+            // The controller's fresh rate vector is moved into the control
+            // message (no extra allocation) and applied at the tick.
+            self.flows[f].dp.post(CtrlMsg::SetRates(rates.per_route));
+            self.flows[f].dp.tick();
         }
         // 5. Once per second: sample injected rates.
         let per_sec = (1.0 / slot).round() as u64;
@@ -1384,25 +1390,36 @@ impl Simulation {
             return;
         }
         let bits = self.cfg.frame_bits;
-        let choice = if self.flows[f].spec.use_cc {
-            self.flows[f].scheduler.offer(&mut self.rng, self.now, bits)
-        } else {
-            RouteChoice::Route(0)
-        };
-        match choice {
-            RouteChoice::Drop => {
-                // No tokens yet: retry after roughly one frame time at the
-                // admitted rate; the segment stays queued.
-            }
-            RouteChoice::Route(r) => {
-                if let Some(tcp_seq) = self.flows[f].tcp_backlog.pop_front() {
-                    let wire_seq = self.flows[f].scheduler.next_seq();
-                    self.send_on_route(f, r, wire_seq, PacketKind::TcpData, Some(tcp_seq));
+        if self.flows[f].spec.use_cc {
+            let outcome = self.flows[f].dp.admit(
+                &mut self.dp_pool,
+                &mut self.rng,
+                self.now,
+                bits,
+                &mut self.dp_out,
+            );
+            match outcome {
+                AdmitOutcome::Dropped => {
+                    // No tokens yet: retry after roughly one frame time at
+                    // the admitted rate; the segment stays queued.
                 }
+                AdmitOutcome::Admitted { pkt, route } => {
+                    if let Some(tcp_seq) = self.flows[f].tcp_backlog.pop_front() {
+                        self.send_admitted(f, pkt, route, PacketKind::TcpData, Some(tcp_seq));
+                    } else {
+                        self.dp_pool.release(pkt);
+                    }
+                }
+            }
+        } else {
+            // Open loop: pin route 0 without consuming tokens or RNG draws.
+            if let Some(tcp_seq) = self.flows[f].tcp_backlog.pop_front() {
+                let pkt = self.flows[f].dp.admit_direct(&mut self.dp_pool, self.now, bits, 0);
+                self.send_admitted(f, pkt, 0, PacketKind::TcpData, Some(tcp_seq));
             }
         }
         if !self.flows[f].tcp_backlog.is_empty() {
-            let rate = self.flows[f].scheduler.total_rate().max(1.0);
+            let rate = self.flows[f].dp.total_rate().max(1.0);
             let interval = bits as f64 / 1e6 / rate;
             self.schedule_emit(f, interval);
         }
@@ -1454,6 +1471,44 @@ impl Simulation {
             }
             self.tcp_pump(f);
         }
+    }
+}
+
+/// Read-only diagnostic view over a [`Simulation`], obtained via
+/// [`Simulation::inspect`]. Borrows the engine immutably, so nothing
+/// observed here can perturb a run.
+pub struct SimInspector<'a> {
+    sim: &'a Simulation,
+}
+
+impl SimInspector<'_> {
+    /// The worst per-domain airtime demand observed at the last control
+    /// tick, with the link whose domain it is.
+    pub fn worst_domain(&self) -> (f64, LinkId) {
+        let mut worst = (0.0, LinkId(0));
+        for l in 0..self.sim.net.link_count() {
+            let y: f64 = self
+                .sim
+                .imap
+                .domain(LinkId(l as u32))
+                .iter()
+                .map(|&i| self.sim.last_demand[i.index()])
+                .sum();
+            if y > worst.0 {
+                worst = (y, LinkId(l as u32));
+            }
+        }
+        worst
+    }
+
+    /// Last tick's airtime demand of one link.
+    pub fn link_demand(&self, link: LinkId) -> f64 {
+        self.sim.last_demand[link.index()]
+    }
+
+    /// The route prices a flow's controller currently believes.
+    pub fn flow_prices(&self, flow: usize) -> Option<Vec<f64>> {
+        self.sim.flows[flow].controller.as_ref().map(|c| c.believed_prices().to_vec())
     }
 }
 

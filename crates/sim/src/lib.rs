@@ -35,7 +35,7 @@ pub mod tcp;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use engine::Simulation;
+pub use engine::{SimInspector, Simulation};
 pub use event::{Event, EventQueue, ReferenceEventQueue};
 pub use flow::{FlowSpecSim, TrafficPattern};
 pub use packet::{PacketId, PacketSlab, SimPacket};

@@ -1,6 +1,23 @@
 //! Simulated frames.
+//!
+//! Since the forwarding-graph redesign the slab itself lives in
+//! `empower-datapath` ([`Pool`](empower_datapath::Pool)); this module
+//! keeps the simulator's frame type and re-exports the pool under its
+//! historical `PacketSlab`/`PacketId` names.
 
 use empower_datapath::EmpowerHeader;
+
+/// Handle into a [`PacketSlab`] (an alias of the datapath pool's
+/// [`Handle`](empower_datapath::Handle)): link queues and the
+/// busy-transmitter table hold these 4-byte ids instead of moving
+/// header-sized [`SimPacket`] structs around.
+pub use empower_datapath::Handle as PacketId;
+
+/// Free-list slab pooling [`SimPacket`] storage. Slots are recycled
+/// through a LIFO free list, so after warm-up the steady-state packet
+/// churn performs no heap allocation: `insert` overwrites a freed slot
+/// in place and `release` just pushes the index back.
+pub type PacketSlab = empower_datapath::Pool<SimPacket>;
 
 /// What a frame carries, beyond the EMPoWER layer-2.5 header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,78 +43,6 @@ pub struct SimPacket {
     /// Emission time at the source, seconds.
     pub created_at: f64,
     pub kind: PacketKind,
-}
-
-/// Handle into a [`PacketSlab`]: link queues and the busy-transmitter
-/// table hold these 4-byte ids instead of moving header-sized
-/// [`SimPacket`] structs around.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PacketId(pub u32);
-
-/// Free-list slab pooling [`SimPacket`] storage. Slots are recycled
-/// through a LIFO free list, so after warm-up the steady-state packet
-/// churn performs no heap allocation: `insert` overwrites a freed slot
-/// in place and `release` just pushes the index back.
-#[derive(Debug, Default)]
-pub struct PacketSlab {
-    slots: Vec<SimPacket>,
-    free: Vec<u32>,
-    hits: u64,
-    grows: u64,
-}
-
-impl PacketSlab {
-    /// An empty slab.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Stores `pkt`, reusing a freed slot when one exists.
-    pub fn insert(&mut self, pkt: SimPacket) -> PacketId {
-        if let Some(idx) = self.free.pop() {
-            self.hits += 1;
-            self.slots[idx as usize] = pkt;
-            PacketId(idx)
-        } else {
-            self.grows += 1;
-            let idx = self.slots.len() as u32;
-            self.slots.push(pkt);
-            PacketId(idx)
-        }
-    }
-
-    /// Returns `id`'s slot to the free list. The slot's contents stay in
-    /// place until the next `insert` overwrites them; reading through a
-    /// released id is a logic error the debug assertion catches.
-    pub fn release(&mut self, id: PacketId) {
-        debug_assert!(!self.free.contains(&id.0), "double release of {id:?}");
-        self.free.push(id.0);
-    }
-
-    /// Read access to a live packet.
-    pub fn get(&self, id: PacketId) -> &SimPacket {
-        &self.slots[id.0 as usize]
-    }
-
-    /// Write access to a live packet.
-    pub fn get_mut(&mut self, id: PacketId) -> &mut SimPacket {
-        &mut self.slots[id.0 as usize]
-    }
-
-    /// Inserts that reused a freed slot (no allocation).
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Inserts that grew the slab (one allocation-class event each).
-    pub fn grows(&self) -> u64 {
-        self.grows
-    }
-
-    /// Packets currently live (inserted and not yet released).
-    pub fn live(&self) -> usize {
-        self.slots.len() - self.free.len()
-    }
 }
 
 #[cfg(test)]

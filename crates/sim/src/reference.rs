@@ -14,7 +14,10 @@
 //! the rework removed).
 //!
 //! Keep this file semantically frozen — fix bugs in both engines or in
-//! neither.
+//! neither. The forwarding-graph redesign deprecated the monolithic
+//! datapath entry points this oracle is built on; the frozen copy keeps
+//! using them on purpose.
+#![allow(deprecated)]
 
 use std::collections::{BTreeMap, VecDeque};
 

@@ -1,7 +1,11 @@
-//! The PR-5 safety net: every corpus scenario must produce **byte-identical**
-//! results on the optimized engine and on the retained reference engine —
-//! the full `SimReport` debug rendering, the packet trace JSONL and the
-//! telemetry manifest.
+//! The PR-5 safety net, doubling since the forwarding-graph redesign as
+//! the graph-vs-monolith equivalence gate: every corpus scenario must
+//! produce **byte-identical** results on the optimized engine (whose
+//! datapath stages now run as `empower-datapath` graph nodes behind
+//! `FlowDatapath`) and on the retained reference engine (the frozen
+//! pre-refactor monolith, still driving `RouteScheduler`/`ReorderBuffer`/
+//! `AckCollector`/`DelayEqualizer` directly) — the full `SimReport` debug
+//! rendering, the packet trace JSONL and the telemetry manifest.
 //!
 //! Set `EMPOWER_SIM_EQUIV_SCENARIOS=<n>` to trim the corpus for quick local
 //! iterations; CI runs the full set.

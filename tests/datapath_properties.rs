@@ -4,7 +4,7 @@
 //! proptest; the failing case index is in the assertion message).
 
 use empower_core::datapath::{
-    EmpowerHeader, IfaceId, ReorderBuffer, ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
+    EmpowerHeader, IfaceId, ReorderConfig, ReorderEvent, RouteChoice, SchedulerConfig, SourceRoute,
     HEADER_LEN, MAX_HOPS,
 };
 use empower_model::rng::{Rng, SeedableRng, StdRng};
@@ -22,9 +22,9 @@ fn header_roundtrip() {
         let route = SourceRoute::new(&hops).unwrap();
         let mut h = EmpowerHeader::new(route, rng.gen());
         h.price = rng.gen_range(0.0f64..1000.0) as f32;
-        let bytes = h.to_bytes();
-        assert_eq!(bytes.len(), HEADER_LEN, "case {case}");
-        let back = EmpowerHeader::decode(&mut bytes.as_slice()).unwrap();
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode_into(&mut bytes);
+        let back = EmpowerHeader::decode(&mut &bytes[..]).unwrap();
         assert_eq!(back, h, "case {case}");
     }
 }
@@ -44,7 +44,7 @@ fn header_decode_is_total() {
 /// Runs the reorder-accounting property on one routing pattern:
 /// `(route, drop)` per sequence number, drop == 0 meaning network loss.
 fn check_reorder_accounting(routing: &[(bool, u8)], case: u64) {
-    let mut buf = ReorderBuffer::new(2);
+    let mut buf = ReorderConfig::for_routes(2).build();
     // Per-route FIFO delivery: partition by route, deliver interleaved
     // (round-robin by position) to simulate two pipes of different
     // speeds. Sequences with drop mask 0 are lost in the network.
@@ -126,8 +126,7 @@ fn scheduler_respects_admitted_rate() {
     for case in 0..CASES {
         let rate = meta.gen_range(0.5f64..80.0);
         let offered_hz = meta.gen_range(50u32..2000);
-        let mut s = RouteScheduler::new(1);
-        s.set_rates(&[rate]);
+        let mut s = SchedulerConfig::for_routes(1).initial_rates(&[rate]).build();
         let mut rng = StdRng::seed_from_u64(7);
         let bits = 12_000u64;
         let horizon = 5.0;
