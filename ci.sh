@@ -32,12 +32,14 @@ if [ "${1:-}" = "quick" ]; then
     # default; 12 keep the quick loop fast while still crossing both
     # topology classes and the restricted-medium query. The simulator
     # engine-equivalence corpus is likewise trimmed to its Fig. 1 prefix
-    # plus the first dynamics scenarios; CI's full mode runs everything.
+    # plus the first dynamics scenarios, and the workload replay/cross-
+    # engine gate to its first scenario; CI's full mode runs everything.
     # --workspace: the repo root is itself a package, so a bare
     # `cargo test` would cover only the root crate's suites and skip the
     # member-crate gates (sim equivalence corpus, datapath graph tests,
     # bench determinism tests).
     EMPOWER_EQUIV_TOPOLOGIES=12 EMPOWER_SIM_EQUIV_SCENARIOS=14 \
+        EMPOWER_WORKLOAD_SCENARIOS=1 \
         cargo test -q --workspace
     say "perf gate: simulator hot-path counters vs checked-in budget"
     # Counter-only in quick mode (EMPOWER_SIM_SKIP_TIMING): wall-clock
@@ -90,6 +92,15 @@ $EMPOWER scenario run examples/fig12_drop.toml \
 cmp "$SMOKE_DIR/a.json" "$SMOKE_DIR/b.json" \
     || { echo "scenario manifests differ between identical runs" >&2; exit 1; }
 
+say "workload smoke test (determinism)"
+# Same two-run byte-comparison for the workload DSL's CLI entry point.
+$EMPOWER workload run examples/workload_enterprise_rr.toml \
+    --metrics "$SMOKE_DIR/wa.json" >/dev/null
+$EMPOWER workload run examples/workload_enterprise_rr.toml \
+    --metrics "$SMOKE_DIR/wb.json" >/dev/null
+cmp "$SMOKE_DIR/wa.json" "$SMOKE_DIR/wb.json" \
+    || { echo "workload manifests differ between identical runs" >&2; exit 1; }
+
 if [ "${EMPOWER_SKIP_NET:-}" = "1" ]; then
     say "udp loopback smoke test skipped (EMPOWER_SKIP_NET=1)"
 else
@@ -103,7 +114,10 @@ else
         cargo build -q --release -p empower-datapath --example udp_forward
         UDP_FWD=target/release/examples/udp_forward
     fi
-    UDP_ADDR="127.0.0.1:${EMPOWER_UDP_PORT:-9310}"
+    # Port 0 = OS-assigned ephemeral port (no collisions between parallel
+    # CI jobs); the receiver's `listening` line advertises the real
+    # address. EMPOWER_UDP_PORT pins a fixed port when needed.
+    UDP_ADDR="127.0.0.1:${EMPOWER_UDP_PORT:-0}"
     RECV_LOG="$SMOKE_DIR/udp_recv.log"
     $UDP_FWD recv "$UDP_ADDR" >"$RECV_LOG" 2>&1 &
     RECV_PID=$!
@@ -119,7 +133,12 @@ else
         fi
         sleep 0.1
     done
-    $UDP_FWD send "$UDP_ADDR" >/dev/null
+    # The bound address (with the discovered port) is what the sender must
+    # target, not the possibly-port-0 bind request.
+    UDP_PEER="$(sed -n 's/^listening //p' "$RECV_LOG" | head -n 1)"
+    [ -n "$UDP_PEER" ] \
+        || { echo "udp receiver printed no bound address:" >&2; cat "$RECV_LOG" >&2; exit 1; }
+    $UDP_FWD send "$UDP_PEER" >/dev/null
     wait "$RECV_PID" \
         || { echo "udp receiver failed:" >&2; cat "$RECV_LOG" >&2; exit 1; }
     grep -q 'delivered 64 of 64 frames, in order: yes' "$RECV_LOG" \

@@ -1,0 +1,85 @@
+#![forbid(unsafe_code)]
+//! SLO table for the seeded workload corpus (`empower_workload::corpus`):
+//! per client group, flow-completion-time quantiles, goodput and Jain
+//! fairness, as produced by the workload DSL's deterministic compiler.
+//!
+//! `--jobs N` runs the scenarios on the deterministic parallel sweep
+//! runner — results and manifests are byte-identical for any job count
+//! (gated in `crates/bench/tests/parallel_determinism.rs`). `--quick`
+//! trims the corpus to its first scenario; `--json`/`--metrics` dump raw
+//! rows and the run manifest.
+
+use empower_bench::sweep::run_workload_corpus_parallel;
+use empower_bench::BenchArgs;
+use empower_telemetry::{Json, SloSummary};
+use empower_workload::workload_corpus;
+
+fn slo_json(s: &SloSummary) -> Json {
+    Json::obj([
+        ("count", Json::UInt(s.count)),
+        ("sum", Json::UInt(s.sum)),
+        ("min", Json::UInt(s.min)),
+        ("max", Json::UInt(s.max)),
+        ("p50", Json::UInt(s.p50)),
+        ("p95", Json::UInt(s.p95)),
+        ("p99", Json::UInt(s.p99)),
+    ])
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut scenarios = workload_corpus();
+    if args.quick {
+        scenarios.truncate(1);
+    }
+    let tele = args.telemetry();
+    let outputs = match run_workload_corpus_parallel(&scenarios, args.jobs, &tele) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("workload corpus failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<16} {:<12} {:>5} {:>9} {:>22} {:>13} {:>6}",
+        "scenario", "client", "flows", "MB", "fct p50/p95/p99 ms", "goodput p50", "jain"
+    );
+    let mut rows = Vec::new();
+    for (s, (out, _)) in scenarios.iter().zip(&outputs) {
+        for c in &out.slo.clients {
+            println!(
+                "{:<16} {:<12} {:>5} {:>9.2} {:>10}/{:>5}/{:>5} {:>8} kbps {:>6}",
+                s.name,
+                c.label,
+                c.flows,
+                c.delivered_bytes as f64 / 1e6,
+                c.fct_ms.p50,
+                c.fct_ms.p95,
+                c.fct_ms.p99,
+                c.goodput_kbps.p50,
+                c.jain_milli,
+            );
+            rows.push(Json::obj([
+                ("scenario", Json::Str(s.name.into())),
+                ("client", Json::Str(c.label.clone())),
+                ("flows", Json::UInt(c.flows)),
+                ("delivered_bytes", Json::UInt(c.delivered_bytes)),
+                ("fct_ms", slo_json(&c.fct_ms)),
+                ("goodput_kbps", slo_json(&c.goodput_kbps)),
+                ("jain_milli", Json::UInt(c.jain_milli)),
+            ]));
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let body = Json::Arr(rows).to_string_pretty();
+        std::fs::write(path, body).expect("write json results");
+        eprintln!("(raw results written to {path})");
+    }
+    // No `jobs` key: like the other `--jobs` binaries, the manifest must
+    // stay byte-identical across job counts.
+    let mut m = args.manifest("fig_workload");
+    m.set("scenarios", scenarios.len() as u64);
+    args.maybe_write_manifest(m, &tele);
+}

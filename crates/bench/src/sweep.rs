@@ -258,6 +258,41 @@ pub fn run_fig13_parallel(
     out
 }
 
+/// Runs a list of workload corpus scenarios on `jobs` worker threads (one
+/// work item per scenario) and returns the structured outputs plus the
+/// byte-comparable renderings, in scenario order — byte-identical to a
+/// serial loop for any `jobs`, with the same per-item telemetry
+/// snapshot/merge discipline as [`run_sweep_parallel`].
+///
+/// # Errors
+/// The first [`empower_dynamics::ScenarioError`] any scenario produced.
+#[allow(clippy::type_complexity)]
+pub fn run_workload_corpus_parallel(
+    scenarios: &[empower_workload::WorkloadScenario],
+    jobs: usize,
+    tele: &Telemetry,
+) -> Result<
+    Vec<(empower_workload::WorkloadOutput, empower_workload::WorkloadCorpusOutput)>,
+    empower_dynamics::ScenarioError,
+> {
+    let enabled = tele.is_enabled();
+    let results = crate::parallel::run_indexed(jobs, scenarios.len(), |i| {
+        let item_tele = if enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        empower_workload::run_workload_scenario_with::<empower_sim::Simulation>(
+            &scenarios[i],
+            item_tele.clone(),
+        )
+        .map(|out| (out, item_tele.snapshot()))
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        let (run, snap) = r?;
+        tele.merge_snapshot(&snap);
+        out.push(run);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -122,6 +122,32 @@ fn parallel_fig13_rows_match_serial_bytes_and_manifest() {
 }
 
 #[test]
+fn parallel_workload_corpus_matches_serial_bytes_and_manifest() {
+    use empower_bench::sweep::run_workload_corpus_parallel;
+    // Two scenarios keep the gate fast while still exercising the pool.
+    let scenarios = &empower_workload::workload_corpus()[..2];
+    let serial_tele = Telemetry::enabled();
+    let serial =
+        run_workload_corpus_parallel(scenarios, 1, &serial_tele).expect("corpus runs serially");
+    for jobs in [2, 4] {
+        let par_tele = Telemetry::enabled();
+        let parallel =
+            run_workload_corpus_parallel(scenarios, jobs, &par_tele).expect("corpus runs");
+        for (s, ((_, a), (_, b))) in scenarios.iter().zip(serial.iter().zip(&parallel)) {
+            assert_eq!(a.slo, b.slo, "jobs={jobs} changed {} SLOs vs serial", s.name);
+            assert_eq!(a.report, b.report, "jobs={jobs} changed {} report vs serial", s.name);
+            assert_eq!(a.trace, b.trace, "jobs={jobs} changed {} trace vs serial", s.name);
+            assert_eq!(a.manifest, b.manifest, "jobs={jobs} changed {} manifest vs serial", s.name);
+        }
+        assert_eq!(
+            counter_manifest(&serial_tele),
+            counter_manifest(&par_tele),
+            "jobs={jobs} changed the merged workload counter manifest vs serial"
+        );
+    }
+}
+
+#[test]
 fn parallel_sweep_matches_serial_bytes_and_manifest() {
     let serial_tele = Telemetry::enabled();
     let serial = sweep(1, &serial_tele);

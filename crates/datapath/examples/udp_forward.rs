@@ -2,9 +2,15 @@
 //! through the same forwarding-graph node code the simulator drives.
 //!
 //! ```text
-//! terminal 1: cargo run -p empower-datapath --example udp_forward -- recv 127.0.0.1:9310
-//! terminal 2: cargo run -p empower-datapath --example udp_forward -- send 127.0.0.1:9310
+//! terminal 1: cargo run -p empower-datapath --example udp_forward -- recv 127.0.0.1:0
+//!             (prints `listening 127.0.0.1:<port>` with the bound port)
+//! terminal 2: cargo run -p empower-datapath --example udp_forward -- send 127.0.0.1:<port>
 //! ```
+//!
+//! Binding port 0 asks the OS for a free ephemeral port, so parallel CI
+//! jobs never collide; the receiver's `listening` line advertises the
+//! actual address for the sender to target. A fixed port still works —
+//! pass it explicitly, or export `EMPOWER_UDP_PORT` for ci.sh.
 //!
 //! The sender runs `RouteChoice → PriceStamp → Encap` over a
 //! [`UdpBackend`] and stamps a fixed per-route path price (0.25 on route
@@ -51,8 +57,10 @@ fn send(peer: &str) {
 
 fn recv(addr: &str) {
     let io = UdpBackend::bind(addr, "127.0.0.1:1").expect("bind receiver socket");
+    // Report the address the OS actually assigned (addr may name port 0).
+    let bound = io.local_addr().expect("query bound address");
     let mut dst = DestEndpoint::new(io, &ReorderConfig::for_routes(2), routes(), None);
-    println!("listening {}", addr);
+    println!("listening {}", bound);
     std::io::stdout().flush().expect("flush stdout");
     let mut events: Vec<ReorderEvent> = Vec::new();
     let mut now = 0.0;

@@ -9,18 +9,19 @@
 //! is no longer a pile of `&mut` setters but a typed control-plane message
 //! ([`crate::graph::CtrlMsg`]) drained at graph ticks.
 //!
-//! Migration from the deprecated entry points:
+//! Migration from the old entry points. The free constructors in the
+//! first three rows have been **removed** (the builders are the only
+//! construction path); the mid-flow setters below them survive as
+//! `#[deprecated]` shims only for the frozen reference engine:
 //!
 //! | old | new |
 //! |---|---|
-//! | `RouteScheduler::new(n)` | `SchedulerConfig::for_routes(n).build()` |
-//! | `RouteScheduler::with_bucket(n, d)` | `SchedulerConfig::for_routes(n).bucket_depth_mb(d).build()` |
+//! | `RouteScheduler::new(n)` (removed) | `SchedulerConfig::for_routes(n).build()` |
+//! | `RouteScheduler::with_bucket(n, d)` (removed) | `SchedulerConfig::for_routes(n).bucket_depth_mb(d).build()` |
+//! | `ReorderBuffer::new(n)` / `DelayEqualizer::new(n)` (removed) | `ReorderConfig::for_routes(n).build()` / `DelayEqConfig::for_routes(n).build()` |
 //! | `sched.set_probe_floor(f)` | `SchedulerConfig::…​.probe_floor_mbps(f)`, or `CtrlMsg::SetProbeFloor(f)` mid-flow |
 //! | `sched.set_rates(&x)` | `CtrlMsg::SetRates(x)` posted to the graph |
-//! | `sched.reset_routes(n)` | `CtrlMsg::ReplaceRoutes(routes)` posted to the graph |
-//! | `ReorderBuffer::new(n)` | `ReorderConfig::for_routes(n).build()` |
-//! | `reorder.reset_routes(n)` | `CtrlMsg::ReplaceRoutes(routes)` posted to the graph |
-//! | `DelayEqualizer::new(n)` | `DelayEqConfig::for_routes(n).build()` |
+//! | `sched.reset_routes(n)` / `reorder.reset_routes(n)` | `CtrlMsg::ReplaceRoutes(routes)` posted to the graph |
 
 use crate::delay_eq::DelayEqualizer;
 use crate::reorder::ReorderBuffer;

@@ -34,12 +34,6 @@ impl DelayEqualizer {
         }
     }
 
-    /// Equalizer for `route_count` routes.
-    #[deprecated(note = "use `DelayEqConfig::for_routes(n).build()`")]
-    pub fn new(route_count: usize) -> Self {
-        Self::from_config(&DelayEqConfig::for_routes(route_count))
-    }
-
     /// Control-plane handler behind `CtrlMsg::ReplaceRoutes`: fresh
     /// estimates for a new route set, keeping the tuning knobs.
     pub(crate) fn rekey(&mut self, route_count: usize) {

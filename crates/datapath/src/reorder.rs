@@ -45,12 +45,6 @@ impl ReorderBuffer {
         }
     }
 
-    /// Creates a buffer for a flow using `route_count` routes.
-    #[deprecated(note = "use `ReorderConfig::for_routes(n).build()`")]
-    pub fn new(route_count: usize) -> Self {
-        Self::from_config(&ReorderConfig::for_routes(route_count))
-    }
-
     /// Number of packets currently buffered out of order.
     pub fn buffered(&self) -> usize {
         self.pending.len()

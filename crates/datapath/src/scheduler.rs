@@ -60,23 +60,6 @@ impl RouteScheduler {
         s
     }
 
-    /// Creates a scheduler for `route_count` routes, all rates zero, with a
-    /// default bucket depth sized for ~4 × 12 kbit frames.
-    #[deprecated(note = "use `SchedulerConfig::for_routes(n).build()`")]
-    pub fn new(route_count: usize) -> Self {
-        Self::from_config(&SchedulerConfig::for_routes(route_count))
-    }
-
-    /// Creates a scheduler with an explicit token-bucket depth in megabits.
-    /// The depth must hold at least one frame or everything is dropped; the
-    /// simulator sizes it to a few aggregated frames.
-    #[deprecated(note = "use `SchedulerConfig::for_routes(n).bucket_depth_mb(d).build()`")]
-    pub fn with_bucket(route_count: usize, bucket_depth_mb: f64) -> Self {
-        Self::from_config(
-            &SchedulerConfig::for_routes(route_count).bucket_depth_mb(bucket_depth_mb),
-        )
-    }
-
     /// Overrides the price-probing floor (Mbps). Zero disables probing.
     #[deprecated(note = "configure via `SchedulerConfig::probe_floor_mbps`, or post \
                 `CtrlMsg::SetProbeFloor` to the graph mid-flow")]

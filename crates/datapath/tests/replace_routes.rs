@@ -1,0 +1,158 @@
+#![forbid(unsafe_code)]
+//! Mid-burst route replacement (`CtrlMsg::ReplaceRoutes`, §3.2 route
+//! recomputation): packets admitted on the old route set are still in
+//! flight when the flow re-keys to a smaller one. The reorder stage must
+//! drop the ones referencing retired route indices (`DropReason::Stale`)
+//! *through the graph*, so their pool slots are released — a stranded
+//! handle here is a leak the simulator's allocation-free hot path would
+//! turn into unbounded growth. The whole run is seeded, so the per-node
+//! counter manifest must also be byte-identical across identical runs.
+
+use std::collections::VecDeque;
+
+use empower_datapath::{
+    ChainResult, CtrlMsg, Disposition, DropReason, FlowGraph, GraphCtx, GraphNode, IfaceId, Outbox,
+    PktPool, PriceStampNode, ReorderConfig, ReorderEvent, ReorderNode, RouteChoiceNode,
+    SchedulerConfig, SourceRoute,
+};
+use empower_model::rng::{SeedableRng, StdRng};
+use empower_telemetry::{Manifest, Telemetry};
+
+const FRAME_BITS: u64 = 12_000;
+/// Packets stay "on the wire" for this many admissions before reaching
+/// the destination-side reorder stage.
+const IN_FLIGHT: usize = 6;
+/// Admission at which the route set shrinks from two routes to one.
+const REKEY_AT: usize = 25;
+const OFFERS: usize = 60;
+
+fn route(ids: &[u16]) -> SourceRoute {
+    let hops: Vec<IfaceId> = ids.iter().map(|&i| IfaceId(i)).collect();
+    SourceRoute::new(&hops).unwrap()
+}
+
+/// Outcome of one seeded burst-with-rekey run.
+struct BurstOutcome {
+    delivered: u64,
+    stale_drops: u64,
+    live_after: usize,
+    manifest: String,
+}
+
+/// Drives `RouteChoice → PriceStamp → … wire … → Reorder` with a fixed
+/// in-flight window, re-keying 2 → 1 routes mid-burst, and returns the
+/// delivery/drop tallies plus the rendered counter manifest.
+fn run_burst(seed: u64) -> BurstOutcome {
+    let tel = Telemetry::enabled();
+    let scope = tel.scope("flow/0");
+    let mut graph = FlowGraph::new();
+    let sched = SchedulerConfig::for_routes(2).initial_rates(&[10.0, 10.0]);
+    let rc = graph.push(
+        GraphNode::RouteChoice(RouteChoiceNode::new(&sched, vec![route(&[1, 2]), route(&[3, 4])])),
+        Some(&scope),
+    );
+    let ps = graph.push(GraphNode::PriceStamp(PriceStampNode), Some(&scope));
+    let ro = graph
+        .push(GraphNode::Reorder(ReorderNode::new(&ReorderConfig::for_routes(2))), Some(&scope));
+
+    let mut pool = PktPool::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Outbox::new();
+    let mut in_flight = VecDeque::new();
+    let mut delivered = 0u64;
+    let mut stale_drops = 0u64;
+    let mut t = 0.0;
+
+    let mut deliver = |graph: &mut FlowGraph,
+                       pool: &mut PktPool,
+                       rng: &mut StdRng,
+                       out: &mut Outbox,
+                       now: f64,
+                       pkt| {
+        out.clear();
+        let mut ctx = GraphCtx { now, pool, rng, price_contribution: 0.0, out };
+        match graph.run_from(ro, pkt, &mut ctx) {
+            ChainResult::Consumed => {
+                delivered += ctx
+                    .out
+                    .reorder
+                    .iter()
+                    .filter(|e| matches!(e, ReorderEvent::Deliver(_)))
+                    .count() as u64;
+            }
+            ChainResult::Dropped(DropReason::Stale) => stale_drops += 1,
+            other => panic!("unexpected destination-side outcome: {other:?}"),
+        }
+    };
+
+    for i in 0..OFFERS {
+        t += 0.01;
+        if i == REKEY_AT {
+            // Route recomputation: one surviving route, fresh rates (the
+            // scheduler zeroes them on re-key). Packets already in flight
+            // still carry old route indices.
+            graph.post(CtrlMsg::ReplaceRoutes(vec![route(&[5, 6])]));
+            graph.post(CtrlMsg::SetRates(vec![10.0]));
+            graph.tick();
+        }
+        let pkt = pool.insert_with(|p| {
+            p.reset();
+            p.size_bits = FRAME_BITS;
+            p.created_at = t;
+        });
+        out.clear();
+        let mut ctx = GraphCtx {
+            now: t,
+            pool: &mut pool,
+            rng: &mut rng,
+            price_contribution: 0.02,
+            out: &mut out,
+        };
+        // Source side only: `RouteChoice` then `PriceStamp`. The packet is
+        // then "on the wire" until `IN_FLIGHT` later admissions happen.
+        match graph.step(rc, pkt, &mut ctx) {
+            Disposition::Next => {
+                assert_eq!(graph.step(ps, pkt, &mut ctx), Disposition::Next);
+                in_flight.push_back(pkt);
+            }
+            Disposition::Drop(DropReason::NoTokens) => {}
+            other => panic!("unexpected source-side outcome: {other:?}"),
+        }
+        while in_flight.len() > IN_FLIGHT {
+            let pkt = in_flight.pop_front().unwrap();
+            deliver(&mut graph, &mut pool, &mut rng, &mut out, t, pkt);
+        }
+    }
+    // Drain the wire.
+    while let Some(pkt) = in_flight.pop_front() {
+        t += 0.01;
+        deliver(&mut graph, &mut pool, &mut rng, &mut out, t, pkt);
+    }
+
+    let mut m = Manifest::new("replace_routes_burst");
+    m.set("seed", seed).attach_counters(&tel);
+    BurstOutcome { delivered, stale_drops, live_after: pool.live(), manifest: m.render() }
+}
+
+#[test]
+fn rekey_mid_burst_strands_no_pool_handles() {
+    let out = run_burst(0xEB);
+    assert!(out.delivered > 0, "in-order deliveries before and after the re-key");
+    assert!(
+        out.stale_drops > 0,
+        "packets in flight across the re-key reference retired route indices"
+    );
+    assert_eq!(out.live_after, 0, "every pool handle was delivered or released on drop");
+}
+
+#[test]
+fn rekey_mid_burst_counters_are_stable_across_runs() {
+    let a = run_burst(0xEB);
+    let b = run_burst(0xEB);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.stale_drops, b.stale_drops);
+    assert_eq!(
+        a.manifest, b.manifest,
+        "per-node in/out/drop counters must be byte-identical for identical runs"
+    );
+}

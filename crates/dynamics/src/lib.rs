@@ -61,6 +61,7 @@ pub mod fluid;
 pub mod injector;
 pub mod resilience;
 pub mod scenario;
+pub mod schema;
 pub mod toml;
 
 pub use driver::{run_scenario, run_scenario_on, Reroute, ScenarioOutcome};

@@ -39,9 +39,7 @@ impl std::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-fn serr<T>(path: impl Into<String>, message: impl Into<String>) -> Result<T, ScenarioError> {
-    Err(ScenarioError { path: path.into(), message: message.into() })
-}
+use crate::schema::{arr_of, join, opt_bool, opt_f64, opt_u64, req_f64, req_str, req_u64, serr};
 
 /// Which base topology the scenario runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,80 +399,6 @@ impl Scenario {
             }
         }
         Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// Field helpers
-// ---------------------------------------------------------------------
-
-fn join(path: &str, key: &str) -> String {
-    if path.is_empty() {
-        key.to_string()
-    } else {
-        format!("{path}.{key}")
-    }
-}
-
-fn req_str<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a str, ScenarioError> {
-    v.get(key).and_then(Json::as_str).ok_or_else(|| ScenarioError {
-        path: join(path, key),
-        message: "missing or not a string".into(),
-    })
-}
-
-fn req_f64(v: &Json, key: &str, path: &str) -> Result<f64, ScenarioError> {
-    v.get(key).and_then(Json::as_f64).ok_or_else(|| ScenarioError {
-        path: join(path, key),
-        message: "missing or not a number".into(),
-    })
-}
-
-fn req_u64(v: &Json, key: &str, path: &str) -> Result<u64, ScenarioError> {
-    v.get(key).and_then(Json::as_u64).ok_or_else(|| ScenarioError {
-        path: join(path, key),
-        message: "missing or not a non-negative integer".into(),
-    })
-}
-
-fn opt_f64(v: &Json, key: &str, path: &str) -> Result<Option<f64>, ScenarioError> {
-    match v.get(key) {
-        None => Ok(None),
-        Some(x) => x
-            .as_f64()
-            .map(Some)
-            .ok_or_else(|| ScenarioError { path: join(path, key), message: "not a number".into() }),
-    }
-}
-
-fn opt_u64(v: &Json, key: &str, path: &str) -> Result<Option<u64>, ScenarioError> {
-    match v.get(key) {
-        None => Ok(None),
-        Some(x) => x.as_u64().map(Some).ok_or_else(|| ScenarioError {
-            path: join(path, key),
-            message: "not a non-negative integer".into(),
-        }),
-    }
-}
-
-fn opt_bool(v: &Json, key: &str, default: bool) -> bool {
-    match v.get(key) {
-        Some(Json::Bool(b)) => *b,
-        _ => default,
-    }
-}
-
-fn arr_of<T>(
-    doc: &Json,
-    key: &str,
-    f: impl Fn(&Json, String) -> Result<T, ScenarioError>,
-) -> Result<Vec<T>, ScenarioError> {
-    match doc.get(key) {
-        None => Ok(Vec::new()),
-        Some(Json::Arr(items)) => {
-            items.iter().enumerate().map(|(i, item)| f(item, format!("{key}[{i}]"))).collect()
-        }
-        Some(_) => serr(key, "not an array"),
     }
 }
 

@@ -546,9 +546,7 @@ impl Simulation {
             Event::Emit { flow } => self.emit(flow as usize),
             Event::TxEnd { link } => self.tx_end(link),
             Event::FlowStart { flow } => self.flow_start(flow as usize),
-            Event::FlowStop { flow } => {
-                self.flows[flow as usize].active = false;
-            }
+            Event::FlowStop { flow } => self.flow_stop(flow as usize),
             Event::LinkChange { link, capacity_mbps } => self.link_change(link, capacity_mbps),
             Event::NodeChange { node, up } => self.node_change(node, up),
             Event::Release { flow, route, seq, price, created_at } => {
@@ -594,6 +592,20 @@ impl Simulation {
                 self.tcp_pump(f);
             }
         }
+    }
+
+    /// Deactivates flow `f` on its first stop (scheduled stop, final file
+    /// completion or TCP goal): records the stop time in its stats and
+    /// emits the `flow_stop` hook event, mirroring `flow_start`. A flow
+    /// that already stopped (e.g. a TCP goal met before the scheduled
+    /// stop) is left untouched.
+    fn flow_stop(&mut self, f: usize) {
+        if !self.flows[f].active {
+            return;
+        }
+        self.flows[f].active = false;
+        self.stats[f].stopped_at = self.now;
+        self.etel.tele.event("sim", "flow_stop", &[("flow", f.into())]);
     }
 
     fn begin_file(&mut self, f: usize, size_bytes: u64) {
@@ -1074,12 +1086,12 @@ impl Simulation {
                     fl.emission_not_before = self.now + begin_in;
                     self.schedule_emit(f, begin_in);
                 } else {
-                    self.flows[f].active = false;
+                    self.flow_stop(f);
                     self.flows[f].current_file_frames = None;
                 }
             }
             _ => {
-                self.flows[f].active = false;
+                self.flow_stop(f);
                 self.flows[f].current_file_frames = None;
             }
         }
@@ -1441,7 +1453,7 @@ impl Simulation {
             if tcp.sender.done() {
                 let elapsed = self.now - self.stats[f].started_at;
                 self.stats[f].completions.push(elapsed);
-                self.flows[f].active = false;
+                self.flow_stop(f);
                 return;
             }
         }

@@ -23,8 +23,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use empower_cc::{FlowController, LinkPriceState, PriceBroadcast, ProportionalFair};
 use empower_datapath::{
-    AckCollector, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry, ReorderBuffer,
-    ReorderEvent, RouteChoice, RouteScheduler, SourceRoute,
+    AckCollector, DelayEqConfig, DelayEqualizer, EmpowerHeader, IfaceId, IfaceRegistry,
+    ReorderBuffer, ReorderConfig, ReorderEvent, RouteChoice, RouteScheduler, SchedulerConfig,
+    SourceRoute,
 };
 use empower_model::rng::SeedableRng;
 use empower_model::rng::StdRng;
@@ -259,8 +260,9 @@ impl ReferenceSimulation {
         let source_routes: Vec<SourceRoute> = resolved.into_iter().flatten().collect();
         assert!(!spec.routes.is_empty(), "no route of the flow could be resolved");
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
-        let mut scheduler =
-            RouteScheduler::with_bucket(spec.routes.len(), 4.0 * self.cfg.frame_bits as f64 / 1e6);
+        let mut scheduler = SchedulerConfig::for_routes(spec.routes.len())
+            .bucket_depth_mb(4.0 * self.cfg.frame_bits as f64 / 1e6)
+            .build();
         let controller = if spec.use_cc {
             let caps: Vec<f64> =
                 spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
@@ -298,7 +300,8 @@ impl ReferenceSimulation {
             }
         });
         let route_count = spec.routes.len();
-        let delay_eq = spec.delay_equalization.then(|| DelayEqualizer::new(route_count));
+        let delay_eq =
+            spec.delay_equalization.then(|| DelayEqConfig::for_routes(route_count).build());
         let start = spec.pattern.start_time();
         let stop = spec.pattern.stop_time();
         let idx = self.flows.len();
@@ -308,7 +311,7 @@ impl ReferenceSimulation {
             first_links,
             scheduler,
             controller,
-            reorder: ReorderBuffer::new(route_count),
+            reorder: ReorderConfig::for_routes(route_count).build(),
             acks: AckCollector::new(route_count),
             delay_eq,
             active: false,
@@ -391,7 +394,7 @@ impl ReferenceSimulation {
         fl.reorder.reset_routes(n);
         fl.acks = AckCollector::new(n);
         if fl.delay_eq.is_some() {
-            fl.delay_eq = Some(DelayEqualizer::new(n));
+            fl.delay_eq = Some(DelayEqConfig::for_routes(n).build());
         }
         fl.route_frames = self.etel.flow_route_counters(flow, n);
         self.etel.tele.event(
@@ -448,9 +451,7 @@ impl ReferenceSimulation {
             Event::Emit { flow } => self.emit(flow as usize),
             Event::TxEnd { link } => self.tx_end(link),
             Event::FlowStart { flow } => self.flow_start(flow as usize),
-            Event::FlowStop { flow } => {
-                self.flows[flow as usize].active = false;
-            }
+            Event::FlowStop { flow } => self.flow_stop(flow as usize),
             Event::LinkChange { link, capacity_mbps } => self.link_change(link, capacity_mbps),
             Event::NodeChange { node, up } => self.node_change(node, up),
             Event::Release { flow, route, seq, price, created_at } => {
@@ -496,6 +497,18 @@ impl ReferenceSimulation {
                 self.tcp_pump(f);
             }
         }
+    }
+
+    /// Deactivates flow `f` on its first stop, recording the stop time and
+    /// emitting the `flow_stop` hook event (kept in lockstep with the
+    /// optimized engine so the equivalence corpus stays byte-identical).
+    fn flow_stop(&mut self, f: usize) {
+        if !self.flows[f].active {
+            return;
+        }
+        self.flows[f].active = false;
+        self.stats[f].stopped_at = self.now;
+        self.etel.tele.event("sim", "flow_stop", &[("flow", f.into())]);
     }
 
     fn begin_file(&mut self, f: usize, size_bytes: u64) {
@@ -914,12 +927,12 @@ impl ReferenceSimulation {
                     fl.emission_not_before = self.now + begin_in;
                     self.schedule_emit(f, begin_in);
                 } else {
-                    self.flows[f].active = false;
+                    self.flow_stop(f);
                     self.flows[f].current_file_frames = None;
                 }
             }
             _ => {
-                self.flows[f].active = false;
+                self.flow_stop(f);
                 self.flows[f].current_file_frames = None;
             }
         }
@@ -1208,7 +1221,7 @@ impl ReferenceSimulation {
             if tcp.sender.done() {
                 let elapsed = self.now - self.stats[f].started_at;
                 self.stats[f].completions.push(elapsed);
-                self.flows[f].active = false;
+                self.flow_stop(f);
                 return;
             }
         }

@@ -22,6 +22,10 @@ pub struct FlowStats {
     pub completions: Vec<f64>,
     /// When the flow started generating traffic.
     pub started_at: f64,
+    /// When the flow stopped generating traffic (its scheduled stop, its
+    /// final file completion or its TCP goal) — 0 while still active at the
+    /// end of the run. The workload layer's goodput window.
+    pub stopped_at: f64,
     /// Sum of end-to-end frame delays (source emission → in-order
     /// delivery), seconds.
     pub delay_sum_secs: f64,

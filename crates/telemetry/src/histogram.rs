@@ -1,0 +1,286 @@
+//! Deterministic SLO histograms and quantile summaries.
+//!
+//! A [`Histogram`] is a fixed-shape log-bucketed value recorder (HDR-style:
+//! 32 sub-buckets per octave, ≤ 3.2 % relative quantile error) for
+//! latency/size-like `u64` samples. Everything is integer arithmetic over a
+//! pre-sized bucket vector, so two runs that record the same samples in the
+//! same order — or any order; recording commutes — produce bit-identical
+//! quantiles, and snapshots stay byte-stable across platforms.
+//!
+//! [`SloSummary`] distils a histogram into the SLO quantiles the workload
+//! layer reports (p50/p95/p99 plus min/max/count/sum) and can emit itself
+//! as gauge counters under a [`Scope`], so summaries ride along in counter
+//! snapshots and run manifests like every other metric.
+
+use crate::counter::CounterType;
+use crate::Scope;
+
+/// Sub-bucket resolution: `2^SUB_BITS` sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Buckets needed to cover the full `u64` range at this resolution.
+const BUCKETS: usize = (SUB + (63 - SUB_BITS as u64) * SUB + SUB) as usize;
+
+/// Bucket index of a sample: exact below `SUB`, then `SUB` logarithmic
+/// sub-buckets per octave.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = top - SUB_BITS;
+    let sub = (v >> shift) - SUB; // in [0, SUB)
+    (SUB + (shift as u64) * SUB + sub) as usize
+}
+
+/// Largest value a bucket can hold (the quantile estimate reported for any
+/// sample that landed in it).
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = (i - SUB) / SUB;
+    let sub = (i - SUB) % SUB;
+    // u128: the topmost bucket's bound exceeds u64 by one before the -1.
+    let up = ((u128::from(SUB + sub + 1)) << shift) - 1;
+    u64::try_from(up).unwrap_or(u64::MAX)
+}
+
+/// A deterministic fixed-shape log-bucketed histogram of `u64` samples.
+///
+/// Pick an integer unit when recording (microseconds, kilobits, bytes);
+/// quantiles come back in the same unit, rounded up to the containing
+/// bucket's upper bound (exact for values below 32).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 ..= 1.0`), reported as the
+    /// containing bucket's upper bound and clamped to the exact observed
+    /// `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank: the smallest sample index (1-based) covering q.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The SLO summary of this histogram.
+    pub fn summary(&self) -> SloSummary {
+        SloSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Merges another histogram of the same unit into this one. Bucket
+    /// counts add, so merging commutes — parallel workers can each fill
+    /// their own histogram and fold them in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The fixed quantile summary the SLO layer reports for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Median (nearest-rank, bucket-rounded).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl SloSummary {
+    /// Registers the summary as counters under `scope`:
+    /// `<scope>/{count,sum,min,max,p50,p95,p99}`. `count` is a monotone
+    /// packet counter (adds across merges); the rest are gauges (an
+    /// index-ordered merge keeps the last writer, matching a serial run).
+    pub fn emit(&self, scope: &Scope) {
+        scope.counter("count", CounterType::Packets).add(self.count);
+        scope.counter("sum", CounterType::Gauge).set(self.sum);
+        scope.counter("min", CounterType::Gauge).set(self.min);
+        scope.counter("max", CounterType::Gauge).set(self.max);
+        scope.counter("p50", CounterType::Gauge).set(self.p50);
+        scope.counter("p95", CounterType::Gauge).set(self.p95);
+        scope.counter("p99", CounterType::Gauge).set(self.p99);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn buckets_are_exact_below_resolution_and_monotone_above() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v) as u64, v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        let mut last = 0;
+        for v in [32u64, 33, 63, 64, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i >= last, "indices are monotone");
+            assert!(bucket_upper(i) >= v, "upper bound covers the sample");
+            assert!(i < BUCKETS);
+            last = i;
+        }
+        // Relative error of the upper bound stays within one sub-bucket.
+        for v in [100u64, 5_000, 123_456, 9_999_999] {
+            let up = bucket_upper(bucket_index(v));
+            assert!((up - v) as f64 / v as f64 <= 1.0 / SUB as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 20);
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.95), 19);
+        assert_eq!(h.quantile(1.0), 20);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 20);
+        assert_eq!(h.sum(), 210);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        let s = h.summary();
+        assert_eq!(s, SloSummary::default());
+    }
+
+    #[test]
+    fn merge_matches_serial_recording() {
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i % 10_007).collect();
+        let mut serial = Histogram::new();
+        for &v in &samples {
+            serial.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+        assert_eq!(a.summary(), serial.summary());
+    }
+
+    #[test]
+    fn summary_emits_as_counters() {
+        let tele = Telemetry::enabled();
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        h.summary().emit(&tele.scope("wl/0/fct_ms"));
+        let snap = tele.snapshot();
+        assert_eq!(snap.value("wl/0/fct_ms/count"), Some(3));
+        assert_eq!(snap.value("wl/0/fct_ms/p50"), Some(20));
+        assert_eq!(snap.value("wl/0/fct_ms/max"), Some(30));
+    }
+
+    #[test]
+    fn identical_sample_streams_summarize_identically() {
+        let run = || {
+            let mut h = Histogram::new();
+            for i in 0..1_000u64 {
+                h.record(i * 7 % 4_096);
+            }
+            h.summary()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -13,6 +13,9 @@
 //!   path doing string work;
 //! * **run manifests** ([`Manifest`]) recording seed, scheme, parameters
 //!   and a counter snapshot next to experiment results;
+//! * **SLO histograms** ([`Histogram`], [`SloSummary`]): deterministic
+//!   log-bucketed quantiles (p50/p95/p99 and friends) that emit themselves
+//!   as gauge counters, for the workload layer's per-client SLO reports;
 //! * a small deterministic **JSON** value type ([`Json`], [`ToJson`]) used
 //!   by all of the above and by the benchmark result dumps.
 //!
@@ -44,11 +47,13 @@
 //! no-op counters and drops events; instrumented code needs no `if`s.
 
 mod counter;
+pub mod histogram;
 pub mod json;
 mod manifest;
 mod trace;
 
 pub use counter::{Counter, CounterSnapshot, CounterType};
+pub use histogram::{Histogram, SloSummary};
 pub use json::{Json, JsonError, ToJson};
 pub use manifest::Manifest;
 pub use trace::{TraceBuffer, TraceRecord};

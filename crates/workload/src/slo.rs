@@ -1,0 +1,212 @@
+//! SLO metrics distilled from a workload run's flow statistics.
+//!
+//! Per client group the layer reports flow-completion-time quantiles
+//! (p50/p95/p99, from the engine's per-file completion durations), goodput
+//! quantiles over each flow's active window, Jain's fairness index across
+//! the group's flows, and delivered volume. Everything is computed from
+//! the deterministic [`SimReport`] and rounded into integers, so the
+//! rendering is byte-stable and rides in telemetry manifests unchanged.
+
+use empower_sim::SimReport;
+use empower_telemetry::{CounterType, Histogram, SloSummary, Telemetry};
+
+use crate::compile::CompiledWorkload;
+
+/// The SLO report of one client group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSlo {
+    /// The group's resolved label.
+    pub label: String,
+    /// Flows the group expanded into.
+    pub flows: u64,
+    /// Application bytes delivered in order across the group.
+    pub delivered_bytes: u64,
+    /// Flow/file completion times, milliseconds.
+    pub fct_ms: SloSummary,
+    /// Per-flow goodput over each flow's active window, kbit/s.
+    pub goodput_kbps: SloSummary,
+    /// Jain's fairness index over per-flow goodput, in thousandths
+    /// (1000 = perfectly fair; 0 when the group moved no traffic).
+    pub jain_milli: u64,
+}
+
+/// The SLO report of a whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSlo {
+    /// Workload name (from the document).
+    pub name: String,
+    /// One entry per `[[clients]]` group, in document order.
+    pub clients: Vec<ClientSlo>,
+}
+
+impl WorkloadSlo {
+    /// Computes the SLO report from a finished run.
+    pub fn compute(name: &str, compiled: &CompiledWorkload, report: &SimReport) -> WorkloadSlo {
+        let clients = compiled
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(ci, label)| client_slo(ci, label, compiled, report))
+            .collect();
+        WorkloadSlo { name: name.to_string(), clients }
+    }
+
+    /// Registers every group's metrics as counters under
+    /// `workload/<label>/...` so they appear in manifests and snapshots.
+    pub fn emit(&self, tele: &Telemetry) {
+        let root = tele.scope("workload");
+        for c in &self.clients {
+            let s = root.scope(&c.label);
+            s.counter("flows", CounterType::Gauge).set(c.flows);
+            s.counter("delivered_bytes", CounterType::Bytes).add(c.delivered_bytes);
+            s.counter("jain_milli", CounterType::Gauge).set(c.jain_milli);
+            c.fct_ms.emit(&s.scope("fct_ms"));
+            c.goodput_kbps.emit(&s.scope("goodput_kbps"));
+        }
+    }
+}
+
+fn client_slo(
+    ci: usize,
+    label: &str,
+    compiled: &CompiledWorkload,
+    report: &SimReport,
+) -> ClientSlo {
+    let mut fct = Histogram::new();
+    let mut goodput = Histogram::new();
+    let mut rates = Vec::new();
+    let mut delivered_bytes = 0u64;
+    let mut flows = 0u64;
+    for (fi, f) in compiled.flows.iter().enumerate() {
+        if f.client != ci {
+            continue;
+        }
+        flows += 1;
+        let st = &report.flows[fi];
+        delivered_bytes += st.delivered_bits / 8;
+        // Completions record durations (FCTs) in seconds.
+        for &d in &st.completions {
+            fct.record((d * 1e3).round() as u64);
+        }
+        // Goodput over the flow's active window; a flow still active at
+        // the end of the run is measured up to the horizon.
+        let until = if st.stopped_at > 0.0 { st.stopped_at } else { report.duration };
+        let window = until - st.started_at;
+        let kbps = if window > 0.0 { st.delivered_bits as f64 / window / 1e3 } else { 0.0 };
+        rates.push(kbps);
+        goodput.record(kbps.round() as u64);
+    }
+    ClientSlo {
+        label: label.to_string(),
+        flows,
+        delivered_bytes,
+        fct_ms: fct.summary(),
+        goodput_kbps: goodput.summary(),
+        jain_milli: jain_milli(&rates),
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` in thousandths; 0 when the
+/// group has no flows or moved no traffic.
+pub fn jain_milli(rates: &[f64]) -> u64 {
+    let n = rates.len() as f64;
+    let sum: f64 = rates.iter().sum();
+    let sum_sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 0;
+    }
+    ((sum * sum) / (n * sum_sq) * 1e3).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::{LinkId, NodeId, Path};
+    use empower_sim::{FlowSpecSim, FlowStats};
+
+    fn compiled_two_groups() -> CompiledWorkload {
+        let spec = || {
+            FlowSpecSim::saturated(
+                NodeId(0),
+                NodeId(2),
+                vec![Path::from_links_unchecked(vec![LinkId(0)])],
+                10.0,
+            )
+        };
+        CompiledWorkload {
+            labels: vec!["a".into(), "b".into()],
+            flows: vec![
+                crate::compile::CompiledFlow { client: 0, spec: spec() },
+                crate::compile::CompiledFlow { client: 0, spec: spec() },
+                crate::compile::CompiledFlow { client: 1, spec: spec() },
+            ],
+        }
+    }
+
+    fn stats(bits: u64, started: f64, stopped: f64, completions: &[f64]) -> FlowStats {
+        FlowStats {
+            delivered_bits: bits,
+            started_at: started,
+            stopped_at: stopped,
+            completions: completions.to_vec(),
+            ..FlowStats::default()
+        }
+    }
+
+    #[test]
+    fn groups_aggregate_their_own_flows() {
+        let compiled = compiled_two_groups();
+        let report = SimReport {
+            flows: vec![
+                stats(8_000_000, 0.0, 10.0, &[0.5, 1.5]),
+                stats(8_000_000, 0.0, 10.0, &[1.0]),
+                stats(4_000_000, 0.0, 0.0, &[]),
+            ],
+            duration: 10.0,
+        };
+        let slo = WorkloadSlo::compute("t", &compiled, &report);
+        assert_eq!(slo.clients.len(), 2);
+        let a = &slo.clients[0];
+        assert_eq!(a.flows, 2);
+        assert_eq!(a.delivered_bytes, 2_000_000);
+        assert_eq!(a.fct_ms.count, 3);
+        // 1000 ms lands in the log bucket whose upper bound is 1007.
+        assert_eq!(a.fct_ms.p50, 1007);
+        // Equal goodput → perfectly fair.
+        assert_eq!(a.jain_milli, 1000);
+        let b = &slo.clients[1];
+        assert_eq!(b.flows, 1);
+        // stopped_at == 0 → window runs to the horizon.
+        assert_eq!(b.goodput_kbps.max, 400);
+    }
+
+    #[test]
+    fn jain_index_behaves() {
+        assert_eq!(jain_milli(&[]), 0);
+        assert_eq!(jain_milli(&[0.0, 0.0]), 0);
+        assert_eq!(jain_milli(&[5.0, 5.0, 5.0]), 1000);
+        // One active flow out of two → 1/2.
+        assert_eq!(jain_milli(&[10.0, 0.0]), 500);
+    }
+
+    #[test]
+    fn slo_emits_scoped_counters() {
+        let compiled = compiled_two_groups();
+        let report = SimReport {
+            flows: vec![
+                stats(800_000, 0.0, 10.0, &[0.25]),
+                stats(800_000, 0.0, 10.0, &[]),
+                stats(0, 0.0, 0.0, &[]),
+            ],
+            duration: 10.0,
+        };
+        let slo = WorkloadSlo::compute("t", &compiled, &report);
+        let tele = Telemetry::enabled();
+        slo.emit(&tele);
+        let snap = tele.snapshot();
+        assert_eq!(snap.value("workload/a/flows"), Some(2));
+        assert_eq!(snap.value("workload/a/fct_ms/count"), Some(1));
+        assert_eq!(snap.value("workload/a/fct_ms/p50"), Some(250));
+        assert_eq!(snap.value("workload/b/jain_milli"), Some(0));
+    }
+}

@@ -1,0 +1,46 @@
+//! The workload corpus gate: every reference scenario must replay
+//! **byte-identically** — across repeated runs of the optimized engine and
+//! across the optimized/frozen-reference engine pair — in all four
+//! renderings (SLO report, flow report, packet trace, telemetry manifest).
+//!
+//! `EMPOWER_WORKLOAD_SCENARIOS=N` trims the sweep to the first `N`
+//! scenarios (quick CI mode), mirroring `EMPOWER_SIM_EQUIV_SCENARIOS`.
+
+use empower_sim::{ReferenceSimulation, Simulation};
+use empower_workload::corpus::{run_workload_scenario, workload_corpus, WorkloadScenario};
+
+fn gated_corpus() -> Vec<WorkloadScenario> {
+    let mut c = workload_corpus();
+    if let Ok(n) = std::env::var("EMPOWER_WORKLOAD_SCENARIOS") {
+        if let Ok(n) = n.parse::<usize>() {
+            c.truncate(n.max(1));
+        }
+    }
+    c
+}
+
+#[test]
+fn workload_scenarios_replay_byte_identically() {
+    for s in gated_corpus() {
+        let a =
+            run_workload_scenario::<Simulation>(&s).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        let b = run_workload_scenario::<Simulation>(&s).unwrap();
+        assert_eq!(a.slo, b.slo, "{}: SLO replay", s.name);
+        assert_eq!(a.report, b.report, "{}: report replay", s.name);
+        assert_eq!(a.trace, b.trace, "{}: trace replay", s.name);
+        assert_eq!(a.manifest, b.manifest, "{}: manifest replay", s.name);
+    }
+}
+
+#[test]
+fn workload_scenarios_agree_across_engines() {
+    for s in gated_corpus() {
+        let opt = run_workload_scenario::<Simulation>(&s).unwrap();
+        let reference = run_workload_scenario::<ReferenceSimulation>(&s)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        assert_eq!(opt.slo, reference.slo, "{}: SLO engines agree", s.name);
+        assert_eq!(opt.report, reference.report, "{}: report engines agree", s.name);
+        assert_eq!(opt.trace, reference.trace, "{}: trace engines agree", s.name);
+        assert_eq!(opt.manifest, reference.manifest, "{}: manifest engines agree", s.name);
+    }
+}

@@ -9,6 +9,7 @@
 //! empower topology testbed                     # the simulated 22-node floor
 //! empower scenario run   examples/fig12_drop.toml   # dynamics + faults
 //! empower scenario fluid examples/fig12_drop.toml   # quasi-static timeline
+//! empower workload run   examples/workload_iot_floor.toml  # workload DSL + SLOs
 //! ```
 //!
 //! `evaluate`, `simulate` and `scenario run` accept `--metrics <path>`: a
@@ -28,7 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: empower <topology|routes|evaluate|simulate> <residential|enterprise|testbed> \
          [--seed S] [--metrics PATH] [src dst]\n\
-         \x20      empower scenario <run|fluid> <scenario.toml|.json> [--metrics PATH]"
+         \x20      empower scenario <run|fluid> <scenario.toml|.json> [--metrics PATH]\n\
+         \x20      empower workload run <workload.toml|.json> [--metrics PATH]"
     );
     std::process::exit(2)
 }
@@ -226,8 +228,82 @@ fn scenario_fluid(args: &Args) {
     }
 }
 
+/// `empower workload run <file>`: compiles a workload DSL document into a
+/// deterministic flow program, runs it packet-level and prints the
+/// per-client SLO metrics.
+fn workload_run(args: &Args) {
+    let path = &args.class;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let w = match empower_workload::Workload::parse_str(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = match empower_workload::run_workload(&w) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "workload {:?}: {} client groups, {} flows on {}, {:.0} s horizon, seed {}",
+        w.name,
+        w.clients.len(),
+        out.compiled.flows.len(),
+        w.topology.kind.label(),
+        w.run.horizon_secs,
+        w.run.seed
+    );
+    println!(
+        "{:<14} {:>5} {:>9} {:>22} {:>17} {:>6}",
+        "client", "flows", "MB", "fct p50/p95/p99 ms", "goodput p50 kbps", "jain"
+    );
+    for c in &out.slo.clients {
+        println!(
+            "{:<14} {:>5} {:>9.2} {:>10}/{:>5}/{:>5} {:>17} {:>6}",
+            c.label,
+            c.flows,
+            c.delivered_bytes as f64 / 1e6,
+            c.fct_ms.p50,
+            c.fct_ms.p95,
+            c.fct_ms.p99,
+            c.goodput_kbps.p50,
+            c.jain_milli,
+        );
+    }
+    if let Some(path) = &args.metrics {
+        // The workload manifest already carries configuration, counters
+        // and SLO gauges; write it verbatim.
+        if let Err(e) = std::fs::write(path, &out.manifest) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "workload" {
+        let argv: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+        let (action, file) = match (argv.get(1), argv.get(2)) {
+            (Some(a), Some(f)) => (a.clone(), f.clone()),
+            _ => usage(),
+        };
+        if action != "run" {
+            usage();
+        }
+        workload_run(&Args { class: file, ..args });
+        return;
+    }
     if args.command == "scenario" {
         // Here `class` is the sub-action and the first endpoint slot held
         // the file path; reparse positionally.
