@@ -20,11 +20,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 say "rustdoc, warnings are errors"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-say "empower-lint (determinism & invariant gate)"
-# Domain lints (D001-D006, DESIGN.md §7): hash containers, wall-clock
-# time, ambient-entropy RNGs, partial_cmp().unwrap(), library panics,
-# missing #![forbid(unsafe_code)]. Exits nonzero on any violation.
-cargo run -q -p empower-lint
+say "empower-lint (determinism & concurrency gate)"
+# Domain lints (D001-D011, DESIGN.md §7 and §12): hash containers,
+# wall-clock time, ambient-entropy RNGs, partial_cmp().unwrap(), library
+# panics, missing #![forbid(unsafe_code)], plus the workspace-aware
+# concurrency-determinism rules (mpsc merges, relaxed RMWs, detached
+# spawns, hot-path locks, undeclared EMPOWER_* knobs). Grandfathered
+# violations live in the baseline ratchet (counts may only decrease);
+# the SARIF-style report is archived as a CI artifact in both modes.
+ART_DIR="${EMPOWER_CI_ARTIFACT_DIR:-target/ci-artifacts}"
+mkdir -p "$ART_DIR"
+cargo run -q -p empower-lint -- \
+    --baseline crates/lint/baseline.lint --sarif "$ART_DIR/empower-lint.sarif"
+echo "lint artifact: $ART_DIR/empower-lint.sarif"
 
 if [ "${1:-}" = "quick" ]; then
     say "tests (debug, equivalence corpora trimmed)"
@@ -74,6 +82,19 @@ else
     target/release/bench_sim --quick \
         --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
     rm -f "$PERF_JSON"
+fi
+
+if [ "${EMPOWER_MIRI:-}" = "1" ]; then
+    # Optional deep lane: run the one threaded module under miri, so the
+    # static concurrency rules (D007-D010) get a dynamic cross-check.
+    # Requires a nightly toolchain with the miri component; skipped (with
+    # a notice) when absent so the lane can be enabled fleet-wide.
+    if cargo miri --version >/dev/null 2>&1; then
+        say "miri: bench parallel module (EMPOWER_MIRI=1)"
+        cargo miri test -p empower-bench parallel
+    else
+        say "miri lane requested but the miri toolchain is absent — skipped"
+    fi
 fi
 
 say "scenario smoke test (determinism)"

@@ -9,13 +9,45 @@
 //! itself deterministic and shares no mutable state, and (b) the only
 //! thing scheduling can reorder is *completion*, which the index-ordered
 //! collection erases.
+//!
+//! This module is the workspace's **sanctioned merge idiom**: rule D007
+//! (unordered cross-thread result collection) names [`run_indexed`] in its
+//! diagnostics, resolved through the lint's workspace index rather than by
+//! filename. Anything that wants to fan work out across threads should go
+//! through here instead of hand-rolling channels.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Why collecting a result slot failed. Both variants indicate a bug in
+/// the worker pool or a panic inside `f`, never data-dependent behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotError {
+    /// A worker panicked while holding slot `index`'s lock.
+    Poisoned(usize),
+    /// No worker ever stored a result for `index` (cursor logic bug).
+    Unfilled(usize),
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotError::Poisoned(i) => write!(f, "result slot {i} poisoned by a worker panic"),
+            SlotError::Unfilled(i) => write!(f, "result slot {i} was never filled by any worker"),
+        }
+    }
+}
 
 /// Computes `f(0..count)` on `jobs` worker threads and returns the results
 /// in index order. `jobs <= 1` runs serially on the caller's thread
 /// (identical results, no pool).
+///
+/// empower-lint: sanction(D007, D008) — the sanctioned cross-thread merge
+/// idiom: the Relaxed work cursor only *distributes* indices (no ordering
+/// is ever derived from its return values beyond "each index exactly
+/// once"), and results land in index-addressed slots, so completion order
+/// cannot reach any observable output.
 pub fn run_indexed<T: Send>(jobs: usize, count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if jobs <= 1 || count <= 1 {
         return (0..count).map(f).collect();
@@ -31,18 +63,28 @@ pub fn run_indexed<T: Send>(jobs: usize, count: usize, f: impl Fn(usize) -> T + 
                     break;
                 }
                 let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(value);
+                }
             });
         }
     });
-    slots
+    let collected: Result<Vec<T>, SlotError> = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker pool filled every index")
+        .enumerate()
+        .map(|(i, slot)| match slot.into_inner() {
+            Err(_) => Err(SlotError::Poisoned(i)),
+            Ok(None) => Err(SlotError::Unfilled(i)),
+            Ok(Some(value)) => Ok(value),
         })
-        .collect()
+        .collect();
+    match collected {
+        Ok(values) => values,
+        // Unreachable unless the pool itself is broken: `thread::scope`
+        // re-raises worker panics before collection begins, and the
+        // cursor hands out every index below `count` exactly once.
+        Err(fault) => panic!("run_indexed: {fault}"),
+    }
 }
 
 #[cfg(test)]
@@ -61,5 +103,14 @@ mod tests {
     fn more_jobs_than_items_is_fine() {
         assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
         assert_eq!(run_indexed(16, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn slot_errors_name_the_failing_index() {
+        assert_eq!(SlotError::Poisoned(3).to_string(), "result slot 3 poisoned by a worker panic");
+        assert_eq!(
+            SlotError::Unfilled(7).to_string(),
+            "result slot 7 was never filled by any worker"
+        );
     }
 }

@@ -1,0 +1,19 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn merge_by_index(n: usize) -> Vec<usize> {
+    let slots: Vec<Mutex<Option<usize>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| loop {
+            let i = cursor.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                break;
+            }
+            if let Ok(mut slot) = slots[i].lock() {
+                *slot = Some(i);
+            }
+        });
+    });
+    slots.into_iter().map(|s| s.into_inner().ok().flatten().unwrap_or(0)).collect()
+}

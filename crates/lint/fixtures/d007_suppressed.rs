@@ -1,0 +1,6 @@
+// empower-lint: allow-file(D007) — fixture exercising the file-wide escape hatch
+use std::sync::mpsc;
+
+pub fn chan() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}

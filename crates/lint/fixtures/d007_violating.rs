@@ -1,0 +1,20 @@
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn merge_by_completion(n: usize) -> Vec<usize> {
+    let (tx, rx) = mpsc::channel();
+    let out = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let _ = tx.send(i);
+                if let Ok(mut merged) = out.lock() {
+                    merged.push(i);
+                }
+            });
+        }
+    });
+    drop(tx);
+    rx.iter().collect()
+}

@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn read(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::AcqRel)
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // empower-lint: allow(D008) — counter is informational only, never ordered
+    c.fetch_add(1, Ordering::Relaxed)
+}

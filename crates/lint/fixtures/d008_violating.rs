@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn exchange(c: &AtomicUsize) -> usize {
+    c.swap(7, Ordering::Relaxed)
+}

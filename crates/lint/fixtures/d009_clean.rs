@@ -1,0 +1,18 @@
+use std::thread;
+
+pub fn joined() {
+    let worker = thread::spawn(|| {});
+    let _res = worker.join();
+}
+
+pub fn scoped(n: usize) {
+    thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {});
+        }
+    });
+}
+
+pub fn chained() {
+    std::thread::spawn(|| {}).join().ok();
+}

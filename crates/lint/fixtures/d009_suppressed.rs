@@ -1,0 +1,6 @@
+use std::thread;
+
+pub fn detached_logger() {
+    // empower-lint: allow(D009) — fixture: a daemon thread that never joins by design
+    thread::spawn(|| {});
+}

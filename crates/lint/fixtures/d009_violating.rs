@@ -1,0 +1,10 @@
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+    let _ = thread::spawn(|| {});
+}
+
+pub fn qualified() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+pub struct Shared {
+    queue: Vec<u32>,
+}
+
+pub fn next(s: &mut Shared) -> Option<u32> {
+    s.queue.pop()
+}

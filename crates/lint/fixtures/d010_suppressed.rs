@@ -1,0 +1,6 @@
+// empower-lint: allow-file(D010) — config-time state only, never touched per event
+use std::sync::Mutex;
+
+pub struct Config {
+    overrides: Mutex<Vec<u32>>,
+}

@@ -1,0 +1,7 @@
+use std::sync::Mutex;
+use std::sync::RwLock;
+
+pub struct Shared {
+    queue: Mutex<Vec<u32>>,
+    map: RwLock<Vec<u32>>,
+}

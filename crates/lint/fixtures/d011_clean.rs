@@ -1,0 +1,7 @@
+pub fn skip_timing() -> bool {
+    std::env::var_os("EMPOWER_SIM_SKIP_TIMING").is_some()
+}
+
+pub fn unrelated() -> Option<String> {
+    std::env::var("PATH").ok()
+}

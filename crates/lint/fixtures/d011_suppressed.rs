@@ -1,0 +1,4 @@
+pub fn experimental() -> Option<String> {
+    // empower-lint: allow(D011) — fixture: pre-registration escape hatch for experiments
+    std::env::var("EMPOWER_EXPERIMENTAL_KNOB").ok()
+}

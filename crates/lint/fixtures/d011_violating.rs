@@ -1,0 +1,7 @@
+pub fn unregistered() -> Option<String> {
+    std::env::var("EMPOWER_UNREGISTERED_KNOB").ok()
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

@@ -1,0 +1,168 @@
+//! The baseline ratchet: a checked-in inventory of grandfathered
+//! violations that may only shrink.
+//!
+//! Each line grants `<rule> <count> <file>` pre-existing violations. At
+//! report time, per-(file, rule) groups within their allowance move from
+//! the failing list to the informational `baselined` list; groups that
+//! *exceed* their allowance fail wholesale (no partial credit — the diff
+//! that added the new site must remove it). When a run passes with fewer
+//! violations than allowed, [`Baseline::tightened`] yields the shrunken
+//! file to write back, so the ceiling follows the cleanup down
+//! automatically and new code always enters at zero.
+
+use std::collections::BTreeMap;
+
+use crate::report::Report;
+use crate::rules::Violation;
+
+/// Parsed baseline: allowed violation count per (file, rule name).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Lines are `<rule> <count> <file>`; blank
+    /// lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(count), Some(file), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <count> <file>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entries must be deleted, not kept",
+                    idx + 1
+                ));
+            }
+            if entries.insert((file.to_string(), rule.to_string()), count).is_some() {
+                return Err(format!(
+                    "baseline line {}: duplicate entry for {rule} in {file}",
+                    idx + 1
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline in its canonical sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# empower-lint baseline: grandfathered violations, `<rule> <count> <file>`.\n\
+             # Counts may only decrease; `--baseline` rewrites this file when they do.\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            out.push_str(&format!("{rule} {count} {file}\n"));
+        }
+        out
+    }
+
+    /// True when the baseline grants nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies the ratchet to `report`: moves within-allowance groups to
+    /// `report.baselined`, leaves the rest failing, and returns the
+    /// tightened baseline reflecting what this run actually needed.
+    pub fn apply(&self, report: &mut Report) -> Baseline {
+        let mut groups: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+        for v in report.violations.drain(..) {
+            groups.entry((v.file.clone(), v.rule.name().to_string())).or_default().push(v);
+        }
+        let mut tightened = BTreeMap::new();
+        for (key, group) in groups {
+            let allowed = self.entries.get(&key).copied().unwrap_or(0);
+            if group.len() <= allowed {
+                tightened.insert(key, group.len());
+                report.baselined.extend(group);
+            } else {
+                // Over the allowance: the whole group fails, and the
+                // ratchet keeps (not raises) the old ceiling.
+                if allowed > 0 {
+                    tightened.insert(key, allowed);
+                }
+                report.violations.extend(group);
+            }
+        }
+        tightened.retain(|_, count| *count > 0);
+        Baseline { entries: tightened }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn violation(rule: Rule, file: &str, line: u32) -> Violation {
+        Violation { rule, file: file.into(), line, message: "m".into() }
+    }
+
+    fn report_with(violations: Vec<Violation>) -> Report {
+        Report { violations, ..Report::default() }
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let text = "# header\nD005 2 crates/x/src/lib.rs\nD001 1 crates/y/src/lib.rs\n";
+        let b = Baseline::parse(text).expect("valid");
+        let rendered = b.render();
+        assert!(rendered.contains("D001 1 crates/y/src/lib.rs\n"));
+        assert_eq!(Baseline::parse(&rendered).expect("round-trip"), b);
+        assert!(Baseline::parse("D005 two f.rs\n").is_err());
+        assert!(Baseline::parse("D005 0 f.rs\n").is_err());
+        assert!(Baseline::parse("D005 1 f.rs\nD005 1 f.rs\n").is_err());
+        assert!(Baseline::parse("D005 1\n").is_err());
+    }
+
+    #[test]
+    fn within_allowance_is_baselined_and_tightens() {
+        let b = Baseline::parse("D005 3 f.rs\n").unwrap();
+        let mut r =
+            report_with(vec![violation(Rule::D005, "f.rs", 1), violation(Rule::D005, "f.rs", 9)]);
+        let tightened = b.apply(&mut r);
+        assert!(r.violations.is_empty(), "within allowance: nothing fails");
+        assert_eq!(r.baselined.len(), 2);
+        // The ratchet follows the cleanup down: 3 allowed, 2 used.
+        assert_eq!(tightened, Baseline::parse("D005 2 f.rs\n").unwrap());
+    }
+
+    #[test]
+    fn adding_a_violation_fails_the_whole_group() {
+        let b = Baseline::parse("D005 1 f.rs\n").unwrap();
+        let mut r =
+            report_with(vec![violation(Rule::D005, "f.rs", 1), violation(Rule::D005, "f.rs", 9)]);
+        let tightened = b.apply(&mut r);
+        assert_eq!(r.violations.len(), 2, "over allowance: no partial credit");
+        assert!(r.baselined.is_empty());
+        assert_eq!(tightened, b, "a failing run never loosens the ceiling");
+    }
+
+    #[test]
+    fn clean_groups_vanish_from_the_tightened_baseline() {
+        let b = Baseline::parse("D005 2 f.rs\nD001 1 g.rs\n").unwrap();
+        let mut r = report_with(vec![violation(Rule::D001, "g.rs", 3)]);
+        let tightened = b.apply(&mut r);
+        assert!(r.violations.is_empty());
+        assert_eq!(tightened, Baseline::parse("D001 1 g.rs\n").unwrap());
+        // New code enters at zero: an empty baseline stays empty.
+        let empty = Baseline::default();
+        let mut clean = report_with(Vec::new());
+        assert!(empty.apply(&mut clean).is_empty());
+    }
+}

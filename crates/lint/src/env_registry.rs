@@ -1,0 +1,229 @@
+//! The ambient-config registry: `crates/lint/env_registry.toml` declares
+//! every `EMPOWER_*` environment variable the repo reads, in Rust or in
+//! `ci.sh`. Rule D011 fails any read of an undeclared knob, and the
+//! `--env-table` flag renders the registry as the markdown table
+//! EXPERIMENTS.md embeds — one source of truth for code, CI, and docs.
+//!
+//! The format is a deliberately tiny TOML subset (`schema = 1`, then
+//! `[[knob]]` blocks of `key = "value"` lines), parsed here with no
+//! dependency so the lint stays buildable first in a cold workspace.
+
+use std::fmt;
+
+/// Who reads a knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reader {
+    /// Read via `std::env` in Rust code (D011 checks these sites).
+    Rust,
+    /// Expanded by `ci.sh` (the registry round-trip test checks these).
+    Shell,
+    /// Read in both places.
+    Both,
+}
+
+impl fmt::Display for Reader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Reader::Rust => "Rust",
+            Reader::Shell => "ci.sh",
+            Reader::Both => "Rust + ci.sh",
+        })
+    }
+}
+
+/// One declared knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnob {
+    /// The variable name, e.g. `EMPOWER_EQUIV_TOPOLOGIES`.
+    pub name: String,
+    pub reader: Reader,
+    /// Human-readable default (empty = unset by default).
+    pub default: String,
+    /// One-line purpose, rendered into the docs table.
+    pub purpose: String,
+}
+
+/// The parsed, validated registry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EnvRegistry {
+    pub knobs: Vec<EnvKnob>,
+}
+
+impl EnvRegistry {
+    /// All declared names, for the D011 membership check.
+    pub fn names(&self) -> impl Iterator<Item = String> + '_ {
+        self.knobs.iter().map(|k| k.name.clone())
+    }
+
+    /// The knob entry for `name`, if declared.
+    pub fn get(&self, name: &str) -> Option<&EnvKnob> {
+        self.knobs.iter().find(|k| k.name == name)
+    }
+
+    /// Renders the registry as the markdown table EXPERIMENTS.md embeds.
+    pub fn render_markdown_table(&self) -> String {
+        let mut out = String::from("| knob | read by | default | purpose |\n|---|---|---|---|\n");
+        for k in &self.knobs {
+            let default =
+                if k.default.is_empty() { "unset".to_string() } else { k.default.clone() };
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                k.name, k.reader, default, k.purpose
+            ));
+        }
+        out
+    }
+}
+
+/// Parses and validates registry text. Errors carry the 1-based line.
+pub fn parse(text: &str) -> Result<EnvRegistry, String> {
+    let mut knobs: Vec<EnvKnob> = Vec::new();
+    let mut current: Option<(u32, PartialKnob)> = None;
+    let mut saw_schema = false;
+
+    fn finish(cur: Option<(u32, PartialKnob)>, knobs: &mut Vec<EnvKnob>) -> Result<(), String> {
+        if let Some((at, p)) = cur {
+            knobs.push(p.finish(at)?);
+        }
+        Ok(())
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[knob]]" {
+            finish(current.take(), &mut knobs)?;
+            current = Some((lineno, PartialKnob::default()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`, got `{line}`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if key == "schema" {
+            if value != "1" {
+                return Err(format!("line {lineno}: unsupported schema `{value}` (expected 1)"));
+            }
+            saw_schema = true;
+            continue;
+        }
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!("line {lineno}: value of `{key}` must be double-quoted"));
+        };
+        let Some((_, knob)) = current.as_mut() else {
+            return Err(format!("line {lineno}: `{key}` appears before any [[knob]] block"));
+        };
+        let slot = match key {
+            "name" => &mut knob.name,
+            "reader" => &mut knob.reader,
+            "default" => &mut knob.default,
+            "purpose" => &mut knob.purpose,
+            _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+        };
+        if slot.is_some() {
+            return Err(format!("line {lineno}: duplicate key `{key}`"));
+        }
+        *slot = Some(value.to_string());
+    }
+    finish(current.take(), &mut knobs)?;
+
+    if !saw_schema {
+        return Err("registry must declare `schema = 1`".to_string());
+    }
+    for pair in knobs.windows(2) {
+        if pair[0].name >= pair[1].name {
+            return Err(format!(
+                "knobs must be unique and sorted by name: `{}` then `{}`",
+                pair[0].name, pair[1].name
+            ));
+        }
+    }
+    Ok(EnvRegistry { knobs })
+}
+
+#[derive(Default)]
+struct PartialKnob {
+    name: Option<String>,
+    reader: Option<String>,
+    default: Option<String>,
+    purpose: Option<String>,
+}
+
+impl PartialKnob {
+    fn finish(self, at: u32) -> Result<EnvKnob, String> {
+        let req = |field: Option<String>, key: &str| {
+            field.ok_or_else(|| format!("knob at line {at}: missing required key `{key}`"))
+        };
+        let name = req(self.name, "name")?;
+        if !name.starts_with("EMPOWER_") {
+            return Err(format!("knob at line {at}: `{name}` must start with EMPOWER_"));
+        }
+        let reader = match req(self.reader, "reader")?.as_str() {
+            "rust" => Reader::Rust,
+            "shell" => Reader::Shell,
+            "both" => Reader::Both,
+            other => {
+                return Err(format!(
+                    "knob at line {at}: reader `{other}` must be rust, shell, or both"
+                ))
+            }
+        };
+        Ok(EnvKnob {
+            name,
+            reader,
+            default: req(self.default, "default")?,
+            purpose: req(self.purpose, "purpose")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "schema = 1\n\n\
+        # comment\n\
+        [[knob]]\n\
+        name = \"EMPOWER_A\"\n\
+        reader = \"rust\"\n\
+        default = \"50\"\n\
+        purpose = \"topology sweep width\"\n\n\
+        [[knob]]\n\
+        name = \"EMPOWER_B\"\n\
+        reader = \"shell\"\n\
+        default = \"\"\n\
+        purpose = \"skip gate\"\n";
+
+    #[test]
+    fn round_trips_a_valid_registry() {
+        let reg = parse(GOOD).expect("valid registry");
+        assert_eq!(reg.knobs.len(), 2);
+        assert_eq!(reg.knobs[0].name, "EMPOWER_A");
+        assert_eq!(reg.knobs[0].reader, Reader::Rust);
+        assert!(reg.get("EMPOWER_B").is_some());
+        assert!(reg.get("EMPOWER_C").is_none());
+        let table = reg.render_markdown_table();
+        assert!(table.contains("| `EMPOWER_A` | Rust | 50 | topology sweep width |"));
+        assert!(table.contains("| `EMPOWER_B` | ci.sh | unset | skip gate |"));
+    }
+
+    #[test]
+    fn rejects_malformed_registries() {
+        assert!(parse("").unwrap_err().contains("schema"));
+        assert!(parse(GOOD.replace("EMPOWER_B", "EMPOWER_0").as_str())
+            .unwrap_err()
+            .contains("sorted"));
+        assert!(parse(GOOD.replace("\"rust\"", "\"python\"").as_str())
+            .unwrap_err()
+            .contains("reader"));
+        let unprefixed = GOOD.replace("EMPOWER_A", "OTHER_A");
+        assert!(parse(&unprefixed).unwrap_err().contains("EMPOWER_"));
+        let missing = GOOD.replace("purpose = \"topology sweep width\"\n", "");
+        assert!(parse(&missing).unwrap_err().contains("purpose"));
+        let dup = format!("{GOOD}name = \"EMPOWER_X\"\n");
+        assert!(parse(&dup).unwrap_err().contains("duplicate"));
+    }
+}

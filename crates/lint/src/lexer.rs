@@ -17,13 +17,17 @@ pub struct Token {
     pub kind: TokKind,
 }
 
-/// The token classes the rules care about. String/char/number literals are
-/// consumed but not emitted: no lint matches on their contents, and keeping
-/// them out means `"HashMap"` in a doc string can never trip D001.
+/// The token classes the rules care about. Char and number literals are
+/// consumed but not emitted; string literals surface as [`TokKind::Str`]
+/// so D011 can read env-var names, but no rule ever matches *identifiers*
+/// against them — `"HashMap"` in a string can never trip D001.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
     Ident(String),
     Punct(char),
+    /// The contents of a string / raw-string / byte-string literal, with
+    /// escape sequences left exactly as written (no rule interprets them).
+    Str(String),
 }
 
 /// A comment with its 1-based starting line (pragmas live here).
@@ -52,6 +56,14 @@ impl Lexed {
     /// Convenience for rules: true if the token at `idx` is punct `c`.
     pub fn punct(&self, idx: usize, c: char) -> bool {
         matches!(self.tokens.get(idx).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+    }
+
+    /// Convenience for rules: the string-literal contents at `idx`, if any.
+    pub fn str_lit(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.kind) {
+            Some(TokKind::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -139,14 +151,17 @@ pub fn lex(src: &str) -> Lexed {
                 out.comments
                     .push(Comment { line, text: String::from_utf8_lossy(&bytes).into_owned() });
             }
-            b'"' => consume_string(&mut cur),
+            b'"' => {
+                let s = consume_string(&mut cur);
+                out.tokens.push(Token { line, kind: TokKind::Str(s) });
+            }
             b'\'' => consume_char_or_lifetime(&mut cur, &mut out, line),
             b if b.is_ascii_digit() => consume_number(&mut cur),
             b if is_ident_start(b) => {
                 let ident = consume_ident(&mut cur);
                 match ident.as_str() {
-                    // Possible string/byte/raw prefixes.
-                    "r" | "b" | "br" | "rb" => {
+                    // Possible string/byte/raw/C-string prefixes.
+                    "r" | "b" | "br" | "rb" | "c" | "cr" => {
                         prefix_follow(&mut cur, &mut out, ident, line);
                     }
                     _ => out.tokens.push(Token { line, kind: TokKind::Ident(ident) }),
@@ -175,30 +190,39 @@ fn consume_ident(cur: &mut Cursor) -> String {
 }
 
 /// A `"..."` literal with escapes; the opening quote is at the cursor.
-fn consume_string(cur: &mut Cursor) {
+/// Returns the contents with escape pairs left as written.
+fn consume_string(cur: &mut Cursor) -> String {
     cur.bump(); // opening quote
+    let mut bytes = Vec::new();
     while let Some(b) = cur.bump() {
         match b {
             b'\\' => {
-                cur.bump();
+                bytes.push(b);
+                if let Some(esc) = cur.bump() {
+                    bytes.push(esc);
+                }
             }
             b'"' => break,
-            _ => {}
+            other => bytes.push(other),
         }
     }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
 /// A raw string `r##"..."##` — the cursor sits on the first `#` or `"`.
-fn consume_raw_string(cur: &mut Cursor) {
+/// Backslashes are NOT escapes inside raw strings; only a quote followed
+/// by the full opening hash run terminates. Returns the contents.
+fn consume_raw_string(cur: &mut Cursor) -> String {
     let mut hashes = 0usize;
     while cur.peek() == Some(b'#') {
         hashes += 1;
         cur.bump();
     }
     if cur.peek() != Some(b'"') {
-        return; // not actually a raw string; nothing sensible to do
+        return String::new(); // not actually a raw string; nothing sensible to do
     }
     cur.bump();
+    let mut bytes = Vec::new();
     loop {
         match cur.bump() {
             None => break,
@@ -211,19 +235,30 @@ fn consume_raw_string(cur: &mut Cursor) {
                 if n == hashes {
                     break;
                 }
+                // A quote with too few hashes is literal content.
+                bytes.push(b'"');
+                bytes.resize(bytes.len() + n, b'#');
             }
-            Some(_) => {}
+            Some(other) => bytes.push(other),
         }
     }
+    String::from_utf8_lossy(&bytes).into_owned()
 }
 
-/// After lexing an ident `r`/`b`/`br`/`rb`, decide whether a literal (or a
-/// raw identifier) follows and consume it, otherwise emit the ident.
+/// After lexing an ident `r`/`b`/`br`/`rb`/`c`/`cr`, decide whether a
+/// literal (or a raw identifier) follows and consume it, otherwise emit
+/// the ident.
 fn prefix_follow(cur: &mut Cursor, out: &mut Lexed, ident: String, line: u32) {
     let raw = ident.contains('r');
     match cur.peek() {
-        Some(b'"') if raw => consume_raw_string(cur),
-        Some(b'"') => consume_string(cur),
+        Some(b'"') if raw => {
+            let s = consume_raw_string(cur);
+            out.tokens.push(Token { line, kind: TokKind::Str(s) });
+        }
+        Some(b'"') => {
+            let s = consume_string(cur);
+            out.tokens.push(Token { line, kind: TokKind::Str(s) });
+        }
         Some(b'#') if raw => {
             // Either a raw string `r#"` / `r##"` or a raw identifier
             // `r#match`.
@@ -232,7 +267,10 @@ fn prefix_follow(cur: &mut Cursor, out: &mut Lexed, ident: String, line: u32) {
                 off += 1;
             }
             match cur.peek_at(off) {
-                Some(b'"') => consume_raw_string(cur),
+                Some(b'"') => {
+                    let s = consume_raw_string(cur);
+                    out.tokens.push(Token { line, kind: TokKind::Str(s) });
+                }
                 Some(c) if off == 1 && is_ident_start(c) => {
                     cur.bump(); // the '#'
                     let id = consume_ident(cur);
@@ -394,5 +432,80 @@ mod tests {
     fn raw_identifiers_come_through() {
         let ids = idents("let r#match = 1; r#match");
         assert_eq!(ids.iter().filter(|i| i.as_str() == "match").count(), 2);
+    }
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn string_contents_surface_as_str_tokens() {
+        // D011 reads env-var names out of these.
+        let got = strs("std::env::var(\"EMPOWER_KNOB\").ok();");
+        assert_eq!(got, vec!["EMPOWER_KNOB".to_string()]);
+    }
+
+    #[test]
+    fn raw_string_partial_terminators_stay_literal() {
+        // `"#` inside an `r##"…"##` literal is content, not a terminator.
+        let src = r####"let s = r##"quote "# still inside"##; after"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert_eq!(strs(src), vec![r##"quote "# still inside"##.to_string()]);
+    }
+
+    #[test]
+    fn multiline_literals_keep_line_numbers_for_following_tokens() {
+        // The plain string spans lines 1-3, the raw string lines 4-5, so
+        // `after` lands on line 6.
+        let src = "let a = \"one\ntwo\nthree\";\nlet b = r#\"x\ny\"#;\nafter";
+        let l = lex(src);
+        let after = l.tokens.iter().find(|t| t.kind == TokKind::Ident("after".into()));
+        assert_eq!(after.map(|t| t.line), Some(6));
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes_do_not_leak_string_ends() {
+        let ids = idents(r#"let a = "esc \" HashMap \\"; let b = b"\" Hash"; tail"#);
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("Hash")));
+    }
+
+    #[test]
+    fn raw_strings_do_not_treat_backslash_as_escape() {
+        // In a raw string a trailing backslash must not swallow the
+        // closing quote.
+        let src = r#"let re = r"\d+\"; done"#;
+        assert!(idents(src).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn c_string_literals_are_consumed() {
+        let src = "let p = c\"HashMap\"; let q = cr#\"Hash\"#; tail";
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("Hash")));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang_or_panic() {
+        for src in ["/* never closed /* nested", "let s = \"open", "let r = r#\"open", "b'"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_lines() {
+        let src = "/* a\n/* b\n*/\nstill comment\n*/ let after = 1;";
+        let l = lex(src);
+        let after = l.tokens.iter().find(|t| t.kind == TokKind::Ident("after".into()));
+        assert_eq!(after.map(|t| t.line), Some(5));
     }
 }

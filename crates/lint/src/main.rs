@@ -2,54 +2,120 @@
 //! `empower-lint` — the workspace determinism & invariant gate.
 //!
 //! ```text
-//! empower-lint [--json] [ROOT]
+//! empower-lint [--json] [--sarif PATH] [--baseline PATH] [--env-table] [ROOT]
 //! ```
 //!
 //! Lints every workspace `.rs` file under `ROOT` (default: the current
-//! directory, or its nearest ancestor containing `crates/`). Exit codes:
-//! 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! directory, or its nearest ancestor containing `crates/`).
+//!
+//! * `--json` — print the SARIF-style document to stdout instead of text;
+//! * `--sarif PATH` — additionally write the SARIF document to `PATH`
+//!   (the CI artifact), keeping text on stdout;
+//! * `--baseline PATH` — apply the ratchet file: grandfathered violations
+//!   within their per-(file, rule) allowance don't fail, and when a
+//!   passing run needs less than the file grants, the file is rewritten
+//!   tighter;
+//! * `--env-table` — print the `EMPOWER_*` knob registry as the markdown
+//!   table EXPERIMENTS.md embeds, then exit.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use empower_lint::lint_workspace;
+use empower_lint::{lint_workspace, load_registry, Baseline};
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut env_table = false;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--env-table" => env_table = true,
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a path"),
+            },
             "--help" | "-h" => {
-                println!("usage: empower-lint [--json] [ROOT]");
+                println!(
+                    "usage: empower-lint [--json] [--sarif PATH] [--baseline PATH] \
+                     [--env-table] [ROOT]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
-                eprintln!("empower-lint: unknown flag `{other}` (try --help)");
-                return ExitCode::from(2);
+                return usage_error(&format!("unknown flag `{other}` (try --help)"));
             }
             other => root = Some(PathBuf::from(other)),
         }
     }
     let root = root.unwrap_or_else(find_workspace_root);
-    match lint_workspace(&root) {
-        Ok(report) => {
-            if json {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_text());
-            }
-            if report.ok() {
+
+    if env_table {
+        return match load_registry(&root) {
+            Ok(registry) => {
+                print!("{}", registry.render_markdown_table());
                 ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
             }
-        }
-        Err(e) => {
-            eprintln!("empower-lint: {e}");
-            ExitCode::from(2)
+            Err(e) => io_error(&e.to_string()),
+        };
+    }
+
+    let mut report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return io_error(&e.to_string()),
+    };
+
+    if let Some(path) = &baseline_path {
+        // A missing baseline file means an empty baseline (new gates
+        // start at zero); it is only ever written when it tightens.
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return io_error(&format!("{}: {e}", path.display())),
+        };
+        let tightened = baseline.apply(&mut report);
+        if report.ok() && tightened != baseline {
+            if let Err(e) = std::fs::write(path, tightened.render()) {
+                return io_error(&format!("{}: cannot rewrite baseline: {e}", path.display()));
+            }
+            eprintln!("empower-lint: baseline tightened: {}", path.display());
         }
     }
+
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            return io_error(&format!("{}: cannot write SARIF artifact: {e}", path.display()));
+        }
+    }
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("empower-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("empower-lint: {msg}");
+    ExitCode::from(2)
 }
 
 /// The nearest ancestor of the current directory that contains `crates/`

@@ -1,6 +1,7 @@
 //! Rendering lint results: rustc-style text diagnostics with a per-rule
-//! summary, or a machine-readable JSON document (`--json`) built on the
-//! telemetry crate's deterministic [`Json`] value type.
+//! summary, or a SARIF 2.1.0-style JSON document (`--json` / `--sarif`)
+//! built on the telemetry crate's deterministic [`Json`] value type, which
+//! ci.sh archives as a diagnostic artifact.
 
 use empower_telemetry::Json;
 
@@ -9,7 +10,11 @@ use crate::rules::{Rule, Violation, ALL_RULES};
 /// The outcome of linting a file set.
 #[derive(Debug, Default)]
 pub struct Report {
+    /// Violations that fail the gate.
     pub violations: Vec<Violation>,
+    /// Violations absorbed by the `--baseline` ratchet: reported (text
+    /// summary, SARIF `baselineState: "unchanged"`) but not failing.
+    pub baselined: Vec<Violation>,
     pub files_scanned: usize,
 }
 
@@ -19,7 +24,7 @@ impl Report {
         self.violations.is_empty()
     }
 
-    /// Violation count for one rule.
+    /// Failing violation count for one rule.
     pub fn count(&self, rule: Rule) -> usize {
         self.violations.iter().filter(|v| v.rule == rule).count()
     }
@@ -34,8 +39,12 @@ impl Report {
         }
         if self.ok() {
             out.push_str(&format!(
-                "empower-lint: clean — {} files, 0 violations\n",
-                self.files_scanned
+                "empower-lint: clean — {} files, 0 violations{}\n",
+                self.files_scanned,
+                match self.baselined.len() {
+                    0 => String::new(),
+                    n => format!(" ({n} baselined)"),
+                }
             ));
         } else {
             let mut parts = Vec::new();
@@ -56,33 +65,72 @@ impl Report {
         out
     }
 
-    /// JSON rendering for machine consumption (CI annotations, dashboards).
+    /// SARIF 2.1.0-style rendering for machine consumption (CI artifacts,
+    /// annotation tooling). Failing violations carry
+    /// `baselineState: "new"`, ratchet-absorbed ones `"unchanged"`.
     pub fn render_json(&self) -> String {
-        let violations: Vec<Json> = self
-            .violations
+        let rules: Vec<Json> = ALL_RULES
             .iter()
-            .map(|v| {
+            .map(|r| {
                 Json::obj([
-                    ("file", Json::Str(v.file.clone())),
-                    ("line", Json::UInt(v.line as u64)),
-                    ("rule", Json::Str(v.rule.name().to_string())),
-                    ("message", Json::Str(v.message.clone())),
+                    ("id", Json::Str(r.name().to_string())),
+                    ("shortDescription", Json::obj([("text", Json::Str(r.describe().into()))])),
                 ])
             })
+            .collect();
+        let results: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| sarif_result(v, "new"))
+            .chain(self.baselined.iter().map(|v| sarif_result(v, "unchanged")))
             .collect();
         let summary: Vec<(&str, Json)> = ALL_RULES
             .iter()
             .filter(|&&r| self.count(r) > 0)
             .map(|&r| (r.name(), Json::UInt(self.count(r) as u64)))
             .collect();
+        let driver = Json::obj([
+            ("name", Json::Str("empower-lint".into())),
+            ("informationUri", Json::Str("DESIGN.md".into())),
+            ("rules", Json::Arr(rules)),
+        ]);
+        let run = Json::obj([
+            ("tool", Json::obj([("driver", driver)])),
+            ("results", Json::Arr(results)),
+            (
+                "properties",
+                Json::obj([
+                    ("ok", Json::Bool(self.ok())),
+                    ("filesScanned", Json::UInt(self.files_scanned as u64)),
+                    ("baselined", Json::UInt(self.baselined.len() as u64)),
+                    ("summary", Json::obj(summary)),
+                ]),
+            ),
+        ]);
         Json::obj([
-            ("ok", Json::Bool(self.ok())),
-            ("files_scanned", Json::UInt(self.files_scanned as u64)),
-            ("violations", Json::Arr(violations)),
-            ("summary", Json::obj(summary)),
+            ("version", Json::Str("2.1.0".into())),
+            ("$schema", Json::Str("https://json.schemastore.org/sarif-2.1.0.json".into())),
+            ("runs", Json::Arr(vec![run])),
         ])
         .to_string()
     }
+}
+
+fn sarif_result(v: &Violation, baseline_state: &str) -> Json {
+    let location = Json::obj([(
+        "physicalLocation",
+        Json::obj([
+            ("artifactLocation", Json::obj([("uri", Json::Str(v.file.clone()))])),
+            ("region", Json::obj([("startLine", Json::UInt(v.line as u64))])),
+        ]),
+    )]);
+    Json::obj([
+        ("ruleId", Json::Str(v.rule.name().to_string())),
+        ("level", Json::Str("error".into())),
+        ("baselineState", Json::Str(baseline_state.to_string())),
+        ("message", Json::obj([("text", Json::Str(v.message.clone()))])),
+        ("locations", Json::Arr(vec![location])),
+    ])
 }
 
 #[cfg(test)]
@@ -97,7 +145,28 @@ mod tests {
                 line: 7,
                 message: "`HashMap` in deterministic crate".into(),
             }],
+            baselined: vec![Violation {
+                rule: Rule::D005,
+                file: "crates/y/src/lib.rs".into(),
+                line: 3,
+                message: "grandfathered unwrap".into(),
+            }],
             files_scanned: 3,
+        }
+    }
+
+    /// Navigates `runs[0]` of a parsed SARIF document.
+    fn first_run(j: &Json) -> &Json {
+        match j.get("runs").expect("runs") {
+            Json::Arr(runs) => runs.first().expect("one run"),
+            other => panic!("runs is not an array: {other:?}"),
+        }
+    }
+
+    fn results(run: &Json) -> &[Json] {
+        match run.get("results").expect("results") {
+            Json::Arr(r) => r,
+            other => panic!("results is not an array: {other:?}"),
         }
     }
 
@@ -106,23 +175,52 @@ mod tests {
         let txt = report().render_text();
         assert!(txt.contains("crates/x/src/lib.rs:7: D001:"));
         assert!(txt.contains("D001: 1"));
+        assert!(!txt.contains("crates/y"), "baselined violations do not fail the text gate");
     }
 
     #[test]
-    fn json_round_trips_and_carries_counts() {
+    fn sarif_carries_results_rules_and_baseline_states() {
         let j = Json::parse(&report().render_json()).expect("valid JSON");
-        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
-        assert_eq!(j.get("files_scanned").and_then(Json::as_u64), Some(3));
-        let summary = j.get("summary").expect("summary");
-        assert_eq!(summary.get("D001").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let run = first_run(&j);
+        let driver = run.get("tool").and_then(|t| t.get("driver")).expect("driver");
+        assert_eq!(driver.get("name").and_then(Json::as_str), Some("empower-lint"));
+
+        let rs = results(run);
+        assert_eq!(rs.len(), 2, "one failing + one baselined result");
+        assert_eq!(rs[0].get("ruleId").and_then(Json::as_str), Some("D001"));
+        assert_eq!(rs[0].get("baselineState").and_then(Json::as_str), Some("new"));
+        assert_eq!(rs[1].get("baselineState").and_then(Json::as_str), Some("unchanged"));
+        let line = rs[0]
+            .get("locations")
+            .and_then(|l| match l {
+                Json::Arr(a) => a.first(),
+                _ => None,
+            })
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Json::as_u64);
+        assert_eq!(line, Some(7));
+
+        let props = run.get("properties").expect("properties");
+        assert_eq!(props.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(props.get("filesScanned").and_then(Json::as_u64), Some(3));
+        assert_eq!(props.get("baselined").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            props.get("summary").and_then(|s| s.get("D001")).and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
     fn clean_report_says_so() {
-        let r = Report { violations: Vec::new(), files_scanned: 5 };
+        let r = Report { files_scanned: 5, ..Report::default() };
         assert!(r.ok());
         assert!(r.render_text().contains("clean"));
         let j = Json::parse(&r.render_json()).expect("valid JSON");
-        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        let props = first_run(&j).get("properties").expect("properties");
+        assert_eq!(props.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(results(first_run(&j)).is_empty());
     }
 }

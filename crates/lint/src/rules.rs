@@ -1,4 +1,4 @@
-//! The domain lint rules (D001–D006) and the suppression-pragma machinery.
+//! The domain lint rules (D001–D011) and the suppression-pragma machinery.
 //!
 //! Every rule is deliberately *syntactic*: the lexer guarantees that
 //! comments and string literals cannot produce false positives, test-only
@@ -6,9 +6,17 @@
 //! the rules cannot see (e.g. a `HashMap` hidden behind a type alias) is a
 //! documented limitation, not a soundness requirement — the gate's job is
 //! to keep the *existing* determinism contract from regressing silently.
+//!
+//! The concurrency rules (D007–D010) additionally consult the phase-1
+//! [`WorkspaceIndex`]: names are resolved through each file's `use` map
+//! (so a wireless `channel` field never trips D007, while an aliased
+//! `mpsc::channel` always does), and in-code `sanction(..)` pragmas mark
+//! the one blessed implementation of each otherwise-forbidden pattern.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::index::{canonicalize, collect_imports, env_reads, path_ending_at, WorkspaceIndex};
 use crate::lexer::{lex, Lexed, TokKind};
 
 /// A lint rule identifier.
@@ -30,13 +38,41 @@ pub enum Rule {
     D005,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     D006,
+    /// Unordered cross-thread result collection: `std::sync::mpsc`
+    /// channels or completion-order merges into a shared locked
+    /// collection.
+    D007,
+    /// `Ordering::Relaxed` on a read-modify-write atomic operation
+    /// outside the sanctioned work-cursor idiom.
+    D008,
+    /// Detached `thread::spawn` — the `JoinHandle` is dropped instead of
+    /// joined or scoped.
+    D009,
+    /// `Mutex`/`RwLock` introduced into a hot-path crate without a
+    /// justification pragma.
+    D010,
+    /// Undeclared ambient config: an `EMPOWER_*` env read missing from
+    /// `crates/lint/env_registry.toml`.
+    D011,
     /// A malformed suppression pragma (unknown rule id or missing reason).
     P001,
 }
 
 /// All enforceable rules, in report order.
-pub const ALL_RULES: [Rule; 7] =
-    [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005, Rule::D006, Rule::P001];
+pub const ALL_RULES: [Rule; 12] = [
+    Rule::D001,
+    Rule::D002,
+    Rule::D003,
+    Rule::D004,
+    Rule::D005,
+    Rule::D006,
+    Rule::D007,
+    Rule::D008,
+    Rule::D009,
+    Rule::D010,
+    Rule::D011,
+    Rule::P001,
+];
 
 impl Rule {
     /// The canonical `Dxxx` name.
@@ -48,6 +84,11 @@ impl Rule {
             Rule::D004 => "D004",
             Rule::D005 => "D005",
             Rule::D006 => "D006",
+            Rule::D007 => "D007",
+            Rule::D008 => "D008",
+            Rule::D009 => "D009",
+            Rule::D010 => "D010",
+            Rule::D011 => "D011",
             Rule::P001 => "P001",
         }
     }
@@ -66,6 +107,13 @@ impl Rule {
             Rule::D004 => "float ordering via partial_cmp().unwrap()",
             Rule::D005 => "unwrap()/expect()/panic! in library non-test code",
             Rule::D006 => "missing #![forbid(unsafe_code)] in crate root",
+            Rule::D007 => {
+                "unordered cross-thread result collection (mpsc / completion-order merge)"
+            }
+            Rule::D008 => "Ordering::Relaxed read-modify-write outside the sanctioned work cursor",
+            Rule::D009 => "detached thread::spawn (JoinHandle dropped, not joined or scoped)",
+            Rule::D010 => "Mutex/RwLock in a hot-path crate without justification",
+            Rule::D011 => "EMPOWER_* env read not declared in crates/lint/env_registry.toml",
             Rule::P001 => "malformed empower-lint pragma",
         }
     }
@@ -106,6 +154,12 @@ pub struct FileContext {
     /// True for binary targets (`src/bin/**`, `main.rs`) — CLI surfaces may
     /// fail fast, so D005 does not apply.
     pub is_bin: bool,
+    /// True for test/example scaffolding (`tests/**`, `examples/**`):
+    /// only the ambient-config rule (D011) and pragma hygiene (P001)
+    /// apply there — scaffolding may thread, lock, and panic freely, but
+    /// it must not read undeclared `EMPOWER_*` knobs, because those are
+    /// exactly the env vars CI and the docs have to know about.
+    pub is_scaffold: bool,
 }
 
 /// Crates whose whole purpose is wall-clock measurement: D002 exempt.
@@ -116,21 +170,68 @@ const WALL_CLOCK_CRATES: [&str; 1] = ["empower-bench"];
 /// reproduction scripts, not servable library surface.
 const PANIC_EXEMPT_CRATES: [&str; 1] = ["empower-bench"];
 
-/// Lints `src` as the file described by `ctx`. This is the whole analysis
-/// for one file; the binary's walker and the fixture tests both call it.
+/// Crates on the per-event / per-packet fast path: a lock there
+/// serializes exactly the code the perf gates budget, so D010 demands an
+/// in-source justification.
+const HOT_PATH_CRATES: [&str; 3] = ["empower-sim", "empower-datapath", "empower-cc"];
+
+/// Atomic read-modify-write methods D008 inspects for `Relaxed`. Plain
+/// `load`/`store` are absent on purpose: relaxed reads of a counter are
+/// fine, it is the *update* side that turns scheduling order into state.
+const RMW_METHODS: [&str; 12] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "swap",
+];
+
+/// Lints `src` as the file described by `ctx`, building a throwaway
+/// one-file index first (so sanction pragmas inside `src` still apply,
+/// and their P001s are reported). Fixture tests and single-file callers
+/// use this; the workspace walker builds one shared index and calls
+/// [`lint_source_indexed`] instead.
 pub fn lint_source(ctx: &FileContext, src: &str) -> Vec<Violation> {
+    let mut index = WorkspaceIndex::default();
+    let mut out = index.add_file(ctx, src);
+    out.extend(lint_source_indexed(ctx, src, &index));
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Phase 2 of the workspace analysis: lints one file against the
+/// already-built [`WorkspaceIndex`] (sanctioned idioms, env registry).
+pub fn lint_source_indexed(ctx: &FileContext, src: &str, index: &WorkspaceIndex) -> Vec<Violation> {
     let lexed = lex(src);
+    let imports = collect_imports(&lexed);
     let mut out = Vec::new();
     let pragmas = collect_pragmas(ctx, &lexed, &mut out);
     let test_lines = test_line_spans(&lexed);
     let in_test = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+    // D007 resolves several idents per use site (`mpsc::channel` hits on
+    // both segments); report each line once.
+    let mut d007_lines: BTreeSet<u32> = BTreeSet::new();
 
     let mut push = |rule: Rule, line: u32, message: String| {
-        if pragmas.suppresses(rule, line) {
+        if pragmas.suppresses(rule, line) || index.sanction_covers(&ctx.path, rule, line) {
             return;
         }
         out.push(Violation { rule, file: ctx.path.clone(), line, message });
     };
+
+    // Test/example scaffolding: only ambient-config hygiene applies.
+    if ctx.is_scaffold {
+        lint_env_reads(ctx, &lexed, &imports, index, &mut push);
+        out.sort_by_key(|a| (a.line, a.rule));
+        return out;
+    }
 
     // --- Token-stream rules -------------------------------------------
     for i in 0..lexed.tokens.len() {
@@ -239,9 +340,112 @@ pub fn lint_source(ctx: &FileContext, src: &str) -> Vec<Violation> {
                     );
                 }
             }
+            // D009 — free-function std::thread::spawn whose JoinHandle is
+            // discarded. Method spawns (`scope.spawn`) are the scoped
+            // API and carry no detach risk.
+            "spawn" => {
+                if !lexed.punct(i + 1, '(') || (i > 0 && lexed.punct(i - 1, '.')) {
+                    continue;
+                }
+                let (head, segs) = path_ending_at(&lexed, i);
+                if canonicalize(&imports, ctx, &segs) != ["std", "thread", "spawn"] {
+                    continue;
+                }
+                let Some(close) = matching_close(&lexed, i + 1) else { continue };
+                // Detached: the call is a whole statement (`spawn(..);`
+                // at statement start) or explicitly discarded
+                // (`let _ = spawn(..);`). Anything that binds, chains, or
+                // returns the handle keeps it joinable.
+                let at_stmt_start = head == 0
+                    || [';', '{', '}'].iter().any(|&p| lexed.punct(head - 1, p))
+                    || (lexed.punct(head.wrapping_sub(1), '=')
+                        && lexed.ident(head.wrapping_sub(2)) == Some("_"));
+                if lexed.punct(close + 1, ';') && at_stmt_start {
+                    push(
+                        Rule::D009,
+                        line,
+                        "detached `thread::spawn` — the JoinHandle is dropped, so the \
+                         thread outlives every determinism barrier; join it or use \
+                         `thread::scope`"
+                            .to_string(),
+                    );
+                }
+            }
+            // D010 — locks on the per-event/per-packet fast path.
+            "Mutex" | "RwLock" if HOT_PATH_CRATES.contains(&ctx.crate_name.as_str()) => {
+                push(
+                    Rule::D010,
+                    line,
+                    format!(
+                        "`{ident}` in hot-path crate `{}` — a lock serializes the \
+                         code the perf gates budget; restructure, or justify with \
+                         `// empower-lint: allow(D010) — <reason>`",
+                        ctx.crate_name
+                    ),
+                );
+            }
+            // D007 — std::sync::mpsc in any form. Resolution, not the
+            // bare word, decides: a wireless `channel` field never
+            // canonicalizes into std::sync::mpsc, while an import, an
+            // aliased call, or the fully qualified path always does.
+            m if resolves_to_mpsc(&lexed, &imports, ctx, i, m) && d007_lines.insert(line) => {
+                push(Rule::D007, line, d007_message(ident, index));
+            }
+            // D008 — relaxed read-modify-write: the return value reflects
+            // scheduling order, which must never feed observable state.
+            m if RMW_METHODS.contains(&m) => {
+                if !lexed.punct(i + 1, '(') {
+                    continue;
+                }
+                let Some(close) = matching_close(&lexed, i + 1) else { continue };
+                if (i + 2..close).any(|j| lexed.ident(j) == Some("Relaxed")) {
+                    let idiom = index
+                        .sanctioned_idiom(Rule::D008)
+                        .map(|s| format!(" (the one sanctioned use is `{}`)", s.item))
+                        .unwrap_or_default();
+                    push(
+                        Rule::D008,
+                        line,
+                        format!(
+                            "`{ident}(Ordering::Relaxed)` — a relaxed read-modify-write \
+                             leaks scheduling order into its return value; use \
+                             AcqRel/SeqCst or the sanctioned work-cursor idiom{idiom}"
+                        ),
+                    );
+                }
+            }
             _ => {}
         }
     }
+
+    // --- D007(b): completion-order merges inside spawned closures -----
+    // `lock().push(..)` (or insert/extend) inside any `spawn(..)` call
+    // argument appends results in whatever order workers finish.
+    let mut i = 0usize;
+    while i < lexed.tokens.len() {
+        let is_spawn = lexed.ident(i) == Some("spawn") && lexed.punct(i + 1, '(');
+        if !is_spawn || in_test(lexed.tokens[i].line) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_close(&lexed, i + 1) else { break };
+        let locks =
+            (i + 2..close).any(|j| lexed.ident(j) == Some("lock") && lexed.punct(j + 1, '('));
+        let merge = (i + 2..close).find(|&j| {
+            matches!(lexed.ident(j), Some("push" | "insert" | "extend"))
+                && lexed.punct(j.wrapping_sub(1), '.')
+                && lexed.punct(j + 1, '(')
+        });
+        if locks {
+            if let Some(j) = merge {
+                push(Rule::D007, lexed.tokens[j].line, d007_merge_message(index));
+            }
+        }
+        i = close + 1;
+    }
+
+    // --- D011: ambient config must be declared ------------------------
+    lint_env_reads(ctx, &lexed, &imports, index, &mut push);
 
     // --- D006: crate roots must forbid unsafe code --------------------
     if ctx.is_crate_root && !has_forbid_unsafe(&lexed) && !pragmas.suppresses(Rule::D006, 1) {
@@ -255,6 +459,109 @@ pub fn lint_source(ctx: &FileContext, src: &str) -> Vec<Violation> {
 
     out.sort_by_key(|a| (a.line, a.rule));
     out
+}
+
+/// True when the ident at token `i` canonicalizes into `std::sync::mpsc`
+/// through the file's import map (D007's resolution test). The cheap
+/// checks run first: an ident can only reach mpsc if it is imported, is
+/// `mpsc` itself, or sits in a `::` path.
+fn resolves_to_mpsc(
+    lexed: &Lexed,
+    imports: &std::collections::BTreeMap<String, Vec<String>>,
+    ctx: &FileContext,
+    i: usize,
+    ident: &str,
+) -> bool {
+    let qualified = i >= 2 && lexed.punct(i - 1, ':') && lexed.punct(i - 2, ':');
+    if ident != "mpsc" && !qualified && !imports.contains_key(ident) {
+        return false;
+    }
+    let (_, segs) = path_ending_at(lexed, i);
+    let canon = canonicalize(imports, ctx, &segs);
+    canon.len() >= 3 && canon[0] == "std" && canon[1] == "sync" && canon[2] == "mpsc"
+}
+
+fn d007_message(ident: &str, index: &WorkspaceIndex) -> String {
+    format!(
+        "`{ident}` resolves into std::sync::mpsc — channel receive order is worker \
+         completion order, which breaks byte-identical manifests{}",
+        sanctioned_hint(index)
+    )
+}
+
+fn d007_merge_message(index: &WorkspaceIndex) -> String {
+    format!(
+        "worker results merged in completion order (`lock()` + push/insert/extend \
+         inside `spawn`) — write into index-addressed slots instead{}",
+        sanctioned_hint(index)
+    )
+}
+
+/// Names the blessed merge idiom in D007 diagnostics, resolved from the
+/// index (never from a hard-coded filename).
+fn sanctioned_hint(index: &WorkspaceIndex) -> String {
+    index
+        .sanctioned_idiom(Rule::D007)
+        .map(|s| format!("; the sanctioned merge idiom is `{}`", s.item))
+        .unwrap_or_default()
+}
+
+/// D011: every resolved `std::env::var`/`var_os` read of an `EMPOWER_*`
+/// knob must be declared in `crates/lint/env_registry.toml`; non-literal
+/// names cannot be checked and are rejected outright. Deliberately not
+/// test-gated — tests are precisely where ad-hoc knobs sneak in.
+fn lint_env_reads(
+    ctx: &FileContext,
+    lexed: &Lexed,
+    imports: &std::collections::BTreeMap<String, Vec<String>>,
+    index: &WorkspaceIndex,
+    push: &mut impl FnMut(Rule, u32, String),
+) {
+    for read in env_reads(lexed, imports, ctx) {
+        match read.name.as_deref() {
+            Some(name) if name.starts_with("EMPOWER_") => {
+                if !index.env_registered(name) {
+                    push(
+                        Rule::D011,
+                        read.line,
+                        format!(
+                            "`{name}` is read here but not declared in \
+                             crates/lint/env_registry.toml — register the knob (name, \
+                             reader, default, purpose) so CI and the docs stay in sync"
+                        ),
+                    );
+                }
+            }
+            Some(_) => {}
+            None => push(
+                Rule::D011,
+                read.line,
+                "ambient config read with a non-literal name — EMPOWER_* knobs must be \
+                 read by literal name so the registry check can see them"
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at token index `open`.
+pub(crate) fn matching_close(lexed: &Lexed, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < lexed.tokens.len() {
+        match &lexed.tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
 }
 
 /// True when the `.unwrap`/`.expect` at ident index `i` closes a
@@ -467,11 +774,15 @@ impl Pragmas {
 /// lines); a trailing pragma covers its own line. The em-dash may be
 /// written `—`, `--`, or `-`.
 fn collect_pragmas(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Violation>) -> Pragmas {
-    const TAG: &str = "empower-lint:";
     let mut pragmas = Pragmas::default();
     for c in &lexed.comments {
-        let Some(pos) = c.text.find(TAG) else { continue };
-        let rest = c.text[pos + TAG.len()..].trim_start();
+        let Some(rest) = pragma_body(&c.text) else { continue };
+        let rest = rest.trim_start();
+        // `sanction(..)` pragmas are item-level and validated while the
+        // phase-1 index is built (index.rs), not here.
+        if rest.starts_with("sanction") {
+            continue;
+        }
         let mut bad = |msg: String| {
             out.push(Violation {
                 rule: Rule::P001,
@@ -486,52 +797,25 @@ fn collect_pragmas(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Violation>) -
             (false, r)
         } else {
             bad(format!(
-                "unrecognized pragma `{}` (expected `allow(..)` or `allow-file(..)`)",
+                "unrecognized pragma `{}` (expected `allow(..)`, `allow-file(..)`, or \
+                 `sanction(..)`)",
                 rest.trim()
             ));
             continue;
         };
-        let rest = rest.trim_start();
-        let Some(close) = rest.find(')') else {
-            bad("pragma rule list is not closed with `)`".to_string());
-            continue;
-        };
-        let Some(list) = rest.strip_prefix('(').map(|r| &r[..close - 1]) else {
-            bad("pragma is missing its `(rule, ..)` list".to_string());
-            continue;
-        };
-        let mut rules = Vec::new();
-        let mut ok = true;
-        for part in list.split(',') {
-            match Rule::parse(part.trim()) {
-                Some(r) => rules.push(r),
-                None => {
-                    bad(format!("unknown rule `{}` in pragma", part.trim()));
-                    ok = false;
+        let parsed = match parse_rule_list_and_reason(rest) {
+            Ok(p) => p,
+            Err(msgs) => {
+                for m in msgs {
+                    bad(m);
                 }
+                continue;
             }
-        }
-        // The reason is mandatory: a separator dash plus non-empty text.
-        let after = rest[close + 1..].trim_start();
-        let reason = ["—", "--", "-"]
-            .iter()
-            .find_map(|d| after.strip_prefix(d))
-            .map(str::trim)
-            .unwrap_or("");
-        if reason.is_empty() {
-            bad("pragma carries no reason — write `… — <why this site is sound>`".to_string());
-            ok = false;
-        }
-        if !ok {
-            continue;
-        }
+        };
         // Extend coverage through contiguous comment lines, so a pragma
         // whose reason wraps still reaches the code line beneath it.
-        let mut end = c.line;
-        while lexed.comments.iter().any(|other| other.line == end + 1) {
-            end += 1;
-        }
-        for r in rules {
+        let end = crate::index::comment_block_end(lexed, c.line);
+        for r in parsed.rules {
             if file_wide {
                 pragmas.file_allows.push(r);
             } else {
@@ -540,6 +824,55 @@ fn collect_pragmas(ctx: &FileContext, lexed: &Lexed, out: &mut Vec<Violation>) -
         }
     }
     pragmas
+}
+
+/// The payload of a pragma comment, or `None` if the comment is not a
+/// pragma. The tag must *open* the comment (after the `//`/`//!`/`/*`
+/// markers and doc-prose bullets), so documentation that merely quotes
+/// the syntax in backticks is not mistaken for a real pragma.
+pub(crate) fn pragma_body(text: &str) -> Option<&str> {
+    const TAG: &str = "empower-lint:";
+    text.trim_start_matches(|ch: char| matches!(ch, '/' | '!' | '*') || ch.is_whitespace())
+        .strip_prefix(TAG)
+}
+
+/// A parsed pragma body: the rule list and the mandatory reason.
+pub(crate) struct ParsedPragma {
+    pub rules: Vec<Rule>,
+    pub reason: String,
+}
+
+/// Parses the `(Dxxx, ..) — <reason>` tail shared by every pragma form
+/// (`allow`, `allow-file`, `sanction`). Returns every problem found, so a
+/// pragma with an unknown rule *and* a missing reason reports both.
+pub(crate) fn parse_rule_list_and_reason(body: &str) -> Result<ParsedPragma, Vec<String>> {
+    let body = body.trim_start();
+    let Some(close) = body.find(')') else {
+        return Err(vec!["pragma rule list is not closed with `)`".to_string()]);
+    };
+    let Some(list) = body.strip_prefix('(').map(|r| &r[..close - 1]) else {
+        return Err(vec!["pragma is missing its `(rule, ..)` list".to_string()]);
+    };
+    let mut errors = Vec::new();
+    let mut rules = Vec::new();
+    for part in list.split(',') {
+        match Rule::parse(part.trim()) {
+            Some(r) => rules.push(r),
+            None => errors.push(format!("unknown rule `{}` in pragma", part.trim())),
+        }
+    }
+    // The reason is mandatory: a separator dash plus non-empty text.
+    let after = body[close + 1..].trim_start();
+    let reason =
+        ["—", "--", "-"].iter().find_map(|d| after.strip_prefix(d)).map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        errors.push("pragma carries no reason — write `… — <why this site is sound>`".to_string());
+    }
+    if errors.is_empty() {
+        Ok(ParsedPragma { rules, reason: reason.to_string() })
+    } else {
+        Err(errors)
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +885,7 @@ mod tests {
             crate_name: "empower-x".into(),
             is_crate_root: false,
             is_bin: false,
+            is_scaffold: false,
         }
     }
 
@@ -655,5 +989,121 @@ mod tests {
     fn cfg_not_test_is_still_linted() {
         let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(rules_of(src), vec![Rule::D005]);
+    }
+
+    #[test]
+    fn mpsc_fires_only_through_resolution() {
+        // A wireless channel field or a local fn named `channel` never
+        // resolves into std::sync::mpsc.
+        assert!(rules_of("fn f(l: &Link) -> u8 { l.channel }\n").is_empty());
+        assert!(rules_of("fn channel(w: u8) -> u8 { w }\n").is_empty());
+        // The import, the aliased call, and the qualified form all do.
+        assert_eq!(rules_of("use std::sync::mpsc;\n"), vec![Rule::D007]);
+        let aliased = "use std::sync::mpsc::channel as chan;\n\
+                       fn f() { let (tx, rx) = chan(); }\n";
+        assert_eq!(rules_of(aliased), vec![Rule::D007, Rule::D007]);
+        assert_eq!(
+            rules_of("fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); }\n"),
+            vec![Rule::D007]
+        );
+    }
+
+    #[test]
+    fn completion_order_merge_inside_spawn_is_d007() {
+        let src = "fn f(s: &Scope, out: &Mutex<Vec<u32>>) {\n\
+                   s.spawn(|| {\n\
+                   if let Ok(mut m) = out.lock() { m.push(1); }\n\
+                   });\n}\n";
+        let got = lint_source(&ctx(), src);
+        assert_eq!(got.iter().map(|v| v.rule).collect::<Vec<_>>(), vec![Rule::D007]);
+        assert_eq!(got[0].line, 3);
+        // Index-addressed writes under the same lock are the sanctioned
+        // shape: no push/insert/extend, no violation.
+        let indexed = "fn f(s: &Scope, slots: &[Mutex<Option<u32>>]) {\n\
+                       s.spawn(|| {\n\
+                       if let Ok(mut slot) = slots[0].lock() { *slot = Some(1); }\n\
+                       });\n}\n";
+        assert!(rules_of(indexed).is_empty());
+    }
+
+    #[test]
+    fn relaxed_rmw_is_d008_but_loads_are_not() {
+        let src = "fn f(c: &AtomicUsize) -> usize { c.fetch_add(1, Ordering::Relaxed) }\n";
+        assert_eq!(rules_of(src), vec![Rule::D008]);
+        assert!(
+            rules_of("fn f(c: &AtomicUsize) -> usize { c.load(Ordering::Relaxed) }\n").is_empty()
+        );
+        assert!(rules_of("fn f(c: &AtomicUsize) -> usize { c.fetch_add(1, Ordering::AcqRel) }\n")
+            .is_empty());
+        // `Vec::swap` shares a name with the atomic RMW; no `Relaxed`
+        // argument, no violation.
+        assert!(rules_of("fn f(v: &mut Vec<u32>) { v.swap(0, 1); }\n").is_empty());
+    }
+
+    #[test]
+    fn sanction_pragma_exempts_the_marked_item_only() {
+        let src = "/// empower-lint: sanction(D008) — the cursor only distributes indices.\n\
+                   pub fn cursor(c: &AtomicUsize) -> usize {\n\
+                   c.fetch_add(1, Ordering::Relaxed)\n\
+                   }\n\
+                   pub fn stray(c: &AtomicUsize) -> usize {\n\
+                   c.fetch_add(1, Ordering::Relaxed)\n\
+                   }\n";
+        let got = lint_source(&ctx(), src);
+        assert_eq!(got.len(), 1, "only the unsanctioned fn fires: {got:?}");
+        assert_eq!((got[0].rule, got[0].line), (Rule::D008, 6));
+    }
+
+    #[test]
+    fn detached_spawn_is_d009_bound_and_scoped_are_not() {
+        assert_eq!(
+            rules_of("use std::thread;\nfn f() { thread::spawn(|| ()); }\n"),
+            vec![Rule::D009]
+        );
+        assert_eq!(rules_of("fn f() { let _ = std::thread::spawn(|| ()); }\n"), vec![Rule::D009]);
+        let joined = "use std::thread;\n\
+                      fn f() { let h = thread::spawn(|| ()); let _r = h.join(); }\n";
+        assert!(rules_of(joined).is_empty());
+        assert!(rules_of("fn f() { std::thread::spawn(|| ()).join().ok(); }\n").is_empty());
+        assert!(rules_of("fn f(s: &Scope) { s.spawn(|| ()); }\n").is_empty());
+        // A local `spawn` that does not resolve to std::thread is fine.
+        assert!(rules_of("fn spawn_all() { spawn(1); }\nfn spawn(n: u32) {}\n").is_empty());
+    }
+
+    #[test]
+    fn locks_fire_only_in_hot_path_crates() {
+        let src = "use std::sync::Mutex;\nstruct S { m: Mutex<u32> }\n";
+        assert!(rules_of(src).is_empty(), "empower-x is not hot-path");
+        let hot = FileContext { crate_name: "empower-sim".into(), ..ctx() };
+        let got = lint_source(&hot, src);
+        assert_eq!(got.iter().map(|v| v.rule).collect::<Vec<_>>(), vec![Rule::D010, Rule::D010]);
+        let allowed = "// empower-lint: allow(D010) — config-time only, never per event\n\
+                       use std::sync::Mutex;\n";
+        assert!(lint_source(&hot, allowed).is_empty());
+    }
+
+    #[test]
+    fn env_reads_need_registration_even_in_tests() {
+        let src = "#[test]\nfn t() { std::env::var(\"EMPOWER_MYSTERY\").ok(); }\n";
+        assert_eq!(rules_of(src), vec![Rule::D011]);
+        // Registered knobs pass; non-EMPOWER vars are out of scope.
+        let mut index = WorkspaceIndex::default();
+        index.set_env_registry(["EMPOWER_MYSTERY".to_string()]);
+        assert!(lint_source_indexed(&ctx(), src, &index).is_empty());
+        assert!(rules_of("fn f() { std::env::var(\"PATH\").ok(); }\n").is_empty());
+        // Non-literal names defeat the registry check: rejected outright.
+        assert_eq!(rules_of("fn f(n: &str) { std::env::var(n).ok(); }\n"), vec![Rule::D011]);
+    }
+
+    #[test]
+    fn scaffold_files_get_only_ambient_config_rules() {
+        let scaffold = FileContext { is_scaffold: true, ..ctx() };
+        let src = "use std::sync::mpsc;\n\
+                   fn t(x: Option<u32>) -> u32 {\n\
+                   std::thread::spawn(|| ());\n\
+                   std::env::var(\"EMPOWER_MYSTERY\").ok();\n\
+                   x.unwrap()\n}\n";
+        let got = lint_source(&scaffold, src);
+        assert_eq!(got.iter().map(|v| v.rule).collect::<Vec<_>>(), vec![Rule::D011]);
     }
 }

@@ -1,19 +1,27 @@
 //! The workspace walker: finds every lintable `.rs` file, classifies it
-//! (crate name, crate root, binary target), and runs the rules.
+//! (crate name, crate root, binary target, test/example scaffolding), and
+//! runs the two-phase analysis — phase 1 builds the [`WorkspaceIndex`]
+//! (pub items, sanctioned idioms, env registry) over every file, phase 2
+//! lints each file with that cross-file context.
 //!
-//! Scope policy — what is *not* linted, and why:
+//! Scope policy:
 //!
-//! * `tests/`, `benches/` directories — test scaffolding may use hash
-//!   containers and unwrap freely (same as `#[cfg(test)]` modules);
-//! * `fixtures/` directories — the lint's own violating fixture corpus;
+//! * `src/` files get the full rule set (D001–D011);
+//! * `tests/`, `examples/` directories are *scaffold* scope — only the
+//!   ambient-config rule (D011) and pragma hygiene (P001) apply, because
+//!   undeclared `EMPOWER_*` knobs hide in test gates first;
+//! * `benches/` directories and the lint's own `fixtures/` corpus are
+//!   never visited;
 //! * `target/`, hidden directories — build artifacts.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::env_registry::{self, EnvRegistry};
+use crate::index::WorkspaceIndex;
 use crate::report::Report;
-use crate::rules::{lint_source, FileContext};
+use crate::rules::{lint_source_indexed, FileContext};
 
 /// Why the walk itself (not the lint) failed.
 #[derive(Debug)]
@@ -22,6 +30,10 @@ pub enum WalkError {
     NotAWorkspace(PathBuf),
     /// Filesystem error while walking or reading.
     Io(PathBuf, io::Error),
+    /// The ambient-config registry is missing or malformed — D011 cannot
+    /// run without it, and a silently-skipped rule is worse than a hard
+    /// stop.
+    Registry(PathBuf, String),
 }
 
 impl std::fmt::Display for WalkError {
@@ -31,6 +43,7 @@ impl std::fmt::Display for WalkError {
                 write!(f, "{} does not contain a `crates/` directory", p.display())
             }
             WalkError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            WalkError::Registry(p, e) => write!(f, "{}: {e}", p.display()),
         }
     }
 }
@@ -38,50 +51,111 @@ impl std::fmt::Display for WalkError {
 impl std::error::Error for WalkError {}
 
 /// Directory names that are never descended into.
-const SKIP_DIRS: [&str; 4] = ["target", "tests", "benches", "fixtures"];
+const SKIP_DIRS: [&str; 3] = ["target", "benches", "fixtures"];
+
+/// Repo-relative path of the ambient-config registry D011 enforces.
+pub const ENV_REGISTRY_PATH: &str = "crates/lint/env_registry.toml";
 
 /// Lints the whole workspace rooted at `root` (the directory holding the
 /// top-level `Cargo.toml`). Files are visited in sorted path order, so the
 /// report itself is deterministic.
 pub fn lint_workspace(root: &Path) -> Result<Report, WalkError> {
-    if !root.join("crates").is_dir() {
-        return Err(WalkError::NotAWorkspace(root.to_path_buf()));
-    }
-    let mut contexts: Vec<FileContext> = Vec::new();
-    for dir in read_dir_sorted(&root.join("crates"))?.into_iter().filter(|p| p.is_dir()) {
-        let crate_name = format!(
-            "empower-{}",
-            dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
-        );
-        let mut files = Vec::new();
-        collect_rs(&dir.join("src"), &mut files)?;
-        contexts.extend(files.iter().map(|f| classify(f, root, &crate_name)));
-    }
-    // The workspace root package (`empower-repro`).
-    let mut files = Vec::new();
-    collect_rs(&root.join("src"), &mut files)?;
-    contexts.extend(files.iter().map(|f| classify(f, root, "empower-repro")));
+    let contexts = collect_contexts(root)?;
+    let registry = load_registry(root)?;
 
-    contexts.sort_by(|a, b| a.path.cmp(&b.path));
+    // Phase 1: index every file (pub items, sanction pragmas), install
+    // the env registry. Malformed sanction pragmas surface as P001 here.
+    let mut index = WorkspaceIndex::default();
+    index.set_env_registry(registry.names());
     let mut report = Report::default();
-    for ctx in contexts {
+    let mut sources = Vec::with_capacity(contexts.len());
+    for ctx in &contexts {
         let src = fs::read_to_string(root.join(&ctx.path))
             .map_err(|e| WalkError::Io(root.join(&ctx.path), e))?;
-        report.violations.extend(lint_source(&ctx, &src));
+        report.violations.extend(index.add_file(ctx, &src));
+        sources.push(src);
+    }
+
+    // Phase 2: lint each file against the finished index.
+    for (ctx, src) in contexts.iter().zip(&sources) {
+        report.violations.extend(lint_source_indexed(ctx, src, &index));
         report.files_scanned += 1;
     }
     report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }
 
+/// Every resolved `std::env::var`/`var_os` read site in the workspace's
+/// Rust code, as `(repo-relative file, site)`. The registry round-trip
+/// test uses this to prove every declared rust-read knob is actually
+/// read somewhere (the converse — every read is declared — is D011).
+pub fn workspace_env_reads(root: &Path) -> Result<Vec<(String, crate::EnvReadSite)>, WalkError> {
+    let contexts = collect_contexts(root)?;
+    let mut out = Vec::new();
+    for ctx in &contexts {
+        let src = fs::read_to_string(root.join(&ctx.path))
+            .map_err(|e| WalkError::Io(root.join(&ctx.path), e))?;
+        let lexed = crate::lexer::lex(&src);
+        let imports = crate::index::collect_imports(&lexed);
+        for site in crate::index::env_reads(&lexed, &imports, ctx) {
+            out.push((ctx.path.clone(), site));
+        }
+    }
+    Ok(out)
+}
+
+/// Loads and validates the ambient-config registry.
+pub fn load_registry(root: &Path) -> Result<EnvRegistry, WalkError> {
+    let path = root.join(ENV_REGISTRY_PATH);
+    let text = fs::read_to_string(&path).map_err(|e| {
+        WalkError::Registry(path.clone(), format!("cannot read the env registry: {e}"))
+    })?;
+    env_registry::parse(&text).map_err(|e| WalkError::Registry(path, e))
+}
+
+/// Collects every lintable file of the workspace, classified and in
+/// sorted path order.
+pub fn collect_contexts(root: &Path) -> Result<Vec<FileContext>, WalkError> {
+    if !root.join("crates").is_dir() {
+        return Err(WalkError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut contexts: Vec<FileContext> = Vec::new();
+    let mut add_package = |dir: &Path, crate_name: &str| -> Result<(), WalkError> {
+        for (sub, scaffold) in [("src", false), ("tests", true), ("examples", true)] {
+            let mut files = Vec::new();
+            collect_rs(&dir.join(sub), &mut files)?;
+            contexts.extend(files.iter().map(|f| classify(f, root, crate_name, scaffold)));
+        }
+        Ok(())
+    };
+    for dir in read_dir_sorted(&root.join("crates"))?.into_iter().filter(|p| p.is_dir()) {
+        let crate_name = format!(
+            "empower-{}",
+            dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        );
+        add_package(&dir, &crate_name)?;
+    }
+    // The workspace root package (`empower-repro`).
+    add_package(root, "empower-repro")?;
+
+    contexts.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(contexts)
+}
+
 /// Builds the [`FileContext`] for one file. Crate roots are `src/lib.rs`
 /// and every binary root (`src/main.rs`, `src/bin/*.rs`) — each is the root
 /// of its own compilation unit, so D006 applies to all of them.
-fn classify(file: &Path, root: &Path, crate_name: &str) -> FileContext {
+fn classify(file: &Path, root: &Path, crate_name: &str, is_scaffold: bool) -> FileContext {
     let rel = file.strip_prefix(root).unwrap_or(file).to_string_lossy().replace('\\', "/");
-    let is_bin = rel.contains("src/bin/") || rel.ends_with("src/main.rs");
-    let is_crate_root = is_bin || rel.ends_with("src/lib.rs");
-    FileContext { path: rel, crate_name: crate_name.to_string(), is_crate_root, is_bin }
+    let is_bin = !is_scaffold && (rel.contains("src/bin/") || rel.ends_with("src/main.rs"));
+    let is_crate_root = is_bin || (!is_scaffold && rel.ends_with("src/lib.rs"));
+    FileContext {
+        path: rel,
+        crate_name: crate_name.to_string(),
+        is_crate_root,
+        is_bin,
+        is_scaffold,
+    }
 }
 
 fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, WalkError> {
@@ -120,15 +194,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn classification_of_roots_and_bins() {
+    fn classification_of_roots_bins_and_scaffold() {
         let root = Path::new("/repo");
-        let lib = classify(Path::new("/repo/crates/sim/src/lib.rs"), root, "empower-sim");
-        assert!(lib.is_crate_root && !lib.is_bin);
+        let lib = classify(Path::new("/repo/crates/sim/src/lib.rs"), root, "empower-sim", false);
+        assert!(lib.is_crate_root && !lib.is_bin && !lib.is_scaffold);
         assert_eq!(lib.path, "crates/sim/src/lib.rs");
-        let module = classify(Path::new("/repo/crates/sim/src/engine.rs"), root, "empower-sim");
+        let module =
+            classify(Path::new("/repo/crates/sim/src/engine.rs"), root, "empower-sim", false);
         assert!(!module.is_crate_root && !module.is_bin);
-        let bin = classify(Path::new("/repo/src/bin/empower.rs"), root, "empower-repro");
+        let bin = classify(Path::new("/repo/src/bin/empower.rs"), root, "empower-repro", false);
         assert!(bin.is_crate_root && bin.is_bin);
+        let test =
+            classify(Path::new("/repo/crates/sim/tests/equivalence.rs"), root, "empower-sim", true);
+        assert!(test.is_scaffold && !test.is_crate_root && !test.is_bin);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! The baseline-ratchet contract, end to end over the public API:
+//! grandfathered violations pass within their allowance, *adding* one
+//! fails the whole (file, rule) group, and a passing run tightens the
+//! baseline so counts only ever go down.
+
+#![forbid(unsafe_code)]
+
+use empower_lint::{Baseline, Report, Rule, Violation};
+
+fn violation(rule: Rule, file: &str, line: u32) -> Violation {
+    Violation { rule, file: file.into(), line, message: format!("{rule} at {file}:{line}") }
+}
+
+fn report_with(violations: Vec<Violation>) -> Report {
+    Report { violations, ..Report::default() }
+}
+
+#[test]
+fn adding_a_violation_fails_even_with_a_baseline() {
+    let baseline = Baseline::parse("D005 1 crates/x/src/lib.rs\n").expect("valid baseline");
+    // The grandfathered site plus a newly added one: over allowance.
+    let mut report = report_with(vec![
+        violation(Rule::D005, "crates/x/src/lib.rs", 10),
+        violation(Rule::D005, "crates/x/src/lib.rs", 99),
+    ]);
+    let tightened = baseline.apply(&mut report);
+    assert!(!report.ok(), "a new violation must fail the gate");
+    assert_eq!(report.violations.len(), 2, "no partial credit inside a failing group");
+    assert_eq!(tightened, baseline, "failing runs never rewrite the ceiling");
+}
+
+#[test]
+fn removing_a_violation_auto_tightens() {
+    let baseline =
+        Baseline::parse("D005 2 crates/x/src/lib.rs\nD001 1 crates/y/src/lib.rs\n").unwrap();
+    // One of the two grandfathered D005 sites was cleaned up.
+    let mut report = report_with(vec![
+        violation(Rule::D005, "crates/x/src/lib.rs", 10),
+        violation(Rule::D001, "crates/y/src/lib.rs", 4),
+    ]);
+    let tightened = baseline.apply(&mut report);
+    assert!(report.ok(), "within allowance passes");
+    assert_eq!(report.baselined.len(), 2, "absorbed violations stay visible");
+    let expected =
+        Baseline::parse("D005 1 crates/x/src/lib.rs\nD001 1 crates/y/src/lib.rs\n").unwrap();
+    assert_eq!(tightened, expected, "the ceiling follows the cleanup down");
+    // Round two: the tightened baseline is exactly as strict as the code.
+    let mut again = report_with(vec![
+        violation(Rule::D005, "crates/x/src/lib.rs", 10),
+        violation(Rule::D005, "crates/x/src/lib.rs", 11),
+        violation(Rule::D001, "crates/y/src/lib.rs", 4),
+    ]);
+    let after = tightened.apply(&mut again);
+    assert!(!again.ok(), "re-adding the cleaned-up violation now fails");
+    assert_eq!(after, tightened);
+}
+
+#[test]
+fn an_empty_baseline_means_zero_tolerance() {
+    let empty = Baseline::default();
+    let mut report = report_with(vec![violation(Rule::D007, "crates/z/src/lib.rs", 1)]);
+    let tightened = empty.apply(&mut report);
+    assert!(!report.ok(), "new code enters at zero");
+    assert!(tightened.is_empty());
+    // The shipped baseline file is empty (comments only): the workspace
+    // holds the zero-violation line.
+    let shipped = Baseline::parse(include_str!("../baseline.lint")).expect("shipped baseline");
+    assert!(shipped.is_empty(), "baseline.lint must stay empty — fix violations instead");
+}

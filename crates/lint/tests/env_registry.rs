@@ -1,0 +1,122 @@
+//! The ambient-config round-trip gate: `crates/lint/env_registry.toml`,
+//! the Rust read sites, `ci.sh`, and the EXPERIMENTS.md knob table must
+//! all agree.
+//!
+//! * every knob declared `reader = "rust"`/`"both"` is actually read by
+//!   some `std::env::var`/`var_os` call in the workspace;
+//! * every `EMPOWER_*` literal read in Rust is declared (D011 enforces
+//!   this in the gate too — here it fails with the full diff);
+//! * every knob declared `reader = "shell"`/`"both"` appears in ci.sh,
+//!   and every `EMPOWER_*` token in ci.sh is declared;
+//! * EXPERIMENTS.md embeds exactly the table `--env-table` renders.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use empower_lint::{load_registry, workspace_env_reads, Reader};
+
+fn workspace_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Every `EMPOWER_*` token in a shell/markdown file, by crude word scan.
+fn empower_tokens(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("EMPOWER_") {
+        let start = i + pos;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // A bare `EMPOWER_` prefix (prose like "EMPOWER_* knobs") is not
+        // a knob name.
+        if end > start + "EMPOWER_".len() {
+            out.insert(text[start..end].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+#[test]
+fn every_rust_knob_is_read_and_every_read_is_registered() {
+    let root = workspace_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let reads = workspace_env_reads(&root).expect("workspace walk succeeds");
+
+    let read_names: BTreeSet<&str> = reads
+        .iter()
+        .filter_map(|(_, site)| site.name.as_deref())
+        .filter(|n| n.starts_with("EMPOWER_"))
+        .collect();
+
+    for knob in &registry.knobs {
+        if matches!(knob.reader, Reader::Rust | Reader::Both) {
+            assert!(
+                read_names.contains(knob.name.as_str()),
+                "{} is declared `reader = \"rust\"` but no Rust code reads it",
+                knob.name
+            );
+        }
+    }
+    for (file, site) in &reads {
+        if let Some(name) = site.name.as_deref() {
+            if name.starts_with("EMPOWER_") {
+                let knob = registry.get(name).unwrap_or_else(|| {
+                    panic!("{file}:{}: `{name}` read but not registered", site.line)
+                });
+                assert!(
+                    matches!(knob.reader, Reader::Rust | Reader::Both),
+                    "{file}:{}: `{name}` is registered as shell-only but read from Rust",
+                    site.line
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_shell_knob_appears_in_ci_and_vice_versa() {
+    let root = workspace_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let ci = std::fs::read_to_string(root.join("ci.sh")).expect("ci.sh exists");
+    let tokens = empower_tokens(&ci);
+
+    for knob in &registry.knobs {
+        if matches!(knob.reader, Reader::Shell | Reader::Both) {
+            assert!(
+                tokens.contains(&knob.name),
+                "{} is declared `reader = \"shell\"` but never appears in ci.sh",
+                knob.name
+            );
+        }
+    }
+    for token in &tokens {
+        assert!(
+            registry.get(token).is_some(),
+            "ci.sh mentions `{token}`, which is not in the env registry"
+        );
+    }
+}
+
+#[test]
+fn experiments_md_embeds_the_generated_table() {
+    let root = workspace_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let docs = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md");
+    let table = registry.render_markdown_table();
+    assert!(
+        docs.contains(&table),
+        "EXPERIMENTS.md is out of sync with the env registry — regenerate the knob table \
+         with `cargo run -p empower-lint -- --env-table` and paste it between the \
+         env-knob-table markers"
+    );
+}

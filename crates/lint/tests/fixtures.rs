@@ -7,17 +7,24 @@
 
 #![forbid(unsafe_code)]
 
-use empower_lint::{lint_source, FileContext, Rule, Violation};
+use empower_lint::{
+    lint_source, lint_source_indexed, parse_env_registry, FileContext, Rule, Violation,
+    WorkspaceIndex,
+};
 
-/// Lints `src` as a module of a deterministic library crate.
-fn lint_module(src: &str) -> Vec<Violation> {
-    let ctx = FileContext {
+fn module_ctx() -> FileContext {
+    FileContext {
         path: "crates/model/src/fixture.rs".to_string(),
         crate_name: "empower-model".to_string(),
         is_crate_root: false,
         is_bin: false,
-    };
-    lint_source(&ctx, src)
+        is_scaffold: false,
+    }
+}
+
+/// Lints `src` as a module of a deterministic library crate.
+fn lint_module(src: &str) -> Vec<Violation> {
+    lint_source(&module_ctx(), src)
 }
 
 /// Lints `src` as the root (`lib.rs`) of a deterministic library crate.
@@ -27,8 +34,33 @@ fn lint_root(src: &str) -> Vec<Violation> {
         crate_name: "empower-model".to_string(),
         is_crate_root: true,
         is_bin: false,
+        is_scaffold: false,
     };
     lint_source(&ctx, src)
+}
+
+/// Lints `src` as a module of a hot-path crate (D010 scope).
+fn lint_hot_path(src: &str) -> Vec<Violation> {
+    let ctx = FileContext {
+        path: "crates/sim/src/fixture.rs".to_string(),
+        crate_name: "empower-sim".to_string(),
+        is_crate_root: false,
+        is_bin: false,
+        is_scaffold: false,
+    };
+    lint_source(&ctx, src)
+}
+
+/// Lints `src` with the repo's real env registry installed (D011 scope).
+fn lint_with_registry(src: &str) -> Vec<Violation> {
+    let registry =
+        parse_env_registry(include_str!("../env_registry.toml")).expect("shipped registry parses");
+    let ctx = module_ctx();
+    let mut index = WorkspaceIndex::default();
+    index.set_env_registry(registry.names());
+    let mut out = index.add_file(&ctx, src);
+    out.extend(lint_source_indexed(&ctx, src, &index));
+    out
 }
 
 fn rule_lines(violations: &[Violation]) -> Vec<(Rule, u32)> {
@@ -83,6 +115,58 @@ fn d006_fixtures() {
     assert!(lint_root(include_str!("../fixtures/d006_suppressed.rs")).is_empty());
     // The same file as a non-root module is not D006's business.
     assert!(lint_module(include_str!("../fixtures/d006_violating.rs")).is_empty());
+}
+
+#[test]
+fn d007_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d007_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D007, 1), (Rule::D007, 5), (Rule::D007, 13)]);
+    assert!(lint_module(include_str!("../fixtures/d007_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d007_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d008_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d008_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D008, 4), (Rule::D008, 8)]);
+    assert!(lint_module(include_str!("../fixtures/d008_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d008_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d009_fixtures() {
+    let v = lint_module(include_str!("../fixtures/d009_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D009, 4), (Rule::D009, 5), (Rule::D009, 9)]);
+    assert!(lint_module(include_str!("../fixtures/d009_clean.rs")).is_empty());
+    assert!(lint_module(include_str!("../fixtures/d009_suppressed.rs")).is_empty());
+}
+
+#[test]
+fn d010_fixtures() {
+    let v = lint_hot_path(include_str!("../fixtures/d010_violating.rs"));
+    assert_eq!(
+        rule_lines(&v),
+        vec![(Rule::D010, 1), (Rule::D010, 2), (Rule::D010, 5), (Rule::D010, 6)]
+    );
+    assert!(lint_hot_path(include_str!("../fixtures/d010_clean.rs")).is_empty());
+    assert!(lint_hot_path(include_str!("../fixtures/d010_suppressed.rs")).is_empty());
+    // The same locks outside a hot-path crate are not D010's business.
+    assert!(lint_module(include_str!("../fixtures/d010_violating.rs")).is_empty());
+}
+
+#[test]
+fn d011_fixtures() {
+    // With the real registry installed: the unregistered knob and the
+    // non-literal read still fail, the registered knob passes.
+    let v = lint_with_registry(include_str!("../fixtures/d011_violating.rs"));
+    assert_eq!(rule_lines(&v), vec![(Rule::D011, 2), (Rule::D011, 6)]);
+    assert!(lint_with_registry(include_str!("../fixtures/d011_clean.rs")).is_empty());
+    assert!(lint_with_registry(include_str!("../fixtures/d011_suppressed.rs")).is_empty());
+    // Without any registry, even the shipped knob's read is undeclared.
+    assert_eq!(
+        rule_lines(&lint_module(include_str!("../fixtures/d011_clean.rs"))),
+        vec![(Rule::D011, 2)]
+    );
 }
 
 #[test]
