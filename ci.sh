@@ -75,11 +75,15 @@ else
         --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
     rm -f "$PERF_JSON"
     say "perf gate: simulator hot-path counters vs checked-in budget"
-    # Also re-proves engine equivalence on the corpus prefix and reports
-    # the optimized/reference event-dispatch throughput (informational;
-    # only the deterministic counters gate).
+    # Full mode: engine equivalence over the whole corpus, the
+    # optimized/reference event-dispatch throughput (informational; only
+    # the deterministic counters gate) and the complete sharded-simulation
+    # scale curve — campus topologies up to 1011 nodes at shard counts
+    # 1/2/4/8 with byte-identical reports asserted per row and the
+    # 4-shard counter speedup gated by the budget. (The quick lane runs
+    # the same gate with the 103-node smoke curve at shards 1 and 4.)
     PERF_JSON="$(mktemp)"
-    target/release/bench_sim --quick \
+    target/release/bench_sim \
         --budget crates/bench/perf_budget.json --json "$PERF_JSON" >/dev/null
     rm -f "$PERF_JSON"
 fi

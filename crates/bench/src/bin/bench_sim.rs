@@ -19,8 +19,13 @@
 
 use empower_bench::harness::{bench_stats, BenchStats};
 use empower_bench::BenchArgs;
+use empower_model::rng::{SeedableRng, StdRng};
+use empower_model::topology::campus::{campus, CampusConfig};
+use empower_model::{CarrierSense, InterferenceModel, Path};
 use empower_sim::corpus::{corpus, run_scenario, run_scenario_plain, CorpusScenario};
-use empower_sim::{ReferenceSimulation, SimPerfStats, Simulation};
+use empower_sim::{
+    FlowSpecSim, ReferenceSimulation, ShardedSimulation, SimConfig, SimPerfStats, Simulation,
+};
 use empower_telemetry::{Json, ToJson};
 
 /// Scenarios timed by `bench_stats` (shortened below so one iteration
@@ -62,6 +67,46 @@ empower_telemetry::impl_to_json_struct!(Counters {
     bytes_not_allocated
 });
 
+/// One point of the sharded-simulation scale curve (DESIGN.md §13): a
+/// generated campus topology at a given shard count. The gated statistic
+/// is the **counter-based speedup** `seq_events / max_shard_events`: the
+/// single-threaded run's event count divided by the busiest worker's —
+/// the deterministic analogue of parallel speedup (events on the critical
+/// path), with no wall-clock flakiness. Wall-clock columns are
+/// informational and zeroed under `EMPOWER_SIM_SKIP_TIMING`.
+struct ScaleRow {
+    nodes: u64,
+    flows: u64,
+    shards: u64,
+    shards_used: u64,
+    /// Events dispatched by the single-threaded engine.
+    seq_events: u64,
+    /// Events dispatched by the busiest shard worker.
+    max_shard_events: u64,
+    /// Events dispatched across all shard workers (ghost control ticks
+    /// make this exceed `seq_events` as the shard count grows).
+    total_shard_events: u64,
+    /// `seq_events / max_shard_events` — gated by the perf budget.
+    counter_speedup: f64,
+    /// Wall-clock of the sharded run, milliseconds (informational).
+    wall_ms: f64,
+    /// `seq_events / wall-clock seconds` (informational).
+    events_per_sec: f64,
+}
+
+empower_telemetry::impl_to_json_struct!(ScaleRow {
+    nodes,
+    flows,
+    shards,
+    shards_used,
+    seq_events,
+    max_shard_events,
+    total_shard_events,
+    counter_speedup,
+    wall_ms,
+    events_per_sec
+});
+
 struct Report {
     seed: u64,
     scenarios: u64,
@@ -78,6 +123,8 @@ struct Report {
     reference_events_per_sec: f64,
     /// optimized / reference median event-dispatch throughput.
     event_throughput_ratio: f64,
+    /// The sharded-simulation scale curve (campus topologies).
+    scale: Vec<ScaleRow>,
 }
 
 empower_telemetry::impl_to_json_struct!(Report {
@@ -91,7 +138,8 @@ empower_telemetry::impl_to_json_struct!(Report {
     reference_timing,
     optimized_events_per_sec,
     reference_events_per_sec,
-    event_throughput_ratio
+    event_throughput_ratio,
+    scale
 });
 
 fn gate(report: &Report, budget_path: &str) -> Result<(), String> {
@@ -119,7 +167,130 @@ fn gate(report: &Report, budget_path: &str) -> Result<(), String> {
             report.alloc_ratio
         ));
     }
+    // The scale gate: the largest topology's 4-shard counter speedup must
+    // hold its budgeted floor (a deterministic counter, like the others).
+    let min_speedup = budget
+        .get("sim_scale_min_speedup_4shards")
+        .and_then(|v| v.as_f64())
+        .ok_or("budget lacks sim_scale_min_speedup_4shards")?;
+    let gated = report
+        .scale
+        .iter()
+        .filter(|r| r.shards == 4)
+        .max_by_key(|r| r.nodes)
+        .ok_or("scale curve has no 4-shard row")?;
+    if gated.counter_speedup < min_speedup {
+        return Err(format!(
+            "perf regression: {}-node 4-shard counter speedup {:.2} below budgeted {min_speedup}",
+            gated.nodes, gated.counter_speedup
+        ));
+    }
     Ok(())
+}
+
+/// Scale-curve horizon, seconds (flows stop 1 s earlier so completion
+/// stats settle).
+const SCALE_SECS: f64 = 5.0;
+
+/// Builds the scale workload for one campus grid: a saturated hybrid
+/// multipath download (router → first client, every direct link a route)
+/// on every floor — one flow per interference atom, the regime the
+/// shard packer balances.
+fn scale_setup(
+    grid: (u32, u32, u32),
+) -> (empower_model::Network, empower_model::InterferenceMap, Vec<FlowSpecSim>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let t = campus(&mut rng, &CampusConfig::new(grid.0, grid.1, grid.2));
+    let imap = CarrierSense::default().build_map(&t.net);
+    let mut specs = Vec::new();
+    for fl in &t.floors {
+        let c = fl.clients[0];
+        let routes: Vec<Path> = t
+            .net
+            .out_links(fl.router)
+            .filter(|l| l.to == c)
+            .map(|l| Path::new(&t.net, vec![l.id]).expect("direct campus link is a valid path"))
+            .collect();
+        specs.push(FlowSpecSim::saturated(fl.router, c, routes, SCALE_SECS - 1.0));
+    }
+    (t.net, imap, specs)
+}
+
+/// Runs the sharded-simulation scale curve: campus topologies × shard
+/// counts, asserting byte-identical reports against the single-threaded
+/// engine at every point (the cross-rendering gates live in
+/// `crates/sim/tests/shard_equivalence.rs`).
+///
+/// `EMPOWER_SIM_SCALE_MAX_NODES` trims the topology list for quick local
+/// iterations (0 disables the curve; note the budget gate requires at
+/// least one 4-shard row, so CI must keep the smallest topology).
+fn scale_curve(quick: bool, skip_timing: bool) -> Vec<ScaleRow> {
+    let max_nodes: usize = std::env::var("EMPOWER_SIM_SCALE_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let grids: &[(u32, u32, u32)] =
+        if quick { &[(2, 5, 9)] } else { &[(2, 5, 9), (5, 10, 9), (10, 10, 9)] };
+    let shard_counts: &[u32] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut rows = Vec::new();
+    for &grid in grids {
+        let cfg = CampusConfig::new(grid.0, grid.1, grid.2);
+        if cfg.node_count() > max_nodes {
+            continue;
+        }
+        let (net, imap, specs) = scale_setup(grid);
+        let nodes = net.node_count() as u64;
+
+        let mut seq = Simulation::new(net.clone(), imap.clone(), SimConfig::default());
+        for s in &specs {
+            seq.add_flow(s.clone());
+        }
+        seq.run_until(SCALE_SECS);
+        let seq_report = format!("{:?}", seq.report(SCALE_SECS));
+        let seq_events = seq.perf_stats().events_dispatched;
+
+        for &shards in shard_counts {
+            let mut sim = ShardedSimulation::with_shards(
+                net.clone(),
+                imap.clone(),
+                SimConfig::default(),
+                shards,
+            );
+            for s in &specs {
+                sim.add_flow(s.clone());
+            }
+            sim.run_until(SCALE_SECS);
+            let started = std::time::Instant::now();
+            let report = format!("{:?}", sim.report(SCALE_SECS));
+            let wall = started.elapsed();
+            assert_eq!(
+                report, seq_report,
+                "{nodes}-node campus: shards={shards} diverged from single-threaded"
+            );
+            let per_shard = sim.shard_events_dispatched();
+            let max_shard_events = per_shard.iter().copied().max().unwrap_or(0);
+            let total_shard_events: u64 = per_shard.iter().sum();
+            let wall_ms = if skip_timing { 0.0 } else { wall.as_secs_f64() * 1e3 };
+            rows.push(ScaleRow {
+                nodes,
+                flows: specs.len() as u64,
+                shards: shards.into(),
+                shards_used: sim.shards_used() as u64,
+                seq_events,
+                max_shard_events,
+                total_shard_events,
+                counter_speedup: seq_events as f64 / max_shard_events.max(1) as f64,
+                wall_ms,
+                events_per_sec: if skip_timing {
+                    0.0
+                } else {
+                    seq_events as f64 / wall.as_secs_f64().max(1e-12)
+                },
+            });
+        }
+    }
+    rows
 }
 
 fn add(total: &mut Counters, p: SimPerfStats) {
@@ -215,6 +386,10 @@ fn main() {
         optimized_events_per_sec / reference_events_per_sec.max(1e-12)
     };
 
+    // The sharded-simulation scale curve: campus topologies × shard
+    // counts, byte-identity asserted at every point.
+    let scale = scale_curve(args.quick, skip_timing);
+
     let report = Report {
         seed: args.seed,
         scenarios: count as u64,
@@ -227,6 +402,7 @@ fn main() {
         optimized_events_per_sec,
         reference_events_per_sec,
         event_throughput_ratio,
+        scale,
     };
 
     println!("== bench_sim — zero-allocation simulator hot path, {count} corpus scenarios ==");
@@ -254,6 +430,20 @@ fn main() {
         println!(
             "event throughput:      optimized {:>10.0}/s  reference {:>10.0}/s  ratio {event_throughput_ratio:.1}x  (median)",
             optimized_events_per_sec, reference_events_per_sec
+        );
+    }
+    println!("== sharded-simulation scale curve (byte-identity asserted per row) ==");
+    for r in &report.scale {
+        println!(
+            "  {:>5} nodes  {:>3} flows  shards {:>2} (used {:>2})  \
+             events seq {:>9}  max-shard {:>9}  counter speedup {:.2}x",
+            r.nodes,
+            r.flows,
+            r.shards,
+            r.shards_used,
+            r.seq_events,
+            r.max_shard_events,
+            r.counter_speedup
         );
     }
 

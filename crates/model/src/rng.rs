@@ -190,6 +190,28 @@ impl Rng for StdRng {
     }
 }
 
+/// SplitMix64 finalizer: one full avalanche round over `x`.
+fn splitmix_finalize(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent per-entity stream seed from a master seed.
+///
+/// `tag` names the stream family (e.g. "per-flow traffic draws" vs
+/// "per-link estimation noise") and `idx` the entity within the family.
+/// Two rounds of the SplitMix64 finalizer decorrelate the inputs, the same
+/// construction the workload compiler uses for `instance_seed`. The point
+/// of per-entity streams (DESIGN.md §13) is *composability*: an entity's
+/// draw sequence depends only on `(master, tag, idx)` and its own draw
+/// count, never on how many draws other entities made — which is what lets
+/// a sharded run reproduce the single-threaded stream exactly.
+pub fn stream_seed(master: u64, tag: u64, idx: u64) -> u64 {
+    splitmix_finalize(splitmix_finalize(master ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ idx)
+}
+
 // ---------------------------------------------------------------------
 // Distribution helpers
 // ---------------------------------------------------------------------
@@ -287,6 +309,20 @@ mod tests {
             let w = rng.gen_range(0.25..=0.75);
             assert!((0.25..=0.75).contains(&w));
         }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_deterministic() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        for tag in [0x1u64, 0x2, 0xF10A] {
+            for idx in 0..200u64 {
+                assert!(seen.insert(stream_seed(7, tag, idx)), "collision at {tag:#x}/{idx}");
+                assert_eq!(stream_seed(7, tag, idx), stream_seed(7, tag, idx));
+            }
+        }
+        // Different master seeds move every stream.
+        assert_ne!(stream_seed(7, 1, 0), stream_seed(8, 1, 0));
     }
 
     #[test]

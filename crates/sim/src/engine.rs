@@ -19,7 +19,7 @@ use empower_datapath::{
 };
 use empower_model::rng::SeedableRng;
 use empower_model::rng::StdRng;
-use empower_model::rng::{exponential, normal};
+use empower_model::rng::{exponential, normal, stream_seed};
 use empower_model::{InterferenceMap, LinkId, Network, NodeId};
 
 use empower_telemetry::{Counter, Telemetry};
@@ -93,13 +93,27 @@ struct TcpFlow {
     rto_check_at: Option<f64>,
 }
 
+/// Stream-family tag for per-flow RNG streams (shared by both engines so
+/// their draw sequences stay bit-identical).
+pub(crate) const STREAM_FLOW: u64 = 0x464c_4f57; // "FLOW"
+/// Stream-family tag for per-link RNG streams.
+pub(crate) const STREAM_LINK: u64 = 0x4c49_4e4b; // "LINK"
+
 /// The simulator.
 pub struct Simulation {
     net: Network,
     imap: InterferenceMap,
     reg: IfaceRegistry,
     cfg: SimConfig,
-    rng: StdRng,
+    /// Per-flow random streams (traffic draws: scheduler token choice,
+    /// Poisson inter-arrivals). Seeded from `(cfg.seed, STREAM_FLOW, flow
+    /// index)` so a flow's draw sequence is independent of every other
+    /// flow's draw count — the property the sharded engine (DESIGN.md §13)
+    /// relies on to reproduce the single-threaded stream exactly.
+    flow_rngs: Vec<StdRng>,
+    /// Per-link random streams (capacity-estimation noise), seeded from
+    /// `(cfg.seed, STREAM_LINK, link index)`.
+    link_rngs: Vec<StdRng>,
     events: EventQueue,
     now: f64,
     /// Pooled packet storage; queues and the busy table hold handles.
@@ -183,7 +197,9 @@ impl Simulation {
         let price_states: Vec<LinkPriceState> =
             net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
         let bcast_plan = BroadcastPlan::new(&net, &price_states);
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let link_rngs = (0..l)
+            .map(|i| StdRng::seed_from_u64(stream_seed(cfg.seed, STREAM_LINK, i as u64)))
+            .collect();
         let stride = l.div_ceil(64);
         let mut alive_words = vec![0u64; stride.max(1)];
         for lk in net.links() {
@@ -229,7 +245,8 @@ impl Simulation {
             net,
             imap,
             cfg,
-            rng,
+            flow_rngs: Vec::new(),
+            link_rngs,
         }
     }
 
@@ -305,7 +322,22 @@ impl Simulation {
     /// # Panics
     /// Panics if the spec has no usable routes, or an open-loop flow lacks
     /// rates.
-    pub fn add_flow(&mut self, mut spec: FlowSpecSim) -> usize {
+    pub fn add_flow(&mut self, spec: FlowSpecSim) -> usize {
+        self.add_flow_impl(spec, false)
+    }
+
+    /// Registers a *ghost* flow: a placeholder for a flow owned by another
+    /// shard of a [`crate::ShardedSimulation`]. Ghosts keep flow indices,
+    /// RNG stream assignment and telemetry counter names aligned with the
+    /// single-threaded run, but never start, never emit, carry no
+    /// controller and schedule no events — so they are entirely inert.
+    /// They also never touch `route_errors` (the owning shard reports
+    /// resolution failures exactly once).
+    pub(crate) fn add_ghost_flow(&mut self, spec: FlowSpecSim) -> usize {
+        self.add_flow_impl(spec, true)
+    }
+
+    fn add_flow_impl(&mut self, mut spec: FlowSpecSim, ghost: bool) -> usize {
         assert!(!spec.routes.is_empty(), "flow has no routes");
         assert!(
             !self.control_started,
@@ -322,7 +354,9 @@ impl Simulation {
         let resolved: Vec<Option<SourceRoute>> =
             spec.routes.iter().map(|p| self.resolve_source_route(p)).collect();
         if resolved.iter().any(Option::is_none) {
-            self.etel.route_errors.inc();
+            if !ghost {
+                self.etel.route_errors.inc();
+            }
             let keep: Vec<bool> = resolved.iter().map(Option::is_some).collect();
             let mut i = 0;
             spec.routes.retain(|_| {
@@ -344,13 +378,15 @@ impl Simulation {
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
         let mut sched_cfg = SchedulerConfig::for_routes(spec.routes.len())
             .bucket_depth_mb(4.0 * self.cfg.frame_bits as f64 / 1e6);
-        let controller = if spec.use_cc {
+        let controller = if spec.use_cc && !ghost {
             let caps: Vec<f64> =
                 spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
             let max_hops = spec.routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
             Some(FlowController::new(ProportionalFair, self.cfg.cc_config(), caps, max_hops))
         } else {
-            sched_cfg = sched_cfg.initial_rates(&spec.open_loop_rates);
+            if !spec.use_cc {
+                sched_cfg = sched_cfg.initial_rates(&spec.open_loop_rates);
+            }
             None
         };
         let tcp = spec.pattern.is_tcp().then(|| {
@@ -409,10 +445,17 @@ impl Simulation {
             route_frames: self.etel.flow_route_counters(idx, route_count),
             acks_sent: self.etel.flow_ack_counter(idx),
         });
+        self.flow_rngs.push(StdRng::seed_from_u64(stream_seed(
+            self.cfg.seed,
+            STREAM_FLOW,
+            idx as u64,
+        )));
         self.stats.push(FlowStats { started_at: start, ..Default::default() });
-        self.events.push(start, Event::FlowStart { flow: idx as u32 });
-        if let Some(stop) = stop {
-            self.events.push(stop, Event::FlowStop { flow: idx as u32 });
+        if !ghost {
+            self.events.push(start, Event::FlowStart { flow: idx as u32 });
+            if let Some(stop) = stop {
+                self.events.push(stop, Event::FlowStop { flow: idx as u32 });
+            }
         }
         idx
     }
@@ -582,7 +625,7 @@ impl Simulation {
                 let mut t = self.now;
                 for _ in 0..count {
                     self.flows[f].pending_files.push_back(t);
-                    t += exponential(&mut self.rng, mean_gap_secs);
+                    t += exponential(&mut self.flow_rngs[f], mean_gap_secs);
                 }
                 self.begin_file(f, size_bytes);
                 self.flows[f].pending_files.pop_front();
@@ -650,7 +693,7 @@ impl Simulation {
         let bits = self.cfg.frame_bits;
         let outcome = self.flows[f].dp.admit(
             &mut self.dp_pool,
-            &mut self.rng,
+            &mut self.flow_rngs[f],
             self.now,
             bits,
             &mut self.dp_out,
@@ -693,7 +736,7 @@ impl Simulation {
         );
         self.flows[f].dp.stamp(
             &mut self.dp_pool,
-            &mut self.rng,
+            &mut self.flow_rngs[f],
             self.now,
             pkt,
             contribution,
@@ -1121,7 +1164,7 @@ impl Simulation {
                 0.0
             };
             let noisy = if self.cfg.estimation_rel_std > 0.0 {
-                demand * normal(&mut self.rng, 1.0, self.cfg.estimation_rel_std).max(0.05)
+                demand * normal(&mut self.link_rngs[l], 1.0, self.cfg.estimation_rel_std).max(0.05)
             } else {
                 demand
             };
@@ -1242,17 +1285,14 @@ impl Simulation {
             }
         }
         self.ticks += 1;
-        // Early exit: once every flow has started and finished and the MAC
-        // is drained, further control ticks are no-ops; stopping them lets
-        // the event loop run dry instead of idling to the horizon (file
-        // downloads end when they end, not at the simulation horizon).
-        let all_done = self.started_flows == self.flows.len()
-            && self.flows.iter().all(|f| !f.active)
-            && self.busy.iter().all(Option::is_none)
-            && self.queues.iter().all(VecDeque::is_empty);
-        if !all_done {
-            self.events.push(self.now + slot, Event::ControlTick);
-        }
+        // The control-tick chain runs to the caller's horizon uncondition-
+        // ally (`run_until` stops it). An idle-detection early exit used to
+        // stop the chain once every flow had drained, but the tick count —
+        // and with it γ decay and the rate-series length — then depended on
+        // *global* drain state, which a sharded run (DESIGN.md §13) cannot
+        // reproduce per shard. Idle ticks are cheap; determinism across
+        // shard counts is not.
+        self.events.push(self.now + slot, Event::ControlTick);
     }
 
     fn link_change(&mut self, link: LinkId, capacity_mbps: f64) {
@@ -1405,7 +1445,7 @@ impl Simulation {
         if self.flows[f].spec.use_cc {
             let outcome = self.flows[f].dp.admit(
                 &mut self.dp_pool,
-                &mut self.rng,
+                &mut self.flow_rngs[f],
                 self.now,
                 bits,
                 &mut self.dp_out,

@@ -158,8 +158,26 @@ impl EventQueue {
         self.len() == 0
     }
 
+    /// Largest absolute bucket index handed out: keeps the horizon
+    /// arithmetic (`cursor + WHEEL_BUCKETS`, and the same sum after a
+    /// cursor jump in [`EventQueue::promote`]) overflow-free.
+    const MAX_BUCKET: u64 = u64::MAX - 2 * WHEEL_BUCKETS as u64;
+
     fn bucket_of(at: f64) -> u64 {
-        (at / BUCKET_SECS) as u64
+        // Far-future saturation guard: beyond ~2.8e16 s the `as u64` cast
+        // of `at / BUCKET_SECS` would saturate to `u64::MAX`, and the
+        // promotion horizon `cursor + WHEEL_BUCKETS` would then overflow —
+        // a panic in debug builds and, with wrapping, a cursor the
+        // occupancy scan can never reach in release builds, stranding
+        // every overflow event. Collapsing such times into the last
+        // representable bucket is exact: the per-bucket `(at, seq)`
+        // min-scan still pops them in time-then-FIFO order.
+        let b = at / BUCKET_SECS;
+        if b >= Self::MAX_BUCKET as f64 {
+            Self::MAX_BUCKET
+        } else {
+            b as u64
+        }
     }
 
     /// Files an entry into its wheel bucket, or into the overflow heap if
@@ -374,6 +392,99 @@ mod tests {
         q.push(0.11, Event::Emit { flow: 1 }); // natural bucket already skipped
         assert!(matches!(q.pop(), Some((_, Event::Emit { flow: 1 }))));
         assert!(matches!(q.pop(), Some((_, Event::Emit { flow: 2 }))));
+    }
+
+    /// Regression for the far-future saturation guard: times past the
+    /// `bucket_of` cast range used to overflow the promotion horizon
+    /// (debug panic; stranded overflow events in release). They must pop
+    /// in exact `(time, insertion)` order like any other event.
+    #[test]
+    fn saturating_far_future_times_pop_in_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0e18, Event::Emit { flow: 2 });
+        q.push(0.01, Event::Emit { flow: 0 });
+        q.push(9.0e18, Event::Emit { flow: 3 });
+        q.push(5.0, Event::Emit { flow: 1 });
+        q.push(1.0e18, Event::Emit { flow: 4 }); // equal-time, saturated bucket
+        let flows: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Emit { flow } => flow,
+                other => panic!("unexpected {other:?}"),
+            })
+        })
+        .collect();
+        assert_eq!(flows, vec![0, 1, 2, 4, 3]);
+    }
+
+    /// The campus-lookahead overflow property test: schedules are driven
+    /// far past the 256-slot window — multi-lap gaps, repeated far-future
+    /// collision times so equal-time ties straddle the overflow/wheel
+    /// boundary, pushes below an already-advanced cursor, interleaved
+    /// peeks (which advance the cursor), and bucket-saturating times —
+    /// and the wheel must pop the exact `(time, FIFO)` sequence of the
+    /// heap reference throughout.
+    #[test]
+    fn overflow_past_window_matches_heap_reference() {
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(0x0F10_0000 + seed);
+            let mut wheel = EventQueue::new();
+            let mut heap = ReferenceEventQueue::new();
+            let mut now = 0.0f64;
+            let mut next_id = 0u32;
+            // Shared far-future collision instants: some pushes reach them
+            // through the overflow heap, later pushes (after the cursor
+            // advanced) land directly in the wheel at the same time.
+            let marks: [f64; 6] = [97.3, 194.6, 291.9, 389.2, 486.5, 583.8];
+            for step in 0..600 {
+                let burst = 1 + (rng.next_u64() % 3) as usize;
+                for _ in 0..burst {
+                    let at = match rng.next_u64() % 12 {
+                        // Equal-time burst at the current instant (its
+                        // natural bucket may be behind the cursor).
+                        0 => now,
+                        // Far-future equal-time ties.
+                        1 | 2 => marks[(rng.next_u64() % 6) as usize],
+                        // One to two laps beyond the wheel horizon.
+                        3 => now + 0.41 + (rng.next_u64() % 100) as f64 * 0.4,
+                        // Many laps out: up to 600 s.
+                        4 => now + (rng.next_u64() % 60_000) as f64 * 0.01,
+                        // Bucket-saturating far future.
+                        5 => 4.0e17 + (rng.next_u64() % 3) as f64 * 1.0e17,
+                        // In-horizon frame/ACK-scale delays.
+                        _ => now + (rng.next_u64() % 4000) as f64 * 1e-4,
+                    };
+                    let at = at.max(now);
+                    wheel.push(at, Event::Emit { flow: next_id });
+                    heap.push(at, Event::Emit { flow: next_id });
+                    next_id += 1;
+                }
+                if step % 5 == 0 {
+                    // Peeks advance the wheel cursor without consuming.
+                    assert_eq!(wheel.peek_time(), heap.peek_time(), "seed {seed} peek");
+                }
+                for _ in 0..rng.next_u64() % 3 {
+                    match (wheel.pop(), heap.pop()) {
+                        (Some((wa, we)), Some((ha, he))) => {
+                            assert_eq!(wa.to_bits(), ha.to_bits(), "seed {seed}: time mismatch");
+                            assert_eq!(we, he, "seed {seed}: event mismatch at t={wa}");
+                            now = wa;
+                        }
+                        (None, None) => {}
+                        (w, h) => panic!("seed {seed}: emptiness mismatch {w:?} vs {h:?}"),
+                    }
+                }
+            }
+            loop {
+                match (wheel.pop(), heap.pop()) {
+                    (Some((wa, we)), Some((ha, he))) => {
+                        assert_eq!(wa.to_bits(), ha.to_bits(), "seed {seed}: drain time");
+                        assert_eq!(we, he, "seed {seed}: drain event");
+                    }
+                    (None, None) => break,
+                    (w, h) => panic!("seed {seed}: drain emptiness mismatch {w:?} vs {h:?}"),
+                }
+            }
+        }
     }
 
     /// The satellite property test: wheel and heap pop identical

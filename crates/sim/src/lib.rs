@@ -30,6 +30,7 @@ mod metrics;
 pub mod packet;
 pub mod perf;
 pub mod reference;
+pub mod sharded;
 pub mod stats;
 pub mod tcp;
 pub mod trace;
@@ -41,6 +42,7 @@ pub use flow::{FlowSpecSim, TrafficPattern};
 pub use packet::{PacketId, PacketSlab, SimPacket};
 pub use perf::SimPerfStats;
 pub use reference::ReferenceSimulation;
+pub use sharded::ShardedSimulation;
 pub use stats::{FlowStats, SimReport};
 pub use tcp::TcpConfig;
 pub use trace::{DropSite, Trace, TraceEvent};

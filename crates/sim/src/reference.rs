@@ -29,7 +29,9 @@ use empower_datapath::{
 };
 use empower_model::rng::SeedableRng;
 use empower_model::rng::StdRng;
-use empower_model::rng::{exponential, normal};
+use empower_model::rng::{exponential, normal, stream_seed};
+
+use crate::engine::{STREAM_FLOW, STREAM_LINK};
 use empower_model::{InterferenceMap, LinkId, Network, NodeId};
 
 use empower_telemetry::{Counter, Telemetry};
@@ -98,7 +100,11 @@ pub struct ReferenceSimulation {
     imap: InterferenceMap,
     reg: IfaceRegistry,
     cfg: SimConfig,
-    rng: StdRng,
+    /// Per-flow random streams — same `(seed, tag, index)` derivation as
+    /// the optimized engine, so the two draw bit-identical sequences.
+    flow_rngs: Vec<StdRng>,
+    /// Per-link random streams (estimation noise).
+    link_rngs: Vec<StdRng>,
     events: ReferenceEventQueue,
     now: f64,
     /// Per-link FIFO queues.
@@ -140,7 +146,9 @@ impl ReferenceSimulation {
         let l = net.link_count();
         let price_states =
             net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let link_rngs = (0..l)
+            .map(|i| StdRng::seed_from_u64(stream_seed(cfg.seed, STREAM_LINK, i as u64)))
+            .collect();
         ReferenceSimulation {
             reg,
             queues: vec![VecDeque::new(); l],
@@ -165,7 +173,8 @@ impl ReferenceSimulation {
             net,
             imap,
             cfg,
-            rng,
+            flow_rngs: Vec::new(),
+            link_rngs,
         }
     }
 
@@ -326,6 +335,11 @@ impl ReferenceSimulation {
             route_frames: self.etel.flow_route_counters(idx, route_count),
             acks_sent: self.etel.flow_ack_counter(idx),
         });
+        self.flow_rngs.push(StdRng::seed_from_u64(stream_seed(
+            self.cfg.seed,
+            STREAM_FLOW,
+            idx as u64,
+        )));
         self.stats.push(FlowStats { started_at: start, ..Default::default() });
         self.events.push(start, Event::FlowStart { flow: idx as u32 });
         if let Some(stop) = stop {
@@ -487,7 +501,7 @@ impl ReferenceSimulation {
                 let mut t = self.now;
                 for _ in 0..count {
                     self.flows[f].pending_files.push_back(t);
-                    t += exponential(&mut self.rng, mean_gap_secs);
+                    t += exponential(&mut self.flow_rngs[f], mean_gap_secs);
                 }
                 self.begin_file(f, size_bytes);
                 self.flows[f].pending_files.pop_front();
@@ -551,7 +565,7 @@ impl ReferenceSimulation {
             return; // completion handling re-arms emission
         }
         let bits = self.cfg.frame_bits;
-        let choice = self.flows[f].scheduler.offer(&mut self.rng, self.now, bits);
+        let choice = self.flows[f].scheduler.offer(&mut self.flow_rngs[f], self.now, bits);
         match choice {
             RouteChoice::Drop => {
                 self.stats[f].dropped_at_source += 1;
@@ -962,7 +976,7 @@ impl ReferenceSimulation {
                 0.0
             };
             let noisy = if self.cfg.estimation_rel_std > 0.0 {
-                demand * normal(&mut self.rng, 1.0, self.cfg.estimation_rel_std).max(0.05)
+                demand * normal(&mut self.link_rngs[l], 1.0, self.cfg.estimation_rel_std).max(0.05)
             } else {
                 demand
             };
@@ -1045,17 +1059,10 @@ impl ReferenceSimulation {
             }
         }
         self.ticks += 1;
-        // Early exit: once every flow has started and finished and the MAC
-        // is drained, further control ticks are no-ops; stopping them lets
-        // the event loop run dry instead of idling to the horizon (file
-        // downloads end when they end, not at the simulation horizon).
-        let all_done = self.started_flows == self.flows.len()
-            && self.flows.iter().all(|f| !f.active)
-            && self.busy.iter().all(Option::is_none)
-            && self.queues.iter().all(VecDeque::is_empty);
-        if !all_done {
-            self.events.push(self.now + slot, Event::ControlTick);
-        }
+        // Unconditional re-arm, mirroring the optimized engine: the tick
+        // chain must depend only on the caller's horizon, never on global
+        // drain state, so sharded runs (DESIGN.md §13) tick identically.
+        self.events.push(self.now + slot, Event::ControlTick);
     }
 
     fn link_change(&mut self, link: LinkId, capacity_mbps: f64) {
@@ -1182,7 +1189,7 @@ impl ReferenceSimulation {
         }
         let bits = self.cfg.frame_bits;
         let choice = if self.flows[f].spec.use_cc {
-            self.flows[f].scheduler.offer(&mut self.rng, self.now, bits)
+            self.flows[f].scheduler.offer(&mut self.flow_rngs[f], self.now, bits)
         } else {
             RouteChoice::Route(0)
         };

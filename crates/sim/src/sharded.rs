@@ -1,0 +1,631 @@
+//! The sharded simulator: interference-domain parallelism with
+//! byte-identical results (DESIGN.md §13).
+//!
+//! [`ShardedSimulation`] partitions the network's links into *atoms* —
+//! closed groups under the coupling rules R1–R4 of
+//! [`empower_model::shard`] — packs atoms onto up to
+//! `EMPOWER_SIM_SHARDS` shards, and runs one full [`Simulation`] per
+//! shard on its own worker thread. Because no flow, interference domain,
+//! broadcast group or fault ever crosses an atom boundary, the
+//! conservative lookahead is *degenerate*: shards never exchange events
+//! at all, and each shard's execution of its own flows is bit-identical
+//! to the single-threaded engine's.
+//!
+//! Three mechanisms make the merge exact rather than approximate:
+//!
+//! * **Deferred command-log replay.** The public API records operations
+//!   (`add_flow`, fault schedules, `replace_routes`, `run_until`) into an
+//!   op log; nothing executes until the first observer (`report`,
+//!   `telemetry`, `take_trace`, `perf_stats`). Only then is the full
+//!   coupling closure known — including replacement routes scheduled for
+//!   later — so the partition can be computed once, correctly.
+//! * **Ghost flows.** Every shard registers *all* flows, but foreign
+//!   flows as inert ghosts ([`Simulation::add_ghost_flow`]): indices,
+//!   per-entity RNG streams and telemetry counter names stay aligned
+//!   with the single-threaded run while ghosts schedule no events.
+//! * **Index-ordered, canonical merges.** Worker results are joined in
+//!   shard-index order (no completion-order nondeterminism): per-flow
+//!   stats come from the flow's owning shard verbatim; counters merge by
+//!   fixed per-name rules (global per-tick counters take `max` — every
+//!   shard ticks the full horizon — traffic counters sum, gauges take
+//!   `max`); traces merge in canonical `(time, rendered line)` order and
+//!   are truncated to the configured cap only *after* the sort, so the
+//!   bytes cannot depend on the shard count.
+//!
+//! The result: `SimReport`s, telemetry manifests and canonical traces
+//! are byte-identical across `--shards` counts, and equal to the
+//! single-threaded engine's up to canonical trace ordering — enforced by
+//! `crates/sim/tests/shard_equivalence.rs` over the full corpus.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use empower_datapath::{IfaceId, IfaceRegistry, SourceRoute};
+use empower_model::shard::{plan_shards, CouplingSpec, ShardPlan};
+use empower_model::{InterferenceMap, LinkId, Network, NodeId, Path};
+use empower_telemetry::{CounterSnapshot, CounterType, Telemetry};
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::flow::FlowSpecSim;
+use crate::perf::SimPerfStats;
+use crate::stats::{FlowStats, SimReport};
+use crate::trace::{Trace, TraceEvent};
+
+/// One recorded API call, replayed per shard at execution time.
+enum Op {
+    AddFlow(FlowSpecSim),
+    LinkChange { at: f64, link: LinkId, capacity_mbps: f64 },
+    NodeChange { at: f64, node: NodeId, up: bool },
+    ReplaceRoutes { flow: usize, routes: Vec<Path> },
+    RunUntil { until: f64 },
+}
+
+/// Merged results of one execution of the op log.
+struct Exec {
+    /// Number of ops reflected in this execution (re-executed when the
+    /// log grows past it).
+    ops_done: usize,
+    flows: Vec<FlowStats>,
+    trace: Option<Trace>,
+    perf: SimPerfStats,
+    /// `events_dispatched` per worker, shard-index order — the
+    /// denominator of the counter-based speedup statistic.
+    shard_events: Vec<u64>,
+    shards_used: usize,
+}
+
+/// Reads the shard count from `EMPOWER_SIM_SHARDS` (default 4).
+fn env_shards() -> u32 {
+    std::env::var("EMPOWER_SIM_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// The sharded engine. API-compatible with [`Simulation`] (both implement
+/// the corpus `SimEngine` trait); see the module docs for semantics.
+pub struct ShardedSimulation {
+    /// The pristine pre-run network. [`ShardedSimulation::network`]
+    /// returns this — mid-run capacity mutations live inside the worker
+    /// engines (callers needing mutated state inspect reports instead).
+    net: Network,
+    imap: InterferenceMap,
+    reg: IfaceRegistry,
+    cfg: SimConfig,
+    shards: u32,
+    ops: Vec<Op>,
+    flow_count: usize,
+    tele: Telemetry,
+    /// `Some(cap)` once a trace sink is attached (the sink itself is
+    /// re-created canonically at merge time; workers record unbounded).
+    trace_cap: Option<Option<usize>>,
+    exec: RefCell<Option<Exec>>,
+}
+
+impl ShardedSimulation {
+    /// Creates a sharded simulation with the shard count taken from
+    /// `EMPOWER_SIM_SHARDS` (default 4).
+    pub fn new(net: Network, imap: InterferenceMap, cfg: SimConfig) -> Self {
+        Self::with_shards(net, imap, cfg, env_shards())
+    }
+
+    /// Creates a sharded simulation with an explicit shard count.
+    pub fn with_shards(net: Network, imap: InterferenceMap, cfg: SimConfig, shards: u32) -> Self {
+        let reg = IfaceRegistry::for_network(&net);
+        ShardedSimulation {
+            reg,
+            net,
+            imap,
+            cfg,
+            shards: shards.max(1),
+            ops: Vec::new(),
+            flow_count: 0,
+            tele: Telemetry::disabled(),
+            trace_cap: None,
+            exec: RefCell::new(None),
+        }
+    }
+
+    /// Attaches a packet-level trace sink. Only the sink's cap is used:
+    /// workers record unbounded and the merged trace is truncated to the
+    /// cap *after* the canonical sort (truncating earlier would make the
+    /// kept prefix depend on the shard count).
+    pub fn attach_trace(&mut self, trace: Trace) {
+        self.trace_cap = Some(trace.cap());
+    }
+
+    /// Attaches a telemetry registry; merged counters are written into it
+    /// at execution time.
+    pub fn attach_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    /// The attached telemetry handle, with merged counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.ensure_executed();
+        &self.tele
+    }
+
+    /// Detaches and returns the canonically merged trace.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.ensure_executed();
+        self.exec.borrow_mut().as_mut().and_then(|e| e.trace.take())
+    }
+
+    /// Records a flow; returns its index. Validation and resolution
+    /// happen at execution time, exactly as the single-threaded engine
+    /// would perform them.
+    pub fn add_flow(&mut self, spec: FlowSpecSim) -> usize {
+        assert!(!spec.routes.is_empty(), "flow has no routes");
+        let idx = self.flow_count;
+        self.flow_count += 1;
+        self.ops.push(Op::AddFlow(spec));
+        idx
+    }
+
+    /// Schedules a capacity change (0 = link death).
+    pub fn schedule_link_change(&mut self, at: f64, link: LinkId, capacity_mbps: f64) {
+        self.ops.push(Op::LinkChange { at, link, capacity_mbps });
+    }
+
+    /// Schedules a node crash or recovery.
+    pub fn schedule_node_change(&mut self, at: f64, node: NodeId, up: bool) {
+        self.ops.push(Op::NodeChange { at, node, up });
+    }
+
+    /// Replaces a flow's routes mid-run. Returns the number of routes
+    /// that resolve — route resolution depends only on static link ids
+    /// and the interface registry (never on mid-run capacities), so the
+    /// eager count here equals what the owning shard installs at replay.
+    pub fn replace_routes(&mut self, flow: usize, routes: Vec<Path>) -> usize {
+        assert!(flow < self.flow_count, "no such flow");
+        assert!(!routes.is_empty(), "a flow needs at least one route");
+        let installed = routes.iter().filter(|p| self.resolves(p)).count();
+        self.ops.push(Op::ReplaceRoutes { flow, routes });
+        installed
+    }
+
+    /// Advances simulated time (deferred until the next observer).
+    pub fn run_until(&mut self, until: f64) {
+        self.ops.push(Op::RunUntil { until });
+    }
+
+    /// The merged report as of the op log's horizon.
+    pub fn report(&self, duration: f64) -> SimReport {
+        self.ensure_executed();
+        let exec = self.exec.borrow();
+        let flows = match exec.as_ref() {
+            Some(e) => e.flows.clone(),
+            None => Vec::new(),
+        };
+        SimReport { flows, duration }
+    }
+
+    /// The **pristine pre-run** network (see the field docs).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Work counters summed over all shards.
+    pub fn perf_stats(&self) -> SimPerfStats {
+        self.ensure_executed();
+        self.exec.borrow().as_ref().map(|e| e.perf).unwrap_or_default()
+    }
+
+    /// `events_dispatched` per worker in shard-index order. The maximum
+    /// entry is the critical-path work of the parallel run;
+    /// `single_threaded_events / max` is the counter-based speedup the
+    /// scale benchmark gates on.
+    pub fn shard_events_dispatched(&self) -> Vec<u64> {
+        self.ensure_executed();
+        self.exec.borrow().as_ref().map(|e| e.shard_events.clone()).unwrap_or_default()
+    }
+
+    /// Number of worker engines the last execution actually ran (shards
+    /// owning neither flows nor faults are skipped).
+    pub fn shards_used(&self) -> usize {
+        self.ensure_executed();
+        self.exec.borrow().as_ref().map(|e| e.shards_used).unwrap_or(0)
+    }
+
+    /// The shard plan for the current op log (diagnostics / tests).
+    pub fn plan(&self) -> ShardPlan {
+        let (spec, _) = self.coupling();
+        plan_shards(&self.net, &self.imap, &spec, self.shards)
+    }
+
+    /// Mirror of the engine's route resolution, which is static: link ids
+    /// never disappear (failures zero capacities) and the interface
+    /// registry is fixed at construction.
+    fn resolves(&self, p: &Path) -> bool {
+        let mut hops: Vec<IfaceId> = Vec::with_capacity(p.links().len());
+        for &l in p.links() {
+            let Some(link) = self.net.try_link(l) else { return false };
+            let Some(id) = self.reg.id_of(link.to, link.medium) else { return false };
+            hops.push(id);
+        }
+        SourceRoute::new(&hops).is_ok()
+    }
+
+    /// Builds the coupling spec from the op log: every flow's link
+    /// closure (all routes, all scheduled replacement routes, and for TCP
+    /// flows the receiver's adjacent links — the §6.4 tcp-margin flag
+    /// influences every link whose contention domain contains the
+    /// receiver, and R1 pulls those in through the adjacent links), plus
+    /// the fault-node list. Also returns the op-aligned fault links.
+    fn coupling(&self) -> (CouplingSpec, Vec<Vec<LinkId>>) {
+        let mut flow_links: Vec<Vec<LinkId>> = Vec::with_capacity(self.flow_count);
+        let mut fault_nodes: Vec<NodeId> = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::AddFlow(spec) => {
+                    let mut links: Vec<LinkId> =
+                        spec.routes.iter().flat_map(|p| p.links().iter().copied()).collect();
+                    if spec.pattern.is_tcp() {
+                        links.extend(self.net.out_links(spec.dst).map(|l| l.id));
+                        links.extend(self.net.in_links(spec.dst).map(|l| l.id));
+                    }
+                    flow_links.push(links);
+                }
+                Op::ReplaceRoutes { flow, routes } => {
+                    flow_links[*flow].extend(routes.iter().flat_map(|p| p.links().iter().copied()));
+                }
+                Op::NodeChange { node, .. } => fault_nodes.push(*node),
+                _ => {}
+            }
+        }
+        let per_flow = flow_links.clone();
+        (CouplingSpec { flow_links, fault_nodes }, per_flow)
+    }
+
+    /// Runs the op log if the cached execution is stale.
+    fn ensure_executed(&self) {
+        let done = self.exec.borrow().as_ref().map(|e| e.ops_done);
+        if done == Some(self.ops.len()) {
+            return;
+        }
+        let exec = self.execute();
+        *self.exec.borrow_mut() = Some(exec);
+    }
+
+    fn execute(&self) -> Exec {
+        let (cspec, per_flow_links) = self.coupling();
+        let plan = plan_shards(&self.net, &self.imap, &cspec, self.shards);
+
+        // Owners: a flow belongs to its closure's (single) atom; a fault
+        // op to its link's / node's atom. R4 makes all links adjacent to
+        // a faulted node one atom, so "first adjacent link" is canonical.
+        let flow_owner: Vec<u32> =
+            per_flow_links.iter().map(|links| plan.shard_of_link(links[0])).collect();
+        let mut next_flow = 0usize;
+        let op_owner: Vec<u32> = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::AddFlow(_) => {
+                    let o = flow_owner[next_flow];
+                    next_flow += 1;
+                    o
+                }
+                Op::LinkChange { link, .. } => plan.shard_of_link(*link),
+                Op::NodeChange { node, .. } => self
+                    .net
+                    .out_links(*node)
+                    .chain(self.net.in_links(*node))
+                    .map(|l| plan.shard_of_link(l.id))
+                    .next()
+                    .unwrap_or(0),
+                Op::ReplaceRoutes { flow, .. } => flow_owner[*flow],
+                Op::RunUntil { .. } => 0,
+            })
+            .collect();
+
+        // Shards with neither flows nor fault events would only replay
+        // idle control ticks; skip them (global per-tick counters merge
+        // by max, so the remaining shards carry them).
+        let mut used: BTreeSet<u32> = flow_owner.iter().copied().collect();
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, Op::LinkChange { .. } | Op::NodeChange { .. }) {
+                used.insert(op_owner[i]);
+            }
+        }
+        if used.is_empty() {
+            used.insert(0);
+        }
+        let used: Vec<u32> = used.into_iter().collect();
+
+        let instrument = self.tele.is_enabled();
+        let trace_on = self.trace_cap.is_some();
+        let ops = &self.ops;
+        let op_owner = &op_owner;
+
+        type WorkerOut = (Vec<FlowStats>, CounterSnapshot, Option<Trace>, SimPerfStats);
+        let results: Vec<WorkerOut> = std::thread::scope(|sc| {
+            let mut handles = Vec::with_capacity(used.len());
+            for &s in &used {
+                let net = self.net.clone();
+                let imap = self.imap.clone();
+                let cfg = self.cfg.clone();
+                handles.push(sc.spawn(move || {
+                    let mut sim = Simulation::new(net, imap, cfg);
+                    if instrument {
+                        sim.attach_telemetry(Telemetry::enabled());
+                    }
+                    if trace_on {
+                        sim.attach_trace(Trace::new());
+                    }
+                    for (i, op) in ops.iter().enumerate() {
+                        let own = op_owner[i] == s;
+                        match op {
+                            Op::AddFlow(spec) => {
+                                // Both branches preserve the flow index.
+                                if own {
+                                    sim.add_flow(spec.clone());
+                                } else {
+                                    sim.add_ghost_flow(spec.clone());
+                                }
+                            }
+                            Op::LinkChange { at, link, capacity_mbps } => {
+                                if own {
+                                    sim.schedule_link_change(*at, *link, *capacity_mbps);
+                                }
+                            }
+                            Op::NodeChange { at, node, up } => {
+                                if own {
+                                    sim.schedule_node_change(*at, *node, *up);
+                                }
+                            }
+                            Op::ReplaceRoutes { flow, routes } => {
+                                if own {
+                                    sim.replace_routes(*flow, routes.clone());
+                                }
+                            }
+                            Op::RunUntil { until } => sim.run_until(*until),
+                        }
+                    }
+                    let flows = sim.report(0.0).flows;
+                    let snap = sim.telemetry().snapshot();
+                    let trace = sim.take_trace();
+                    let perf = sim.perf_stats();
+                    (flows, snap, trace, perf)
+                }));
+            }
+            // Join strictly in shard-index order: merge order (and thus
+            // every merged byte) is independent of completion order.
+            let mut out = Vec::with_capacity(handles.len());
+            for h in handles {
+                match h.join() {
+                    Ok(v) => out.push(v),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+            out
+        });
+
+        // Per-flow stats come from the owning shard verbatim (ghost
+        // entries in other shards are inert placeholders).
+        let mut flows = Vec::with_capacity(self.flow_count);
+        for (f, owner) in flow_owner.iter().enumerate() {
+            let pos = used.iter().position(|u| u == owner).unwrap_or(0);
+            flows.push(results[pos].0[f].clone());
+        }
+
+        if instrument {
+            self.merge_counters(&results);
+        }
+
+        let trace = self.trace_cap.map(|cap| {
+            let mut keyed: Vec<(u64, String, TraceEvent)> = Vec::new();
+            for (_, _, tr, _) in &results {
+                if let Some(tr) = tr {
+                    for e in tr.events() {
+                        keyed.push((e.time().to_bits(), e.to_json().to_string(), e.clone()));
+                    }
+                }
+            }
+            // Canonical order: (time, rendered line). Equal-time events
+            // from independent atoms have no defined order in a single
+            // event loop; the canonical sort makes the merged bytes a
+            // function of the event *multiset* only.
+            keyed.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            let mut out = match cap {
+                Some(c) => Trace::bounded(c),
+                None => Trace::new(),
+            };
+            for (_, _, e) in keyed {
+                out.push(e);
+            }
+            out
+        });
+
+        let mut perf = SimPerfStats::default();
+        let mut shard_events = Vec::with_capacity(results.len());
+        for (_, _, _, p) in &results {
+            perf.events_dispatched += p.events_dispatched;
+            perf.domain_probes += p.domain_probes;
+            perf.hot_allocs += p.hot_allocs;
+            perf.slab_hits += p.slab_hits;
+            perf.slab_grows += p.slab_grows;
+            perf.bytes_not_allocated += p.bytes_not_allocated;
+            shard_events.push(p.events_dispatched);
+        }
+
+        Exec {
+            ops_done: self.ops.len(),
+            flows,
+            trace,
+            perf,
+            shard_events,
+            shards_used: results.len(),
+        }
+    }
+
+    /// Folds the per-shard counter snapshots into the attached registry.
+    ///
+    /// Per-name rules (see DESIGN.md §13):
+    /// * `ctrl/ticks` and `cc/price_updates` — **max**: every shard runs
+    ///   the full control-tick chain over the full network, so these are
+    ///   equal across shards and must not multiply.
+    /// * `mac/penalty_airtime_us` — **sum**: a gauge by flavor but
+    ///   accumulated (`add`), and only owning shards contribute.
+    /// * other gauges (`link/<i>/queue_hwm`) — **max**: only the owning
+    ///   shard puts traffic on a link, the rest report 0.
+    /// * everything else — **sum**: traffic counters are only advanced by
+    ///   the owning shard, so sums reproduce the serial totals.
+    ///
+    /// Values are written with `set`, making re-merges after op-log
+    /// growth idempotent.
+    fn merge_counters(
+        &self,
+        results: &[(Vec<FlowStats>, CounterSnapshot, Option<Trace>, SimPerfStats)],
+    ) {
+        let mut merged: BTreeMap<String, (CounterType, u64)> = BTreeMap::new();
+        for (_, snap, _, _) in results {
+            for (name, flavor, value) in &snap.counters {
+                let slot = merged.entry(name.clone()).or_insert((*flavor, 0));
+                let take_max = name == "ctrl/ticks"
+                    || name == "cc/price_updates"
+                    || (*flavor == CounterType::Gauge && name != "mac/penalty_airtime_us");
+                if take_max {
+                    slot.1 = slot.1.max(*value);
+                } else {
+                    slot.1 += *value;
+                }
+            }
+        }
+        for (name, (flavor, value)) in &merged {
+            self.tele.counter(name.clone(), *flavor).set(*value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use empower_model::rng::{SeedableRng, StdRng};
+    use empower_model::topology::campus::{campus, CampusConfig};
+    use empower_model::{CarrierSense, InterferenceModel};
+    use empower_telemetry::Manifest;
+
+    fn campus_setup() -> (Network, InterferenceMap, Vec<FlowSpecSim>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = campus(&mut rng, &CampusConfig::new(2, 2, 4));
+        let imap = CarrierSense::default().build_map(&t.net);
+        // One hybrid multipath download per floor: router → first client
+        // over every direct link between them.
+        let mut specs = Vec::new();
+        for fl in &t.floors {
+            let c = fl.clients[0];
+            let routes: Vec<Path> = t
+                .net
+                .out_links(fl.router)
+                .filter(|l| l.to == c)
+                .map(|l| Path::new(&t.net, vec![l.id]).unwrap())
+                .collect();
+            specs.push(FlowSpecSim::saturated(fl.router, c, routes, 5.0));
+        }
+        (t.net, imap, specs)
+    }
+
+    fn run_sharded(shards: u32) -> (String, String, String) {
+        let (net, imap, specs) = campus_setup();
+        let mut sim = ShardedSimulation::with_shards(net, imap, SimConfig::default(), shards);
+        sim.attach_telemetry(Telemetry::enabled());
+        sim.attach_trace(Trace::bounded(50_000));
+        for s in specs {
+            sim.add_flow(s);
+        }
+        sim.run_until(5.0);
+        let report = format!("{:?}", sim.report(5.0));
+        let mut m = Manifest::new("shard_test");
+        m.attach_counters(sim.telemetry());
+        let trace = sim.take_trace().map(|t| t.to_jsonl()).unwrap_or_default();
+        (report, trace, m.render())
+    }
+
+    #[test]
+    fn byte_identical_across_shard_counts() {
+        let one = run_sharded(1);
+        for shards in [2, 4, 8] {
+            assert_eq!(one, run_sharded(shards), "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn matches_single_threaded_engine() {
+        let (net, imap, specs) = campus_setup();
+        let mut single = Simulation::new(net.clone(), imap.clone(), SimConfig::default());
+        single.attach_telemetry(Telemetry::enabled());
+        single.attach_trace(Trace::new());
+        for s in &specs {
+            single.add_flow(s.clone());
+        }
+        single.run_until(5.0);
+        let mut m1 = Manifest::new("shard_test");
+        m1.attach_counters(single.telemetry());
+
+        let mut sharded = ShardedSimulation::with_shards(net, imap, SimConfig::default(), 4);
+        sharded.attach_telemetry(Telemetry::enabled());
+        sharded.attach_trace(Trace::new());
+        for s in specs {
+            sharded.add_flow(s);
+        }
+        sharded.run_until(5.0);
+        let mut m2 = Manifest::new("shard_test");
+        m2.attach_counters(sharded.telemetry());
+
+        assert_eq!(format!("{:?}", single.report(5.0)), format!("{:?}", sharded.report(5.0)));
+        assert_eq!(m1.render(), m2.render());
+        let t1 = single.take_trace().map(|t| t.canonical_jsonl()).unwrap_or_default();
+        let t2 = sharded.take_trace().map(|t| t.canonical_jsonl()).unwrap_or_default();
+        assert!(!t1.is_empty());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn uses_multiple_shards_and_reports_per_shard_work() {
+        let (net, imap, specs) = campus_setup();
+        let mut sim = ShardedSimulation::with_shards(net, imap, SimConfig::default(), 4);
+        for s in specs {
+            sim.add_flow(s);
+        }
+        sim.run_until(2.0);
+        let _ = sim.report(2.0);
+        assert!(sim.shards_used() >= 2, "campus flows should spread over shards");
+        let per = sim.shard_events_dispatched();
+        assert_eq!(per.len(), sim.shards_used());
+        let total: u64 = per.iter().sum();
+        assert_eq!(total, sim.perf_stats().events_dispatched);
+    }
+
+    /// `ShardedSimulation::new` honors `EMPOWER_SIM_SHARDS` — and the
+    /// output stays byte-identical to an explicit shard count, because
+    /// the knob may only change *how* the work is split, never the
+    /// result. No other test in this binary constructs via `new`, so
+    /// the env write cannot race a concurrent read.
+    #[test]
+    fn env_knob_sets_default_shard_count() {
+        let (net, imap, specs) = campus_setup();
+        std::env::set_var("EMPOWER_SIM_SHARDS", "2");
+        let mut sim = ShardedSimulation::new(net, imap, SimConfig::default());
+        std::env::remove_var("EMPOWER_SIM_SHARDS");
+        for s in specs {
+            sim.add_flow(s);
+        }
+        sim.run_until(5.0);
+        assert_eq!(format!("{:?}", sim.report(5.0)), run_sharded(2).0);
+        assert_eq!(sim.shards_used(), 2, "EMPOWER_SIM_SHARDS=2 should pin two shards");
+    }
+
+    #[test]
+    fn replace_routes_counts_statically() {
+        let (net, imap, specs) = campus_setup();
+        let mut sim = ShardedSimulation::with_shards(net.clone(), imap, SimConfig::default(), 2);
+        let f = sim.add_flow(specs[0].clone());
+        let routes = specs[0].routes.clone();
+        let n = routes.len();
+        sim.run_until(1.0);
+        assert_eq!(sim.replace_routes(f, routes), n);
+        sim.run_until(2.0);
+        let report = sim.report(2.0);
+        assert_eq!(report.flows.len(), specs.len().min(1));
+    }
+}

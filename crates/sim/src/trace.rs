@@ -53,6 +53,18 @@ impl DropSite {
 }
 
 impl TraceEvent {
+    /// Simulated time of the event.
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::TxStart { t, .. }
+            | TraceEvent::TxEnd { t, .. }
+            | TraceEvent::Drop { t, .. }
+            | TraceEvent::Deliver { t, .. }
+            | TraceEvent::DeclaredLost { t, .. }
+            | TraceEvent::LinkChange { t, .. } => *t,
+        }
+    }
+
     /// The JSON-line form: an object tagged by `"ev"` with snake_case
     /// variant names (the format the serde-based version produced).
     pub fn to_json(&self) -> Json {
@@ -176,11 +188,34 @@ impl Trace {
         self.truncated
     }
 
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
     /// Serializes to JSON lines.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
             out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to JSON lines in **canonical order**: events stably
+    /// sorted by `(time, rendered line)`. Equal-time events from
+    /// independent interference atoms have no defined relative order in a
+    /// single event loop (it depends on queue insertion history), so the
+    /// sharded engine emits canonical traces and the cross-engine gates
+    /// compare both sides' canonical renderings.
+    pub fn canonical_jsonl(&self) -> String {
+        let mut lines: Vec<(u64, String)> =
+            self.events.iter().map(|e| (e.time().to_bits(), e.to_json().to_string())).collect();
+        lines.sort();
+        let mut out = String::new();
+        for (_, l) in lines {
+            out.push_str(&l);
             out.push('\n');
         }
         out

@@ -1,10 +1,12 @@
 //! The seeded workload scenario corpus.
 //!
-//! Three reference workloads — an enterprise request/response mix, an IoT
-//! telemetry floor and a diurnal elephant/mice mix with churn — pinned the
+//! Four reference workloads — an enterprise request/response mix, an IoT
+//! telemetry floor, a diurnal elephant/mice mix with churn, and a
+//! campus-scale mix on a generated hierarchical topology — pinned the
 //! same way the sim equivalence corpus pins the raw engines: the gate test
-//! (`crates/workload/tests/corpus_gate.rs`) replays each scenario twice
-//! and across both engines and compares every rendering byte for byte.
+//! (`crates/workload/tests/corpus_gate.rs`) replays each scenario twice,
+//! across both engines, and (for the campus entry) across sharded-engine
+//! shard counts, comparing every rendering byte for byte.
 //! The documents are the runnable examples under `examples/` verbatim
 //! (`include_str!`), so the corpus and the documentation cannot drift.
 
@@ -51,6 +53,10 @@ pub fn workload_corpus() -> Vec<WorkloadScenario> {
         WorkloadScenario {
             name: "elephant_mice",
             toml: include_str!("../../../examples/workload_elephant_mice.toml"),
+        },
+        WorkloadScenario {
+            name: "campus_scale",
+            toml: include_str!("../../../examples/workload_campus.toml"),
         },
     ]
 }

@@ -8,6 +8,8 @@
 
 use empower_dynamics::schema::serr;
 use empower_dynamics::ScenarioError;
+use empower_model::rng::{SeedableRng, StdRng};
+use empower_model::topology::campus::{campus, CampusConfig};
 use empower_model::topology::{fig1_scenario, testbed22};
 use empower_model::{
     CarrierSense, InterferenceMap, InterferenceModel, Medium, Network, NodeId, Path, SharedMedium,
@@ -28,13 +30,22 @@ pub fn build_topology(t: &TopologySpec) -> (Network, InterferenceMap) {
             let imap = CarrierSense::default().build_map(&t.net);
             (t.net, imap)
         }
+        WorkloadTopology::Campus { buildings, floors_per_building, clients_per_floor } => {
+            let mut rng = StdRng::seed_from_u64(t.seed);
+            let c = campus(
+                &mut rng,
+                &CampusConfig::new(buildings, floors_per_building, clients_per_floor),
+            );
+            let imap = CarrierSense::default().build_map(&c.net);
+            (c.net, imap)
+        }
     }
 }
 
 /// The simulator endpoints of a workload pair.
 pub fn endpoints(topo: &TopologySpec, src: u32, dst: u32) -> (NodeId, NodeId) {
     match topo.kind {
-        WorkloadTopology::Fig1 => (NodeId(src), NodeId(dst)),
+        WorkloadTopology::Fig1 | WorkloadTopology::Campus { .. } => (NodeId(src), NodeId(dst)),
         WorkloadTopology::Testbed => {
             let t = testbed22(topo.seed);
             (t.node(src), t.node(dst))
@@ -48,7 +59,9 @@ pub fn endpoints(topo: &TopologySpec, src: u32, dst: u32) -> (NodeId, NodeId) {
 /// hybrid routes, gateway→extender its two single hops, extender→client
 /// the WiFi hop. Testbed pairs use the direct PLC link (which the sampled
 /// layout must contain) plus a 2-hop WiFi relay through `via` when both
-/// hops exist.
+/// hops exist. Campus pairs must be directly attached (a floor router and
+/// one of its clients); every direct link becomes a single-hop route, so
+/// hybrid clients get WiFi+PLC multipath automatically.
 pub fn routes_for(
     net: &Network,
     topo: &TopologySpec,
@@ -108,6 +121,20 @@ pub fn routes_for(
                 }
             }
             Ok(routes)
+        }
+        WorkloadTopology::Campus { .. } => {
+            let links: Vec<_> =
+                net.out_links(NodeId(src)).filter(|l| l.to == NodeId(dst)).map(|l| l.id).collect();
+            if links.is_empty() {
+                return serr(
+                    path,
+                    format!(
+                        "campus pair {src}→{dst} shares no direct link; \
+                         pairs must be a floor router and one of its clients"
+                    ),
+                );
+            }
+            links.into_iter().map(|l| mk_path(net, vec![l], path)).collect()
         }
     }
 }

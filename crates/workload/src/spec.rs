@@ -29,6 +29,14 @@ pub enum WorkloadTopology {
     /// The sampled 22-node office testbed (§6); nodes are the paper's
     /// numbers `1..=22`, the layout depends on `topology.seed`.
     Testbed,
+    /// A generated hierarchical campus (`empower_model::topology::campus`)
+    /// with the given grid; the layout depends on `topology.seed`. Nodes
+    /// are raw generation-order indices, which are pure arithmetic in the
+    /// grid: the core is 0; building `b` starts at
+    /// `1 + b·(F·(1+K)+1)` with its aggregation router; floor `f` of that
+    /// building has its router at `agg + 1 + f·(1+K)` followed by its `K`
+    /// clients in order.
+    Campus { buildings: u32, floors_per_building: u32, clients_per_floor: u32 },
 }
 
 impl WorkloadTopology {
@@ -37,16 +45,49 @@ impl WorkloadTopology {
         match self {
             WorkloadTopology::Fig1 => "fig1",
             WorkloadTopology::Testbed => "testbed",
+            WorkloadTopology::Campus { .. } => "campus",
         }
     }
 
-    fn from_label(s: &str, path: &str) -> Result<Self, ScenarioError> {
-        match s {
-            "fig1" => Ok(WorkloadTopology::Fig1),
-            "testbed" => Ok(WorkloadTopology::Testbed),
-            other => serr(path, format!("unknown topology kind {other:?} (fig1|testbed)")),
+    /// Total campus node count (`None` for the fixed topologies).
+    pub fn campus_node_count(self) -> Option<u64> {
+        match self {
+            WorkloadTopology::Campus { buildings, floors_per_building, clients_per_floor } => {
+                let per_building =
+                    u64::from(floors_per_building) * (1 + u64::from(clients_per_floor));
+                Some(u64::from(buildings) * (per_building + 1) + 1)
+            }
+            _ => None,
         }
     }
+
+    fn from_table(topo: &Json, path: &str) -> Result<Self, ScenarioError> {
+        match req_str(topo, "kind", path)? {
+            "fig1" => Ok(WorkloadTopology::Fig1),
+            "testbed" => Ok(WorkloadTopology::Testbed),
+            "campus" => Ok(WorkloadTopology::Campus {
+                buildings: opt_dim(topo, "buildings", path, 2)?,
+                floors_per_building: opt_dim(topo, "floors_per_building", path, 2)?,
+                clients_per_floor: opt_dim(topo, "clients_per_floor", path, 4)?,
+            }),
+            other => serr(
+                join(path, "kind"),
+                format!("unknown topology kind {other:?} (fig1|testbed|campus)"),
+            ),
+        }
+    }
+}
+
+/// Reads an optional positive campus grid dimension.
+fn opt_dim(v: &Json, key: &str, path: &str, default: u32) -> Result<u32, ScenarioError> {
+    let n = match opt_u64(v, key, path)? {
+        None => default,
+        Some(n) => narrow_u32(n, &join(path, key))?,
+    };
+    if n == 0 {
+        return serr(join(path, key), "must be at least 1");
+    }
+    Ok(n)
 }
 
 /// The `[topology]` table.
@@ -192,10 +233,7 @@ impl Workload {
             path: "topology".into(),
             message: "missing [topology] table".into(),
         })?;
-        let kind = WorkloadTopology::from_label(
-            req_str(topo, "kind", "topology")?,
-            &join("topology", "kind"),
-        )?;
+        let kind = WorkloadTopology::from_table(topo, "topology")?;
         let topology = TopologySpec { kind, seed: opt_u64(topo, "seed", "topology")?.unwrap_or(1) };
 
         let run = doc.get("run").ok_or_else(|| ScenarioError {
@@ -219,13 +257,23 @@ impl Workload {
         Json::Obj(vec![
             ("schema".into(), Json::UInt(WORKLOAD_SCHEMA_VERSION)),
             ("name".into(), Json::Str(self.name.clone())),
-            (
-                "topology".into(),
-                Json::obj([
-                    ("kind", Json::Str(self.topology.kind.label().into())),
-                    ("seed", Json::UInt(self.topology.seed)),
-                ]),
-            ),
+            ("topology".into(), {
+                let mut o = vec![
+                    ("kind".to_string(), Json::Str(self.topology.kind.label().into())),
+                    ("seed".to_string(), Json::UInt(self.topology.seed)),
+                ];
+                if let WorkloadTopology::Campus {
+                    buildings,
+                    floors_per_building,
+                    clients_per_floor,
+                } = self.topology.kind
+                {
+                    o.push(("buildings".into(), Json::UInt(buildings.into())));
+                    o.push(("floors_per_building".into(), Json::UInt(floors_per_building.into())));
+                    o.push(("clients_per_floor".into(), Json::UInt(clients_per_floor.into())));
+                }
+                Json::Obj(o)
+            }),
             (
                 "run".into(),
                 Json::obj([
@@ -312,6 +360,21 @@ fn validate_client(
             }
             if c.src == c.dst {
                 return serr(join(path, "dst"), "src and dst must differ");
+            }
+        }
+        WorkloadTopology::Campus { .. } => {
+            // empower-lint: allow(D005) — campus_node_count is Some by match arm
+            let n = topo.campus_node_count().expect("campus topology has a node count");
+            for (key, v) in [("src", c.src), ("dst", c.dst)] {
+                if u64::from(v) >= n {
+                    return serr(join(path, key), format!("campus nodes are 0..{n}"));
+                }
+            }
+            if c.src == c.dst {
+                return serr(join(path, "dst"), "src and dst must differ");
+            }
+            if c.via.is_some() {
+                return serr(join(path, "via"), "via relays apply to the testbed only");
             }
         }
     }

@@ -44,3 +44,30 @@ fn workload_scenarios_agree_across_engines() {
         assert_eq!(opt.manifest, reference.manifest, "{}: manifest engines agree", s.name);
     }
 }
+
+/// The campus scenario runs floors in independent interference atoms, so
+/// the sharded simulator spreads it across workers — every rendering must
+/// still be byte-identical for any shard count (DESIGN.md §13), and the
+/// complete renderings (SLO, report, manifest) must match the
+/// single-threaded engine exactly. (The trace is compared across shard
+/// counts only: the sharded engine emits canonical trace order, and the
+/// bounded trace cap may cut the two engines' orderings differently.)
+#[test]
+fn campus_scenario_is_byte_identical_across_shard_counts() {
+    use empower_sim::corpus::ShardedN;
+
+    let corpus = workload_corpus();
+    let s = corpus.last().expect("corpus is non-empty");
+    assert_eq!(s.name, "campus_scale");
+    let single = run_workload_scenario::<Simulation>(s).unwrap();
+    let base = run_workload_scenario::<ShardedN<1>>(s).unwrap();
+    assert_eq!(single.slo, base.slo, "shards=1 SLO diverged from single-threaded");
+    assert_eq!(single.report, base.report, "shards=1 report diverged from single-threaded");
+    assert_eq!(single.manifest, base.manifest, "shards=1 manifest diverged from single-threaded");
+    let two = run_workload_scenario::<ShardedN<2>>(s).unwrap();
+    let four = run_workload_scenario::<ShardedN<4>>(s).unwrap();
+    let eight = run_workload_scenario::<ShardedN<8>>(s).unwrap();
+    assert_eq!(base, two, "shards=2 diverged from shards=1");
+    assert_eq!(base, four, "shards=4 diverged from shards=1");
+    assert_eq!(base, eight, "shards=8 diverged from shards=1");
+}
