@@ -68,12 +68,14 @@ empower_telemetry::impl_to_json_struct!(Counters {
 });
 
 /// One point of the sharded-simulation scale curve (DESIGN.md §13): a
-/// generated campus topology at a given shard count. The gated statistic
-/// is the **counter-based speedup** `seq_events / max_shard_events`: the
-/// single-threaded run's event count divided by the busiest worker's —
-/// the deterministic analogue of parallel speedup (events on the critical
-/// path), with no wall-clock flakiness. Wall-clock columns are
-/// informational and zeroed under `EMPOWER_SIM_SKIP_TIMING`.
+/// generated campus topology at a given shard count. Two statistics are
+/// gated: the **counter-based speedup** `seq_events / max_shard_events`
+/// (the single-threaded run's event count divided by the busiest
+/// worker's — the deterministic analogue of parallel speedup) and, when
+/// timing is enabled, the **wall-clock speedup** `seq_wall / wall` —
+/// shard-local views plus the persistent pool must actually convert the
+/// counter win into elapsed time. Wall columns are zeroed under
+/// `EMPOWER_SIM_SKIP_TIMING` and the wall gate skips itself.
 struct ScaleRow {
     nodes: u64,
     flows: u64,
@@ -83,13 +85,19 @@ struct ScaleRow {
     seq_events: u64,
     /// Events dispatched by the busiest shard worker.
     max_shard_events: u64,
-    /// Events dispatched across all shard workers (ghost control ticks
-    /// make this exceed `seq_events` as the shard count grows).
+    /// Events dispatched across all shard workers (one extra control-tick
+    /// chain per additional worker makes this slightly exceed
+    /// `seq_events` as the shard count grows).
     total_shard_events: u64,
     /// `seq_events / max_shard_events` — gated by the perf budget.
     counter_speedup: f64,
-    /// Wall-clock of the sharded run, milliseconds (informational).
+    /// Wall-clock of the single-threaded run, milliseconds.
+    seq_wall_ms: f64,
+    /// Wall-clock of the sharded run, milliseconds.
     wall_ms: f64,
+    /// `seq_wall / wall` — gated by the perf budget (0 when timing is
+    /// skipped).
+    wall_speedup: f64,
     /// `seq_events / wall-clock seconds` (informational).
     events_per_sec: f64,
 }
@@ -103,7 +111,9 @@ empower_telemetry::impl_to_json_struct!(ScaleRow {
     max_shard_events,
     total_shard_events,
     counter_speedup,
+    seq_wall_ms,
     wall_ms,
+    wall_speedup,
     events_per_sec
 });
 
@@ -123,6 +133,10 @@ struct Report {
     reference_events_per_sec: f64,
     /// optimized / reference median event-dispatch throughput.
     event_throughput_ratio: f64,
+    /// Per-event `String` allocations the sharded trace merge avoided by
+    /// rendering sort keys into one shared buffer (measured on a traced
+    /// 4-shard campus run; one saved allocation per merged trace event).
+    trace_merge_saved_allocs: u64,
     /// The sharded-simulation scale curve (campus topologies).
     scale: Vec<ScaleRow>,
 }
@@ -139,6 +153,7 @@ empower_telemetry::impl_to_json_struct!(Report {
     optimized_events_per_sec,
     reference_events_per_sec,
     event_throughput_ratio,
+    trace_merge_saved_allocs,
     scale
 });
 
@@ -183,6 +198,22 @@ fn gate(report: &Report, budget_path: &str) -> Result<(), String> {
         return Err(format!(
             "perf regression: {}-node 4-shard counter speedup {:.2} below budgeted {min_speedup}",
             gated.nodes, gated.counter_speedup
+        ));
+    }
+    // The wall-clock side of the same row: shard-local views + the
+    // persistent pool must turn the counter win into elapsed time. Skipped
+    // when timing is disabled (EMPOWER_SIM_SKIP_TIMING → wall_speedup 0)
+    // and on trimmed curves (the floor is calibrated against the
+    // 1011-node campus; the 103-node quick topology finishes in ~4 ms,
+    // where fixed per-run overhead dominates any honest floor).
+    let min_wall = budget
+        .get("sim_scale_min_wall_speedup_4shards")
+        .and_then(|v| v.as_f64())
+        .ok_or("budget lacks sim_scale_min_wall_speedup_4shards")?;
+    if gated.nodes >= 1000 && gated.wall_speedup > 0.0 && gated.wall_speedup < min_wall {
+        return Err(format!(
+            "perf regression: {}-node 4-shard wall speedup {:.2} below budgeted {min_wall}",
+            gated.nodes, gated.wall_speedup
         ));
     }
     Ok(())
@@ -246,8 +277,13 @@ fn scale_curve(quick: bool, skip_timing: bool) -> Vec<ScaleRow> {
         for s in &specs {
             seq.add_flow(s.clone());
         }
+        // Same timed region as the sharded runs below: the event loop plus
+        // report extraction (construction and flow registration excluded on
+        // both sides).
+        let seq_started = std::time::Instant::now();
         seq.run_until(SCALE_SECS);
         let seq_report = format!("{:?}", seq.report(SCALE_SECS));
+        let seq_wall = seq_started.elapsed();
         let seq_events = seq.perf_stats().events_dispatched;
 
         for &shards in shard_counts {
@@ -281,7 +317,13 @@ fn scale_curve(quick: bool, skip_timing: bool) -> Vec<ScaleRow> {
                 max_shard_events,
                 total_shard_events,
                 counter_speedup: seq_events as f64 / max_shard_events.max(1) as f64,
+                seq_wall_ms: if skip_timing { 0.0 } else { seq_wall.as_secs_f64() * 1e3 },
                 wall_ms,
+                wall_speedup: if skip_timing {
+                    0.0
+                } else {
+                    seq_wall.as_secs_f64() / wall.as_secs_f64().max(1e-12)
+                },
                 events_per_sec: if skip_timing {
                     0.0
                 } else {
@@ -291,6 +333,22 @@ fn scale_curve(quick: bool, skip_timing: bool) -> Vec<ScaleRow> {
         }
     }
     rows
+}
+
+/// Exercises the sharded trace merge on a traced 4-shard campus run and
+/// returns how many per-event `String` allocations the shared-buffer
+/// canonical sort avoided (one per merged trace event).
+fn trace_merge_saved() -> u64 {
+    let (net, imap, specs) = scale_setup((2, 5, 9));
+    let mut sim = ShardedSimulation::with_shards(net, imap, SimConfig::default(), 4);
+    sim.attach_trace(empower_sim::Trace::new());
+    for s in &specs {
+        sim.add_flow(s.clone());
+    }
+    sim.run_until(SCALE_SECS);
+    let saved = sim.perf_stats().trace_merge_saved_allocs;
+    assert!(saved > 0, "a traced campus run must merge trace events");
+    saved
 }
 
 fn add(total: &mut Counters, p: SimPerfStats) {
@@ -389,6 +447,7 @@ fn main() {
     // The sharded-simulation scale curve: campus topologies × shard
     // counts, byte-identity asserted at every point.
     let scale = scale_curve(args.quick, skip_timing);
+    let trace_merge_saved_allocs = trace_merge_saved();
 
     let report = Report {
         seed: args.seed,
@@ -402,6 +461,7 @@ fn main() {
         optimized_events_per_sec,
         reference_events_per_sec,
         event_throughput_ratio,
+        trace_merge_saved_allocs,
         scale,
     };
 
@@ -432,18 +492,26 @@ fn main() {
             optimized_events_per_sec, reference_events_per_sec
         );
     }
+    println!(
+        "trace merge:           {} per-event String allocations avoided (shared sort buffer)",
+        report.trace_merge_saved_allocs
+    );
     println!("== sharded-simulation scale curve (byte-identity asserted per row) ==");
     for r in &report.scale {
         println!(
             "  {:>5} nodes  {:>3} flows  shards {:>2} (used {:>2})  \
-             events seq {:>9}  max-shard {:>9}  counter speedup {:.2}x",
+             events seq {:>9}  max-shard {:>9}  counter speedup {:.2}x  \
+             wall {:>7.1} ms vs seq {:>7.1} ms  wall speedup {:.2}x",
             r.nodes,
             r.flows,
             r.shards,
             r.shards_used,
             r.seq_events,
             r.max_shard_events,
-            r.counter_speedup
+            r.counter_speedup,
+            r.wall_ms,
+            r.seq_wall_ms,
+            r.wall_speedup
         );
     }
 

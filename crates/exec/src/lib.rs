@@ -1,0 +1,268 @@
+#![forbid(unsafe_code)]
+//! # empower-exec
+//!
+//! A persistent worker pool for the deterministic simulators.
+//!
+//! The sharded simulator (`empower-sim`) dispatches one job per shard per
+//! run. Spawning fresh threads for every run — the `thread::scope` pattern
+//! of earlier revisions — charges a full thread spawn/join plus cold
+//! allocator state to *every* `execute()`, which benchmarks and the
+//! scenario corpus repeat hundreds of times. [`WorkerPool`] amortizes that:
+//! threads live for the life of the pool, and each thread owns a reusable
+//! **arena** value (scratch buffers, etc.) handed to every job it runs.
+//!
+//! Determinism rules (enforced repo-wide by `empower-lint`):
+//!
+//! * Batch results are written to **index-addressed slots** and returned in
+//!   submission order — completion order never influences the output
+//!   (no completion-order merges, rule D007).
+//! * Worker threads are stored [`JoinHandle`]s, joined on drop (no detached
+//!   spawns, rule D009).
+//! * A panicking job poisons nothing: the payload is captured and re-thrown
+//!   on the submitting thread once the batch drains, exactly like
+//!   `thread::scope` join semantics.
+//!
+//! The pool itself is infrastructure, not hot-path simulation state, so it
+//! may use `Mutex`/`Condvar` freely (rule D010 scopes the lock ban to the
+//! hot-path crates).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A queued unit of work: runs on a worker thread with that thread's arena.
+type Job<A> = Box<dyn FnOnce(&mut A) + Send + 'static>;
+
+struct Queue<A> {
+    jobs: Mutex<QueueState<A>>,
+    available: Condvar,
+}
+
+struct QueueState<A> {
+    jobs: VecDeque<Job<A>>,
+    shutdown: bool,
+}
+
+struct BatchState<R> {
+    /// One slot per submitted task, filled by task index — never by
+    /// completion order.
+    results: Vec<Option<R>>,
+    remaining: usize,
+    /// First captured panic payload, re-thrown by the submitter.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Batch<R> {
+    state: Mutex<BatchState<R>>,
+    done: Condvar,
+}
+
+/// A fixed set of long-lived worker threads, each owning an arena of type
+/// `A`, executing batches of jobs submitted from any thread.
+pub struct WorkerPool<A> {
+    queue: Arc<Queue<A>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker that panicked mid-job has already routed the payload into
+    // its batch; the shared state itself is never left mid-update, so
+    // poisoning carries no information here.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<A: Send + 'static> WorkerPool<A> {
+    /// Spawns `threads` workers (clamped to ≥ 1), each building its arena
+    /// once via `arena`.
+    pub fn new<F>(threads: usize, arena: F) -> Self
+    where
+        F: Fn() -> A + Send + Sync + 'static,
+    {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let arena = Arc::new(arena);
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let arena = Arc::clone(&arena);
+                std::thread::spawn(move || {
+                    let mut a = arena();
+                    loop {
+                        let job = {
+                            let mut st = lock(&queue.jobs);
+                            loop {
+                                if let Some(job) = st.jobs.pop_front() {
+                                    break job;
+                                }
+                                if st.shutdown {
+                                    return;
+                                }
+                                st = queue
+                                    .available
+                                    .wait(st)
+                                    .unwrap_or_else(PoisonError::into_inner);
+                            }
+                        };
+                        job(&mut a);
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { queue, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every task on the pool and returns their results **in
+    /// submission order**, blocking until the whole batch has drained. If
+    /// any task panicked, the first payload is re-thrown here after the
+    /// batch completes (remaining tasks still run; their results are
+    /// discarded with the batch).
+    pub fn run_batch<R, T>(&self, tasks: Vec<T>) -> Vec<R>
+    where
+        R: Send + 'static,
+        T: FnOnce(&mut A) -> R + Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut st = lock(&self.queue.jobs);
+            for (i, task) in tasks.into_iter().enumerate() {
+                let batch = Arc::clone(&batch);
+                st.jobs.push_back(Box::new(move |arena: &mut A| {
+                    let out = catch_unwind(AssertUnwindSafe(|| task(arena)));
+                    let mut bs = lock(&batch.state);
+                    match out {
+                        Ok(r) => bs.results[i] = Some(r),
+                        Err(p) => {
+                            if bs.panic.is_none() {
+                                bs.panic = Some(p);
+                            }
+                        }
+                    }
+                    bs.remaining -= 1;
+                    if bs.remaining == 0 {
+                        drop(bs);
+                        batch.done.notify_all();
+                    }
+                }));
+            }
+        }
+        self.queue.available.notify_all();
+
+        let mut bs = lock(&batch.state);
+        while bs.remaining > 0 {
+            bs = batch.done.wait(bs).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(p) = bs.panic.take() {
+            drop(bs);
+            resume_unwind(p);
+        }
+        bs.results
+            .iter_mut()
+            .map(|slot| {
+                let Some(r) = slot.take() else {
+                    unreachable!("batch drained without panic, every slot is filled")
+                };
+                r
+            })
+            .collect()
+    }
+}
+
+impl<A> Drop for WorkerPool<A> {
+    fn drop(&mut self) {
+        lock(&self.queue.jobs).shutdown = true;
+        self.queue.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(3, || 0u64);
+        let tasks: Vec<_> = (0..17)
+            .map(|i| {
+                move |arena: &mut u64| {
+                    *arena += 1;
+                    i * 10
+                }
+            })
+            .collect();
+        assert_eq!(pool.run_batch(tasks), (0..17).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_across_batches_and_reuses_arenas() {
+        let pool = WorkerPool::new(2, Vec::<u32>::new);
+        for round in 0..5u32 {
+            let out = pool.run_batch(vec![
+                move |arena: &mut Vec<u32>| {
+                    arena.push(round);
+                    arena.len()
+                };
+                4
+            ]);
+            assert_eq!(out.len(), 4);
+            // Arena lengths only grow: the same per-thread vectors serve
+            // every round.
+            assert!(out.iter().all(|&len| len >= 1));
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_drains_wide_batches() {
+        let pool = WorkerPool::new(1, || ());
+        let out = pool.run_batch((0..64).map(|i| move |_: &mut ()| i).collect::<Vec<_>>());
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_job_resurfaces_on_the_submitter() {
+        let pool = WorkerPool::new(2, || ());
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(
+                (0..4)
+                    .map(|i| {
+                        move |_: &mut ()| {
+                            assert!(i != 2, "job 2 fails");
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(caught.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.run_batch(vec![|_: &mut ()| 7]), vec![7]);
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let pool = WorkerPool::new(2, || ());
+        let out: Vec<u8> = pool.run_batch(Vec::<fn(&mut ()) -> u8>::new());
+        assert!(out.is_empty());
+    }
+}

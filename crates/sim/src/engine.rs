@@ -114,6 +114,14 @@ pub struct Simulation {
     /// Per-link random streams (capacity-estimation noise), seeded from
     /// `(cfg.seed, STREAM_LINK, link index)`.
     link_rngs: Vec<StdRng>,
+    /// Global link id per local link — identity for a standalone engine,
+    /// the view remap for a shard worker ([`crate::ShardedSimulation`]).
+    /// Everything observable (trace link fields, counter names, RNG
+    /// stream seeds) uses these, so a view worker's output needs no
+    /// post-hoc translation.
+    link_gids: Vec<u32>,
+    /// Global flow id per local flow, same role as `link_gids`.
+    flow_gids: Vec<usize>,
     events: EventQueue,
     now: f64,
     /// Pooled packet storage; queues and the busy table hold handles.
@@ -192,13 +200,30 @@ pub struct Simulation {
 impl Simulation {
     /// Creates an empty simulation over `net`.
     pub fn new(net: Network, imap: InterferenceMap, cfg: SimConfig) -> Self {
+        let ids = (0..net.link_count() as u32).collect();
+        Self::with_global_link_ids(net, imap, cfg, ids)
+    }
+
+    /// Like [`Simulation::new`] over a shard view: `link_gids[l]` is the
+    /// global id of local link `l`. Per-link RNG streams are seeded by
+    /// global id and traces/counters emit global ids, so a worker running
+    /// on a view reproduces the single-threaded engine's observable
+    /// output for its slice verbatim.
+    pub(crate) fn with_global_link_ids(
+        net: Network,
+        imap: InterferenceMap,
+        cfg: SimConfig,
+        link_gids: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(link_gids.len(), net.link_count());
         let reg = IfaceRegistry::for_network(&net);
         let l = net.link_count();
         let price_states: Vec<LinkPriceState> =
             net.nodes().iter().map(|n| LinkPriceState::new(&net, &imap, n.id)).collect();
         let bcast_plan = BroadcastPlan::new(&net, &price_states);
-        let link_rngs = (0..l)
-            .map(|i| StdRng::seed_from_u64(stream_seed(cfg.seed, STREAM_LINK, i as u64)))
+        let link_rngs = link_gids
+            .iter()
+            .map(|&g| StdRng::seed_from_u64(stream_seed(cfg.seed, STREAM_LINK, g as u64)))
             .collect();
         let stride = l.div_ceil(64);
         let mut alive_words = vec![0u64; stride.max(1)];
@@ -247,6 +272,8 @@ impl Simulation {
             cfg,
             flow_rngs: Vec::new(),
             link_rngs,
+            link_gids,
+            flow_gids: Vec::new(),
         }
     }
 
@@ -285,11 +312,12 @@ impl Simulation {
     /// the attach get their per-flow counters retroactively; attach before
     /// [`Simulation::add_flow`] for hygiene.
     pub fn attach_telemetry(&mut self, tele: Telemetry) {
-        self.etel = EngineCounters::attach(tele, self.net.link_count());
+        self.etel = EngineCounters::attach(tele, &self.link_gids);
         for f in 0..self.flows.len() {
+            let gid = self.flow_gids[f];
             let routes = self.flows[f].spec.routes.len();
-            self.flows[f].route_frames = self.etel.flow_route_counters(f, routes);
-            self.flows[f].acks_sent = self.etel.flow_ack_counter(f);
+            self.flows[f].route_frames = self.etel.flow_route_counters(gid, routes);
+            self.flows[f].acks_sent = self.etel.flow_ack_counter(gid);
         }
     }
 
@@ -323,21 +351,15 @@ impl Simulation {
     /// Panics if the spec has no usable routes, or an open-loop flow lacks
     /// rates.
     pub fn add_flow(&mut self, spec: FlowSpecSim) -> usize {
-        self.add_flow_impl(spec, false)
+        let gid = self.flows.len();
+        self.add_flow_global(spec, gid)
     }
 
-    /// Registers a *ghost* flow: a placeholder for a flow owned by another
-    /// shard of a [`crate::ShardedSimulation`]. Ghosts keep flow indices,
-    /// RNG stream assignment and telemetry counter names aligned with the
-    /// single-threaded run, but never start, never emit, carry no
-    /// controller and schedule no events — so they are entirely inert.
-    /// They also never touch `route_errors` (the owning shard reports
-    /// resolution failures exactly once).
-    pub(crate) fn add_ghost_flow(&mut self, spec: FlowSpecSim) -> usize {
-        self.add_flow_impl(spec, true)
-    }
-
-    fn add_flow_impl(&mut self, mut spec: FlowSpecSim, ghost: bool) -> usize {
+    /// [`Simulation::add_flow`] with an explicit *global* flow id: a shard
+    /// worker passes the flow's index in the full run so RNG streams,
+    /// per-flow counter names and trace flow fields match the
+    /// single-threaded engine. Returns the local index.
+    pub(crate) fn add_flow_global(&mut self, mut spec: FlowSpecSim, gid: usize) -> usize {
         assert!(!spec.routes.is_empty(), "flow has no routes");
         assert!(
             !self.control_started,
@@ -354,9 +376,7 @@ impl Simulation {
         let resolved: Vec<Option<SourceRoute>> =
             spec.routes.iter().map(|p| self.resolve_source_route(p)).collect();
         if resolved.iter().any(Option::is_none) {
-            if !ghost {
-                self.etel.route_errors.inc();
-            }
+            self.etel.route_errors.inc();
             let keep: Vec<bool> = resolved.iter().map(Option::is_some).collect();
             let mut i = 0;
             spec.routes.retain(|_| {
@@ -378,7 +398,7 @@ impl Simulation {
         let first_links: Vec<LinkId> = spec.routes.iter().map(|p| p.links()[0]).collect();
         let mut sched_cfg = SchedulerConfig::for_routes(spec.routes.len())
             .bucket_depth_mb(4.0 * self.cfg.frame_bits as f64 / 1e6);
-        let controller = if spec.use_cc && !ghost {
+        let controller = if spec.use_cc {
             let caps: Vec<f64> =
                 spec.routes.iter().map(|p| p.capacity(&self.net, &self.imap)).collect();
             let max_hops = spec.routes.iter().map(|p| p.hop_count()).max().unwrap_or(1);
@@ -442,20 +462,19 @@ impl Simulation {
             tcp_backlog: VecDeque::new(),
             emit_pending: false,
             emission_not_before: 0.0,
-            route_frames: self.etel.flow_route_counters(idx, route_count),
-            acks_sent: self.etel.flow_ack_counter(idx),
+            route_frames: self.etel.flow_route_counters(gid, route_count),
+            acks_sent: self.etel.flow_ack_counter(gid),
         });
         self.flow_rngs.push(StdRng::seed_from_u64(stream_seed(
             self.cfg.seed,
             STREAM_FLOW,
-            idx as u64,
+            gid as u64,
         )));
+        self.flow_gids.push(gid);
         self.stats.push(FlowStats { started_at: start, ..Default::default() });
-        if !ghost {
-            self.events.push(start, Event::FlowStart { flow: idx as u32 });
-            if let Some(stop) = stop {
-                self.events.push(stop, Event::FlowStop { flow: idx as u32 });
-            }
+        self.events.push(start, Event::FlowStart { flow: idx as u32 });
+        if let Some(stop) = stop {
+            self.events.push(stop, Event::FlowStop { flow: idx as u32 });
         }
         idx
     }
@@ -508,7 +527,8 @@ impl Simulation {
             })
             .collect();
         if routes.is_empty() {
-            self.etel.tele.event("sim", "route_replace_failed", &[("flow", flow.into())]);
+            let gid = self.flow_gids[flow];
+            self.etel.tele.event("sim", "route_replace_failed", &[("flow", gid.into())]);
             return 0;
         }
         let n = routes.len();
@@ -533,12 +553,9 @@ impl Simulation {
             fl.dp.post(CtrlMsg::SetRates(fl.spec.open_loop_rates.clone()));
         }
         fl.dp.tick();
-        fl.route_frames = self.etel.flow_route_counters(flow, n);
-        self.etel.tele.event(
-            "sim",
-            "route_replace",
-            &[("flow", flow.into()), ("routes", n.into())],
-        );
+        let gid = self.flow_gids[flow];
+        fl.route_frames = self.etel.flow_route_counters(gid, n);
+        self.etel.tele.event("sim", "route_replace", &[("flow", gid.into()), ("routes", n.into())]);
         // New route columns in the rate series start now, padded with zeros
         // for the elapsed samples.
         let series = &mut self.stats[flow].rate_series;
@@ -613,7 +630,7 @@ impl Simulation {
     fn flow_start(&mut self, f: usize) {
         self.started_flows += 1;
         self.flows[f].active = true;
-        self.etel.tele.event("sim", "flow_start", &[("flow", f.into())]);
+        self.etel.tele.event("sim", "flow_start", &[("flow", self.flow_gids[f].into())]);
         match self.flows[f].spec.pattern {
             TrafficPattern::SaturatedUdp { .. } => self.schedule_emit(f, 0.0),
             TrafficPattern::FileDownload { size_bytes, .. } => {
@@ -648,7 +665,7 @@ impl Simulation {
         }
         self.flows[f].active = false;
         self.stats[f].stopped_at = self.now;
-        self.etel.tele.event("sim", "flow_stop", &[("flow", f.into())]);
+        self.etel.tele.event("sim", "flow_stop", &[("flow", self.flow_gids[f].into())]);
     }
 
     fn begin_file(&mut self, f: usize, size_bytes: u64) {
@@ -796,7 +813,12 @@ impl Simulation {
             }
             if let Some(tr) = self.trace.as_mut() {
                 let site = if alive { DropSite::QueueOverflow } else { DropSite::DeadLink };
-                tr.push(TraceEvent::Drop { t: self.now, flow, seq, where_: site });
+                tr.push(TraceEvent::Drop {
+                    t: self.now,
+                    flow: self.flow_gids[flow],
+                    seq,
+                    where_: site,
+                });
             }
             self.slab.release(id);
             return;
@@ -872,8 +894,8 @@ impl Simulation {
             let pkt = self.slab.get(id);
             tr.push(TraceEvent::TxStart {
                 t: self.now,
-                link: link.0,
-                flow: pkt.flow,
+                link: self.link_gids[link.index()],
+                flow: self.flow_gids[pkt.flow],
                 seq: pkt.header.seq,
                 bits: pkt.size_bits,
             });
@@ -896,8 +918,8 @@ impl Simulation {
             let pkt = self.slab.get(id);
             tr.push(TraceEvent::TxEnd {
                 t: self.now,
-                link: link.0,
-                flow: pkt.flow,
+                link: self.link_gids[link.index()],
+                flow: self.flow_gids[pkt.flow],
                 seq: pkt.header.seq,
             });
         }
@@ -1056,7 +1078,11 @@ impl Simulation {
             match *ev {
                 ReorderEvent::Deliver(s) => {
                     if let Some(tr) = self.trace.as_mut() {
-                        tr.push(TraceEvent::Deliver { t: self.now, flow: f, seq: s });
+                        tr.push(TraceEvent::Deliver {
+                            t: self.now,
+                            flow: self.flow_gids[f],
+                            seq: s,
+                        });
                     }
                     if let Some(tcp) = self.flows[f].tcp.as_mut() {
                         if let Some(ts) = tcp.wire_to_tcp.remove(&s) {
@@ -1066,7 +1092,11 @@ impl Simulation {
                 }
                 ReorderEvent::Lost(s) => {
                     if let Some(tr) = self.trace.as_mut() {
-                        tr.push(TraceEvent::DeclaredLost { t: self.now, flow: f, seq: s });
+                        tr.push(TraceEvent::DeclaredLost {
+                            t: self.now,
+                            flow: self.flow_gids[f],
+                            seq: s,
+                        });
                     }
                     self.stats[f].declared_lost += 1;
                     self.etel.loss_rule_firings.inc();
@@ -1112,7 +1142,11 @@ impl Simulation {
         }
         let took = self.now - self.flows[f].file_began_at;
         self.stats[f].completions.push(took);
-        self.etel.tele.event("sim", "file_complete", &[("flow", f.into()), ("secs", took.into())]);
+        self.etel.tele.event(
+            "sim",
+            "file_complete",
+            &[("flow", self.flow_gids[f].into()), ("secs", took.into())],
+        );
         match self.flows[f].spec.pattern {
             TrafficPattern::PoissonFiles { size_bytes, .. } => {
                 if let Some(ready) = self.flows[f].pending_files.pop_front() {
@@ -1299,7 +1333,10 @@ impl Simulation {
         self.etel.tele.event(
             "sim",
             "link_change",
-            &[("link", link.0.into()), ("capacity_mbps", capacity_mbps.into())],
+            &[
+                ("link", self.link_gids[link.index()].into()),
+                ("capacity_mbps", capacity_mbps.into()),
+            ],
         );
         // An explicit capacity change overrides whatever a node crash saved.
         self.crash_saved[link.index()] = None;
@@ -1312,7 +1349,11 @@ impl Simulation {
     /// measurements instead of unwinding at α per slot.
     fn apply_capacity(&mut self, link: LinkId, capacity_mbps: f64) {
         if let Some(tr) = self.trace.as_mut() {
-            tr.push(TraceEvent::LinkChange { t: self.now, link: link.0, capacity_mbps });
+            tr.push(TraceEvent::LinkChange {
+                t: self.now,
+                link: self.link_gids[link.index()],
+                capacity_mbps,
+            });
         }
         let was_alive = self.net.link(link).is_alive();
         self.net.set_capacity(link, capacity_mbps);
@@ -1376,7 +1417,12 @@ impl Simulation {
         self.stats[flow].dropped_in_network += 1;
         self.etel.drops_dead_link.inc();
         if let Some(tr) = self.trace.as_mut() {
-            tr.push(TraceEvent::Drop { t: self.now, flow, seq, where_: DropSite::DeadLink });
+            tr.push(TraceEvent::Drop {
+                t: self.now,
+                flow: self.flow_gids[flow],
+                seq,
+                where_: DropSite::DeadLink,
+            });
         }
         self.slab.release(id);
     }

@@ -61,20 +61,25 @@ pub(crate) struct EngineCounters {
 }
 
 impl EngineCounters {
-    /// The disabled bundle: all handles are no-ops.
+    /// The disabled bundle: all handles are no-ops (names never escape a
+    /// disabled registry, so local indices serve as stand-in ids).
     pub fn disabled(link_count: usize) -> Self {
-        Self::build(Telemetry::disabled(), link_count)
+        let ids: Vec<u32> = (0..link_count as u32).collect();
+        Self::build(Telemetry::disabled(), &ids)
     }
 
-    /// Registers every engine counter on `tele`.
-    pub fn attach(tele: Telemetry, link_count: usize) -> Self {
-        Self::build(tele, link_count)
+    /// Registers every engine counter on `tele`; per-link counters are
+    /// named by the links' *global* ids so a shard view's manifest lines
+    /// up with the single-threaded engine's.
+    pub fn attach(tele: Telemetry, link_gids: &[u32]) -> Self {
+        Self::build(tele, link_gids)
     }
 
-    fn build(tele: Telemetry, link_count: usize) -> Self {
+    fn build(tele: Telemetry, link_gids: &[u32]) -> Self {
         let c = |name: &str, flavor: CounterType| tele.counter(name, flavor);
-        let queue_hwm = (0..link_count)
-            .map(|l| tele.counter(format!("link/{l}/queue_hwm"), CounterType::Gauge))
+        let queue_hwm = link_gids
+            .iter()
+            .map(|g| tele.counter(format!("link/{g}/queue_hwm"), CounterType::Gauge))
             .collect();
         EngineCounters {
             mac_grants: c("mac/grants", CounterType::Packets),

@@ -30,4 +30,8 @@ pub struct SimPerfStats {
     /// Bytes the reference engine would have allocated at hot sites the
     /// optimized engine serves from reused storage.
     pub bytes_not_allocated: u64,
+    /// Per-event `String` allocations the sharded trace merge avoided by
+    /// rendering every canonical sort key into one shared buffer (one
+    /// saved allocation per merged trace event).
+    pub trace_merge_saved_allocs: u64,
 }

@@ -1,0 +1,94 @@
+//! The sharded simulator's persistent worker pool.
+//!
+//! [`crate::ShardedSimulation`] dispatches one job per used shard per
+//! `execute()`. Routing those jobs through one process-wide
+//! [`WorkerPool`] — instead of spawning scoped threads per run — amortizes
+//! thread spawn/join and lets each worker thread keep a [`ShardArena`]
+//! (shard-view extraction scratch) warm across runs, which is what lets
+//! `bench_sim`'s scale curve and the scenario corpus gates pay the
+//! threading cost once instead of per run.
+//!
+//! `EMPOWER_SIM_POOL` selects the execution mode per batch:
+//!
+//! * unset — the pool, sized to `std::thread::available_parallelism()`;
+//! * `N > 0` — the pool, sized to `N` threads (the size is fixed at the
+//!   first pooled batch of the process; later values select pooled mode
+//!   but cannot resize it);
+//! * `0` or `off` — no threads: jobs run inline on the calling thread, in
+//!   submission order, with a fresh arena.
+//!
+//! Results are byte-identical in every mode — batch outputs are slotted by
+//! submission index, never by completion order — so the knob is purely an
+//! operational choice; the determinism smoke tests toggle it to prove
+//! exactly that.
+
+use std::sync::OnceLock;
+
+use empower_exec::WorkerPool;
+use empower_model::ViewScratch;
+
+/// Per-worker-thread arena: scratch state reused by every shard job the
+/// thread ever runs.
+#[derive(Default)]
+pub(crate) struct ShardArena {
+    /// Dense global→local maps for shard-view extraction.
+    pub view_scratch: ViewScratch,
+}
+
+static POOL: OnceLock<WorkerPool<ShardArena>> = OnceLock::new();
+
+fn pool_threads_from_env(raw: Option<&str>) -> Option<usize> {
+    match raw {
+        Some("off") | Some("0") => None,
+        Some(v) => Some(v.parse().ok().filter(|&n| n > 0).unwrap_or_else(default_threads)),
+        None => Some(default_threads()),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs one batch of shard jobs and returns their results in submission
+/// order — on the process-wide pool, or inline when `EMPOWER_SIM_POOL` is
+/// `0`/`off`.
+pub(crate) fn run_shard_batch<R, T>(tasks: Vec<T>) -> Vec<R>
+where
+    R: Send + 'static,
+    T: FnOnce(&mut ShardArena) -> R + Send + 'static,
+{
+    let raw = std::env::var("EMPOWER_SIM_POOL").ok();
+    match pool_threads_from_env(raw.as_deref()) {
+        Some(threads) => {
+            POOL.get_or_init(|| WorkerPool::new(threads, ShardArena::default)).run_batch(tasks)
+        }
+        None => {
+            let mut arena = ShardArena::default();
+            tasks.into_iter().map(|t| t(&mut arena)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_selects_modes() {
+        assert_eq!(pool_threads_from_env(Some("off")), None);
+        assert_eq!(pool_threads_from_env(Some("0")), None);
+        assert_eq!(pool_threads_from_env(Some("3")), Some(3));
+        assert!(pool_threads_from_env(None).is_some_and(|n| n >= 1));
+        // Garbage falls back to the default size rather than erroring.
+        assert!(pool_threads_from_env(Some("lots")).is_some_and(|n| n >= 1));
+    }
+
+    #[test]
+    fn inline_and_pooled_batches_agree() {
+        let tasks = || (0..9u64).map(|i| move |_: &mut ShardArena| i * i).collect::<Vec<_>>();
+        let mut inline_arena = ShardArena::default();
+        let inline: Vec<u64> = tasks().into_iter().map(|t| t(&mut inline_arena)).collect();
+        let pooled = run_shard_batch(tasks());
+        assert_eq!(inline, pooled);
+    }
+}

@@ -4,12 +4,12 @@
 //! [`ShardedSimulation`] partitions the network's links into *atoms* —
 //! closed groups under the coupling rules R1–R4 of
 //! [`empower_model::shard`] — packs atoms onto up to
-//! `EMPOWER_SIM_SHARDS` shards, and runs one full [`Simulation`] per
-//! shard on its own worker thread. Because no flow, interference domain,
-//! broadcast group or fault ever crosses an atom boundary, the
-//! conservative lookahead is *degenerate*: shards never exchange events
-//! at all, and each shard's execution of its own flows is bit-identical
-//! to the single-threaded engine's.
+//! `EMPOWER_SIM_SHARDS` shards, and runs one [`Simulation`] per shard on
+//! the persistent worker pool (`crate::pool`, knob `EMPOWER_SIM_POOL`).
+//! Because no flow, interference domain, broadcast group or fault ever
+//! crosses an atom boundary, the conservative lookahead is *degenerate*:
+//! shards never exchange events at all, and each shard's execution of its
+//! own flows is bit-identical to the single-threaded engine's.
 //!
 //! Three mechanisms make the merge exact rather than approximate:
 //!
@@ -19,18 +19,24 @@
 //!   `telemetry`, `take_trace`, `perf_stats`). Only then is the full
 //!   coupling closure known — including replacement routes scheduled for
 //!   later — so the partition can be computed once, correctly.
-//! * **Ghost flows.** Every shard registers *all* flows, but foreign
-//!   flows as inert ghosts ([`Simulation::add_ghost_flow`]): indices,
-//!   per-entity RNG streams and telemetry counter names stay aligned
-//!   with the single-threaded run while ghosts schedule no events.
-//! * **Index-ordered, canonical merges.** Worker results are joined in
+//! * **Shard-local views.** Every worker runs on a
+//!   [`ShardView`](empower_model::ShardView): the subgraph of its own
+//!   *active* atoms (those hosting an owned flow or scheduled fault),
+//!   with dense local ids. No full-network clone, no ghost flows, and
+//!   control-plane ticks iterate local links only. The local→global
+//!   remap is monotone, per-link RNG streams are seeded by *global* link
+//!   id, and flows keep their *global* ids for RNG streams, counter
+//!   names and trace lines — so every byte a worker produces already
+//!   speaks global ids, and the merge never has to translate.
+//! * **Index-ordered, canonical merges.** Worker results are merged in
 //!   shard-index order (no completion-order nondeterminism): per-flow
-//!   stats come from the flow's owning shard verbatim; counters merge by
-//!   fixed per-name rules (global per-tick counters take `max` — every
-//!   shard ticks the full horizon — traffic counters sum, gauges take
-//!   `max`); traces merge in canonical `(time, rendered line)` order and
-//!   are truncated to the configured cap only *after* the sort, so the
-//!   bytes cannot depend on the shard count.
+//!   stats are taken from each flow's owning shard in ascending global
+//!   flow order; counters merge by fixed per-name rules (see
+//!   [`ShardedSimulation::merge_counters`]); traces merge in canonical
+//!   `(time, rendered line)` order — rendered into one shared buffer,
+//!   not one `String` per event — and are truncated to the configured
+//!   cap only *after* the sort, so the bytes cannot depend on the shard
+//!   count.
 //!
 //! The result: `SimReport`s, telemetry manifests and canonical traces
 //! are byte-identical across `--shards` counts, and equal to the
@@ -39,9 +45,11 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 use empower_datapath::{IfaceId, IfaceRegistry, SourceRoute};
-use empower_model::shard::{plan_shards, CouplingSpec, ShardPlan};
+use empower_model::shard::{extract_view, plan_shards, CouplingSpec, ShardPlan, ShardView};
 use empower_model::{InterferenceMap, LinkId, Network, NodeId, Path};
 use empower_telemetry::{CounterSnapshot, CounterType, Telemetry};
 
@@ -49,8 +57,9 @@ use crate::config::SimConfig;
 use crate::engine::Simulation;
 use crate::flow::FlowSpecSim;
 use crate::perf::SimPerfStats;
+use crate::pool::{run_shard_batch, ShardArena};
 use crate::stats::{FlowStats, SimReport};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 
 /// One recorded API call, replayed per shard at execution time.
 enum Op {
@@ -60,6 +69,21 @@ enum Op {
     ReplaceRoutes { flow: usize, routes: Vec<Path> },
     RunUntil { until: f64 },
 }
+
+/// One op rewritten for a specific worker. Flow references carry their
+/// *global* ids so the worker can seed RNG streams and name counters
+/// exactly as the single-threaded engine does; link/node ids start
+/// global and are localized against the worker's view before replay.
+enum WorkerOp {
+    AddFlow { gid: usize, spec: FlowSpecSim },
+    LinkChange { at: f64, link: LinkId, capacity_mbps: f64 },
+    NodeChange { at: f64, node: NodeId, up: bool },
+    ReplaceRoutes { gid: usize, routes: Vec<Path> },
+    RunUntil { until: f64 },
+}
+
+/// What one shard worker sends back for merging.
+type WorkerOut = (Vec<FlowStats>, CounterSnapshot, Option<Trace>, SimPerfStats);
 
 /// Merged results of one execution of the op log.
 struct Exec {
@@ -86,8 +110,10 @@ pub struct ShardedSimulation {
     /// The pristine pre-run network. [`ShardedSimulation::network`]
     /// returns this — mid-run capacity mutations live inside the worker
     /// engines (callers needing mutated state inspect reports instead).
-    net: Network,
-    imap: InterferenceMap,
+    /// `Arc`: shared read-only with pool workers, which extract their
+    /// views from it without cloning the graph.
+    net: Arc<Network>,
+    imap: Arc<InterferenceMap>,
     reg: IfaceRegistry,
     cfg: SimConfig,
     shards: u32,
@@ -112,8 +138,8 @@ impl ShardedSimulation {
         let reg = IfaceRegistry::for_network(&net);
         ShardedSimulation {
             reg,
-            net,
-            imap,
+            net: Arc::new(net),
+            imap: Arc::new(imap),
             cfg,
             shards: shards.max(1),
             ops: Vec::new(),
@@ -332,106 +358,148 @@ impl ShardedSimulation {
         }
         let used: Vec<u32> = used.into_iter().collect();
 
-        let instrument = self.tele.is_enabled();
-        let trace_on = self.trace_cap.is_some();
-        let ops = &self.ops;
-        let op_owner = &op_owner;
-
-        type WorkerOut = (Vec<FlowStats>, CounterSnapshot, Option<Trace>, SimPerfStats);
-        let results: Vec<WorkerOut> = std::thread::scope(|sc| {
-            let mut handles = Vec::with_capacity(used.len());
-            for &s in &used {
-                let net = self.net.clone();
-                let imap = self.imap.clone();
-                let cfg = self.cfg.clone();
-                handles.push(sc.spawn(move || {
-                    let mut sim = Simulation::new(net, imap, cfg);
-                    if instrument {
-                        sim.attach_telemetry(Telemetry::enabled());
+        // Active atoms: only atoms hosting an owned flow or a scheduled
+        // op do any observable work — zero demand, zero violations, zero
+        // traffic everywhere else — so views exclude the rest entirely.
+        // This is where the wall-clock win comes from: control ticks and
+        // MAC domain scans run over each shard's local links only.
+        let mut active_atom = vec![false; plan.atom_count as usize];
+        for links in &per_flow_links {
+            active_atom[plan.atom_of_link[links[0].index()] as usize] = true;
+        }
+        for op in &self.ops {
+            match op {
+                Op::LinkChange { link, .. } => {
+                    active_atom[plan.atom_of_link[link.index()] as usize] = true;
+                }
+                Op::NodeChange { node, .. } => {
+                    for l in self.net.out_links(*node).chain(self.net.in_links(*node)) {
+                        active_atom[plan.atom_of_link[l.id.index()] as usize] = true;
                     }
-                    if trace_on {
-                        sim.attach_trace(Trace::new());
-                    }
-                    for (i, op) in ops.iter().enumerate() {
-                        let own = op_owner[i] == s;
-                        match op {
-                            Op::AddFlow(spec) => {
-                                // Both branches preserve the flow index.
-                                if own {
-                                    sim.add_flow(spec.clone());
-                                } else {
-                                    sim.add_ghost_flow(spec.clone());
-                                }
-                            }
-                            Op::LinkChange { at, link, capacity_mbps } => {
-                                if own {
-                                    sim.schedule_link_change(*at, *link, *capacity_mbps);
-                                }
-                            }
-                            Op::NodeChange { at, node, up } => {
-                                if own {
-                                    sim.schedule_node_change(*at, *node, *up);
-                                }
-                            }
-                            Op::ReplaceRoutes { flow, routes } => {
-                                if own {
-                                    sim.replace_routes(*flow, routes.clone());
-                                }
-                            }
-                            Op::RunUntil { until } => sim.run_until(*until),
-                        }
-                    }
-                    let flows = sim.report(0.0).flows;
-                    let snap = sim.telemetry().snapshot();
-                    let trace = sim.take_trace();
-                    let perf = sim.perf_stats();
-                    (flows, snap, trace, perf)
-                }));
+                }
+                _ => {}
             }
-            // Join strictly in shard-index order: merge order (and thus
-            // every merged byte) is independent of completion order.
-            let mut out = Vec::with_capacity(handles.len());
-            for h in handles {
-                match h.join() {
-                    Ok(v) => out.push(v),
-                    Err(e) => std::panic::resume_unwind(e),
+        }
+
+        // Rewrite the op log into one replay list per used shard: every
+        // shard sees its own ops (with global flow ids attached) plus all
+        // time advances, in original log order.
+        let mut worker_ops: Vec<Vec<WorkerOp>> = used.iter().map(|_| Vec::new()).collect();
+        let pos_of = |s: u32| used.iter().position(|&u| u == s);
+        let mut next_flow = 0usize;
+        for (i, op) in self.ops.iter().enumerate() {
+            let owned = |worker_ops: &mut Vec<Vec<WorkerOp>>, wop: WorkerOp| {
+                let Some(p) = pos_of(op_owner[i]) else {
+                    unreachable!("owner of an op is always a used shard")
+                };
+                worker_ops[p].push(wop);
+            };
+            match op {
+                Op::AddFlow(spec) => {
+                    let gid = next_flow;
+                    next_flow += 1;
+                    owned(&mut worker_ops, WorkerOp::AddFlow { gid, spec: spec.clone() });
+                }
+                Op::LinkChange { at, link, capacity_mbps } => owned(
+                    &mut worker_ops,
+                    WorkerOp::LinkChange { at: *at, link: *link, capacity_mbps: *capacity_mbps },
+                ),
+                Op::NodeChange { at, node, up } => {
+                    owned(&mut worker_ops, WorkerOp::NodeChange { at: *at, node: *node, up: *up })
+                }
+                Op::ReplaceRoutes { flow, routes } => owned(
+                    &mut worker_ops,
+                    WorkerOp::ReplaceRoutes { gid: *flow, routes: routes.clone() },
+                ),
+                Op::RunUntil { until } => {
+                    for list in worker_ops.iter_mut() {
+                        list.push(WorkerOp::RunUntil { until: *until });
+                    }
                 }
             }
-            out
-        });
+        }
 
-        // Per-flow stats come from the owning shard verbatim (ghost
-        // entries in other shards are inert placeholders).
+        let instrument = self.tele.is_enabled();
+        let trace_on = self.trace_cap.is_some();
+        let plan = Arc::new(plan);
+        let active_atom = Arc::new(active_atom);
+
+        let mut jobs = Vec::with_capacity(used.len());
+        for (w, &s) in used.iter().enumerate() {
+            let net = Arc::clone(&self.net);
+            let imap = Arc::clone(&self.imap);
+            let plan = Arc::clone(&plan);
+            let active_atom = Arc::clone(&active_atom);
+            let cfg = self.cfg.clone();
+            let ops = std::mem::take(&mut worker_ops[w]);
+            jobs.push(move |arena: &mut ShardArena| {
+                run_worker(
+                    &net,
+                    &imap,
+                    &plan,
+                    s,
+                    &active_atom,
+                    cfg,
+                    ops,
+                    instrument,
+                    trace_on,
+                    arena,
+                )
+            });
+        }
+        let results: Vec<WorkerOut> = run_shard_batch(jobs);
+
+        // Per-flow stats: each worker reports exactly its own flows in
+        // ascending global order, so a per-shard cursor walk reassembles
+        // the global order without any placeholder entries.
+        let mut cursor = vec![0usize; results.len()];
         let mut flows = Vec::with_capacity(self.flow_count);
-        for (f, owner) in flow_owner.iter().enumerate() {
-            let pos = used.iter().position(|u| u == owner).unwrap_or(0);
-            flows.push(results[pos].0[f].clone());
+        for owner in &flow_owner {
+            let Some(pos) = used.iter().position(|u| u == owner) else {
+                unreachable!("every flow owner is a used shard")
+            };
+            let c = cursor[pos];
+            cursor[pos] += 1;
+            flows.push(results[pos].0[c].clone());
         }
 
         if instrument {
             self.merge_counters(&results);
         }
 
+        let mut trace_saved = 0u64;
         let trace = self.trace_cap.map(|cap| {
-            let mut keyed: Vec<(u64, String, TraceEvent)> = Vec::new();
-            for (_, _, tr, _) in &results {
-                if let Some(tr) = tr {
-                    for e in tr.events() {
-                        keyed.push((e.time().to_bits(), e.to_json().to_string(), e.clone()));
-                    }
-                }
-            }
             // Canonical order: (time, rendered line). Equal-time events
             // from independent atoms have no defined order in a single
             // event loop; the canonical sort makes the merged bytes a
-            // function of the event *multiset* only.
-            keyed.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            // function of the event *multiset* only. Every line is
+            // rendered into ONE shared buffer and keyed by its byte
+            // range — the old per-event `to_string()` was the profile's
+            // top allocation site at campus scale.
+            let mut buf = String::new();
+            let mut keyed: Vec<(u64, u32, u32, u32, u32)> = Vec::new();
+            for (r, (_, _, tr, _)) in results.iter().enumerate() {
+                let Some(tr) = tr else { continue };
+                for (i, e) in tr.events().iter().enumerate() {
+                    let start = buf.len() as u32;
+                    let _ = write!(buf, "{}", e.to_json());
+                    keyed.push((e.time().to_bits(), start, buf.len() as u32, r as u32, i as u32));
+                }
+            }
+            trace_saved = keyed.len() as u64;
+            keyed.sort_by(|a, b| {
+                (a.0, &buf[a.1 as usize..a.2 as usize])
+                    .cmp(&(b.0, &buf[b.1 as usize..b.2 as usize]))
+            });
             let mut out = match cap {
                 Some(c) => Trace::bounded(c),
                 None => Trace::new(),
             };
-            for (_, _, e) in keyed {
-                out.push(e);
+            for &(_, _, _, r, i) in &keyed {
+                let Some(tr) = &results[r as usize].2 else {
+                    unreachable!("keyed events only come from present traces")
+                };
+                out.push(tr.events()[i as usize].clone());
             }
             out
         });
@@ -447,6 +515,7 @@ impl ShardedSimulation {
             perf.bytes_not_allocated += p.bytes_not_allocated;
             shard_events.push(p.events_dispatched);
         }
+        perf.trace_merge_saved_allocs = trace_saved;
 
         Exec {
             ops_done: self.ops.len(),
@@ -460,29 +529,30 @@ impl ShardedSimulation {
 
     /// Folds the per-shard counter snapshots into the attached registry.
     ///
-    /// Per-name rules (see DESIGN.md §13):
-    /// * `ctrl/ticks` and `cc/price_updates` — **max**: every shard runs
-    ///   the full control-tick chain over the full network, so these are
-    ///   equal across shards and must not multiply.
+    /// Workers run on shard-local views, so per-name rules (DESIGN.md
+    /// §13):
+    /// * `ctrl/ticks` — **max**: every worker ticks the full horizon, so
+    ///   the values are equal and must not multiply.
+    /// * `cc/price_updates` — **reconstructed** as merged ticks × the
+    ///   *global* link count: each worker advances it by its local link
+    ///   count per tick, and links outside every view still carry a
+    ///   (trivially converged) price in the serial semantics.
     /// * `mac/penalty_airtime_us` — **sum**: a gauge by flavor but
     ///   accumulated (`add`), and only owning shards contribute.
-    /// * other gauges (`link/<i>/queue_hwm`) — **max**: only the owning
-    ///   shard puts traffic on a link, the rest report 0.
-    /// * everything else — **sum**: traffic counters are only advanced by
-    ///   the owning shard, so sums reproduce the serial totals.
+    /// * other gauges (`link/<g>/queue_hwm`) — **max**, with gauges for
+    ///   links outside every view **zero-filled** so the manifest's name
+    ///   set matches the single-threaded engine's.
+    /// * everything else — **sum**: traffic and flow counters are only
+    ///   advanced by the owning shard, so sums reproduce serial totals.
     ///
     /// Values are written with `set`, making re-merges after op-log
     /// growth idempotent.
-    fn merge_counters(
-        &self,
-        results: &[(Vec<FlowStats>, CounterSnapshot, Option<Trace>, SimPerfStats)],
-    ) {
+    fn merge_counters(&self, results: &[WorkerOut]) {
         let mut merged: BTreeMap<String, (CounterType, u64)> = BTreeMap::new();
         for (_, snap, _, _) in results {
             for (name, flavor, value) in &snap.counters {
                 let slot = merged.entry(name.clone()).or_insert((*flavor, 0));
                 let take_max = name == "ctrl/ticks"
-                    || name == "cc/price_updates"
                     || (*flavor == CounterType::Gauge && name != "mac/penalty_airtime_us");
                 if take_max {
                     slot.1 = slot.1.max(*value);
@@ -491,10 +561,129 @@ impl ShardedSimulation {
                 }
             }
         }
+        let ticks = merged.get("ctrl/ticks").map(|&(_, v)| v).unwrap_or(0);
+        if let Some(slot) = merged.get_mut("cc/price_updates") {
+            slot.1 = ticks * self.net.link_count() as u64;
+        }
+        for g in 0..self.net.link_count() {
+            merged.entry(format!("link/{g}/queue_hwm")).or_insert((CounterType::Gauge, 0));
+        }
         for (name, (flavor, value)) in &merged {
             self.tele.counter(name.clone(), *flavor).set(*value);
         }
     }
+}
+
+/// One shard's run: extract the view, localize the replay list, drive a
+/// [`Simulation`] over the subnetwork, and return globally-addressed
+/// results. Runs on a pool worker thread; `arena` persists across runs.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    net: &Network,
+    imap: &InterferenceMap,
+    plan: &ShardPlan,
+    shard: u32,
+    active_atom: &[bool],
+    cfg: SimConfig,
+    ops: Vec<WorkerOp>,
+    instrument: bool,
+    trace_on: bool,
+    arena: &mut ShardArena,
+) -> WorkerOut {
+    let view = extract_view(net, imap, plan, shard, active_atom, &mut arena.view_scratch);
+
+    // Localize the whole replay list up front. Owned flows and faults
+    // always fit the view by construction (their atoms are active and
+    // packed here); the one legitimate miss is a NodeChange on a node
+    // with no links in any active atom, which has no observable effect
+    // and is skipped outright.
+    let mut local: Vec<WorkerOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            WorkerOp::AddFlow { gid, mut spec } => {
+                let Some(src) = view.local_node(spec.src) else {
+                    unreachable!("owned flow's source is outside its shard view")
+                };
+                let Some(dst) = view.local_node(spec.dst) else {
+                    unreachable!("owned flow's destination is outside its shard view")
+                };
+                spec.src = src;
+                spec.dst = dst;
+                spec.routes = localize_routes(&view, &spec.routes);
+                local.push(WorkerOp::AddFlow { gid, spec });
+            }
+            WorkerOp::LinkChange { at, link, capacity_mbps } => {
+                let Some(l) = view.local_link(link) else {
+                    unreachable!("owned link fault is outside its shard view")
+                };
+                local.push(WorkerOp::LinkChange { at, link: l, capacity_mbps });
+            }
+            WorkerOp::NodeChange { at, node, up } => {
+                if let Some(n) = view.local_node(node) {
+                    local.push(WorkerOp::NodeChange { at, node: n, up });
+                }
+            }
+            WorkerOp::ReplaceRoutes { gid, routes } => {
+                local
+                    .push(WorkerOp::ReplaceRoutes { gid, routes: localize_routes(&view, &routes) });
+            }
+            WorkerOp::RunUntil { until } => local.push(WorkerOp::RunUntil { until }),
+        }
+    }
+
+    let link_gids: Vec<u32> = view.link_to_global.iter().map(|l| l.0).collect();
+    let ShardView { net: vnet, imap: vimap, .. } = view;
+    let mut sim = Simulation::with_global_link_ids(vnet, vimap, cfg, link_gids);
+    if instrument {
+        sim.attach_telemetry(Telemetry::enabled());
+    }
+    if trace_on {
+        sim.attach_trace(Trace::new());
+    }
+
+    // Owned flows arrive in ascending global-id order, so the local
+    // index of gid `g` is its rank in this list.
+    let mut owned_gids: Vec<usize> = Vec::new();
+    for op in local {
+        match op {
+            WorkerOp::AddFlow { gid, spec } => {
+                owned_gids.push(gid);
+                sim.add_flow_global(spec, gid);
+            }
+            WorkerOp::LinkChange { at, link, capacity_mbps } => {
+                sim.schedule_link_change(at, link, capacity_mbps);
+            }
+            WorkerOp::NodeChange { at, node, up } => sim.schedule_node_change(at, node, up),
+            WorkerOp::ReplaceRoutes { gid, routes } => {
+                let Ok(f) = owned_gids.binary_search(&gid) else {
+                    unreachable!("replace_routes routed to a shard that does not own the flow")
+                };
+                sim.replace_routes(f, routes);
+            }
+            WorkerOp::RunUntil { until } => sim.run_until(until),
+        }
+    }
+
+    let flows = sim.report(0.0).flows;
+    let snap = sim.telemetry().snapshot();
+    let trace = sim.take_trace();
+    let perf = sim.perf_stats();
+    (flows, snap, trace, perf)
+}
+
+/// Rewrites a set of global-id routes into view-local ids. Every route
+/// of an owned flow — including scheduled replacements — is inside the
+/// flow's coupling atom, hence inside the view.
+fn localize_routes(view: &ShardView, routes: &[Path]) -> Vec<Path> {
+    routes
+        .iter()
+        .map(|p| {
+            let Some(local) = view.localize_path(p) else {
+                unreachable!("owned flow's route leaves its shard view")
+            };
+            local
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -596,6 +785,40 @@ mod tests {
         assert_eq!(total, sim.perf_stats().events_dispatched);
     }
 
+    /// The view-based workers do strictly less total work than one
+    /// engine over the full network — the wall-clock side of the PR.
+    /// With views, the whole 4-shard run dispatches barely more events
+    /// than the serial engine (the extra is one control-tick chain per
+    /// additional worker), where the old full-clone workers each
+    /// re-dispatched the full network's control plane.
+    #[test]
+    fn view_workers_do_not_multiply_control_work() {
+        let (net, imap, specs) = campus_setup();
+        let mut single = Simulation::new(net.clone(), imap.clone(), SimConfig::default());
+        for s in &specs {
+            single.add_flow(s.clone());
+        }
+        single.run_until(5.0);
+        let serial = single.perf_stats().events_dispatched;
+
+        let (net, imap, specs) = campus_setup();
+        let mut sim = ShardedSimulation::with_shards(net, imap, SimConfig::default(), 4);
+        for s in specs {
+            sim.add_flow(s);
+        }
+        sim.run_until(5.0);
+        let _ = sim.report(5.0);
+        let sharded = sim.perf_stats().events_dispatched;
+        let workers = sim.shards_used() as u64;
+        // Each extra worker contributes exactly one extra control-tick
+        // chain (one event per 100 ms slot over 5 s = 51 ticks ≤ 60).
+        assert!(workers >= 2);
+        assert!(
+            sharded <= serial + (workers - 1) * 60,
+            "sharded dispatched {sharded} events vs serial {serial} (+{workers} workers)"
+        );
+    }
+
     /// `ShardedSimulation::new` honors `EMPOWER_SIM_SHARDS` — and the
     /// output stays byte-identical to an explicit shard count, because
     /// the knob may only change *how* the work is split, never the
@@ -613,6 +836,19 @@ mod tests {
         sim.run_until(5.0);
         assert_eq!(format!("{:?}", sim.report(5.0)), run_sharded(2).0);
         assert_eq!(sim.shards_used(), 2, "EMPOWER_SIM_SHARDS=2 should pin two shards");
+    }
+
+    /// `EMPOWER_SIM_POOL=0` runs shard jobs inline on the caller thread;
+    /// the bytes must match the pooled default exactly (a concurrent
+    /// test observing the knob mid-write would only switch *mode*, never
+    /// output, so the env race here is benign).
+    #[test]
+    fn pool_off_matches_pooled() {
+        let pooled = run_sharded(4);
+        std::env::set_var("EMPOWER_SIM_POOL", "0");
+        let inline = run_sharded(4);
+        std::env::remove_var("EMPOWER_SIM_POOL");
+        assert_eq!(pooled, inline);
     }
 
     #[test]
